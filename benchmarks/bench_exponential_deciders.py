@@ -1,0 +1,100 @@
+"""S2 — the exponential upper bounds in action (Theorems 5.3 and 5.5).
+
+Regenerates: the EXPTIME types-fixpoint's blow-up as the tracked-fact
+count grows (the 2^facts reachability), and the NEXPTIME small-model
+search's blow-up with the value pool / width — both contrasted with the
+PTIME procedures of S1.  Growth ratios > 1 on linearly growing inputs are
+the expected exponential signature.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.dtd import parse_dtd
+from repro.sat import sat_exptime_types
+from repro.sat.nexptime import sat_nexptime
+from repro.workloads import growth_ratio
+from repro.xpath import parse_query
+from repro.xpath.builder import boolean, exists, label, q_and, q_not, seq
+
+
+def _deep_negation_query(k: int):
+    """``ε[¬(A/B) ∧ ¬(A/A/B) ∧ ... ]`` — each conjunct adds tracked facts."""
+    parts = []
+    for depth in range(1, k + 1):
+        chain = seq(*([label("A")] * depth + [label("B")]))
+        parts.append(q_not(exists(chain)))
+    return boolean(q_and(*parts))
+
+
+CHAIN_DTD = parse_dtd(
+    """
+    root r
+    r -> A
+    A -> (A + eps), (B + eps)
+    B -> eps
+    """
+)
+
+
+def test_types_fixpoint(benchmark):
+    benchmark(lambda: sat_exptime_types(_deep_negation_query(4), CHAIN_DTD, max_facts=30))
+
+
+def test_nexptime_search(benchmark):
+    dtd = parse_dtd("root r\nr -> C, C\nC -> eps\nC @ v\n")
+    query = parse_query(".[C/@v != C/@v]")
+    benchmark(lambda: sat_nexptime(query, dtd))
+
+
+def test_exponential_report(report, benchmark):
+    def build():
+        rows = []
+        # EXPTIME fixpoint: time vs number of tracked facts
+        times = []
+        for k in (2, 4, 6, 8, 10):
+            query = _deep_negation_query(k)
+            start = time.perf_counter()
+            result = sat_exptime_types(query, CHAIN_DTD, max_facts=60)
+            elapsed = time.perf_counter() - start
+            times.append(max(elapsed, 1e-6))
+            rows.append([
+                "Thm 5.3 types fixpoint", f"k = {k}",
+                result.stats.get("facts", "?"), result.stats.get("types", "?"),
+                f"{elapsed * 1000:.2f} ms",
+            ])
+        ratio = growth_ratio(times)
+        rows.append([
+            "Thm 5.3 types fixpoint", "growth ratio per step",
+            "--", "--", f"{ratio:.2f}x",
+        ])
+        # NEXPTIME small-model: time vs number of attribute-carrying nodes
+        times = []
+        for width in (2, 3, 4):
+            production = ", ".join(["C"] * width)
+            dtd = parse_dtd(f"root r\nr -> {production}\nC -> eps\nC @ v\n")
+            query = parse_query(".[C/@v != C/@v and not(C/@v = '9')]")
+            start = time.perf_counter()
+            result = sat_nexptime(query, dtd)
+            elapsed = time.perf_counter() - start
+            times.append(max(elapsed, 1e-6))
+            rows.append([
+                "Thm 5.5 small-model", f"{width} attribute slots",
+                result.stats.get("trees", "?"), "--", f"{elapsed * 1000:.2f} ms",
+            ])
+        ratio = growth_ratio(times)
+        rows.append([
+            "Thm 5.5 small-model", "growth ratio per slot", "--", "--",
+            f"{ratio:.2f}x",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["procedure", "parameter", "facts/trees", "types", "time"], rows
+    )
+    report("s2_exponential_deciders", table)

@@ -1,0 +1,94 @@
+"""F10 — Figures 10–12: the two-way alternating selection automata of
+Claim 7.6.
+
+Regenerates: per-axis automaton sizes (the q0..qn gadgets of Figure 10),
+linear growth of composed automata in the query size, and the
+agreement-with-evaluator property that constitutes the claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.automata import accepts, trans
+from repro.dtd import random_dtd
+from repro.workloads import random_query
+from repro.xmltree import random_tree
+from repro.xmltree.stream import open_position, stream_selected
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+from repro.xpath.fragments import Fragment
+from repro.xpath.semantics import Evaluator
+
+AXES = [".", "A", "*", "**", "^", "^*", ">", ">*", "<", "<*"]
+
+
+def test_translation(benchmark):
+    query = parse_query("A[B]/>*[lab() = C]/**")
+    benchmark(lambda: trans(query, 6))
+
+
+def test_acceptance_run(benchmark, rng):
+    dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+    doc = random_tree(dtd, rng, max_nodes=20)
+    query = parse_query("**")
+    automaton = trans(query, doc.depth())
+    word = stream_selected(doc, list(doc.nodes())[-1])
+    benchmark(lambda: accepts(automaton, word, 0))
+
+
+def test_fig10_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # Figure 10: per-axis gadget sizes at depth bounds 4 and 8
+        for axis in AXES:
+            small = trans(parse_query(axis), 4)
+            large = trans(parse_query(axis), 8)
+            rows.append([
+                f"axis {axis}", len(small.states), len(large.states),
+                len(small.critical), "O(depth) states",
+            ])
+        # composed automata grow linearly in the query
+        for k in (1, 2, 4, 8):
+            query = parse_query("/".join(["A"] * k))
+            automaton = trans(query, 6)
+            rows.append([
+                f"A^{k} composition", len(automaton.states), "--",
+                len(automaton.critical), "linear in |p|",
+            ])
+        # Claim 7.6 agreement sweep
+        fragment = Fragment(
+            "sv",
+            frag.SIBLING_VERTICAL_NEG.allowed
+            | {frag.Feature.DESCENDANT, frag.Feature.ANCESTOR},
+        )
+        checks = agreements = 0
+        for _ in range(6):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            doc = random_tree(dtd, rng, max_nodes=10)
+            query = random_query(rng, fragment, sorted(dtd.element_types), max_depth=2)
+            automaton = trans(query, doc.depth())
+            evaluator = Evaluator(doc)
+            for n in list(doc.nodes())[:4]:
+                expected = evaluator.evaluate(query, n)
+                position = open_position(doc, n)
+                for m in list(doc.nodes())[:4]:
+                    word = stream_selected(doc, m)
+                    checks += 1
+                    if accepts(automaton, word, position) == (m in expected):
+                        agreements += 1
+        assert agreements == checks
+        rows.append([
+            "Claim 7.6 agreement", f"{agreements}/{checks}", "--", "--",
+            "automaton ≡ evaluator",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["artifact", "states (depth 4 / value)", "states (depth 8)",
+         "critical states", "note"],
+        rows,
+    )
+    report("fig10_two_way_automata", table)

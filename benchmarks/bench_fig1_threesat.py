@@ -1,0 +1,82 @@
+"""F1 — Figure 1: the 3SAT encodings of Propositions 4.2(1), 4.2(2) and
+4.3.
+
+Regenerates: encoding sizes as the formula grows (polynomial, as a
+reduction must be), correctness agreement against DPLL, and the decision
+cost through the exact decider — whose blow-up on these NP-hard instances
+is the expected shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.reductions import threesat as enc
+from repro.sat import decide, sat_exptime_types
+from repro.solvers.dpll import dpll_satisfiable, random_3cnf
+from repro.xmltree.validate import conforms
+from repro.xpath.semantics import satisfies
+
+ENCODERS = [
+    ("Prop 4.2(1) X(child,qual)", enc.encode_child_qual, enc.witness_child_qual),
+    ("Prop 4.2(2) X(union,qual)", enc.encode_union_qual, enc.witness_union_qual),
+    ("Prop 4.3   X(child,parent)", enc.encode_child_up, enc.witness_child_qual),
+]
+
+
+@pytest.mark.parametrize("name,encoder,_w", ENCODERS, ids=[e[0] for e in ENCODERS])
+def test_encoding_construction(benchmark, rng, name, encoder, _w):
+    formula = random_3cnf(rng, 6, 10)
+    benchmark(lambda: encoder(formula))
+
+
+def test_decide_small_instance(benchmark, rng):
+    formula = random_3cnf(rng, 3, 4)
+    encoding = enc.encode_child_qual(formula)
+    benchmark(lambda: sat_exptime_types(encoding.query, encoding.dtd, max_facts=30))
+
+
+def test_fig1_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # encoding-size scaling: |query| and |DTD| linear-ish in instance
+        for n_vars, n_clauses in [(3, 4), (5, 8), (8, 14), (12, 22)]:
+            formula = random_3cnf(rng, n_vars, n_clauses)
+            for name, encoder, _witness in ENCODERS:
+                encoding = encoder(formula)
+                sizes = encoding.sizes()
+                rows.append([
+                    name, f"{n_vars}v/{n_clauses}c",
+                    sizes["query_size"], sizes["dtd_size"], "--", "--",
+                ])
+        # agreement with DPLL via the exact decider (small instances)
+        for trial in range(8):
+            formula = random_3cnf(rng, 3, 2 + trial % 5)
+            expected = dpll_satisfiable(formula) is not None
+            for name, encoder, witness in ENCODERS:
+                encoding = encoder(formula)
+                start = time.perf_counter()
+                result = decide(encoding.query, encoding.dtd)
+                ms = (time.perf_counter() - start) * 1000
+                assert result.satisfiable == expected, (name, formula.describe())
+                if expected:
+                    assignment = dpll_satisfiable(formula)
+                    tree = witness(formula, assignment)
+                    assert conforms(tree, encoding.dtd)
+                    assert satisfies(tree, encoding.query)
+                rows.append([
+                    name, f"3v (trial {trial})", encoding.query.size(),
+                    encoding.sizes()["dtd_size"],
+                    "SAT" if expected else "UNSAT", f"{ms:.1f}ms",
+                ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["encoding", "instance", "|query|", "|DTD|", "verdict=DPLL", "decide time"],
+        rows,
+    )
+    report("fig1_threesat_encodings", table)

@@ -1,0 +1,94 @@
+"""F3 — Figure 3: the Q3SAT encoding of Proposition 5.1 (and the fixed-DTD
+variant of Theorem 6.7(1)).
+
+Regenerates: validity agreement between the independent QBF solver and the
+strategy-tree semantics of the encoding; the exponential growth of full
+strategy trees in the number of ∀ quantifiers (the mechanism behind
+PSPACE-hardness); encoding sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.reductions import q3sat as enc
+from repro.solvers.dpll import cnf, random_3cnf
+from repro.solvers.qbf import QBF, qbf_valid
+from repro.xmltree.validate import conforms
+from repro.xpath.semantics import satisfies
+
+
+def _strategies(qbf: QBF):
+    exist_vars = [i for i in range(1, qbf.n_vars + 1) if qbf.quantifiers[i - 1] == "E"]
+    tables = [{}]
+    for var in exist_vars:
+        contexts = list(itertools.product([False, True], repeat=var - 1))
+        tables = [
+            {**table, **dict(zip(((var, c) for c in contexts), values))}
+            for table in tables
+            for values in itertools.product([False, True], repeat=len(contexts))
+        ]
+
+    def as_function(table):
+        return lambda var, assignment: table[
+            (var, tuple(assignment[i] for i in range(1, var)))
+        ]
+
+    return [as_function(t) for t in tables]
+
+
+def test_encoding_construction(benchmark, rng):
+    qbf = QBF(tuple(rng.choice("AE") for _ in range(6)), random_3cnf(rng, 6, 8))
+    benchmark(lambda: enc.encode_neg_child(qbf))
+
+
+def test_strategy_tree_construction(benchmark):
+    qbf = QBF(("A", "E", "A"), cnf([[1, 2, 3], [-1, 2, -3]], n_vars=3))
+    benchmark(lambda: enc.strategy_tree_5_1(qbf, lambda v, a: True))
+
+
+def test_fig3_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # semantic agreement on small alternating instances
+        for trial in range(6):
+            qbf = QBF(
+                tuple(rng.choice("AE") for _ in range(3)),
+                random_3cnf(rng, 3, rng.randint(2, 5)),
+            )
+            expected = qbf_valid(qbf)
+            encoding = enc.encode_neg_child(qbf)
+            found = False
+            for strategy in _strategies(qbf):
+                tree = enc.strategy_tree_5_1(qbf, strategy)
+                assert conforms(tree, encoding.dtd)
+                if satisfies(tree, encoding.query):
+                    found = True
+                    break
+            assert found == expected, qbf.describe()
+            rows.append([
+                f"agreement {trial}", qbf.describe()[:42],
+                encoding.query.size(), encoding.dtd.size(),
+                "valid" if expected else "invalid", "match",
+            ])
+        # exponential strategy-tree growth in #∀ (Figure 3's tree shape)
+        for n_forall in range(1, 7):
+            quantifiers = tuple(["A"] * n_forall + ["E"])
+            matrix = cnf([[1, 2, min(n_forall + 1, 3)]], n_vars=n_forall + 1)
+            qbf = QBF(quantifiers, matrix)
+            tree = enc.strategy_tree_5_1(qbf, lambda v, a: True)
+            rows.append([
+                f"growth ∀^{n_forall}∃", "full strategy tree",
+                enc.encode_neg_child(qbf).query.size(), "--",
+                f"{len(tree)} nodes", "2^i shape",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["case", "instance", "|query|", "|DTD|", "outcome", "note"], rows
+    )
+    report("fig3_q3sat_encoding", table)

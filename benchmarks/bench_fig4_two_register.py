@@ -1,0 +1,74 @@
+"""F4 — Figure 4: the two-register-machine encoding (Theorem 5.4,
+undecidability of the full fragment).
+
+Regenerates: the fixed DTD's shape, query sizes per machine, and the
+run-tree validation — halting runs satisfy the query, truncated or
+corrupted runs do not.  (No decision procedure appears here; that is the
+theorem's point.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.reductions import two_register as enc
+from repro.solvers.machines import (
+    diverging_loop,
+    halting_adder,
+    run_machine,
+    stuck_machine,
+    trivial_halt,
+)
+from repro.xmltree.validate import conforms
+from repro.xpath.semantics import satisfies
+
+MACHINES = [
+    ("trivial_halt", trivial_halt()),
+    ("adder(1)", halting_adder(1)),
+    ("adder(2)", halting_adder(2)),
+    ("adder(3)", halting_adder(3)),
+    ("stuck", stuck_machine()),
+    ("diverging", diverging_loop()),
+]
+
+
+def test_query_construction(benchmark):
+    benchmark(lambda: enc.machine_query(halting_adder(2)))
+
+
+def test_run_tree_evaluation(benchmark):
+    machine = halting_adder(2)
+    trace, _ = run_machine(machine)
+    encoding = enc.encode_machine(machine)
+    tree = enc.run_tree(trace, machine.final)
+    benchmark(lambda: satisfies(tree, encoding.query))
+
+
+def test_fig4_report(report, benchmark):
+    def build():
+        rows = []
+        dtd = enc.machine_dtd()
+        for name, machine in MACHINES:
+            trace, status = run_machine(machine, max_steps=60)
+            encoding = enc.encode_machine(machine)
+            tree = enc.run_tree(trace, machine.final)
+            ok_conform = conforms(tree, dtd)
+            ok_query = satisfies(tree, encoding.query)
+            expected = status == "halted"
+            assert ok_conform
+            assert ok_query == expected, name
+            rows.append([
+                name, len(machine.instructions), status, len(trace),
+                encoding.query.size(), len(tree),
+                "accepted" if ok_query else "rejected",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["machine", "#instr", "run status", "|run|", "|query|",
+         "run-tree nodes", "query on run tree"],
+        rows,
+    )
+    report("fig4_two_register_machine", table)

@@ -1,0 +1,76 @@
+"""F5 — Figure 5: the corridor-tiling encoding of Theorem 5.6
+(EXPTIME-hardness of ``X(↑,[],=,¬)``).
+
+Regenerates: game-solver verdicts vs strategy-tree satisfaction of the
+snapshot encoding; encoding sizes as the corridor widens (polynomial, as
+the reduction requires); the game solver's own exponential state space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.reductions import tiling as enc
+from repro.solvers.tiling_game import TilingSystem, player_one_wins
+from repro.xmltree.validate import conforms
+from repro.xpath.semantics import satisfies
+
+
+def alternating_system(width: int, winnable: bool = True) -> TilingSystem:
+    tiles = ("a", "b")
+    pairs = frozenset({("a", "b"), ("b", "a")})
+    top = tuple(tiles[i % 2] for i in range(width))
+    if winnable:
+        bottom = tuple(tiles[(i + 1) % 2] for i in range(width))
+    else:
+        bottom = top[:-1] + (top[-1],)
+        bottom = tuple("a" for _ in range(width))  # violates H: unreachable
+    return TilingSystem(tiles, pairs, pairs, top=top, bottom=bottom)
+
+
+def test_encoding_construction(benchmark):
+    benchmark(lambda: enc.encode_snapshot(alternating_system(4)))
+
+
+def test_game_solver(benchmark):
+    system = alternating_system(4)
+    benchmark(lambda: player_one_wins(system, max_rows=4))
+
+
+def test_fig5_report(report, benchmark):
+    def build():
+        rows = []
+        for width in (2, 4):
+            for winnable in (True, False):
+                system = alternating_system(width, winnable)
+                wins = player_one_wins(system, max_rows=4)
+                encoding = enc.encode_snapshot(system)
+                tree = enc.strategy_snapshot_tree(system, max_rows=4)
+                if tree is not None:
+                    assert conforms(tree, encoding.dtd)
+                    assert satisfies(tree, encoding.query)
+                assert (tree is not None) == wins
+                rows.append([
+                    f"width {width}", "winnable" if winnable else "unwinnable",
+                    "I wins" if wins else "I loses",
+                    encoding.query.size(), encoding.dtd.size(),
+                    len(tree) if tree is not None else "--",
+                    "satisfies" if tree is not None else "no strategy tree",
+                ])
+        # size scaling of the encoding in the corridor width
+        for width in (2, 4, 6, 8):
+            encoding = enc.encode_snapshot(alternating_system(width))
+            rows.append([
+                f"width {width}", "size scaling", "--",
+                encoding.query.size(), encoding.dtd.size(), "--", "poly growth",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["corridor", "instance", "game verdict", "|query|", "|DTD|",
+         "strategy tree", "validation"],
+        rows,
+    )
+    report("fig5_tiling_snapshot", table)

@@ -1,0 +1,78 @@
+"""F6 — Figure 6: 3SAT under *fixed* DTDs (Theorem 6.6).
+
+Regenerates: the three fixed-DTD encodings (``X(∪,[])``, ``X(↓,[])``,
+``X(↓,↑)`` via the rewriting), their instance-independent DTDs, query-size
+scaling (all the hardness must live in the query), and agreement with
+DPLL through the canonical tree family.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.reductions import threesat as enc
+from repro.solvers.dpll import dpll_satisfiable, random_3cnf
+from repro.xmltree.validate import conforms
+from repro.xpath.semantics import satisfies
+
+
+def test_fixed_child_encoding(benchmark, rng):
+    formula = random_3cnf(rng, 4, 6)
+    benchmark(lambda: enc.encode_fixed_child(formula))
+
+
+def test_fixed_up_rewriting(benchmark, rng):
+    formula = random_3cnf(rng, 3, 4)
+    benchmark(lambda: enc.encode_fixed_up(formula))
+
+
+def test_fig6_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # the DTDs are fixed: identical across instances
+        f_small = random_3cnf(rng, 3, 3)
+        f_large = random_3cnf(rng, 8, 12)
+        for name, encoder in [
+            ("Thm 6.6(1) X(union,qual)", enc.encode_union_qual),
+            ("Thm 6.6(2) X(child,qual)", enc.encode_fixed_child),
+            ("Thm 6.6(3) X(child,parent)", enc.encode_fixed_up),
+        ]:
+            small = encoder(f_small)
+            large = encoder(f_large)
+            assert small.dtd.describe() == large.dtd.describe()
+            rows.append([
+                name, small.dtd.size(),
+                small.query.size(), large.query.size(), "DTD fixed ✔",
+            ])
+        # canonical-family agreement with DPLL
+        agreements = 0
+        trials = 6
+        for _ in range(trials):
+            formula = random_3cnf(rng, 3, rng.randint(2, 6))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_fixed_child(formula)
+            found = False
+            for values in itertools.product([False, True], repeat=3):
+                assignment = {i + 1: v for i, v in enumerate(values)}
+                tree = enc.witness_fixed_child(formula, assignment)
+                assert conforms(tree, encoding.dtd)
+                if satisfies(tree, encoding.query):
+                    found = True
+                    break
+            if found == expected:
+                agreements += 1
+        assert agreements == trials
+        rows.append([
+            "family agreement", "--", "--", "--", f"{agreements}/{trials} match DPLL",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["encoding", "|DTD| (fixed)", "|query| small", "|query| large", "check"],
+        rows,
+    )
+    report("fig6_fixed_dtd_threesat", table)

@@ -1,0 +1,109 @@
+"""F8 — Figure 8: disjunction-free DTDs (Theorem 6.8 tractability vs
+Theorem 6.9 hardness with data values).
+
+Regenerates both sides of the Section 6.3 dichotomy:
+
+* the PTIME side — Theorem 6.8's decider scales polynomially on
+  disjunction-free workloads (fitted degree reported);
+* the hardness side — the Theorem 6.9(1)/(2) data encodings agree with
+  DPLL on the canonical tree family.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.dtd import random_dtd
+from repro.reductions import threesat as enc
+from repro.sat import sat_disjunction_free
+from repro.sat.nexptime import sat_nexptime
+from repro.solvers.dpll import dpll_satisfiable, random_3cnf
+from repro.workloads import fit_polynomial_degree, random_query
+from repro.xmltree.validate import conforms
+from repro.xpath import fragments as frag
+from repro.xpath.semantics import satisfies
+
+
+def test_ptime_decider(benchmark, rng):
+    dtd = random_dtd(rng, n_types=6, allow_union=False)
+    query = random_query(rng, frag.DOWNWARD_QUAL, sorted(dtd.element_types), max_depth=3)
+    if frag.Feature.LABEL_TEST in frag.features_of(query):
+        query = random_query(rng, frag.DOWNWARD, sorted(dtd.element_types), max_depth=3)
+    benchmark(lambda: sat_disjunction_free(query, dtd))
+
+
+def test_fig8_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # PTIME scaling of Theorem 6.8 on growing DTDs
+        sizes, times = [], []
+        for n_types in (4, 8, 16, 32):
+            dtd = random_dtd(rng, n_types=n_types, allow_union=False)
+            queries = []
+            while len(queries) < 10:
+                query = random_query(
+                    rng, frag.DOWNWARD_QUAL, sorted(dtd.element_types), max_depth=2
+                )
+                if frag.Feature.LABEL_TEST not in frag.features_of(query):
+                    queries.append(query)
+            start = time.perf_counter()
+            for query in queries:
+                sat_disjunction_free(query, dtd)
+            elapsed = (time.perf_counter() - start) / len(queries)
+            sizes.append(dtd.size())
+            times.append(elapsed)
+            rows.append([
+                "Thm 6.8 PTIME", f"|D| = {dtd.size()}", f"{elapsed * 1e6:.0f} us",
+                "--", "polynomial scaling",
+            ])
+        degree = fit_polynomial_degree(sizes, times)
+        rows.append([
+            "Thm 6.8 PTIME", "fitted degree", f"{degree:.2f}",
+            "--", "low-degree polynomial expected",
+        ])
+        assert degree < 3.5
+        # hardness side: Thm 6.9(1) and 6.9(2) agreement with DPLL
+        for name, encoder, witness in [
+            ("Thm 6.9(1) X(union,qual,=)", enc.encode_df_union_data, enc.witness_df_union_data),
+            ("Thm 6.9(2) X(child,qual,=)", enc.encode_df_child_data, enc.witness_df_child_data),
+        ]:
+            matches = 0
+            trials = 5
+            for _ in range(trials):
+                formula = random_3cnf(rng, 3, rng.randint(2, 5))
+                expected = dpll_satisfiable(formula) is not None
+                encoding = encoder(formula)
+                found = False
+                for values in itertools.product([False, True], repeat=3):
+                    assignment = {i + 1: v for i, v in enumerate(values)}
+                    tree = witness(formula, assignment)
+                    assert conforms(tree, encoding.dtd)
+                    if satisfies(tree, encoding.query):
+                        found = True
+                        break
+                if found == expected:
+                    matches += 1
+            assert matches == trials
+            rows.append([
+                name, f"agreement {matches}/{trials}", "--",
+                encoding.query.size(), "NP-hard side of the dichotomy",
+            ])
+        # the NEXPTIME decider solves the 6.9(1) encodings exactly
+        formula = random_3cnf(rng, 3, 4)
+        encoding = enc.encode_df_union_data(formula)
+        verdict = sat_nexptime(encoding.query, encoding.dtd)
+        expected = dpll_satisfiable(formula) is not None
+        assert verdict.satisfiable == expected
+        rows.append([
+            "Thm 5.5 decider on 6.9(1)", "exact verdict", str(verdict.satisfiable),
+            encoding.query.size(), "matches DPLL",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(["side", "measurement", "value", "|query|", "note"], rows)
+    report("fig8_disjunction_free", table)

@@ -1,0 +1,85 @@
+"""F9 — Figure 9: sibling axes (Theorem 7.1 tractability vs
+Proposition 7.2 hardness with qualifiers).
+
+Regenerates: the PTIME sibling decider's scaling (fitted degree), and the
+``X(→,[])`` 3SAT encoding's agreement with DPLL over the canonical tree
+family of Figure 9.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.dtd import random_dtd
+from repro.reductions import threesat as enc
+from repro.sat import sat_sibling
+from repro.solvers.dpll import dpll_satisfiable, random_3cnf
+from repro.workloads import fit_polynomial_degree, random_query
+from repro.xmltree.validate import conforms
+from repro.xpath import fragments as frag
+from repro.xpath.semantics import satisfies
+
+
+def test_sibling_decider(benchmark, rng):
+    dtd = random_dtd(rng, n_types=6)
+    query = random_query(rng, frag.SIBLING, sorted(dtd.element_types), max_depth=3)
+    benchmark(lambda: sat_sibling(query, dtd))
+
+
+def test_fig9_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # PTIME scaling of the sibling decider
+        sizes, times = [], []
+        for n_types in (4, 8, 16, 32):
+            dtd = random_dtd(rng, n_types=n_types)
+            queries = [
+                random_query(rng, frag.SIBLING, sorted(dtd.element_types), max_depth=3)
+                for _ in range(12)
+            ]
+            start = time.perf_counter()
+            for query in queries:
+                sat_sibling(query, dtd)
+            elapsed = (time.perf_counter() - start) / len(queries)
+            sizes.append(dtd.size())
+            times.append(elapsed)
+            rows.append([
+                "Thm 7.1 PTIME", f"|D| = {dtd.size()}",
+                f"{elapsed * 1e6:.0f} us", "--",
+            ])
+        degree = fit_polynomial_degree(sizes, times)
+        rows.append(["Thm 7.1 PTIME", "fitted degree", f"{degree:.2f}", "< 3 expected"])
+        assert degree < 3.5
+        # Prop 7.2: the sibling 3SAT encoding vs DPLL (Figure 9 family)
+        matches = 0
+        trials = 5
+        query_size = 0
+        for _ in range(trials):
+            formula = random_3cnf(rng, 3, rng.randint(2, 5))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_sibling(formula)
+            query_size = encoding.query.size()
+            found = False
+            for values in itertools.product([False, True], repeat=3):
+                assignment = {i + 1: v for i, v in enumerate(values)}
+                tree = enc.witness_sibling(formula, assignment)
+                assert conforms(tree, encoding.dtd)
+                if satisfies(tree, encoding.query):
+                    found = True
+                    break
+            if found == expected:
+                matches += 1
+        assert matches == trials
+        rows.append([
+            "Prop 7.2 X(rs,qual)", f"agreement {matches}/{trials}",
+            f"|query| = {query_size}", "fixed, d-free, nonrecursive DTD",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(["side", "measurement", "value", "note"], rows)
+    report("fig9_sibling", table)

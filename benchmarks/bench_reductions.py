@@ -1,0 +1,97 @@
+"""S3 — the structural reductions of Section 3 and Proposition 6.1.
+
+Regenerates: normalization (Prop 3.3) costs and satisfiability
+preservation; the universal-DTD family (Prop 3.1); recursion elimination
+(Prop 6.1) blow-up; and containment checks through Prop 3.2.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.containment import contains
+from repro.dtd import normalize, random_dtd, universal_dtds
+from repro.dtd.properties import is_normalized
+from repro.dtd.transforms import eliminate_recursion_in_query
+from repro.sat import sat_exptime_types, sat_no_dtd
+from repro.workloads import random_query
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+
+
+def test_normalize(benchmark, rng):
+    dtd = random_dtd(rng, n_types=8)
+    benchmark(lambda: normalize(dtd))
+
+
+def test_containment_check(benchmark, rng):
+    dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+    p1 = random_query(rng, frag.DOWNWARD, sorted(dtd.element_types), max_depth=2)
+    p2 = random_query(rng, frag.DOWNWARD, sorted(dtd.element_types), max_depth=2)
+    benchmark(lambda: contains(p1, p2, dtd))
+
+
+def test_reductions_report(report, rng, benchmark):
+    def build():
+        rows = []
+        # Prop 3.3: normalization cost and preservation spot checks
+        preserved = checked = 0
+        for _ in range(10):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            result = normalize(dtd)
+            assert is_normalized(result.dtd)
+            query = random_query(rng, frag.DOWNWARD_QUAL,
+                                 sorted(dtd.element_types), max_depth=2)
+            if frag.Feature.LABEL_TEST in frag.features_of(query):
+                continue
+            try:
+                original = sat_exptime_types(query, dtd)
+                rewritten = sat_exptime_types(
+                    result.rewrite_query(query), result.dtd, max_facts=36
+                )
+            except Exception:
+                continue
+            checked += 1
+            if original.satisfiable == rewritten.satisfiable:
+                preserved += 1
+        assert preserved == checked
+        rows.append([
+            "Prop 3.3 normalize + f(p)", f"preserved {preserved}/{checked}",
+            "satisfiability invariant",
+        ])
+        # Prop 3.1: the universal-DTD family vs the direct no-DTD decider
+        agree = trials = 0
+        for _ in range(8):
+            query = random_query(rng, frag.DOWNWARD_QUAL, ["A", "B"], max_depth=2)
+            direct = sat_no_dtd(query)
+            family = universal_dtds(query)
+            via = any(
+                sat_exptime_types(query, dtd, max_facts=26).is_sat for dtd in family
+            )
+            trials += 1
+            if direct.is_sat == via:
+                agree += 1
+        assert agree == trials
+        rows.append([
+            "Prop 3.1 universal DTDs", f"agree {agree}/{trials}",
+            f"family size = |labels(p)| + 1",
+        ])
+        # Prop 6.1: recursion-elimination blow-up
+        for n_types in (3, 5, 7):
+            dtd = random_dtd(rng, n_types=n_types, allow_recursion=False)
+            query = parse_query("**/E1" if "E1" in dtd.element_types else "**")
+            start = time.perf_counter()
+            rewritten = eliminate_recursion_in_query(query, dtd)
+            elapsed = (time.perf_counter() - start) * 1000
+            rows.append([
+                "Prop 6.1 unroll ↓*", f"|D depth| -> |p'| = {rewritten.size()}",
+                f"{elapsed:.2f} ms",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(["reduction", "measurement", "note"], rows)
+    report("s3_structural_reductions", table)

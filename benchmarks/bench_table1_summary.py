@@ -1,0 +1,106 @@
+"""T1 — the Section 8 summary grid.
+
+For each (fragment, DTD class) cell of the paper's result table, run the
+dispatched decider over a randomized workload and report: the algorithm
+used, agreement with the bounded oracle (where the oracle is exact), and
+mean decision time.  The regenerated grid mirrors the paper's complexity
+map: PTIME cells dispatch to polynomial algorithms, harder cells to the
+exponential ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import format_table
+from repro.dtd import random_dtd
+from repro.sat import Bounds, decide, sat_bounded
+from repro.workloads import random_query
+from repro.xmltree import conforms
+from repro.xpath import fragments as frag
+from repro.xpath.semantics import satisfies
+
+GRID = [
+    ("X(child,dos,union)", frag.DOWNWARD, "PTIME (Thm 4.1)"),
+    ("X(child,qual)", frag.CHILD_QUAL, "NP-c (Prop 4.2)"),
+    ("X(qual,union)", frag.UNION_QUAL, "NP-c (Prop 4.2)"),
+    ("X(child,dos,union,qual)", frag.DOWNWARD_QUAL, "NP-c (Thm 4.4)"),
+    ("X(child,qual,neg)", frag.CHILD_QUAL_NEG, "PSPACE-c (Thm 5.2)"),
+    ("X(child,dos,union,qual,neg)", frag.REC_NEG_DOWN_UNION, "EXPTIME-c (Thm 5.3)"),
+    ("X(rs,ls)", frag.SIBLING, "PTIME (Thm 7.1)"),
+]
+
+DTD_CLASSES = [
+    ("general", dict(allow_union=True, allow_star=True, allow_recursion=True)),
+    ("nonrecursive", dict(allow_recursion=False)),
+    ("disjunction-free", dict(allow_union=False)),
+]
+
+ORACLE = Bounds(max_depth=5, max_width=4, max_nodes=22, max_trees=20_000)
+
+
+def _cell(rng, fragment, dtd_kwargs, trials=8):
+    methods = set()
+    agree = checked = 0
+    sat_count = 0
+    elapsed = 0.0
+    for _ in range(trials):
+        dtd = random_dtd(rng, n_types=4, **dtd_kwargs)
+        query = random_query(rng, fragment, sorted(dtd.element_types), max_depth=2)
+        start = time.perf_counter()
+        result = decide(query, dtd)
+        elapsed += time.perf_counter() - start
+        methods.add(result.method)
+        if result.is_sat:
+            sat_count += 1
+            if result.witness is not None:
+                assert conforms(result.witness, dtd)
+                assert satisfies(result.witness, query)
+        oracle = sat_bounded(query, dtd, ORACLE)
+        if oracle.satisfiable is not None and result.satisfiable is not None:
+            checked += 1
+            if oracle.satisfiable == result.satisfiable:
+                agree += 1
+    return {
+        "methods": "+".join(sorted(m.split("-")[0] for m in methods)),
+        "sat_rate": f"{sat_count}/{trials}",
+        "agreement": f"{agree}/{checked}" if checked else "n/a",
+        "ms": f"{elapsed / trials * 1000:.2f}",
+    }
+
+
+@pytest.mark.parametrize("fragment_name,fragment,claim", GRID,
+                         ids=[g[0] for g in GRID])
+def test_grid_cell_timing(benchmark, rng, fragment_name, fragment, claim):
+    dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+    query = random_query(rng, fragment, sorted(dtd.element_types), max_depth=2)
+    benchmark(lambda: decide(query, dtd))
+
+
+def test_table1_report(report, rng, benchmark):
+    def build():
+        rows = []
+        for fragment_name, fragment, claim in GRID:
+            for class_name, kwargs in DTD_CLASSES:
+                cell = _cell(rng, fragment, kwargs)
+                rows.append([
+                    fragment_name, class_name, claim, cell["methods"],
+                    cell["agreement"], cell["sat_rate"], cell["ms"],
+                ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["fragment", "DTD class", "paper bound", "algorithms",
+         "oracle agreement", "sat rate", "mean ms"],
+        rows,
+    )
+    report("table1_summary_grid", table)
+    # every oracle-checkable cell must agree perfectly
+    for row in rows:
+        agreement = row[4]
+        if agreement != "n/a":
+            left, right = agreement.split("/")
+            assert left == right, row

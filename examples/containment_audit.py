@@ -1,0 +1,62 @@
+"""Containment checking via Proposition 3.2: audit that a security view
+exposes no more than the policy allows.
+
+The scenario follows the paper's access-control motivation (Fan et al.):
+a hospital publishes a *view query* over patient records; the auditor
+checks the view is contained in the *policy query* — on every conforming
+document, everything the view selects must be selectable by the policy.
+
+Run:  python examples/containment_audit.py
+"""
+
+from repro.containment import contains
+from repro.dtd import parse_dtd
+from repro.xpath import parse_query
+
+# The schema is deliberately *star-free* (bounded repetitions) so that the
+# containment analysis is exact: the non-containment query of Prop 3.2(3)
+# uses upward axes + negation, a fragment decided here by exhaustive
+# bounded search — which is a proof only when the model space is finite.
+DTD_TEXT = """
+root hospital
+hospital  -> patient, patient?
+patient   -> name, record
+record    -> diagnosis?, diagnosis?, billing?
+name      -> eps
+diagnosis -> eps
+billing   -> eps
+patient   @ id
+diagnosis @ code
+"""
+
+CASES = [
+    # (view, policy, expectation)
+    ("patient/record/diagnosis", "patient/record/*", True),
+    ("patient/record/*", "patient/record/diagnosis", False),   # leaks billing
+    ("patient[record/billing]/name", "patient/name", True),
+    ("**/diagnosis", "patient/record/diagnosis", True),
+    ("patient/record", "patient[record/billing]/record", False),
+]
+
+
+def main() -> None:
+    dtd = parse_dtd(DTD_TEXT)
+    print("Containment audit (view ⊆ policy?)\n")
+    for view_text, policy_text, expected in CASES:
+        view = parse_query(view_text)
+        policy = parse_query(policy_text)
+        result = contains(view, policy, dtd)
+        status = {True: "contained", False: "LEAK", None: "undecided"}[result.contained]
+        print(f"  view   : {view_text}")
+        print(f"  policy : {policy_text}")
+        print(f"  result : {status}  [{result.method}; {result.reason}]")
+        assert result.contained == expected, (view_text, policy_text)
+        if result.contained is False and result.counterexample is not None:
+            print("  counterexample document:")
+            for line in result.counterexample.pretty().splitlines():
+                print(f"    {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

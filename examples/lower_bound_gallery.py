@@ -1,0 +1,91 @@
+"""A gallery of the paper's hardness encodings, executed end to end.
+
+For each lower bound the script builds the encoding from a small source
+instance, solves the source problem with an independent solver, and shows
+the correspondence on a concrete certificate tree.
+
+Run:  python examples/lower_bound_gallery.py
+"""
+
+from repro.reductions import q3sat, threesat, two_register
+from repro.sat import sat_exptime_types
+from repro.solvers.dpll import cnf, dpll_satisfiable
+from repro.solvers.machines import halting_adder, run_machine
+from repro.solvers.qbf import QBF, qbf_valid
+from repro.xmltree import conforms
+from repro.xpath.semantics import satisfies
+
+
+def show(title: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def gallery_3sat() -> None:
+    show("NP: 3SAT -> SAT(X(child,qual))  [Proposition 4.2(1), Figure 1]")
+    formula = cnf([[1, 2, 3], [-1, -2, 3], [1, -3, 2]])
+    print("formula:", formula.describe())
+    assignment = dpll_satisfiable(formula)
+    print("DPLL   :", "satisfiable" if assignment else "unsatisfiable", assignment)
+    encoding = threesat.encode_child_qual(formula)
+    print(f"encoding: |query| = {encoding.query.size()}, |DTD| = {encoding.dtd.size()}")
+    result = sat_exptime_types(encoding.query, encoding.dtd)
+    print("decider :", result.describe())
+    assert result.is_sat == (assignment is not None)
+    if assignment:
+        tree = threesat.witness_child_qual(formula, assignment)
+        assert conforms(tree, encoding.dtd) and satisfies(tree, encoding.query)
+        print("assignment tree (conforms + satisfies):")
+        print(tree.pretty())
+    print()
+
+
+def gallery_q3sat() -> None:
+    show("PSPACE: Q3SAT -> SAT(X(child,qual,neg))  [Proposition 5.1, Figure 3]")
+    qbf = QBF(("A", "E"), cnf([[1, 2, 2], [-1, -2, -2]], n_vars=2))
+    print("QBF    :", qbf.describe())
+    print("valid  :", qbf_valid(qbf))
+    encoding = q3sat.encode_neg_child(qbf)
+    print(f"encoding: |query| = {encoding.query.size()}, |DTD| = {encoding.dtd.size()}")
+
+    def winning_strategy(var: int, assignment: dict) -> bool:
+        return not assignment.get(1, False)  # x2 := ¬x1
+
+    tree = q3sat.strategy_tree_5_1(qbf, winning_strategy)
+    print("strategy tree satisfies encoding:", satisfies(tree, encoding.query))
+
+    def losing_strategy(var: int, assignment: dict) -> bool:
+        return True  # x2 := true regardless
+
+    bad = q3sat.strategy_tree_5_1(qbf, losing_strategy)
+    print("losing strategy satisfies encoding:", satisfies(bad, encoding.query))
+    print()
+
+
+def gallery_2rm() -> None:
+    show("Undecidable: 2RM halting -> SAT(X(...,=,neg))  [Theorem 5.4, Figure 4]")
+    machine = halting_adder(2)
+    trace, status = run_machine(machine)
+    print(f"machine: {len(machine.instructions)} instructions, run {status} "
+          f"in {len(trace)} steps")
+    encoding = two_register.encode_machine(machine)
+    print(f"encoding: |query| = {encoding.query.size()}, DTD fixed "
+          f"(|D| = {encoding.dtd.size()})")
+    tree = two_register.run_tree(trace, machine.final)
+    print("run tree: ", len(tree), "nodes;",
+          "conforms:", conforms(tree, encoding.dtd),
+          "satisfies:", satisfies(tree, encoding.query))
+    truncated = two_register.run_tree(trace[:-1], machine.final)
+    print("truncated run satisfies:", satisfies(truncated, encoding.query))
+    print()
+
+
+def main() -> None:
+    gallery_3sat()
+    gallery_q3sat()
+    gallery_2rm()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: decide XPath satisfiability under a DTD.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dtd import parse_dtd
+from repro.sat import decide
+from repro.xmltree import conforms
+from repro.xpath import parse_query
+from repro.xpath.semantics import satisfies
+
+# A small product-catalog schema (the paper's Example 2.1/2.3 style).
+DTD_TEXT = """
+root catalog
+catalog  -> product*
+product  -> name, (price + quote), review*
+name     -> eps
+price    -> eps
+quote    -> eps
+review   -> eps
+product  @ sku
+review   @ stars
+"""
+
+
+def main() -> None:
+    dtd = parse_dtd(DTD_TEXT)
+    print("Schema:")
+    print(dtd.describe())
+    print()
+
+    queries = [
+        # satisfiable: a product with a price and a review
+        "product[price and review]",
+        # satisfiable: some descendant review
+        "**/review",
+        # unsatisfiable: price and quote are exclusive alternatives
+        "product[price and quote]",
+        # unsatisfiable: reviews have no children
+        "product/review/name",
+        # negation: a product without a price (it has a quote instead)
+        "product[not(price)]",
+    ]
+
+    for text in queries:
+        query = parse_query(text)
+        result = decide(query, dtd)
+        print(f"{text!r}: {result.describe()}")
+        if result.is_sat:
+            witness = result.witness
+            assert witness is not None
+            assert conforms(witness, dtd) and satisfies(witness, query)
+            print("  witness:")
+            for line in witness.pretty().splitlines():
+                print(f"    {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

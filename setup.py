@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This repository is configured through ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package needed for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

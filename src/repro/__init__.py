@@ -1,0 +1,40 @@
+"""repro — a reproduction of Benedikt, Fan & Geerts, *XPath Satisfiability
+in the Presence of DTDs* (PODS 2005 / JACM 55(2), 2008).
+
+The package implements the paper's full system surface:
+
+* :mod:`repro.xpath` — the XPath class ``X(↓,↓*,↑,↑*,←,→,←*,→*,∪,[],=,¬)``
+  with parser, formal semantics and fragment lattice;
+* :mod:`repro.dtd` / :mod:`repro.regex` / :mod:`repro.xmltree` — DTDs,
+  content models and document trees;
+* :mod:`repro.sat` — one satisfiability decider per upper-bound theorem,
+  with :func:`repro.sat.decide` dispatching automatically;
+* :mod:`repro.automata` — the two-way alternating selection automata of
+  Claim 7.6;
+* :mod:`repro.containment` — containment via Proposition 3.2;
+* :mod:`repro.reductions` / :mod:`repro.solvers` — every hardness encoding
+  with its independent oracle;
+* :mod:`repro.workloads` — random workload generation and scaling fits.
+
+Quick use::
+
+    from repro import decide, parse_dtd, parse_query
+    dtd = parse_dtd("root r\\nr -> A*\\nA -> eps\\n")
+    decide(parse_query("A"), dtd).satisfiable   # True
+    decide(parse_query("B"), dtd).satisfiable   # False
+"""
+
+from repro.dtd import DTD, parse_dtd
+from repro.sat import SatResult, decide
+from repro.xmltree import XMLTree, tree
+from repro.xpath import parse_query, parse_qualifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DTD", "parse_dtd",
+    "SatResult", "decide",
+    "XMLTree", "tree",
+    "parse_query", "parse_qualifier",
+    "__version__",
+]

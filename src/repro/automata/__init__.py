@@ -1,0 +1,25 @@
+"""Two-way alternating (selection) automata over streamed documents —
+the proof machinery of Theorem 7.4 (Claim 7.6, Figures 10–12).
+
+* :mod:`repro.automata.boolformula` — positive Boolean formulas ``B⁺(S)``
+  with evaluation and dualization;
+* :mod:`repro.automata.twa` — 2WAA/2WASA and finite-run acceptance on a
+  word (least fixpoint);
+* :mod:`repro.automata.translate` — ``trans``/``qtrans``: compositional
+  translation of ``X(↓,↑,↓*,↑*,←,→,←*,→*,∪,[],¬)`` expressions into
+  2WASAs that define the same binary/unary relations on streamed trees.
+
+The acceptance fixpoint gives a second, independent implementation of the
+XPath semantics; the test suite checks it against the direct evaluator on
+random documents, which is the executable content of Claim 7.6.
+"""
+
+from repro.automata.boolformula import BFormula, atom, conj, disj, false, true
+from repro.automata.twa import TwoWayAutomaton, accepts
+from repro.automata.translate import qtrans, trans
+
+__all__ = [
+    "BFormula", "atom", "conj", "disj", "true", "false",
+    "TwoWayAutomaton", "accepts",
+    "trans", "qtrans",
+]

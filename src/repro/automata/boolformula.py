@@ -1,0 +1,182 @@
+"""Positive Boolean formulas ``B⁺(S)`` (Section 7.3.2).
+
+Formulas are built from atoms (arbitrary hashable payloads), ``true``,
+``false``, conjunction and disjunction — negation-free, so they are
+monotone: a set of true atoms satisfies a formula iff some subset does.
+``dual`` swaps ∧/∨ and true/false (used by ``qtrans(¬q)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+
+class BFormula:
+    __slots__ = ()
+
+    def evaluate(self, truth: Callable[[Hashable], bool]) -> bool:
+        raise NotImplementedError
+
+    def dual(self) -> "BFormula":
+        raise NotImplementedError
+
+    def atoms(self) -> frozenset:
+        raise NotImplementedError
+
+    def map_atoms(self, mapping: Callable[[Hashable], Hashable]) -> "BFormula":
+        raise NotImplementedError
+
+    def __and__(self, other: "BFormula") -> "BFormula":
+        return conj(self, other)
+
+    def __or__(self, other: "BFormula") -> "BFormula":
+        return disj(self, other)
+
+
+@dataclass(frozen=True, repr=False)
+class BTrue(BFormula):
+    def evaluate(self, truth) -> bool:
+        return True
+
+    def dual(self) -> BFormula:
+        return BFalse()
+
+    def atoms(self) -> frozenset:
+        return frozenset()
+
+    def map_atoms(self, mapping) -> BFormula:
+        return self
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, repr=False)
+class BFalse(BFormula):
+    def evaluate(self, truth) -> bool:
+        return False
+
+    def dual(self) -> BFormula:
+        return BTrue()
+
+    def atoms(self) -> frozenset:
+        return frozenset()
+
+    def map_atoms(self, mapping) -> BFormula:
+        return self
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, repr=False)
+class BAtom(BFormula):
+    payload: Hashable
+
+    def evaluate(self, truth) -> bool:
+        return truth(self.payload)
+
+    def dual(self) -> BFormula:
+        return self  # atoms are self-dual; only connectives flip
+
+    def atoms(self) -> frozenset:
+        return frozenset({self.payload})
+
+    def map_atoms(self, mapping) -> BFormula:
+        return BAtom(mapping(self.payload))
+
+    def __repr__(self) -> str:
+        return f"<{self.payload!r}>"
+
+
+@dataclass(frozen=True, repr=False)
+class BAnd(BFormula):
+    parts: tuple[BFormula, ...]
+
+    def evaluate(self, truth) -> bool:
+        return all(part.evaluate(truth) for part in self.parts)
+
+    def dual(self) -> BFormula:
+        return BOr(tuple(part.dual() for part in self.parts))
+
+    def atoms(self) -> frozenset:
+        return frozenset().union(*(part.atoms() for part in self.parts))
+
+    def map_atoms(self, mapping) -> BFormula:
+        return BAnd(tuple(part.map_atoms(mapping) for part in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class BOr(BFormula):
+    parts: tuple[BFormula, ...]
+
+    def evaluate(self, truth) -> bool:
+        return any(part.evaluate(truth) for part in self.parts)
+
+    def dual(self) -> BFormula:
+        return BAnd(tuple(part.dual() for part in self.parts))
+
+    def atoms(self) -> frozenset:
+        return frozenset().union(*(part.atoms() for part in self.parts))
+
+    def map_atoms(self, mapping) -> BFormula:
+        return BOr(tuple(part.map_atoms(mapping) for part in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.parts)) + ")"
+
+
+def true() -> BFormula:
+    return BTrue()
+
+
+def false() -> BFormula:
+    return BFalse()
+
+
+def atom(payload: Hashable) -> BFormula:
+    return BAtom(payload)
+
+
+def conj(*parts: BFormula) -> BFormula:
+    flat: list[BFormula] = []
+    for part in parts:
+        if isinstance(part, BFalse):
+            return BFalse()
+        if isinstance(part, BTrue):
+            continue
+        if isinstance(part, BAnd):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return BTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return BAnd(tuple(flat))
+
+
+def disj(*parts: BFormula) -> BFormula:
+    flat: list[BFormula] = []
+    for part in parts:
+        if isinstance(part, BTrue):
+            return BTrue()
+        if isinstance(part, BFalse):
+            continue
+        if isinstance(part, BOr):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return BFalse()
+    if len(flat) == 1:
+        return flat[0]
+    return BOr(tuple(flat))
+
+
+def disj_all(parts: Iterable[BFormula]) -> BFormula:
+    return disj(*list(parts))

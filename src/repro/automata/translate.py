@@ -1,0 +1,468 @@
+"""``trans`` / ``qtrans`` — XPath expressions to two-way alternating
+selection automata (Claim 7.6, Figures 10–12).
+
+``trans(p, depth)`` builds a 2WASA defining the same *binary* relation as
+``p`` on trees of document depth ≤ ``depth``: it accepts
+``(stream(T, m), pos(n))`` iff ``T ⊨ p(n, m)``.  ``qtrans(q, depth)``
+builds a 2WAA for the *unary* relation of qualifier ``q``.
+
+The construction is compositional exactly as in the paper:
+
+* one depth-counting gadget per axis (the ``q0..qn`` state families of
+  Figure 10), with the *critical* states — those whose transitions inspect
+  the selection mark — singled out;
+* ``p1/p2`` re-wires the critical accepts of ``p1`` to launch ``p2``'s
+  initial formula at the selected position;
+* ``p[q]`` conjoins ``qtrans(q)``'s initial formula onto the critical
+  accepts; ``p1 ∪ p2`` is disjoint union; ``¬q`` dualizes transitions and
+  complements the accepting set.
+
+The depth bound mirrors the paper's restriction to nonrecursive DTDs: the
+axis gadgets count nesting levels with finitely many states.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.automata.boolformula import (
+    BFormula,
+    atom,
+    conj,
+    disj,
+    false,
+    true,
+)
+from repro.automata.twa import Letter, State, TwoWayAutomaton
+from repro.errors import FragmentError
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+
+_FINAL = "final"
+
+
+def _is_open(letter: Letter) -> bool:
+    return letter[0] == "open"
+
+
+def _is_selected(letter: Letter) -> bool:
+    return letter[0] == "open" and bool(letter[2])
+
+
+def _label(letter: Letter) -> str:
+    return letter[1]
+
+
+def _accept_option(letter: Letter, label_filter: str | None) -> BFormula:
+    """Accept the current (open) position when it is selected and matches
+    the label filter: jump to the final state in place."""
+    if not _is_open(letter) or not _is_selected(letter):
+        return false()
+    if label_filter is not None and _label(letter) != label_filter:
+        return false()
+    return atom((0, _FINAL))
+
+
+def _axis_automaton(name: str, delta: Callable[[State, Letter], BFormula],
+                    states: list, start: State, critical: list) -> TwoWayAutomaton:
+    def full_delta(state: State, letter: Letter) -> BFormula:
+        if letter[0] not in ("open", "close"):
+            return false()  # word boundary: base automata reject here
+        if state == _FINAL:
+            return true()
+        return delta(state, letter)
+
+    return TwoWayAutomaton(
+        states=tuple(states + [_FINAL]),
+        initial=atom(start),
+        delta=full_delta,
+        accepting=frozenset({_FINAL}),
+        critical=frozenset(critical),
+    ).remap(name)
+
+
+def _child_axis(depth: int, label_filter: str | None) -> TwoWayAutomaton:
+    """``↓`` (or a label step): accept a selected child."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            if _is_open(letter):
+                return atom((+1, ("scan", 1)))
+            return false()
+        if _is_open(letter):
+            options = []
+            if level == 1:
+                options.append(_accept_option(letter, label_filter))
+            if level < depth + 1:
+                options.append(atom((+1, ("scan", level + 1))))
+            return disj(*options)
+        if level >= 2:
+            return atom((+1, ("scan", level - 1)))
+        return false()  # close at level 1: subtree exhausted
+
+    states = [("start", 0)] + [("scan", level) for level in range(1, depth + 2)]
+    return _axis_automaton(
+        f"child[{label_filter}]", delta, states, ("start", 0), [("scan", 1)]
+    )
+
+
+def _desc_or_self_axis(depth: int) -> TwoWayAutomaton:
+    """``↓*``: accept the context node or any descendant."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            if _is_open(letter):
+                return disj(_accept_option(letter, None), atom((+1, ("scan", 1))))
+            return false()
+        if _is_open(letter):
+            options = [_accept_option(letter, None)]
+            if level < depth + 1:
+                options.append(atom((+1, ("scan", level + 1))))
+            return disj(*options)
+        if level >= 2:
+            return atom((+1, ("scan", level - 1)))
+        return false()
+
+    states = [("start", 0)] + [("scan", level) for level in range(1, depth + 2)]
+    return _axis_automaton(
+        "desc-or-self", delta, states, ("start", 0),
+        [("start", 0)] + [("scan", level) for level in range(1, depth + 2)],
+    )
+
+
+def _self_axis() -> TwoWayAutomaton:
+    def delta(state: State, letter: Letter) -> BFormula:
+        return _accept_option(letter, None)
+
+    return _axis_automaton("self", delta, [("start", 0)], ("start", 0), [("start", 0)])
+
+
+def _parent_axis(depth: int) -> TwoWayAutomaton:
+    """``↑``: move left to the first unmatched open tag."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            return atom((-1, ("back", 1)))
+        if _is_open(letter):
+            if level == 1:
+                return _accept_option(letter, None)
+            return atom((-1, ("back", level - 1)))
+        if level < depth + 1:
+            return atom((-1, ("back", level + 1)))
+        return false()
+
+    states = [("start", 0)] + [("back", level) for level in range(1, depth + 2)]
+    return _axis_automaton(
+        "parent", delta, states, ("start", 0), [("back", 1)]
+    )
+
+
+def _anc_or_self_axis(depth: int) -> TwoWayAutomaton:
+    """``↑*``: the context node or any unmatched open to the left."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            return disj(_accept_option(letter, None), atom((-1, ("back", 1))))
+        if _is_open(letter):
+            if level == 1:
+                return disj(_accept_option(letter, None), atom((-1, ("back", 1))))
+            return atom((-1, ("back", level - 1)))
+        if level < depth + 1:
+            return atom((-1, ("back", level + 1)))
+        return false()
+
+    states = [("start", 0)] + [("back", level) for level in range(1, depth + 2)]
+    return _axis_automaton(
+        "anc-or-self", delta, states, ("start", 0),
+        [("start", 0), ("back", 1)],
+    )
+
+
+def _right_sibling_axis(depth: int, reflexive: bool) -> TwoWayAutomaton:
+    """``→`` (immediate) or ``→*`` (self-or-following)."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            if not _is_open(letter):
+                return false()
+            options = [atom((+1, ("skip", 1)))]
+            if reflexive:
+                options.append(_accept_option(letter, None))
+            return disj(*options)
+        if kind == "skip":
+            if _is_open(letter):
+                if level < depth + 1:
+                    return atom((+1, ("skip", level + 1)))
+                return false()
+            if level >= 2:
+                return atom((+1, ("skip", level - 1)))
+            return atom((+1, ("check", 0)))  # consumed the matching close
+        # kind == "check": at the position after a subtree
+        if _is_open(letter):
+            options = [_accept_option(letter, None)]
+            if reflexive:
+                options.append(atom((+1, ("skip", 1))))
+            return disj(*options)
+        return false()  # parent's close: no further siblings
+
+    states = (
+        [("start", 0), ("check", 0)]
+        + [("skip", level) for level in range(1, depth + 2)]
+    )
+    name = "self-or-right" if reflexive else "right"
+    return _axis_automaton(
+        name, delta, states, ("start", 0),
+        [("start", 0), ("check", 0)] if reflexive else [("check", 0)],
+    )
+
+
+def _left_sibling_axis(depth: int, reflexive: bool) -> TwoWayAutomaton:
+    """``←`` (immediate) or ``←*`` (self-or-preceding)."""
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        kind, level = state
+        if kind == "start":
+            if not _is_open(letter):
+                return false()
+            options = [atom((-1, ("peek", 0)))]
+            if reflexive:
+                options.append(_accept_option(letter, None))
+            return disj(*options)
+        if kind == "peek":
+            # the letter left of a subtree: open = parent (no sibling)
+            if _is_open(letter):
+                return false()
+            return atom((-1, ("match", 1)))
+        # kind == "match": `level` unmatched closes pending
+        if _is_open(letter):
+            if level == 1:
+                options = [_accept_option(letter, None)]
+                if reflexive:
+                    options.append(atom((-1, ("peek", 0))))
+                return disj(*options)
+            return atom((-1, ("match", level - 1)))
+        if level < depth + 1:
+            return atom((-1, ("match", level + 1)))
+        return false()
+
+    states = (
+        [("start", 0), ("peek", 0)]
+        + [("match", level) for level in range(1, depth + 2)]
+    )
+    name = "self-or-left" if reflexive else "left"
+    return _axis_automaton(
+        name, delta, states, ("start", 0),
+        [("start", 0), ("match", 1)] if reflexive else [("match", 1)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compositional translation
+# ---------------------------------------------------------------------------
+
+_counter = [0]
+
+
+def _fresh(tag: str) -> str:
+    _counter[0] += 1
+    return f"{tag}#{_counter[0]}"
+
+
+def trans(path: Path, depth: int) -> TwoWayAutomaton:
+    """The 2WASA of a path expression (documents of depth ≤ ``depth``)."""
+    if isinstance(path, ast.Empty):
+        return _self_axis().remap(_fresh("e"))
+    if isinstance(path, ast.Label):
+        return _child_axis(depth, path.name).remap(_fresh("l"))
+    if isinstance(path, ast.Wildcard):
+        return _child_axis(depth, None).remap(_fresh("w"))
+    if isinstance(path, ast.DescOrSelf):
+        return _desc_or_self_axis(depth).remap(_fresh("d"))
+    if isinstance(path, ast.Parent):
+        return _parent_axis(depth).remap(_fresh("p"))
+    if isinstance(path, ast.AncOrSelf):
+        return _anc_or_self_axis(depth).remap(_fresh("a"))
+    if isinstance(path, ast.RightSib):
+        return _right_sibling_axis(depth, reflexive=False).remap(_fresh("r"))
+    if isinstance(path, ast.RightSibStar):
+        return _right_sibling_axis(depth, reflexive=True).remap(_fresh("rs"))
+    if isinstance(path, ast.LeftSib):
+        return _left_sibling_axis(depth, reflexive=False).remap(_fresh("lf"))
+    if isinstance(path, ast.LeftSibStar):
+        return _left_sibling_axis(depth, reflexive=True).remap(_fresh("ls"))
+    if isinstance(path, ast.Union):
+        return _union(trans(path.left, depth), trans(path.right, depth))
+    if isinstance(path, ast.Seq):
+        return _compose(trans(path.left, depth), trans(path.right, depth))
+    if isinstance(path, ast.Filter):
+        return _filtered(trans(path.path, depth), qtrans(path.qualifier, depth))
+    raise FragmentError(f"trans cannot handle {path!r} (data values are out of scope)")
+
+
+def qtrans(qualifier: Qualifier, depth: int) -> TwoWayAutomaton:
+    """The 2WAA of a qualifier (selection marks ignored)."""
+    if isinstance(qualifier, ast.PathExists):
+        return _ignore_selection(trans(qualifier.path, depth))
+    if isinstance(qualifier, ast.LabelTest):
+        return _label_test(qualifier.name).remap(_fresh("t"))
+    if isinstance(qualifier, ast.And):
+        left = qtrans(qualifier.left, depth)
+        right = qtrans(qualifier.right, depth)
+        return _boolean_combo(left, right, conj)
+    if isinstance(qualifier, ast.Or):
+        left = qtrans(qualifier.left, depth)
+        right = qtrans(qualifier.right, depth)
+        return _boolean_combo(left, right, disj)
+    if isinstance(qualifier, ast.Not):
+        return _negate(qtrans(qualifier.inner, depth))
+    raise FragmentError(
+        f"qtrans cannot handle {qualifier!r} (data values are out of scope)"
+    )
+
+
+def _label_test(name: str) -> TwoWayAutomaton:
+    def delta(state: State, letter: Letter) -> BFormula:
+        if _is_open(letter) and _label(letter) == name:
+            return atom((0, _FINAL))
+        return false()
+
+    return _axis_automaton(f"lab={name}", delta, [("start", 0)], ("start", 0), [])
+
+
+def _union(left: TwoWayAutomaton, right: TwoWayAutomaton) -> TwoWayAutomaton:
+    left = left.remap(_fresh("u"))
+    right = right.remap(_fresh("u"))
+    return TwoWayAutomaton(
+        states=left.states + right.states,
+        initial=disj(left.initial, right.initial),
+        delta=_merged_delta(left, right),
+        accepting=left.accepting | right.accepting,
+        critical=left.critical | right.critical,
+    )
+
+
+def _merged_delta(left: TwoWayAutomaton, right: TwoWayAutomaton):
+    left_states = set(left.states)
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        if state in left_states:
+            return left.delta(state, letter)
+        return right.delta(state, letter)
+
+    return delta
+
+
+def _compose(first: TwoWayAutomaton, second: TwoWayAutomaton) -> TwoWayAutomaton:
+    """``p1/p2``: at ``p1``'s critical accepts, launch ``p2`` in place."""
+    first = first.remap(_fresh("c"))
+    second = second.remap(_fresh("c"))
+    second_initial = second.initial.map_atoms(lambda state: (0, state))
+    first_states = set(first.states)
+    criticals = first.critical
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        if state not in first_states:
+            return second.delta(state, letter)
+        if state in criticals and _is_open(letter):
+            # the paper's δ'': evaluate p1's transition as if unselected,
+            # plus — where p1 would accept a selected node — conjoin p2's
+            # start here (δ(q,(N,false)) ∨ (δ(q,(N,true)) ∧ θ0^ε))
+            unselected = ("open", letter[1], False)
+            selected = ("open", letter[1], True)
+            base = first.delta(state, unselected)
+            handover = conj(first.delta(state, selected), second_initial)
+            return disj(base, handover)
+        if _is_open(letter):
+            # non-critical states ignore the selection mark
+            return first.delta(state, ("open", letter[1], False))
+        return first.delta(state, letter)
+
+    return TwoWayAutomaton(
+        states=first.states + second.states,
+        initial=first.initial,
+        delta=delta,
+        accepting=second.accepting,
+        critical=second.critical,
+    )
+
+
+def _filtered(base: TwoWayAutomaton, check: TwoWayAutomaton) -> TwoWayAutomaton:
+    """``p[q]``: conjoin the qualifier automaton at selected accepts."""
+    base = base.remap(_fresh("f"))
+    check = check.remap(_fresh("f"))
+    check_initial = check.initial.map_atoms(lambda state: (0, state))
+    base_states = set(base.states)
+
+    # the paper's δ'': on the *selected* letter, critical transitions
+    # additionally demand the qualifier automaton here
+    # (δ(q,(N,true)) ∧ θ0^ε; all other transitions unchanged)
+    def delta(state: State, letter: Letter) -> BFormula:
+        if state not in base_states:
+            return check.delta(state, letter)
+        if state in base.critical and _is_selected(letter):
+            return conj(base.delta(state, letter), check_initial)
+        return base.delta(state, letter)
+
+    return TwoWayAutomaton(
+        states=base.states + check.states,
+        initial=base.initial,
+        delta=delta,
+        accepting=base.accepting | check.accepting,
+        critical=base.critical,
+    )
+
+
+def _ignore_selection(automaton: TwoWayAutomaton) -> TwoWayAutomaton:
+    """``qtrans(p)``: treat every node as unselected-equivalent (the
+    qualifier only asks for existence)."""
+    inner = automaton.remap(_fresh("q"))
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        if _is_open(letter):
+            return disj(
+                inner.delta(state, ("open", letter[1], False)),
+                inner.delta(state, ("open", letter[1], True)),
+            )
+        return inner.delta(state, letter)
+
+    return TwoWayAutomaton(
+        states=inner.states,
+        initial=inner.initial,
+        delta=delta,
+        accepting=inner.accepting,
+        critical=frozenset(),
+    )
+
+
+def _boolean_combo(left: TwoWayAutomaton, right: TwoWayAutomaton, combine) -> TwoWayAutomaton:
+    left = left.remap(_fresh("b"))
+    right = right.remap(_fresh("b"))
+    return TwoWayAutomaton(
+        states=left.states + right.states,
+        initial=combine(left.initial, right.initial),
+        delta=_merged_delta(left, right),
+        accepting=left.accepting | right.accepting,
+        critical=frozenset(),
+    )
+
+
+def _negate(automaton: TwoWayAutomaton) -> TwoWayAutomaton:
+    """``¬q``: dualize the initial condition and every transition, and
+    complement the accepting set (Section 7.3.3, case 8)."""
+    inner = automaton.remap(_fresh("n"))
+
+    def delta(state: State, letter: Letter) -> BFormula:
+        return inner.delta(state, letter).dual()
+
+    return TwoWayAutomaton(
+        states=inner.states,
+        initial=inner.initial.dual(),
+        delta=delta,
+        accepting=frozenset(inner.states) - inner.accepting,
+        critical=frozenset(),
+    )

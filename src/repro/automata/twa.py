@@ -1,0 +1,157 @@
+"""Two-way alternating (selection) automata over words (Section 7.3.2).
+
+A :class:`TwoWayAutomaton` runs over the streamed encodings of
+:mod:`repro.xmltree.stream`: letters are ``("open", label, selected)`` and
+``("close", label)``.  The transition function maps (state, letter) to a
+positive Boolean formula over ``(direction, state)`` atoms with direction
+``-1`` (move left), ``0`` (stay) or ``+1`` (move right) — the paper's
+``DIR = {↑, ε, ↓}``.
+
+Acceptance of ``(word, position)`` follows the finite-run-forest semantics
+via a least fixpoint over configurations ``(position, state)``:
+
+* a configuration is accepted once its transition formula is satisfied by
+  already-accepted successor configurations;
+* the empty satisfying set is allowed only for accepting states (leaves of
+  the run forest must carry accepting states).
+
+Because formulas are monotone the fixpoint is exact, and it runs in time
+polynomial in ``|word| · |Q| ·`` formula size — the workhorse behind the
+Claim 7.6 validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from repro.automata.boolformula import BFalse, BFormula, BTrue
+
+Letter = tuple
+State = Hashable
+DeltaFn = Callable[[State, Letter], BFormula]
+
+
+@dataclass
+class TwoWayAutomaton:
+    """``(Q, Σ_sel, θ0, δ, F, C)`` with a functional transition map.
+
+    ``critical`` (the set ``C``) matters only for selection automata — the
+    states whose transitions inspect the selection mark; path composition
+    re-wires them (see :mod:`repro.automata.translate`).
+    """
+
+    states: tuple[State, ...]
+    initial: BFormula                      # over plain state atoms
+    delta: DeltaFn
+    accepting: frozenset
+    critical: frozenset = field(default_factory=frozenset)
+
+    def remap(self, prefix: str) -> "TwoWayAutomaton":
+        """A disjoint copy with states tagged by ``prefix``."""
+
+        def rename(state: State) -> State:
+            return (prefix, state)
+
+        old_delta = self.delta
+
+        def delta(state: State, letter: Letter) -> BFormula:
+            tag, inner = state
+            if tag != prefix:
+                return BFalse()
+            return old_delta(inner, letter).map_atoms(
+                lambda payload: (payload[0], rename(payload[1]))
+            )
+
+        return TwoWayAutomaton(
+            states=tuple(rename(state) for state in self.states),
+            initial=self.initial.map_atoms(rename),
+            delta=delta,
+            accepting=frozenset(rename(state) for state in self.accepting),
+            critical=frozenset(rename(state) for state in self.critical),
+        )
+
+
+BOS: Letter = ("bos",)
+EOS: Letter = ("eos",)
+
+
+def accepts(automaton: TwoWayAutomaton, word: Sequence[Letter], position: int) -> bool:
+    """Finite-run acceptance of ``(word, position)`` (least fixpoint).
+
+    The word is padded with begin/end markers so that moves off either end
+    read an explicit boundary letter.  Base automata reject boundaries with
+    honest ``false`` transitions, which dualization (negation) correctly
+    turns into ``true`` — without the markers, ``¬(←)`` at the root could
+    never hold.
+    """
+    if not 0 <= position < len(word):
+        raise IndexError(position)
+    word = [BOS, *word, EOS]
+    position += 1
+    length = len(word)
+    accepted: set[tuple[int, State]] = set()
+
+    # Precompute formulas per configuration lazily; iterate to fixpoint.
+    formulas: dict[tuple[int, State], BFormula] = {}
+
+    def formula(config: tuple[int, State]) -> BFormula:
+        cached = formulas.get(config)
+        if cached is None:
+            index, state = config
+            cached = automaton.delta(state, word[index])
+            formulas[config] = cached
+        return cached
+
+    def truth_factory(index: int):
+        def truth(payload) -> bool:
+            direction, state = payload
+            target = index + direction
+            if not 0 <= target < length:
+                return False
+            return (target, state) in accepted
+
+        return truth
+
+    def empty_truth(_payload) -> bool:
+        return False
+
+    accepted_at: dict[int, int] = {}
+
+    def neighbour_accepted(index: int) -> bool:
+        """Some accepted configuration reachable in one move — the paper's
+        run definition lets a satisfying set S contain *any* pairs when the
+        formula is monotonically true, so a vacuously-true transition at a
+        non-accepting state can delegate to any accepted neighbour."""
+        return any(
+            accepted_at.get(index + direction, 0) > 0
+            for direction in (-1, 0, 1)
+            if 0 <= index + direction < length
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for index in range(length):
+            truth = truth_factory(index)
+            for state in automaton.states:
+                config = (index, state)
+                if config in accepted:
+                    continue
+                current = formula(config)
+                if isinstance(current, BFalse):
+                    continue
+                if not current.evaluate(truth):
+                    continue
+                # leaves (empty satisfying set) need accepting states
+                if state not in automaton.accepting:
+                    if current.evaluate(empty_truth) and not neighbour_accepted(index):
+                        continue
+                accepted.add(config)
+                accepted_at[index] = accepted_at.get(index, 0) + 1
+                changed = True
+
+    def initial_truth(payload) -> bool:
+        return (position, payload) in accepted
+
+    return automaton.initial.evaluate(initial_truth)

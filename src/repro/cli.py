@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``check``
+    Decide satisfiability of a query against a DTD file (or no DTD)::
+
+        python -m repro check --dtd schema.dtd "product[price and quote]"
+        python -m repro check "A[not(B)]"              # no DTD
+
+    Exit code 0 = satisfiable, 1 = unsatisfiable, 2 = undecided within
+    bounds.  ``--witness`` prints a conforming witness document.
+
+``contains``
+    Containment check ``p1 ⊆ p2`` (Proposition 3.2)::
+
+        python -m repro contains --dtd schema.dtd "view/path" "policy/path"
+
+``classify``
+    Report a query's fragment features and a DTD's Section-6 classes::
+
+        python -m repro classify --dtd schema.dtd "A//B[@x = '1']"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.containment import contains as containment_check
+from repro.dtd import parse_dtd
+from repro.dtd.properties import classify as classify_dtd
+from repro.errors import ReproError
+from repro.sat import decide
+from repro.xpath import parse_query
+from repro.xpath.fragments import features_of
+
+
+def _load_dtd(path: str | None):
+    if path is None:
+        return None
+    with open(path) as handle:
+        return parse_dtd(handle.read())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd)
+    query = parse_query(args.query)
+    result = decide(query, dtd)
+    print(result.describe())
+    if result.is_sat and args.witness and result.witness is not None:
+        print(result.witness.pretty())
+    if result.is_sat:
+        return 0
+    if result.is_unsat:
+        return 1
+    return 2
+
+
+def _cmd_contains(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd)
+    p1 = parse_query(args.query1)
+    p2 = parse_query(args.query2)
+    result = containment_check(p1, p2, dtd)
+    verdict = {True: "contained", False: "not contained", None: "undecided"}
+    print(f"{verdict[result.contained]} [{result.method}] {result.reason}")
+    if result.contained is False and args.witness and result.counterexample is not None:
+        print(result.counterexample.pretty())
+    if result.contained is True:
+        return 0
+    if result.contained is False:
+        return 1
+    return 2
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    features = sorted(str(f) for f in features_of(query))
+    print(f"query features : {', '.join(features) if features else '(label steps only)'}")
+    print(f"query size     : {query.size()}")
+    if args.dtd is not None:
+        dtd = _load_dtd(args.dtd)
+        assert dtd is not None
+        print(f"DTD size       : {dtd.size()}")
+        for name, value in classify_dtd(dtd).items():
+            print(f"DTD {name:<16}: {'yes' if value else 'no'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XPath satisfiability in the presence of DTDs "
+                    "(Benedikt, Fan, Geerts; PODS 2005 / JACM 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide satisfiability of (query, DTD)")
+    check.add_argument("query", help="XPath query (ASCII syntax; see README)")
+    check.add_argument("--dtd", help="path to a DTD file (textual syntax)")
+    check.add_argument("--witness", action="store_true", help="print a witness tree")
+    check.set_defaults(func=_cmd_check)
+
+    cont = sub.add_parser("contains", help="check containment p1 ⊆ p2")
+    cont.add_argument("query1")
+    cont.add_argument("query2")
+    cont.add_argument("--dtd", help="path to a DTD file")
+    cont.add_argument("--witness", action="store_true",
+                      help="print a counterexample document on non-containment")
+    cont.set_defaults(func=_cmd_contains)
+
+    classify = sub.add_parser("classify", help="report fragment and DTD classes")
+    classify.add_argument("query")
+    classify.add_argument("--dtd", help="path to a DTD file")
+    classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Containment via satisfiability (Proposition 3.2)."""
+
+from repro.containment.reduction import (
+    ContainmentResult,
+    contains,
+    contains_boolean,
+    brute_force_contains,
+)
+
+__all__ = [
+    "ContainmentResult", "contains", "contains_boolean", "brute_force_contains",
+]

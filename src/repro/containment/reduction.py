@@ -1,0 +1,109 @@
+"""The containment problem ``CNT(X)`` and its reduction to (un)satisfiability.
+
+Proposition 3.2:
+
+1. ``SAT(X)`` reduces to the complement of ``CNT(X)`` (``(p, D)``
+   satisfiable iff ``p ⊄ ∅_D``);
+2. for Boolean queries ``ε[q]``: ``p1 ⊆ p2`` iff ``ε[q1 ∧ ¬q2]`` is
+   unsatisfiable;
+3. for fragments with negation closed under ``inverse``:
+   ``p1 ⊆ p2`` iff ``p1[¬( inverse(p2)[¬↑] )]`` is unsatisfiable.
+
+``contains`` runs reduction (3) (or (2) for Boolean queries) through
+:func:`repro.sat.dispatch.decide`; because some fragments only admit a
+bounded semi-decision, the result is three-valued: containment *holds*
+(the non-containment query is unsatisfiable), *fails* (a counterexample
+tree is produced), or *unknown*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.model import DTD
+from repro.sat.bounded import Bounds
+from repro.sat.dispatch import decide
+from repro.sat.result import SatResult
+from repro.xmltree.model import XMLTree
+from repro.xpath import ast
+from repro.xpath.inverse import boolean_non_containment_query, non_containment_query
+from repro.xpath.semantics import evaluate
+from repro.xmltree.generate import random_tree
+
+
+@dataclass
+class ContainmentResult:
+    """Outcome of a containment check.
+
+    ``contained`` is three-valued like :class:`SatResult.satisfiable`;
+    ``counterexample`` is a tree where some node is selected by ``p1`` but
+    not ``p2``.
+    """
+
+    contained: bool | None
+    method: str
+    counterexample: XMLTree | None = None
+    reason: str = ""
+
+    @property
+    def unknown(self) -> bool:
+        return self.contained is None
+
+
+def contains(p1: ast.Path, p2: ast.Path, dtd: DTD | None,
+             bounds: Bounds | None = None) -> ContainmentResult:
+    """Is ``p1 ⊆ p2`` under ``dtd`` (over all trees when ``dtd is None``)?
+
+    Uses Proposition 3.2(2) for Boolean queries and 3.2(3) otherwise.
+    """
+    if _is_boolean(p1) and _is_boolean(p2):
+        query = boolean_non_containment_query(p1.qualifier, p2.qualifier)  # type: ignore[union-attr]
+        method = "prop3.2(2)"
+    else:
+        query = non_containment_query(p1, p2)
+        method = "prop3.2(3)"
+    inner = decide(query, dtd, bounds)
+    return _interpret(inner, method)
+
+
+def contains_boolean(q1: ast.Qualifier, q2: ast.Qualifier, dtd: DTD | None,
+                     bounds: Bounds | None = None) -> ContainmentResult:
+    """``ε[q1] ⊆ ε[q2]`` via Proposition 3.2(2)."""
+    inner = decide(boolean_non_containment_query(q1, q2), dtd, bounds)
+    return _interpret(inner, "prop3.2(2)")
+
+
+def _interpret(inner: SatResult, method: str) -> ContainmentResult:
+    if inner.is_sat:
+        return ContainmentResult(
+            False, method, counterexample=inner.witness,
+            reason=f"non-containment witness found via {inner.method}",
+        )
+    if inner.is_unsat:
+        return ContainmentResult(
+            True, method, reason=f"non-containment query unsatisfiable via {inner.method}"
+        )
+    return ContainmentResult(None, method, reason=inner.reason)
+
+
+def _is_boolean(path: ast.Path) -> bool:
+    return isinstance(path, ast.Filter) and isinstance(path.path, ast.Empty)
+
+
+def brute_force_contains(p1: ast.Path, p2: ast.Path, dtd: DTD,
+                         trials: int = 200, seed: int = 0) -> bool:
+    """Randomized refutation oracle for tests: samples conforming trees and
+    checks ``r[[p1]] ⊆ r[[p2]]`` on each; ``False`` is definitive,
+    ``True`` only means "no counterexample found"."""
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(trials):
+        tree = random_tree(dtd, rng, max_nodes=25)
+        selected_1 = evaluate(p1, tree)
+        if not selected_1:
+            continue
+        selected_2 = evaluate(p2, tree)
+        if not selected_1 <= selected_2:
+            return False
+    return True

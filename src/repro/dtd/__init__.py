@@ -1,0 +1,42 @@
+"""DTDs (Document Type Definitions) as defined in Section 2.1 of the paper.
+
+A DTD is ``(Ele, Att, P, R, r)``: element types, attribute names, one
+content-model production per element type, an attribute assignment per
+element type, and a root type.  This package provides the model
+(:mod:`repro.dtd.model`), a textual syntax (:mod:`repro.dtd.parser`), the
+dependency graph (:mod:`repro.dtd.graph`), the classification predicates used
+throughout Section 6 (:mod:`repro.dtd.properties`), normalization per
+Proposition 3.3 (:mod:`repro.dtd.normalize`), the paper's DTD-to-DTD
+reductions (:mod:`repro.dtd.transforms`), and random generation for workloads
+(:mod:`repro.dtd.generator`).
+"""
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.dtd.graph import DTDGraph
+from repro.dtd.properties import (
+    is_disjunction_free,
+    is_no_star,
+    is_nonrecursive,
+    is_normalized,
+    max_document_depth,
+    terminating_types,
+)
+from repro.dtd.normalize import NormalizationResult, normalize
+from repro.dtd.transforms import (
+    eliminate_disjunction,
+    eliminate_recursion_in_query,
+    eliminate_star,
+    universal_dtds,
+)
+from repro.dtd.generator import random_dtd
+
+__all__ = [
+    "DTD", "parse_dtd", "DTDGraph",
+    "is_normalized", "is_disjunction_free", "is_nonrecursive", "is_no_star",
+    "terminating_types", "max_document_depth",
+    "normalize", "NormalizationResult",
+    "universal_dtds", "eliminate_recursion_in_query", "eliminate_star",
+    "eliminate_disjunction",
+    "random_dtd",
+]

@@ -1,0 +1,128 @@
+"""The DTD graph ``G_D`` (proof of Theorem 4.1).
+
+``G_D`` has the element types as vertices and an edge ``(A, B)`` whenever
+``B`` occurs in ``P(A)``.  Because content models cannot denote the empty
+language, an edge exists exactly when some conforming ``A`` element can have
+a ``B`` child, so graph reachability coincides with "some conforming tree
+has a ``B`` descendant below an ``A`` node" (for terminating types).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+
+from repro.dtd.model import DTD
+
+
+class DTDGraph:
+    """Reachability and cycle structure of a DTD's dependency graph."""
+
+    def __init__(self, dtd: DTD):
+        self.dtd = dtd
+        self.edges: dict[str, frozenset[str]] = {
+            element_type: dtd.child_types(element_type)
+            for element_type in dtd.element_types
+        }
+
+    @cached_property
+    def reverse_edges(self) -> dict[str, frozenset[str]]:
+        reverse: dict[str, set[str]] = {name: set() for name in self.edges}
+        for source, targets in self.edges.items():
+            for target in targets:
+                reverse[target].add(source)
+        return {name: frozenset(parents) for name, parents in reverse.items()}
+
+    def children(self, element_type: str) -> frozenset[str]:
+        return self.edges[element_type]
+
+    def reachable_from(self, element_type: str, *, proper: bool = False) -> frozenset[str]:
+        """Element types reachable from ``element_type``.
+
+        With ``proper=True`` the start vertex is included only if it lies on
+        a cycle (i.e. reachable by a non-empty path) — this matches the
+        semantics of a strict-descendant step; the paper's ``↓*`` semantics
+        (descendant-or-self) always includes the start and is obtained with
+        the default ``proper=False``.
+        """
+        seen: set[str] = set()
+        queue = deque(self.edges[element_type])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.edges[current] - seen)
+        if not proper:
+            seen.add(element_type)
+        return frozenset(seen)
+
+    @cached_property
+    def reachable_from_root(self) -> frozenset[str]:
+        return self.reachable_from(self.dtd.root)
+
+    def shortest_path(self, source: str, target: str) -> list[str] | None:
+        """A shortest path ``source, ..., target`` in ``G_D`` (vertex list,
+        including both endpoints); ``None`` if unreachable.  A zero-length
+        path is returned when ``source == target``."""
+        if source == target:
+            return [source]
+        parents: dict[str, str] = {}
+        queue = deque([source])
+        seen = {source}
+        while queue:
+            current = queue.popleft()
+            for child in self.edges[current]:
+                if child in seen:
+                    continue
+                parents[child] = current
+                if child == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(child)
+                queue.append(child)
+        return None
+
+    @cached_property
+    def has_cycle(self) -> bool:
+        """Whether ``G_D`` has a cycle, i.e. whether the DTD is recursive."""
+        in_progress: set[str] = set()
+        done: set[str] = set()
+
+        def visit(vertex: str) -> bool:
+            in_progress.add(vertex)
+            for child in self.edges[vertex]:
+                if child in in_progress:
+                    return True
+                if child not in done and visit(child):
+                    return True
+            in_progress.discard(vertex)
+            done.add(vertex)
+            return False
+
+        return any(
+            visit(vertex)
+            for vertex in self.edges
+            if vertex not in done and vertex not in in_progress
+        )
+
+    @cached_property
+    def longest_acyclic_depth(self) -> int:
+        """For nonrecursive DTDs: the maximum number of edges on any path
+        from the root, i.e. the maximum document depth minus one.
+
+        Raises ``ValueError`` on recursive DTDs (depth is unbounded).
+        """
+        if self.has_cycle:
+            raise ValueError("recursive DTD has unbounded document depth")
+        memo: dict[str, int] = {}
+
+        def depth(vertex: str) -> int:
+            if vertex not in memo:
+                children = self.edges[vertex]
+                memo[vertex] = 0 if not children else 1 + max(depth(c) for c in children)
+            return memo[vertex]
+
+        return depth(self.dtd.root)

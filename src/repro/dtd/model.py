@@ -1,0 +1,155 @@
+"""The DTD model ``D = (Ele, Att, P, R, r)`` (Section 2.1).
+
+* ``Ele`` — the element types: the keys of :attr:`DTD.productions`;
+* ``P``  — productions mapping each element type to a content model
+  (a :class:`repro.regex.ast.Regex` over element types);
+* ``Att``/``R`` — attribute names per element type;
+* ``r``  — the distinguished root type.
+
+The paper assumes every element type is *terminating* (some finite tree
+rooted at it conforms); :meth:`DTD.check` verifies well-formedness and
+:func:`repro.dtd.properties.terminating_types` implements the linear-time
+termination analysis.  Deciders call :meth:`DTD.require_terminating` up
+front, mirroring the paper's standing assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Mapping
+
+from repro.errors import DTDError
+from repro.regex.ast import Regex
+
+# Attribute values in examples/tests; any string is allowed in documents.
+AttributeMap = Mapping[str, frozenset[str]]
+
+
+@dataclass(frozen=True)
+class DTD:
+    """An immutable DTD.
+
+    Parameters
+    ----------
+    root:
+        The root element type ``r``.
+    productions:
+        ``P``: content model for every element type.  Every element type of
+        the DTD must have an entry (use ``Epsilon()`` for empty elements).
+    attributes:
+        ``R``: attribute names per element type; element types may be
+        omitted (treated as having no attributes).
+    """
+
+    root: str
+    productions: Mapping[str, Regex]
+    attributes: Mapping[str, frozenset[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "productions", dict(self.productions))
+        object.__setattr__(
+            self,
+            "attributes",
+            {name: frozenset(attrs) for name, attrs in dict(self.attributes).items()},
+        )
+        self.check()
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def element_types(self) -> frozenset[str]:
+        """``Ele``: all element types of the DTD."""
+        return frozenset(self.productions)
+
+    def production(self, element_type: str) -> Regex:
+        """``P(A)``; raises :class:`DTDError` on unknown types."""
+        try:
+            return self.productions[element_type]
+        except KeyError:
+            raise DTDError(f"unknown element type: {element_type}") from None
+
+    def attrs_of(self, element_type: str) -> frozenset[str]:
+        """``R(A)`` (empty set when unspecified)."""
+        if element_type not in self.productions:
+            raise DTDError(f"unknown element type: {element_type}")
+        return self.attributes.get(element_type, frozenset())
+
+    @property
+    def attribute_names(self) -> frozenset[str]:
+        """``Att``: the union of all per-type attribute sets."""
+        if not self.attributes:
+            return frozenset()
+        return frozenset().union(*self.attributes.values())
+
+    def size(self) -> int:
+        """``|D|``: total size of the productions plus attribute lists."""
+        total = sum(production.size() + 1 for production in self.productions.values())
+        total += sum(len(attrs) for attrs in self.attributes.values())
+        return total
+
+    # -- well-formedness ----------------------------------------------------
+    def check(self) -> None:
+        """Validate internal consistency (root defined, closed alphabet)."""
+        if self.root not in self.productions:
+            raise DTDError(f"root type {self.root!r} has no production")
+        known = set(self.productions)
+        for element_type, production in self.productions.items():
+            undefined = production.alphabet() - known
+            if undefined:
+                raise DTDError(
+                    f"production of {element_type!r} mentions undefined element "
+                    f"types: {sorted(undefined)}"
+                )
+        for element_type in self.attributes:
+            if element_type not in known:
+                raise DTDError(
+                    f"attributes declared for undefined element type {element_type!r}"
+                )
+
+    @cached_property
+    def _terminating(self) -> frozenset[str]:
+        from repro.dtd.properties import terminating_types
+
+        return terminating_types(self)
+
+    def require_terminating(self) -> None:
+        """Enforce the paper's standing assumption that all element types
+        terminate (Section 2.1); raises :class:`DTDError` otherwise."""
+        missing = self.element_types - self._terminating
+        if missing:
+            raise DTDError(f"non-terminating element types: {sorted(missing)}")
+
+    # -- derived views -------------------------------------------------------
+    def child_types(self, element_type: str) -> frozenset[str]:
+        """Element types that can occur among the children of ``A``
+        (the out-neighbours of ``A`` in the DTD graph).
+
+        Because content models have no empty-language constant, this is
+        exactly the alphabet of ``P(A)``.
+        """
+        return self.production(element_type).alphabet()
+
+    def with_root(self, new_root: str) -> "DTD":
+        """The same DTD re-rooted (used by Proposition 3.1's family)."""
+        return DTD(root=new_root, productions=self.productions, attributes=self.attributes)
+
+    def restrict(self, keep: Iterable[str]) -> "DTD":
+        """Restriction to a subset of element types containing the root and
+        closed under the child relation; raises if not closed."""
+        keep_set = set(keep)
+        productions = {name: self.productions[name] for name in keep_set}
+        attributes = {
+            name: attrs for name, attrs in self.attributes.items() if name in keep_set
+        }
+        return DTD(root=self.root, productions=productions, attributes=attributes)
+
+    def describe(self) -> str:
+        """Readable multi-line rendering (root first, then alphabetical)."""
+        lines = [f"root {self.root}"]
+        ordering = [self.root] + sorted(self.element_types - {self.root})
+        for name in ordering:
+            lines.append(f"{name} -> {self.productions[name]}")
+            attrs = self.attrs_of(name)
+            if attrs:
+                lines.append(f"{name} @ {', '.join(sorted(attrs))}")
+        return "\n".join(lines)

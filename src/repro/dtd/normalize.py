@@ -1,0 +1,247 @@
+"""Normalization of DTDs and the accompanying query rewriting
+(Proposition 3.3).
+
+``normalize(dtd)`` produces a normalized DTD ``N(D)`` whose productions all
+have the shapes ``ε | B1,...,Bn | B1+...+Bn | B*``, by introducing a fresh
+element type for every internal node of each production's parse tree (the
+root of the parse tree keeps the old label).  An ``ε`` alternative inside a
+disjunction becomes a fresh empty element type, which keeps the normal form
+while preserving the language shape.
+
+``NormalizationResult.rewrite_query`` implements ``f(p)``: the query
+rewriting that "skips" the freshly introduced element types, so that
+``(p, D)`` is satisfiable iff ``(f(p), N(D))`` is satisfiable.  Following
+the paper:
+
+* ``f(A) = ∇/A`` where ``∇`` is the union of ε and all downward chains of
+  new element types;
+* ``f(↓) = ⋃_{A old} ∇/A`` and ``f(↓*) = ε ∪ ⋃_{A old} ↓*/A``;
+* ``f(↑) = Δ/⋃_{A old} ↑[lab()=A]`` realized as the union over inverse new
+  chains with label tests (requires ``∪`` and label tests, as stated in the
+  proposition);
+* ``f(↑*) = ε ∪ ⋃_{A old} ↑*[lab()=A]``;
+* homomorphic on ``/``, ``∪``, ``[q]`` and qualifier operators.
+
+Sibling axes are **not** supported (normalization reshuffles sibling
+relations); callers must check first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import FragmentError
+from repro.dtd.model import DTD
+from repro.regex import ast as rx
+from repro.xpath import ast as xp
+from repro.xpath.fragments import Feature, features_of
+
+_SIBLING_FEATURES = {
+    Feature.RIGHT_SIB, Feature.LEFT_SIB, Feature.RIGHT_SIB_STAR, Feature.LEFT_SIB_STAR,
+}
+
+
+@dataclass(frozen=True)
+class NormalizationResult:
+    """Outcome of :func:`normalize`: the normalized DTD, the set of fresh
+    element types, and the query rewriting ``f``."""
+
+    dtd: DTD
+    new_types: frozenset[str]
+    original: DTD
+
+    @property
+    def old_types(self) -> frozenset[str]:
+        return self.original.element_types
+
+    def rewrite_query(self, query: xp.Path) -> xp.Path:
+        """``f(p)`` — see module docstring."""
+        used = features_of(query)
+        if used & _SIBLING_FEATURES:
+            raise FragmentError(
+                "Proposition 3.3 rewriting does not apply to sibling axes"
+            )
+        nabla = self._new_chain_paths()
+        return _RewriteContext(self, nabla).rewrite_path(query)
+
+    # -- ∇ and Δ -----------------------------------------------------------
+    def _new_chains(self) -> list[tuple[str, ...]]:
+        """All downward chains ``N1/.../Nk`` (k ≥ 1) of new element types,
+        where each ``N_{i+1}`` occurs in the production of ``N_i``."""
+        children_of: dict[str, list[str]] = {}
+        for new_type in self.new_types:
+            production = self.dtd.production(new_type)
+            children_of[new_type] = sorted(
+                name for name in production.alphabet() if name in self.new_types
+            )
+        chains: list[tuple[str, ...]] = []
+
+        def extend(chain: tuple[str, ...]) -> None:
+            chains.append(chain)
+            for child in children_of[chain[-1]]:
+                extend(chain + (child,))
+
+        for new_type in sorted(self.new_types):
+            extend((new_type,))
+        return chains
+
+    def _new_chain_paths(self) -> list[xp.Path]:
+        """The label-step paths of ``∇`` (excluding the ε chain)."""
+        return [
+            xp.seq_of(*[xp.Label(name) for name in chain])
+            for chain in self._new_chains()
+        ]
+
+
+class _RewriteContext:
+    def __init__(self, result: NormalizationResult, nabla_chains: list[xp.Path]):
+        self.result = result
+        self.nabla_chains = nabla_chains
+        self.old = sorted(result.old_types)
+
+    def nabla_to(self, tail: xp.Path) -> xp.Path:
+        """``∇/tail``: skip zero or more new levels, then take ``tail``."""
+        options = [tail]
+        options.extend(xp.seq_of(chain, tail) for chain in self.nabla_chains)
+        return xp.union_of(*options)
+
+    def rewrite_path(self, path: xp.Path) -> xp.Path:
+        if isinstance(path, xp.Empty):
+            return path
+        if isinstance(path, xp.Label):
+            return self.nabla_to(xp.Label(path.name))
+        if isinstance(path, xp.Wildcard):
+            return self.nabla_to(
+                xp.union_of(*[xp.Label(name) for name in self.old])
+            )
+        if isinstance(path, xp.DescOrSelf):
+            lands_old = [
+                xp.Seq(xp.DescOrSelf(), xp.Label(name)) for name in self.old
+            ]
+            return xp.union_of(xp.Empty(), *lands_old)
+        if isinstance(path, xp.Parent):
+            # climb through complete inverse new chains to the old parent
+            options: list[xp.Path] = [
+                xp.Filter(xp.Parent(), xp.LabelTest(name)) for name in self.old
+            ]
+            for chain in self.result._new_chains():
+                steps: list[xp.Path] = []
+                for name in reversed(chain):
+                    steps.append(xp.Filter(xp.Parent(), xp.LabelTest(name)))
+                steps.append(xp.Parent())
+                options.append(xp.seq_of(*steps))
+            return xp.union_of(*options)
+        if isinstance(path, xp.AncOrSelf):
+            lands_old = [
+                xp.Filter(xp.AncOrSelf(), xp.LabelTest(name)) for name in self.old
+            ]
+            return xp.union_of(xp.Empty(), *lands_old)
+        if isinstance(path, xp.Seq):
+            return xp.Seq(self.rewrite_path(path.left), self.rewrite_path(path.right))
+        if isinstance(path, xp.Union):
+            return xp.Union(self.rewrite_path(path.left), self.rewrite_path(path.right))
+        if isinstance(path, xp.Filter):
+            return xp.Filter(
+                self.rewrite_path(path.path), self.rewrite_qualifier(path.qualifier)
+            )
+        raise FragmentError(f"cannot rewrite path node {path!r}")
+
+    def rewrite_qualifier(self, qualifier: xp.Qualifier) -> xp.Qualifier:
+        if isinstance(qualifier, xp.PathExists):
+            return xp.PathExists(self.rewrite_path(qualifier.path))
+        if isinstance(qualifier, xp.LabelTest):
+            return qualifier
+        if isinstance(qualifier, xp.AttrConstCmp):
+            return xp.AttrConstCmp(
+                self.rewrite_path(qualifier.path),
+                qualifier.attr,
+                qualifier.op,
+                qualifier.value,
+            )
+        if isinstance(qualifier, xp.AttrAttrCmp):
+            return xp.AttrAttrCmp(
+                self.rewrite_path(qualifier.left_path),
+                qualifier.left_attr,
+                qualifier.op,
+                self.rewrite_path(qualifier.right_path),
+                qualifier.right_attr,
+            )
+        if isinstance(qualifier, xp.And):
+            return xp.And(
+                self.rewrite_qualifier(qualifier.left),
+                self.rewrite_qualifier(qualifier.right),
+            )
+        if isinstance(qualifier, xp.Or):
+            return xp.Or(
+                self.rewrite_qualifier(qualifier.left),
+                self.rewrite_qualifier(qualifier.right),
+            )
+        if isinstance(qualifier, xp.Not):
+            return xp.Not(self.rewrite_qualifier(qualifier.inner))
+        raise FragmentError(f"cannot rewrite qualifier node {qualifier!r}")
+
+
+def normalize(dtd: DTD) -> NormalizationResult:
+    """Compute ``N(D)`` (Proposition 3.3).
+
+    Already-normalized productions are kept verbatim; others get fresh
+    element types named ``A:nK`` for the internal parse-tree nodes (and a
+    shared empty type ``A:eps`` for ε alternatives inside disjunctions).
+    """
+    from repro.dtd.properties import _is_normalized_production
+
+    productions: dict[str, rx.Regex] = {}
+    new_types: set[str] = set()
+
+    for element_type in sorted(dtd.element_types):
+        production = dtd.production(element_type)
+        if _is_normalized_production(production):
+            productions[element_type] = production
+            continue
+        counter = [0]
+
+        def fresh(owner: str = element_type) -> str:
+            counter[0] += 1
+            name = f"{owner}:n{counter[0]}"
+            return name
+
+        def label_of(node: rx.Regex) -> str:
+            """The element type representing ``node``; creates productions
+            for fresh internal types on the fly."""
+            if isinstance(node, rx.Symbol):
+                return node.name
+            if isinstance(node, rx.Epsilon):
+                name = f"{element_type}:eps"
+                if name not in productions:
+                    productions[name] = rx.Epsilon()
+                    new_types.add(name)
+                return name
+            name = fresh()
+            new_types.add(name)
+            productions[name] = production_of(node)
+            return name
+
+        def production_of(node: rx.Regex) -> rx.Regex:
+            """The normalized production describing ``node``'s children."""
+            if isinstance(node, rx.Concat):
+                return rx.Concat(tuple(rx.Symbol(label_of(part)) for part in node.parts))
+            if isinstance(node, rx.Union):
+                return rx.Union(tuple(rx.Symbol(label_of(part)) for part in node.parts))
+            if isinstance(node, rx.Star):
+                return rx.Star(rx.Symbol(label_of(node.inner)))
+            if isinstance(node, rx.Optional):
+                eps_name = label_of(rx.Epsilon())
+                return rx.Union((rx.Symbol(label_of(node.inner)), rx.Symbol(eps_name)))
+            if isinstance(node, (rx.Symbol, rx.Epsilon)):
+                # a bare leaf at production root is already normalized;
+                # unreachable here but kept for safety.
+                return node
+            raise TypeError(f"unknown regex node {node!r}")
+
+        productions[element_type] = production_of(production)
+
+    normalized = DTD(root=dtd.root, productions=productions, attributes=dtd.attributes)
+    return NormalizationResult(
+        dtd=normalized, new_types=frozenset(new_types), original=dtd
+    )

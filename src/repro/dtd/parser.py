@@ -1,0 +1,84 @@
+"""Textual syntax for DTDs.
+
+The syntax mirrors how the paper writes DTDs:
+
+.. code-block:: text
+
+    # 3SAT encoding DTD (Example 2.1)
+    root r
+    r  -> X1, X2, X3
+    X1 -> T + F
+    X2 -> T + F
+    X3 -> T + F
+    T  -> eps
+    F  -> eps
+
+One ``NAME -> content-model`` line per element type, an optional
+``NAME @ a, b`` line listing the attributes ``R(NAME)``, a mandatory
+``root NAME`` line, and ``#`` comments.  Content models use the syntax of
+:mod:`repro.regex.parser` (``,`` concatenation, ``+``/``|`` disjunction,
+postfix ``*``/``?``, ``eps``).
+
+:func:`parse_dtd` and :meth:`repro.dtd.model.DTD.describe` round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.dtd.model import DTD
+from repro.regex.ast import Regex
+from repro.regex.parser import parse_regex
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.:-]*$")
+
+
+def parse_dtd(text: str) -> DTD:
+    """Parse the textual DTD syntax into a :class:`DTD`.
+
+    Raises :class:`repro.errors.ParseError` for syntax errors and
+    :class:`repro.errors.DTDError` for semantic ones (via ``DTD.check``).
+    """
+    root: str | None = None
+    productions: dict[str, Regex] = {}
+    attributes: dict[str, frozenset[str]] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("root "):
+            candidate = line[len("root "):].strip()
+            if not _NAME_RE.match(candidate):
+                raise ParseError(f"line {line_number}: bad root name {candidate!r}")
+            if root is not None:
+                raise ParseError(f"line {line_number}: duplicate root declaration")
+            root = candidate
+            continue
+        if "->" in line:
+            name, _, body = line.partition("->")
+            name = name.strip()
+            if not _NAME_RE.match(name):
+                raise ParseError(f"line {line_number}: bad element type {name!r}")
+            if name in productions:
+                raise ParseError(f"line {line_number}: duplicate production for {name!r}")
+            productions[name] = parse_regex(body.strip())
+            continue
+        if "@" in line:
+            name, _, body = line.partition("@")
+            name = name.strip()
+            if not _NAME_RE.match(name):
+                raise ParseError(f"line {line_number}: bad element type {name!r}")
+            attrs = [attr.strip() for attr in body.split(",") if attr.strip()]
+            for attr in attrs:
+                if not _NAME_RE.match(attr):
+                    raise ParseError(f"line {line_number}: bad attribute name {attr!r}")
+            previous = attributes.get(name, frozenset())
+            attributes[name] = previous | frozenset(attrs)
+            continue
+        raise ParseError(f"line {line_number}: cannot parse DTD line {raw_line!r}")
+
+    if root is None:
+        raise ParseError("missing 'root NAME' declaration")
+    return DTD(root=root, productions=productions, attributes=attributes)

@@ -1,0 +1,129 @@
+"""DTD classification predicates (Sections 2.1 and 6).
+
+* :func:`is_normalized` — productions of the shapes
+  ``ε | B1,...,Bn | B1+...+Bn | B*`` (Section 2.1);
+* :func:`is_disjunction_free` — no ``+`` anywhere (Section 6.3);
+* :func:`is_nonrecursive` — acyclic dependency graph (Section 6.1);
+* :func:`is_no_star` — no Kleene star (Proposition 7.3's "no-star" DTDs);
+* :func:`terminating_types` — the linear-time termination analysis the paper
+  reduces to context-free-grammar emptiness (Section 2.1);
+* :func:`max_document_depth` — the depth bound ``|D|`` used by
+  Proposition 6.1 and the nonrecursive deciders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD
+from repro.regex.ast import Concat, Epsilon, Optional, Regex, Star, Symbol, Union
+
+
+def is_normalized(dtd: DTD) -> bool:
+    """Whether every production has one of the normalized shapes
+    ``ε``, ``B1, ..., Bn``, ``B1 + ... + Bn`` or ``B*``."""
+    return all(_is_normalized_production(p) for p in dtd.productions.values())
+
+
+def _is_normalized_production(production: Regex) -> bool:
+    if isinstance(production, (Epsilon, Symbol)):
+        return True
+    if isinstance(production, Concat):
+        return all(isinstance(part, Symbol) for part in production.parts)
+    if isinstance(production, Union):
+        return all(isinstance(part, Symbol) for part in production.parts)
+    if isinstance(production, Star):
+        return isinstance(production.inner, Symbol)
+    return False
+
+
+def is_disjunction_free(dtd: DTD) -> bool:
+    """No production contains disjunction ``+`` (``Union`` or ``Optional``,
+    since ``e?`` abbreviates ``e + ε``)."""
+    return not any(
+        isinstance(node, (Union, Optional))
+        for production in dtd.productions.values()
+        for node in production.walk()
+    )
+
+
+def is_no_star(dtd: DTD) -> bool:
+    """No production contains the Kleene star."""
+    return not any(
+        isinstance(node, Star)
+        for production in dtd.productions.values()
+        for node in production.walk()
+    )
+
+
+def is_nonrecursive(dtd: DTD) -> bool:
+    """Whether the dependency graph of the DTD is acyclic."""
+    return not DTDGraph(dtd).has_cycle
+
+
+def terminating_types(dtd: DTD) -> frozenset[str]:
+    """Element types ``A`` admitting a finite tree rooted at ``A`` that
+    satisfies the DTD.
+
+    The paper reduces this to emptiness of context-free grammars, decidable
+    in linear time.  We run the standard worklist fixpoint: ``A`` terminates
+    once its content model accepts some word over already-terminating types.
+    Acceptance of "some word over a subset S" is tested on the Glushkov
+    automaton restricted to S-labelled states.
+    """
+    terminating: set[str] = set()
+    pending = deque(dtd.element_types)
+    changed = True
+    while changed:
+        changed = False
+        for element_type in list(pending):
+            production = dtd.production(element_type)
+            if _accepts_word_over(production, terminating):
+                terminating.add(element_type)
+                pending.remove(element_type)
+                changed = True
+    return frozenset(terminating)
+
+
+def _accepts_word_over(production: Regex, allowed: set[str]) -> bool:
+    """Does the content model accept some word using only ``allowed``
+    symbols?  (Nullable models accept the empty word regardless.)"""
+    from repro.regex.ops import cached_nfa
+
+    nfa = cached_nfa(production)
+    if nfa.nullable:
+        return True
+    seen: set[int] = set()
+    queue = deque([0])
+    while queue:
+        state = queue.popleft()
+        for succ in nfa.successors(state):
+            if succ in seen:
+                continue
+            symbol = nfa.symbols[succ]
+            if symbol not in allowed:
+                continue
+            if nfa.is_accepting(succ):
+                return True
+            seen.add(succ)
+            queue.append(succ)
+    return False
+
+
+def max_document_depth(dtd: DTD) -> int:
+    """For a nonrecursive DTD, the maximum depth (number of edges from the
+    root to a leaf) of any conforming document; raises ``ValueError`` for
+    recursive DTDs."""
+    return DTDGraph(dtd).longest_acyclic_depth
+
+
+def classify(dtd: DTD) -> dict[str, bool]:
+    """A summary of all Section 6 classification predicates."""
+    return {
+        "normalized": is_normalized(dtd),
+        "disjunction_free": is_disjunction_free(dtd),
+        "nonrecursive": is_nonrecursive(dtd),
+        "no_star": is_no_star(dtd),
+        "all_terminating": terminating_types(dtd) == dtd.element_types,
+    }

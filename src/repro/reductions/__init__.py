@@ -1,0 +1,18 @@
+"""Lower-bound reductions: executable versions of every hardness encoding
+in the paper.
+
+Each encoding function returns an :class:`Encoding` bundling the DTD (or
+``None``), the query, and metadata; each comes with a witness builder that
+turns a yes-certificate of the source problem (satisfying assignment,
+winning strategy, halting run) into a conforming tree satisfying the
+query, so correctness is validated end to end by the ordinary evaluator.
+
+Modules: :mod:`repro.reductions.threesat` (NP-hardness),
+:mod:`repro.reductions.q3sat` (PSPACE-hardness),
+:mod:`repro.reductions.tiling` (EXPTIME-hardness),
+:mod:`repro.reductions.two_register` (undecidability).
+"""
+
+from repro.reductions.base import Encoding
+
+__all__ = ["Encoding"]

@@ -1,0 +1,28 @@
+"""Shared result type for the reduction suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.model import DTD
+from repro.xpath.ast import Path
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """One hardness encoding: the (query, DTD) pair plus provenance.
+
+    ``dtd`` is ``None`` for the DTD-less settings; ``source`` names the
+    theorem; ``fragment`` is the target fragment's ASCII name.
+    """
+
+    query: Path
+    dtd: DTD | None
+    source: str
+    fragment: str
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            "query_size": self.query.size(),
+            "dtd_size": self.dtd.size() if self.dtd is not None else 0,
+        }

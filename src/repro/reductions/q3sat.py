@@ -1,0 +1,417 @@
+"""Q3SAT reductions — the PSPACE-hardness encodings.
+
+* :func:`encode_neg_child` — Proposition 5.1: ``X(↓,[],¬)`` with a
+  per-instance DTD whose ∀-variables use concatenation ``(T, F)`` and
+  ∃-variables disjunction ``(T + F)`` (Figure 3);
+* :func:`encode_fixed_neg_child` — Theorem 6.7(1): fixed DTD
+  ``X → T*, F*`` with quantifiers expressed by qualifiers;
+* :func:`encode_no_dtd_neg_child` — Corollary 6.15(1): the fixed-DTD
+  version with the DTD itself folded into qualifiers;
+* :func:`encode_sibling_neg` — Proposition 7.3(1): ``X(→,[],¬)`` under a
+  nonrecursive no-star DTD (and its DTD-less variant, 7.3(2)).
+
+Every encoding has a strategy-tree builder: given the instance, the full
+assignment tree (all branches required by ∀, chosen branches for ∃ per a
+strategy function) is materialized so the evaluator can confirm
+``T ⊨ (XP(φ), D)`` exactly when the QBF is valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.reductions.base import Encoding
+from repro.regex import ast as rx
+from repro.solvers.qbf import QBF
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.builder import (
+    boolean,
+    exists,
+    label,
+    label_test,
+    q_and,
+    q_not,
+    seq,
+    steps,
+    wildcard,
+)
+
+# Strategy: maps (variable index, partial assignment of earlier vars) to a bool
+Strategy = Callable[[int, dict[int, bool]], bool]
+
+
+# ---------------------------------------------------------------------------
+# Proposition 5.1
+# ---------------------------------------------------------------------------
+
+def _dtd_5_1(qbf: QBF) -> DTD:
+    productions: dict[str, rx.Regex] = {"r": rx.sym("X1")}
+    m = qbf.n_vars
+    for i in range(1, m + 1):
+        t_name, f_name = f"T{i}", f"F{i}"
+        if qbf.quantifiers[i - 1] == "A":
+            productions[f"X{i}"] = rx.concat(rx.sym(t_name), rx.sym(f_name))
+        else:
+            productions[f"X{i}"] = rx.union(rx.sym(t_name), rx.sym(f_name))
+        if i < m:
+            productions[t_name] = rx.sym(f"X{i + 1}")
+            productions[f_name] = rx.sym(f"X{i + 1}")
+        else:
+            productions[t_name] = rx.Epsilon()
+            productions[f_name] = rx.Epsilon()
+    return DTD(root="r", productions=productions)
+
+
+def _unique_literals(clause: tuple[int, ...]) -> list[int] | None:
+    """Deduplicate a clause's literals by variable; ``None`` for
+    tautological clauses (x ∨ ¬x), whose negation is unsatisfiable."""
+    by_var: dict[int, int] = {}
+    for literal in clause:
+        existing = by_var.get(abs(literal))
+        if existing is None:
+            by_var[abs(literal)] = literal
+        elif existing != literal:
+            return None
+    return [by_var[v] for v in sorted(by_var)]
+
+
+def encode_neg_child(qbf: QBF) -> Encoding:
+    """Proposition 5.1: ``XP(φ) = ε[¬XP(C1) ∧ ... ∧ ¬XP(Cn)]`` where
+    ``XP(Ci)`` navigates to the assignment falsifying clause ``Ci``."""
+    conjuncts = []
+    for clause in qbf.matrix.clauses:
+        literals = _unique_literals(clause)
+        if literals is None:
+            continue  # tautological clause: nothing to forbid
+        conjuncts.append(q_not(exists(_clause_path_5_1(tuple(literals)))))
+    if not conjuncts:
+        conjuncts = [exists(ast.Empty())]
+    query = boolean(q_and(*conjuncts))
+    return Encoding(query, _dtd_5_1(qbf), "Prop 5.1", "X(child,qual,neg)")
+
+
+def _clause_path_5_1(clause: tuple[int, ...]) -> ast.Path:
+    """``XP(Ci)``: the downward path hitting the *negation* of each literal
+    (sorted by variable)."""
+    literals = sorted(clause, key=abs)
+    pieces: list[ast.Path] = []
+    previous = 0
+    for literal in literals:
+        variable = abs(literal)
+        gap = 2 * (variable - previous) - 2 if previous else 2 * variable - 2
+        pieces.append(steps(wildcard(), gap))
+        pieces.append(label(f"X{variable}"))
+        # Z = F if x appears positively, T if negatively
+        pieces.append(label(f"F{variable}" if literal > 0 else f"T{variable}"))
+        previous = variable
+    return seq(*pieces)
+
+
+def strategy_tree_5_1(qbf: QBF, strategy: Strategy) -> XMLTree:
+    """The assignment tree of Figure 3: both branches under ∀ variables,
+    the strategy's branch under ∃ variables."""
+
+    def build_x(i: int, assignment: dict[int, bool]) -> Node:
+        x_node = Node(f"X{i}")
+        if qbf.quantifiers[i - 1] == "A":
+            choices = [True, False]
+        else:
+            choices = [strategy(i, dict(assignment))]
+        for value in choices:
+            branch = x_node.append(Node(f"T{i}" if value else f"F{i}"))
+            if i < qbf.n_vars:
+                assignment[i] = value
+                branch.append(build_x(i + 1, assignment))
+                del assignment[i]
+        # ∀ nodes must carry both children in (T, F) order
+        if qbf.quantifiers[i - 1] == "A" and x_node.child_labels()[0] != f"T{i}":
+            x_node.children.reverse()
+        return x_node
+
+    root = Node("r")
+    root.append(build_x(1, {}))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.7(1): fixed DTD
+# ---------------------------------------------------------------------------
+
+_FIXED_671_DTD = """
+root r
+r -> X
+X -> T*, F*
+T -> X
+F -> X
+"""
+
+
+def fixed_671_dtd() -> DTD:
+    return parse_dtd(_FIXED_671_DTD)
+
+
+def encode_fixed_neg_child(qbf: QBF, with_dtd: bool = True) -> Encoding:
+    """Theorem 6.7(1) / Corollary 6.15(1): variables live at
+    ``↓^{2(i-1)}/X``; quantifier qualifiers force both/either truth child.
+
+    With ``with_dtd=False`` the DTD's productions are themselves encoded as
+    qualifiers (Corollary 6.15(1)) and the query is satisfiable over
+    unconstrained trees iff the QBF is valid.
+    """
+    m = qbf.n_vars
+    parts: list[ast.Qualifier] = []
+    for i in range(1, m + 1):
+        prefix = steps(wildcard(), 2 * (i - 1))
+        x_path = seq(prefix, label("X"))
+        if qbf.quantifiers[i - 1] == "A":
+            parts.append(
+                q_not(exists(ast.Filter(x_path, q_not(q_and(exists(label("T")), exists(label("F")))))))
+            )
+        else:
+            parts.append(
+                q_not(exists(ast.Filter(x_path, q_and(exists(label("T")), exists(label("F"))))))
+            )
+            parts.append(
+                q_not(
+                    exists(
+                        ast.Filter(
+                            x_path,
+                            q_and(
+                                q_not(exists(label("T"))),
+                                q_not(exists(label("F"))),
+                            ),
+                        )
+                    )
+                )
+            )
+    for clause in qbf.matrix.clauses:
+        literals = _unique_literals(clause)
+        if literals is None:
+            continue
+        parts.append(q_not(exists(_clause_path_671(tuple(literals)))))
+    if not with_dtd:
+        parts.extend(_dtd_as_qualifiers_671(m))
+    query = boolean(q_and(*parts))
+    dtd = fixed_671_dtd() if with_dtd else None
+    source = "Thm 6.7(1)" if with_dtd else "Cor 6.15(1)"
+    return Encoding(query, dtd, source, "X(child,qual,neg)")
+
+
+def _clause_path_671(clause: tuple[int, ...]) -> ast.Path:
+    literals = sorted(clause, key=abs)
+    pieces: list[ast.Path] = []
+    previous = 0
+    for literal in literals:
+        variable = abs(literal)
+        gap = (
+            2 * (variable - previous) - 2 if previous else 2 * (variable - 1)
+        )
+        pieces.append(steps(wildcard(), gap))
+        pieces.append(label("X"))
+        pieces.append(label("F" if literal > 0 else "T"))
+        previous = variable
+    return seq(*pieces)
+
+
+def _dtd_as_qualifiers_671(m: int) -> list[ast.Qualifier]:
+    """Corollary 6.15(1): encode the fixed DTD's productions as qualifiers
+    down to the depth the query inspects."""
+    parts: list[ast.Qualifier] = [exists(label("X"))]  # r -> X
+    for i in range(1, m + 1):
+        # each T/F at depth 2i-1 has an X child (T -> X, F -> X)
+        if i < m:
+            t_path = seq(steps(wildcard(), 2 * i - 1))
+            parts.append(q_not(exists(ast.Filter(t_path, q_and(_is_tf(), q_not(exists(label("X"))))))))
+    return parts
+
+
+def _is_tf() -> ast.Qualifier:
+    return ast.Or(label_test("T"), label_test("F"))
+
+
+def strategy_tree_671(qbf: QBF, strategy: Strategy) -> XMLTree:
+    """Strategy tree under the fixed DTD of Theorem 6.7(1).
+
+    ``T → X`` and ``F → X`` force a continuation ``X`` below every truth
+    node, so the last level carries childless ``X`` leaves (``T*, F*``
+    accepts the empty word)."""
+
+    def build_x(i: int, assignment: dict[int, bool]) -> Node:
+        x_node = Node("X")
+        if i > qbf.n_vars:
+            return x_node  # trailing leaf X
+        if qbf.quantifiers[i - 1] == "A":
+            choices = [True, False]
+        else:
+            choices = [strategy(i, dict(assignment))]
+        for value in sorted(choices, reverse=True):  # T children first
+            branch = x_node.append(Node("T" if value else "F"))
+            assignment[i] = value
+            branch.append(build_x(i + 1, assignment))
+            del assignment[i]
+        return x_node
+
+    root = Node("r")
+    root.append(build_x(1, {}))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 7.3: sibling axis, nonrecursive no-star DTD (and no DTD)
+# ---------------------------------------------------------------------------
+
+def _dtd_7_3(qbf: QBF) -> DTD:
+    m = qbf.n_vars
+    productions: dict[str, rx.Regex] = {
+        "r": rx.concat(rx.sym("S"), *[rx.sym("X") for _ in range(m)]),
+        "X": rx.concat(
+            rx.sym("S"),
+            rx.Optional(rx.sym("T")),
+            rx.Optional(rx.sym("F")),
+        ),
+        "T": rx.Epsilon(),
+        "F": rx.Epsilon(),
+        "S": rx.Epsilon(),
+    }
+    return DTD(root="r", productions=productions)
+
+
+def encode_sibling_neg(qbf: QBF, with_dtd: bool = True) -> Encoding:
+    """Proposition 7.3: the i-th ``X`` child of the root encodes ``x_i``;
+    sibling moves from the ``S`` anchor select variables, and qualifiers on
+    each ``X``'s children (an ``S`` anchor plus optional ``T``/``F``)
+    encode the quantifiers; clause paths are navigated with ``→``.
+
+    Note: the paper's production ``X → S,(T+ε),(F+ε)`` is realized with
+    ``?`` (equivalently ``+ ε``); the DTD is nonrecursive and star-free.
+    """
+    m = qbf.n_vars
+    parts: list[ast.Qualifier] = []
+    for i in range(1, m + 1):
+        x_i = seq(label("S"), steps(ast.RightSib(), i))
+        inner_t = seq(label("S"), ast.RightSib())
+        inner_tf = seq(label("S"), ast.RightSib(), ast.RightSib())
+        if qbf.quantifiers[i - 1] == "A":
+            # both T and F present: S has two right siblings
+            parts.append(exists(ast.Filter(x_i, exists(inner_tf))))
+        else:
+            # exactly one of T/F: one sibling, not two
+            parts.append(exists(ast.Filter(x_i, q_and(exists(inner_t), q_not(exists(inner_tf))))))
+    for clause in qbf.matrix.clauses:
+        literals = _unique_literals(clause)
+        if literals is None:
+            continue
+        checks = []
+        for literal in literals:
+            variable = abs(literal)
+            x_i = seq(label("S"), steps(ast.RightSib(), variable))
+            want = "F" if literal > 0 else "T"
+            checks.append(exists(ast.Filter(x_i, exists(label(want)))))
+        parts.append(q_not(q_and(*checks)))
+    if not with_dtd:
+        parts = _structure_qualifiers_7_3(m) + parts
+    query = boolean(q_and(*parts))
+    dtd = _dtd_7_3(qbf) if with_dtd else None
+    source = "Prop 7.3(1)" if with_dtd else "Prop 7.3(2)"
+    return Encoding(query, dtd, source, "X(rs,qual,neg)")
+
+
+def _structure_qualifiers_7_3(m: int) -> list[ast.Qualifier]:
+    """Proposition 7.3(2): fold the DTD's structure into qualifiers — the
+    root has an ``S`` anchor whose ``m`` right siblings are ``X`` elements
+    (and nothing further); each ``X`` has an ``S`` anchor followed by at
+    most a ``T`` and an ``F`` sibling in that order."""
+    parts: list[ast.Qualifier] = []
+    anchor = label("S")
+    parts.append(exists(anchor))
+    for i in range(1, m + 1):
+        parts.append(
+            q_not(
+                exists(
+                    ast.Filter(
+                        seq(anchor, steps(ast.RightSib(), i)),
+                        q_not(label_test("X")),
+                    )
+                )
+            )
+        )
+    parts.append(q_not(exists(seq(anchor, steps(ast.RightSib(), m + 1)))))
+    for i in range(1, m + 1):
+        x_i = seq(anchor, steps(ast.RightSib(), i))
+        inner = label("S")
+        parts.append(q_not(exists(ast.Filter(x_i, q_not(exists(inner))))))
+        # at most two siblings after the inner anchor
+        parts.append(
+            q_not(exists(ast.Filter(x_i, exists(seq(inner, steps(ast.RightSib(), 3))))))
+        )
+        # the first sibling (if any) is T or F; a first F admits no second
+        parts.append(
+            q_not(
+                exists(
+                    ast.Filter(
+                        x_i,
+                        exists(
+                            ast.Filter(
+                                seq(inner, ast.RightSib()),
+                                q_and(q_not(label_test("T")), q_not(label_test("F"))),
+                            )
+                        ),
+                    )
+                )
+            )
+        )
+        parts.append(
+            q_not(
+                exists(
+                    ast.Filter(
+                        x_i,
+                        exists(
+                            seq(
+                                ast.Filter(seq(inner, ast.RightSib()), label_test("F")),
+                                ast.RightSib(),
+                            )
+                        ),
+                    )
+                )
+            )
+        )
+        # a second sibling must be F
+        parts.append(
+            q_not(
+                exists(
+                    ast.Filter(
+                        x_i,
+                        exists(
+                            ast.Filter(
+                                seq(inner, ast.RightSib(), ast.RightSib()),
+                                q_not(label_test("F")),
+                            )
+                        ),
+                    )
+                )
+            )
+        )
+    return parts
+
+
+def assignment_tree_7_3(qbf: QBF, assignment: dict[int, bool],
+                        force_both: set[int] | None = None) -> XMLTree:
+    """A flat tree for Proposition 7.3: ``force_both`` lists the variables
+    carrying both truth children (the ∀ variables)."""
+    force_both = force_both or set()
+    root = Node("r")
+    root.append(Node("S"))
+    for i in range(1, qbf.n_vars + 1):
+        x_node = root.append(Node("X"))
+        x_node.append(Node("S"))
+        if i in force_both:
+            x_node.append(Node("T"))
+            x_node.append(Node("F"))
+        elif assignment[i]:
+            x_node.append(Node("T"))
+        else:
+            x_node.append(Node("F"))
+    return XMLTree(root)

@@ -1,0 +1,594 @@
+"""3SAT reductions — the NP-hardness encodings.
+
+===========================  =====================  ======================
+function                     fragment               paper result
+===========================  =====================  ======================
+:func:`encode_child_qual`    ``X(↓,[])``            Proposition 4.2(1)
+:func:`encode_union_qual`    ``X(∪,[])``            Proposition 4.2(2)
+:func:`encode_child_up`      ``X(↓,↑)``             Proposition 4.3
+:func:`encode_fixed_union`   ``X(∪,[])``, fixed     Theorem 6.6(1)
+:func:`encode_fixed_child`   ``X(↓,[])``, fixed     Theorem 6.6(2)
+:func:`encode_fixed_up`      ``X(↓,↑)``, fixed      Theorem 6.6(3)
+:func:`encode_df_union_data` ``X(∪,[],=)``, d-free  Theorem 6.9(1)
+:func:`encode_df_child_data` ``X(↓,[],=)``, d-free  Theorem 6.9(2)
+:func:`encode_df_upward`     ``X(↓,↑,∪,[])``,
+                             fixed + d-free         Theorem 6.9(3)
+:func:`encode_sibling`       ``X(→,[])``, fixed,
+                             d-free, nonrecursive   Proposition 7.2
+===========================  =====================  ======================
+
+Every ``encode_*`` has a ``witness_*`` companion turning a satisfying
+assignment into a conforming tree on which the evaluator confirms the
+query — the two directions of "φ satisfiable ⟺ (XP(φ), D) satisfiable".
+The DTD-less corollaries (6.14) reuse the queries with ``dtd=None``.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.reductions.base import Encoding
+from repro.regex import ast as rx
+from repro.solvers.dpll import CNF
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.builder import (
+    attr_eq,
+    boolean,
+    exists,
+    label,
+    label_test,
+    q_and,
+    q_or,
+    seq,
+    steps,
+    wildcard,
+)
+from repro.xpath.rewrite import qualifiers_to_upward
+
+Assignment = dict[int, bool]
+
+
+def _clause_names(cnf: CNF) -> list[str]:
+    return [f"C{i}" for i in range(1, len(cnf.clauses) + 1)]
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.2(1): X(↓,[])
+# ---------------------------------------------------------------------------
+
+def _dtd_4_2_1(cnf: CNF) -> DTD:
+    productions: dict[str, rx.Regex] = {}
+    variable_names = [f"X{j}" for j in range(1, cnf.n_vars + 1)]
+    productions["r"] = rx.concat(*[rx.sym(name) for name in variable_names])
+    for j in range(1, cnf.n_vars + 1):
+        productions[f"X{j}"] = rx.union(rx.sym(f"T{j}"), rx.sym(f"F{j}"))
+        pos_clauses = [
+            f"C{i}" for i, clause in enumerate(cnf.clauses, start=1) if j in clause
+        ]
+        neg_clauses = [
+            f"C{i}" for i, clause in enumerate(cnf.clauses, start=1) if -j in clause
+        ]
+        productions[f"T{j}"] = (
+            rx.concat(*[rx.sym(c) for c in pos_clauses]) if pos_clauses else rx.Epsilon()
+        )
+        productions[f"F{j}"] = (
+            rx.concat(*[rx.sym(c) for c in neg_clauses]) if neg_clauses else rx.Epsilon()
+        )
+    for name in _clause_names(cnf):
+        productions[name] = rx.Epsilon()
+    return DTD(root="r", productions=productions)
+
+
+def encode_child_qual(cnf: CNF) -> Encoding:
+    """Proposition 4.2(1): ``XP(φ) = ε[↓/↓/C1 ∧ ... ∧ ↓/↓/Cn]``."""
+    dtd = _dtd_4_2_1(cnf)
+    conjuncts = [
+        exists(seq(wildcard(), wildcard(), label(name))) for name in _clause_names(cnf)
+    ]
+    query = boolean(q_and(*conjuncts))
+    return Encoding(query, dtd, "Prop 4.2(1)", "X(child,qual)")
+
+
+def witness_child_qual(cnf: CNF, assignment: Assignment) -> XMLTree:
+    root = Node("r")
+    for j in range(1, cnf.n_vars + 1):
+        x_node = root.append(Node(f"X{j}"))
+        truth = assignment[j]
+        branch = x_node.append(Node(f"T{j}" if truth else f"F{j}"))
+        for i, clause in enumerate(cnf.clauses, start=1):
+            literal = j if truth else -j
+            if literal in clause:
+                branch.append(Node(f"C{i}"))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.3: X(↓,↑) — same DTD, navigation query
+# ---------------------------------------------------------------------------
+
+def encode_child_up(cnf: CNF) -> Encoding:
+    """Proposition 4.3: ``XP(φ) = ↓²/C1/↑³/↓²/C2/↑³/.../↓²/Cn``."""
+    dtd = _dtd_4_2_1(cnf)
+    pieces: list[ast.Path] = []
+    names = _clause_names(cnf)
+    for index, name in enumerate(names):
+        pieces.extend([wildcard(), wildcard(), label(name)])
+        if index + 1 < len(names):
+            pieces.extend([ast.Parent(), ast.Parent(), ast.Parent()])
+    query = seq(*pieces)
+    return Encoding(query, dtd, "Prop 4.3", "X(child,parent)")
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.2(2) and Theorem 6.6(1): X(∪,[]) under the (fixed) chain DTD
+# ---------------------------------------------------------------------------
+
+_FIXED_CHAIN_DTD = """
+root r
+r -> X
+X -> (X + eps), (T + F)
+T -> eps
+F -> eps
+"""
+
+
+def fixed_chain_dtd() -> DTD:
+    return parse_dtd(_FIXED_CHAIN_DTD)
+
+
+def encode_union_qual(cnf: CNF, fixed: bool = False) -> Encoding:
+    """Propositions 4.2(2) / Theorem 6.6(1): clauses become unions of chain
+    probes ``X^i/T`` / ``X^i/F``."""
+    dtd = fixed_chain_dtd()
+    conjuncts = []
+    for clause in cnf.clauses:
+        options = []
+        for literal in clause:
+            chain = steps("X", abs(literal))
+            leaf = label("T") if literal > 0 else label("F")
+            options.append(exists(seq(chain, leaf)))
+        conjuncts.append(q_or(*options))
+    query = boolean(q_and(*conjuncts))
+    source = "Thm 6.6(1)" if fixed else "Prop 4.2(2)"
+    return Encoding(query, dtd, source, "X(union,qual)")
+
+
+def witness_union_qual(cnf: CNF, assignment: Assignment) -> XMLTree:
+    """The X chain of Figure 1 (right); the content model ``(X+ε),(T+F)``
+    puts the continuation X *before* the truth-value child."""
+    deepest: Node | None = None
+    for j in range(cnf.n_vars, 0, -1):
+        node = Node("X")
+        if deepest is not None:
+            node.append(deepest)
+        node.append(Node("T" if assignment[j] else "F"))
+        deepest = node
+    root = Node("r")
+    assert deepest is not None
+    root.append(deepest)
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.6(2): X(↓,[]) under a fixed DTD
+# ---------------------------------------------------------------------------
+
+_FIXED_662_DTD = """
+root r
+r  -> X + Ex
+X  -> L, (X + Ex)
+L  -> L + (T, F)
+C  -> (TC + FC), (C + Ec)
+T  -> C
+F  -> C
+Ex -> eps
+Ec -> eps
+TC -> eps
+FC -> eps
+"""
+
+
+def fixed_662_dtd() -> DTD:
+    return parse_dtd(_FIXED_662_DTD)
+
+
+def encode_fixed_child(cnf: CNF) -> Encoding:
+    """Theorem 6.6(2): the fixed-DTD ``X(↓,[])`` encoding (Figure 6)."""
+    m, n = cnf.n_vars, len(cnf.clauses)
+    # qv: the X chain has exactly m elements
+    qv = exists(seq(steps("X", m), label("Ex")))
+    # qc: clause/literal wiring on both truth branches
+    qc_parts = []
+    for i, clause in enumerate(cnf.clauses, start=1):
+        for j in range(1, m + 1):
+            l_chain = steps("L", m - j + 1)
+            tmark = label("TC") if j in clause else label("FC")
+            fmark = label("TC") if -j in clause else label("FC")
+            qc_parts.append(
+                exists(seq(steps("X", j), l_chain, label("T"), steps("C", i), tmark))
+            )
+            qc_parts.append(
+                exists(seq(steps("X", j), l_chain, label("F"), steps("C", i), fmark))
+            )
+    # qa: exactly one branch per variable carries the n-chain
+    qa_parts = []
+    for j in range(1, m + 1):
+        l_chain = steps("L", m - j + 1)
+        qa_parts.append(
+            exists(
+                ast.Filter(
+                    steps("X", j),
+                    q_and(
+                        exists(seq(l_chain, wildcard(), steps("C", n), label("Ec"))),
+                        exists(seq(l_chain, wildcard(), steps("C", n + 1), label("Ec"))),
+                    ),
+                )
+            )
+        )
+    # qφ: every clause is true on some exactly-n chain
+    qphi_parts = []
+    for i in range(1, n + 1):
+        qphi_parts.append(
+            exists(
+                seq(
+                    steps(wildcard(), m),
+                    label("L"),
+                    wildcard(),
+                    ast.Filter(
+                        steps("C", i),
+                        q_and(
+                            exists(label("TC")),
+                            exists(seq(steps("C", n - i), label("Ec"))),
+                        ),
+                    ),
+                )
+            )
+        )
+    query = boolean(q_and(qv, *qc_parts, *qa_parts, *qphi_parts))
+    return Encoding(query, fixed_662_dtd(), "Thm 6.6(2)", "X(child,qual)")
+
+
+def witness_fixed_child(cnf: CNF, assignment: Assignment) -> XMLTree:
+    """Figure 6's tree for a satisfying assignment: under variable ``Xj``
+    the L-chain of length ``m-j+1`` ends in (T, F); the *true* branch
+    carries exactly ``n`` C's, the false branch ``n+1``; clause markers
+    (TC/FC) follow the literal wiring."""
+    m, n = cnf.n_vars, len(cnf.clauses)
+    root = Node("r")
+    x_parent = root
+    for j in range(1, m + 1):
+        x_node = x_parent.append(Node("X"))
+        l_node = x_node
+        for _ in range(m - j + 1):
+            l_node = l_node.append(Node("L"))
+        for branch_label, truth_value in (("T", True), ("F", False)):
+            branch = l_node.append(Node(branch_label))
+            matches_assignment = assignment[j] == truth_value
+            chain_length = n if matches_assignment else n + 1
+            c_node: Node | None = None
+            for i in range(1, chain_length + 1):
+                c_node = (c_node or branch).append(Node("C"))
+                if i <= n:
+                    literal = j if truth_value else -j
+                    marker = "TC" if literal in cnf.clauses[i - 1] else "FC"
+                else:
+                    marker = "FC"
+                c_node.append(Node(marker))
+            assert c_node is not None
+            c_node.append(Node("Ec"))
+        x_parent = x_node
+    x_parent.append(Node("Ex"))
+    return XMLTree(root)
+
+
+def encode_fixed_up(cnf: CNF) -> Encoding:
+    """Theorem 6.6(3): rewrite the Theorem 6.6(2) query into ``X(↓,↑)``
+    (the query is label-test-free, so the Benedikt et al. rewriting
+    applies)."""
+    base = encode_fixed_child(cnf)
+    query = qualifiers_to_upward(base.query)
+    return Encoding(query, base.dtd, "Thm 6.6(3)", "X(child,parent)")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.9(1): X(∪,[],=) under a disjunction-free DTD
+# ---------------------------------------------------------------------------
+
+def encode_df_union_data(cnf: CNF, with_dtd: bool = True) -> Encoding:
+    """Theorem 6.9(1) (and Corollary 6.14(1) with ``with_dtd=False``):
+    variables become attributes ``@x_j`` of a single ``X`` element."""
+    attrs = [f"x{j}" for j in range(1, cnf.n_vars + 1)]
+    dtd = None
+    if with_dtd:
+        dtd = DTD(
+            root="r",
+            productions={"r": rx.sym("X"), "X": rx.Epsilon()},
+            attributes={"X": frozenset(attrs)},
+        )
+    truth_consistency = [
+        q_or(
+            attr_eq(ast.Empty(), attr, "1"),
+            attr_eq(ast.Empty(), attr, "0"),
+        )
+        for attr in attrs
+    ]
+    clause_parts = []
+    for clause in cnf.clauses:
+        options = [
+            attr_eq(ast.Empty(), f"x{abs(literal)}", "1" if literal > 0 else "0")
+            for literal in clause
+        ]
+        clause_parts.append(q_or(*options))
+    query = ast.Filter(label("X"), q_and(*truth_consistency, *clause_parts))
+    source = "Thm 6.9(1)" if with_dtd else "Cor 6.14(1)"
+    return Encoding(query, dtd, source, "X(union,qual,data)")
+
+
+def witness_df_union_data(cnf: CNF, assignment: Assignment) -> XMLTree:
+    attrs = {
+        f"x{j}": "1" if assignment[j] else "0" for j in range(1, cnf.n_vars + 1)
+    }
+    root = Node("r")
+    root.append(Node("X", attrs=attrs))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.9(2): X(↓,[],=) under a disjunction-free DTD (Figure 8)
+# ---------------------------------------------------------------------------
+
+def _dtd_6_9_2(cnf: CNF) -> DTD:
+    m, n = cnf.n_vars, len(cnf.clauses)
+    productions: dict[str, rx.Regex] = {}
+    attributes: dict[str, frozenset[str]] = {}
+    clause_names = [f"C{i}" for i in range(1, n + 1)]
+    var_names = [f"L{j}" for j in range(1, m + 1)]
+    productions["r"] = rx.concat(*[rx.sym(c) for c in clause_names + var_names])
+    for name in clause_names:
+        productions[name] = rx.concat(rx.sym("Lp1"), rx.sym("Lp2"), rx.sym("Lp3"))
+    for name in var_names:
+        productions[name] = rx.concat(rx.sym("X"), rx.sym("Xbar"))
+    for name in ("Lp1", "Lp2", "Lp3", "X", "Xbar"):
+        productions[name] = rx.Epsilon()
+        attributes[name] = frozenset({"v"})
+    return DTD(root="r", productions=productions, attributes=attributes)
+
+
+def encode_df_child_data(cnf: CNF) -> Encoding:
+    """Theorem 6.9(2): clause literals (``Lp`` leaves) joined to variable
+    truth values (``X``/``Xbar`` leaves) by data equality."""
+    dtd = _dtd_6_9_2(cnf)
+    parts: list[ast.Qualifier] = []
+    # truth assignment: each variable block has one 1-child and one 0-child
+    for j in range(1, cnf.n_vars + 1):
+        parts.append(
+            exists(
+                ast.Filter(
+                    label(f"L{j}"),
+                    q_and(
+                        attr_eq(wildcard(), "v", "1"),
+                        attr_eq(wildcard(), "v", "0"),
+                    ),
+                )
+            )
+        )
+    # consistency: literal leaves equal their variable's value
+    for i, clause in enumerate(cnf.clauses, start=1):
+        for s, literal in enumerate(clause, start=1):
+            variable_leaf = "X" if literal > 0 else "Xbar"
+            parts.append(
+                ast.AttrAttrCmp(
+                    seq(label(f"C{i}"), label(f"Lp{s}")),
+                    "v",
+                    "=",
+                    seq(label(f"L{abs(literal)}"), label(variable_leaf)),
+                    "v",
+                )
+            )
+    # clauses: some literal of each clause is true
+    for i in range(1, len(cnf.clauses) + 1):
+        parts.append(attr_eq(seq(label(f"C{i}"), wildcard()), "v", "1"))
+    query = boolean(q_and(*parts))
+    return Encoding(query, dtd, "Thm 6.9(2)", "X(child,qual,data)")
+
+
+def witness_df_child_data(cnf: CNF, assignment: Assignment) -> XMLTree:
+    root = Node("r")
+    for i, clause in enumerate(cnf.clauses, start=1):
+        c_node = root.append(Node(f"C{i}"))
+        for s, literal in enumerate(clause, start=1):
+            value = assignment[abs(literal)] if literal > 0 else not assignment[abs(literal)]
+            c_node.append(Node(f"Lp{s}", attrs={"v": "1" if value else "0"}))
+    for j in range(1, cnf.n_vars + 1):
+        l_node = root.append(Node(f"L{j}"))
+        l_node.append(Node("X", attrs={"v": "1" if assignment[j] else "0"}))
+        l_node.append(Node("Xbar", attrs={"v": "0" if assignment[j] else "1"}))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.9(3): X(↓,↑,∪,[]) under a fixed, disjunction-free DTD
+# ---------------------------------------------------------------------------
+
+_FIXED_693_DTD = """
+root r
+r -> T*, F*
+T -> T*, F*
+F -> T*, F*
+"""
+
+
+def fixed_693_dtd() -> DTD:
+    return parse_dtd(_FIXED_693_DTD)
+
+
+def encode_df_upward(cnf: CNF, with_dtd: bool = True) -> Encoding:
+    """Theorem 6.9(3) / Corollary 6.14(2): a depth-``m+1`` chain of T/F
+    nodes encodes the assignment; clauses check labels via ``↑``."""
+    m = cnf.n_vars
+    clause_quals = []
+    for clause in cnf.clauses:
+        options = []
+        for literal in clause:
+            j = abs(literal)
+            up = steps(ast.Parent(), m - j)
+            want = "T" if literal > 0 else "F"
+            options.append(exists(ast.Filter(up, label_test(want))))
+        clause_quals.append(q_or(*options))
+    query = boolean(
+        exists(ast.Filter(steps(wildcard(), m + 1), q_and(*clause_quals)))
+    )
+    dtd = fixed_693_dtd() if with_dtd else None
+    source = "Thm 6.9(3)" if with_dtd else "Cor 6.14(2)"
+    return Encoding(query, dtd, source, "X(child,parent,union,qual)")
+
+
+def witness_df_upward(cnf: CNF, assignment: Assignment) -> XMLTree:
+    """Chain of depth ``m+1``: a padding node at depth 1, then the nodes
+    encoding ``x1..xm`` at depths ``2..m+1`` (the query's ``↑^{m-j}`` from
+    the depth-``m+1`` node lands at depth ``j+1``)."""
+    root = Node("r")
+    current = root.append(Node("T"))  # padding at depth 1
+    for j in range(1, cnf.n_vars + 1):
+        current = current.append(Node("T" if assignment[j] else "F"))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 7.2: X(→,[]) under a fixed, disjunction-free, nonrecursive DTD
+# ---------------------------------------------------------------------------
+
+_FIXED_72_DTD = """
+root r
+r -> S0, (S, X)*, S0
+X -> S, L, L, S
+L -> S, C*, S
+C -> S, T*, S
+S0 -> eps
+S -> eps
+T -> eps
+"""
+
+
+def fixed_sibling_dtd() -> DTD:
+    return parse_dtd(_FIXED_72_DTD)
+
+
+def _right(count: int) -> ast.Path:
+    return steps(ast.RightSib(), count)
+
+
+def encode_sibling(cnf: CNF) -> Encoding:
+    """Proposition 7.2 (Figure 9): positions along sibling lists encode
+    variables, C-list lengths encode truth values."""
+    m, n = cnf.n_vars, len(cnf.clauses)
+
+    def x_j(j: int) -> ast.Path:
+        return seq(label("S0"), _right(2 * j))
+
+    parts: list[ast.Qualifier] = []
+    # qv: exactly m (S, X) pairs
+    parts.append(
+        exists(ast.Filter(seq(label("S0"), _right(2 * m), ast.RightSib()), label_test("S0")))
+    )
+    # qc: clause/literal wiring on both branches
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            in_pos = j in cnf.clauses[i - 1]
+            in_neg = -j in cnf.clauses[i - 1]
+            true_mark = "T" if in_pos else "S"
+            false_mark = "T" if in_neg else "S"
+            parts.append(
+                exists(
+                    ast.Filter(
+                        seq(x_j(j), label("S"), ast.RightSib(), label("S"),
+                            _right(i), label("S"), ast.RightSib()),
+                        label_test(true_mark),
+                    )
+                )
+            )
+            parts.append(
+                exists(
+                    ast.Filter(
+                        seq(x_j(j), label("S"), ast.RightSib(), ast.RightSib(),
+                            label("S"), _right(i), label("S"), ast.RightSib()),
+                        label_test(false_mark),
+                    )
+                )
+            )
+    # qa: one branch has exactly n C's, the other exactly n+1
+    for j in range(1, m + 1):
+        parts.append(
+            exists(
+                ast.Filter(
+                    x_j(j),
+                    q_and(
+                        exists(
+                            ast.Filter(
+                                seq(label("L"), label("S"), _right(n + 1)),
+                                label_test("S"),
+                            )
+                        ),
+                        exists(
+                            ast.Filter(
+                                seq(label("L"), label("S"), _right(n + 2)),
+                                label_test("S"),
+                            )
+                        ),
+                    ),
+                )
+            )
+        )
+    # qφ: every clause is marked on some exactly-n branch
+    for i in range(1, n + 1):
+        parts.append(
+            exists(
+                seq(
+                    label("X"),
+                    ast.Filter(
+                        label("L"),
+                        exists(
+                            ast.Filter(seq(label("S"), _right(n + 1)), label_test("S"))
+                        ),
+                    ),
+                    ast.Filter(
+                        seq(label("S"), _right(i), label("S"), ast.RightSib()),
+                        label_test("T"),
+                    ),
+                )
+            )
+        )
+    query = boolean(q_and(*parts))
+    return Encoding(query, fixed_sibling_dtd(), "Prop 7.2", "X(rs,qual)")
+
+
+def witness_sibling(cnf: CNF, assignment: Assignment) -> XMLTree:
+    """Figure 9's tree: each X block has a true branch (first L) and a false
+    branch (second L); the branch matching the assignment carries ``n``
+    C's, the other ``n+1``; C_i gets a T child iff the branch's literal
+    satisfies clause i."""
+    m, n = cnf.n_vars, len(cnf.clauses)
+    root = Node("r")
+    root.append(Node("S0"))
+    for j in range(1, m + 1):
+        root.append(Node("S"))
+        x_node = root.append(Node("X"))
+        x_node.append(Node("S"))
+        for branch_truth in (True, False):
+            l_node = x_node.append(Node("L"))
+            l_node.append(Node("S"))
+            matches = assignment[j] == branch_truth
+            count = n if matches else n + 1
+            for i in range(1, count + 1):
+                c_node = l_node.append(Node("C"))
+                c_node.append(Node("S"))
+                if i <= n:
+                    literal = j if branch_truth else -j
+                    if literal in cnf.clauses[i - 1]:
+                        c_node.append(Node("T"))
+                c_node.append(Node("S"))
+            l_node.append(Node("S"))
+        x_node.append(Node("S"))
+    root.append(Node("S0"))
+    return XMLTree(root)

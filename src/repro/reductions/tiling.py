@@ -1,0 +1,526 @@
+"""Two-player corridor-tiling reductions — the EXPTIME-hardness encodings
+(Theorem 5.6, Theorem 6.7(2)/(3), Corollaries 6.10(3) and 6.15(3)).
+
+**Snapshot encoding (Theorem 5.6, Figure 5).**  The DTD is the flat
+``r → C*`` with attributes ``@h, @k, @next, @t1..@tn`` on ``C``: each ``C``
+element is a snapshot of the last ``n`` placements; ``@k``/``@next``
+encode a successor relation between snapshots.  Qualifiers in
+``X(↑,[],=,¬)`` express: attribute ranges, key consistency, window shift,
+the initial top row, adjacency constraints, continuation, and Player I's
+obligation to answer every legal Player II move.
+
+Two reading notes against the (OCR-garbled) paper text, recorded for
+transparency:
+
+* ``Qu`` (key) is implemented as ``@k → @h``; extending it to the tile
+  attributes (as one reading of the text suggests) would contradict ``Q∀``,
+  which requires several successor snapshots sharing ``@k = v.@next`` that
+  differ exactly in the newly placed tile.
+* In ``Q∀`` the newly placed tile of the successor snapshot is ``@tn``
+  (the window's newest slot), matching the shift constraint ``Qs``.
+
+**Chain variant (Theorem 6.7(3)).**  The fixed DTD ``r → C*, C → X,
+X → X + ε`` replaces the tile attributes by an ``X``-chain below each
+snapshot: ``X^i/@t`` plays the role of ``@t_i``; the extra ``Qt``
+qualifier forces chains of length ≥ n.
+
+**Game-tree variant (Theorem 6.7(2), Figure 7).**  ``X(↓,↓*,[],¬)`` under
+the fixed DTD with ``Y1``/``Y2`` move nodes and ``C``-chain tile counters.
+
+``Corollary 6.10(3)`` is the observation that the Theorem 5.6 DTD is
+already disjunction-free; ``Corollary 6.15(3)`` drops the DTD by adding
+the attribute-existence guard ``Qatt`` (attribute existence is expressed
+by the self-join ``@a = @a``).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.reductions.base import Encoding
+from repro.regex import ast as rx
+from repro.solvers.tiling_game import TilingSystem
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.builder import (
+    attr_eq,
+    attr_neq,
+    boolean,
+    exists,
+    label,
+    q_and,
+    q_not,
+    q_or,
+    seq,
+    steps,
+)
+
+Attrs = dict[str, str]
+
+
+def _tile_attr(i: int) -> str:
+    return f"t{i}"
+
+
+def snapshot_dtd(width: int) -> DTD:
+    """Theorem 5.6's DTD ``D0`` (disjunction-free — Corollary 6.10(3))."""
+    attrs = frozenset({"h", "k", "next"} | {_tile_attr(i) for i in range(1, width + 1)})
+    return DTD(
+        root="r",
+        productions={"r": rx.star(rx.sym("C")), "C": rx.Epsilon()},
+        attributes={"C": attrs},
+    )
+
+
+def _c_with(qualifier: ast.Qualifier) -> ast.Qualifier:
+    return exists(ast.Filter(label("C"), qualifier))
+
+
+def _k_join(inner: ast.Qualifier) -> ast.Qualifier:
+    """``ε/@next = ↑/C[inner]/@k`` — some snapshot with property ``inner``
+    is this snapshot's successor."""
+    return ast.AttrAttrCmp(
+        ast.Empty(), "next", "=",
+        ast.Filter(seq(ast.Parent(), label("C")), inner), "k",
+    )
+
+
+def encode_snapshot(system: TilingSystem, with_dtd: bool = True) -> Encoding:
+    """Theorem 5.6 (with DTD), Corollary 6.15(3) (without)."""
+    n = system.width
+    tiles = system.tiles
+    e = ast.Empty()
+
+    # Q(h,t): attribute ranges
+    bad_h = q_and(*[attr_neq(e, "h", str(i)) for i in range(1, n + 1)])
+    bad_t = q_or(*[
+        q_and(*[attr_neq(e, _tile_attr(i), tile) for tile in tiles])
+        for i in range(1, n + 1)
+    ])
+    q_ranges = q_not(_c_with(q_or(bad_h, bad_t)))
+
+    # Qu: @k determines @h
+    qu_viol = q_or(*[
+        q_and(attr_eq(e, "h", str(i)), _k_join_same_k(attr_neq(e, "h", str(i))))
+        for i in range(1, n + 1)
+    ])
+    q_key = q_not(_c_with(qu_viol))
+
+    # Qs: successor consistency (position increment and window shift)
+    qs_parts: list[ast.Qualifier] = []
+    qs_parts.append(
+        q_and(attr_eq(e, "h", str(n)), _k_join(attr_neq(e, "h", "1")))
+    )
+    for i in range(1, n):
+        qs_parts.append(
+            q_and(attr_eq(e, "h", str(i)), _k_join(attr_neq(e, "h", str(i + 1))))
+        )
+    for i in range(2, n + 1):
+        for tile in tiles:
+            qs_parts.append(
+                q_and(
+                    attr_eq(e, _tile_attr(i), tile),
+                    _k_join(attr_neq(e, _tile_attr(i - 1), tile)),
+                )
+            )
+    q_succ = q_not(_c_with(q_or(*qs_parts)))
+
+    # Q0: the initial snapshot holds the top row at position n
+    q_init = _c_with(
+        q_and(
+            attr_eq(e, "h", str(n)),
+            *[attr_eq(e, _tile_attr(i), system.top[i - 1]) for i in range(1, n + 1)],
+        )
+    )
+
+    # Qc: adjacency constraints
+    qc_parts: list[ast.Qualifier] = []
+    for x in tiles:  # vertical: (v.t1, v'.tn) ∈ V
+        bad_below = [x2 for x2 in tiles if not system.ok_v(x, x2)]
+        for x2 in bad_below:
+            qc_parts.append(
+                q_and(
+                    attr_eq(e, _tile_attr(1), x),
+                    _k_join(attr_eq(e, _tile_attr(n), x2)),
+                )
+            )
+    for i in range(1, n):  # horizontal within the window, skipping row wraps
+        boundary_h = str(n - i)  # t_{i+1} starts a new row iff @h = n - i
+        for x in tiles:
+            for x2 in tiles:
+                if system.ok_h(x, x2):
+                    continue
+                qc_parts.append(
+                    q_and(
+                        attr_eq(e, _tile_attr(i), x),
+                        attr_eq(e, _tile_attr(i + 1), x2),
+                        attr_neq(e, "h", boundary_h),
+                    )
+                )
+    q_adjacent = q_not(_c_with(q_or(*qc_parts))) if qc_parts else None
+
+    # Qp: play continues unless the bottom row is reached
+    has_successor = ast.AttrAttrCmp(
+        e, "next", "=", seq(ast.Parent(), label("C")), "k"
+    )
+    qp_parts: list[ast.Qualifier] = []
+    for i in range(1, n):
+        qp_parts.append(q_and(attr_eq(e, "h", str(i)), q_not(has_successor)))
+    mismatch = q_or(*[
+        attr_neq(e, _tile_attr(i), system.bottom[i - 1]) for i in range(1, n + 1)
+    ])
+    qp_parts.append(q_and(attr_eq(e, "h", str(n)), mismatch, q_not(has_successor)))
+    q_continue = q_not(_c_with(q_or(*qp_parts)))
+
+    # Q∀: Player I answers every legal Player II tile
+    qa_parts: list[ast.Qualifier] = []
+    odd_positions = [i for i in range(1, n + 1) if i % 2 == 1]
+    for h in odd_positions:
+        for candidate in tiles:
+            h_ok_tiles = [x for x in tiles if system.ok_h(x, candidate)]
+            v_ok_tiles = [x for x in tiles if system.ok_v(x, candidate)]
+            if not v_ok_tiles:
+                continue
+            conditions: list[ast.Qualifier] = [attr_eq(e, "h", str(h))]
+            if h < n:
+                if not h_ok_tiles:
+                    continue
+                conditions.append(
+                    q_or(*[attr_eq(e, _tile_attr(n), x) for x in h_ok_tiles])
+                )
+            conditions.append(
+                q_or(*[attr_eq(e, _tile_attr(1), x) for x in v_ok_tiles])
+            )
+            conditions.append(
+                q_not(_k_join(attr_eq(e, _tile_attr(n), candidate)))
+            )
+            qa_parts.append(q_and(*conditions))
+    q_forall = q_not(_c_with(q_or(*qa_parts))) if qa_parts else None
+
+    parts = [q_ranges, q_key, q_succ, q_init, q_continue]
+    if q_adjacent is not None:
+        parts.append(q_adjacent)
+    if q_forall is not None:
+        parts.append(q_forall)
+    if not with_dtd:
+        attr_names = ["h", "k", "next"] + [_tile_attr(i) for i in range(1, n + 1)]
+        q_atts = q_not(
+            _c_with(
+                q_or(*[
+                    q_not(ast.AttrAttrCmp(e, name, "=", e, name))
+                    for name in attr_names
+                ])
+            )
+        )
+        parts.append(q_atts)
+    query = boolean(q_and(*parts))
+    dtd = snapshot_dtd(n) if with_dtd else None
+    source = "Thm 5.6" if with_dtd else "Cor 6.15(3)"
+    return Encoding(query, dtd, source, "X(parent,qual,data,neg)")
+
+
+def _k_join_same_k(inner: ast.Qualifier) -> ast.Qualifier:
+    """``ε/@k = ↑/C[inner]/@k`` — some snapshot shares this one's key and
+    satisfies ``inner``."""
+    return ast.AttrAttrCmp(
+        ast.Empty(), "k", "=",
+        ast.Filter(seq(ast.Parent(), label("C")), inner), "k",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategy → tree (validation of the positive direction)
+# ---------------------------------------------------------------------------
+
+def strategy_snapshot_tree(system: TilingSystem, max_rows: int = 8) -> XMLTree | None:
+    """Materialize the game tree of Player I's winning strategy as the
+    snapshot list of Theorem 5.6; ``None`` when Player I has no winning
+    strategy (within ``max_rows``).
+
+    Snapshots reachable under (strategy, all Player II replies) become
+    ``C`` nodes; all successors of a snapshot share ``@k = parent.@next``.
+    """
+    from repro.solvers.tiling_game import player_one_wins
+
+    if not player_one_wins(system, max_rows):
+        return None
+    n = system.width
+    root = Node("r")
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"g{counter[0]}"
+
+    def add_snapshot(window: tuple[str, ...], h: int, key: str) -> Node:
+        node = root.append(Node("C"))
+        node.attrs["h"] = str(h)
+        node.attrs["k"] = key
+        node.attrs["next"] = fresh()
+        for i, tile in enumerate(window, start=1):
+            node.attrs[_tile_attr(i)] = tile
+        return node
+
+    def legal_tiles(window: tuple[str, ...], h: int) -> list[str]:
+        result = []
+        for tile in system.tiles:
+            if h < n and not system.ok_h(window[-1], tile):
+                continue
+            if not system.ok_v(window[0], tile):
+                continue
+            result.append(tile)
+        return result
+
+    def expand(node: Node, window: tuple[str, ...], h: int, rows_used: int) -> bool:
+        """Grow the strategy tree below ``node``; returns False when the
+        subtree cannot be completed (shouldn't happen for a winning
+        strategy within the row budget)."""
+        if h == n and window == system.bottom:
+            return True  # Player I has won; play stops
+        if rows_used > max_rows:
+            return False
+        next_h = 1 if h == n else h + 1
+        mover_is_one = next_h % 2 == 1
+        options = legal_tiles(window, h)
+        if not options:
+            return False
+        key = node.attrs["next"]
+        if mover_is_one:
+            for tile in options:  # try strategy moves until one works
+                child_window = window[1:] + (tile,)
+                child = add_snapshot(child_window, next_h, key)
+                if expand(child, child_window, next_h,
+                          rows_used + (1 if next_h == 1 else 0)):
+                    return True
+                root.children.remove(child)
+            return False
+        for tile in options:
+            child_window = window[1:] + (tile,)
+            child = add_snapshot(child_window, next_h, key)
+            if not expand(child, child_window, next_h,
+                          rows_used + (1 if next_h == 1 else 0)):
+                return False
+        return True
+
+    initial = add_snapshot(system.top, n, "g0")
+    if not expand(initial, system.top, n, 1):
+        return None
+    tree = XMLTree(root)
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.7(3): the fixed-DTD chain variant
+# ---------------------------------------------------------------------------
+
+_FIXED_673_DTD = """
+root r
+r -> C*
+C -> X
+X -> X + eps
+C @ h, k, next
+X @ t
+"""
+
+
+def fixed_chain_tiling_dtd() -> DTD:
+    return parse_dtd(_FIXED_673_DTD)
+
+
+def encode_chain(system: TilingSystem) -> Encoding:
+    """Theorem 6.7(3): tile attributes become ``X``-chain positions below
+    each snapshot (``X^i/@t`` for ``@t_i``), under a fixed DTD."""
+    base = encode_snapshot(system)
+    n = system.width
+    replaced = _replace_tile_attrs(base.query, n)
+    qt = q_not(_c_with(q_not(exists(steps("X", n)))))
+    query = boolean(q_and(_strip_boolean(replaced), qt))
+    return Encoding(query, fixed_chain_tiling_dtd(), "Thm 6.7(3)", "X(parent,qual,data,neg)")
+
+
+def _strip_boolean(query: ast.Path) -> ast.Qualifier:
+    assert isinstance(query, ast.Filter) and isinstance(query.path, ast.Empty)
+    return query.qualifier
+
+
+def _replace_tile_attrs(node, width: int):
+    """Rewrite ``@t_i`` accesses (paths ending in attribute ``t{i}``) into
+    ``X^i/@t`` chain accesses."""
+    if isinstance(node, ast.Filter):
+        return ast.Filter(_replace_tile_attrs(node.path, width),
+                          _replace_tile_attrs(node.qualifier, width))
+    if isinstance(node, ast.Seq):
+        return ast.Seq(_replace_tile_attrs(node.left, width),
+                       _replace_tile_attrs(node.right, width))
+    if isinstance(node, ast.Union):
+        return ast.Union(_replace_tile_attrs(node.left, width),
+                         _replace_tile_attrs(node.right, width))
+    if isinstance(node, ast.And):
+        return ast.And(_replace_tile_attrs(node.left, width),
+                       _replace_tile_attrs(node.right, width))
+    if isinstance(node, ast.Or):
+        return ast.Or(_replace_tile_attrs(node.left, width),
+                      _replace_tile_attrs(node.right, width))
+    if isinstance(node, ast.Not):
+        return ast.Not(_replace_tile_attrs(node.inner, width))
+    if isinstance(node, ast.PathExists):
+        return ast.PathExists(_replace_tile_attrs(node.path, width))
+    if isinstance(node, ast.AttrConstCmp):
+        path, attr = _chainify(node.path, node.attr, width)
+        return ast.AttrConstCmp(path, attr, node.op, node.value)
+    if isinstance(node, ast.AttrAttrCmp):
+        left_path, left_attr = _chainify(node.left_path, node.left_attr, width)
+        right_path, right_attr = _chainify(node.right_path, node.right_attr, width)
+        return ast.AttrAttrCmp(left_path, left_attr, node.op, right_path, right_attr)
+    return node
+
+
+def _chainify(path: ast.Path, attr: str, width: int) -> tuple[ast.Path, str]:
+    if attr.startswith("t") and attr[1:].isdigit():
+        index = int(attr[1:])
+        if 1 <= index <= width:
+            rewritten = _replace_tile_attrs(path, width)
+            return seq(rewritten, steps("X", index)), "t"
+    return _replace_tile_attrs(path, width), attr
+
+
+def chain_tree_from_snapshot_tree(tree: XMLTree, width: int) -> XMLTree:
+    """Convert a Theorem 5.6 snapshot tree into the Theorem 6.7(3) shape:
+    tile attributes become an X-chain (@t per level) below each C."""
+    root = Node("r")
+    for snapshot in tree.root.children:
+        c_node = root.append(Node("C"))
+        for name in ("h", "k", "next"):
+            c_node.attrs[name] = snapshot.attrs[name]
+        current = c_node
+        for i in range(1, width + 1):
+            current = current.append(Node("X", attrs={"t": snapshot.attrs[_tile_attr(i)]}))
+    return XMLTree(root)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.7(2), Figure 7: the game-tree DTD D1 and strategy game trees
+# ---------------------------------------------------------------------------
+
+_FIXED_672_DTD = """
+root r
+r  -> Y1
+Y1 -> C, (Y2* + L)
+Y2 -> C, (Y1 + Er + Eg + W)
+W  -> W + Er + Eg
+L  -> L + Er + Eg
+Er -> Y1 + W + L
+Eg -> eps
+C  -> C + Ec
+Ec -> eps
+"""
+
+
+def fixed_game_dtd() -> DTD:
+    """Theorem 6.7(2)'s fixed DTD ``D1`` (Figure 7)."""
+    return parse_dtd(_FIXED_672_DTD)
+
+
+def _c_chain(index: int) -> Node:
+    """Tile ``x_index`` as a ``C`` chain of length ``index`` ending in
+    ``Ec`` (the paper's tile counter)."""
+    leaf = Node("Ec")
+    current = leaf
+    for _ in range(index):
+        current = Node("C", children=[current])
+    return current
+
+
+def strategy_game_tree(system: TilingSystem, max_rows: int = 8) -> XMLTree | None:
+    """Figure 7: materialize Player I's winning strategy as a game tree
+    conforming to ``D1`` — ``Y1`` nodes are Player I moves (with all
+    Player II replies as ``Y2*`` siblings), ``Er`` marks row ends, and a
+    win closes with ``Er/W/Eg``.
+
+    Requires an *even* corridor width (as the paper assumes), so rows
+    always end on Player II moves.  Returns ``None`` when Player I has no
+    winning strategy within ``max_rows``.
+    """
+    n = system.width
+    if n % 2 != 0:
+        raise ValueError("the paper's game-tree encoding assumes even width")
+    tile_index = {tile: i + 1 for i, tile in enumerate(system.tiles)}
+
+    def legal(window: tuple[str, ...], h: int) -> list[str]:
+        options = []
+        for tile in system.tiles:
+            if h < n and not system.ok_h(window[-1], tile):
+                continue
+            if not system.ok_v(window[0], tile):
+                continue
+            options.append(tile)
+        return options
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def wins(window: tuple[str, ...], h: int, rows: int, mover_one: bool) -> bool:
+        if h == n:
+            if window == system.bottom:
+                return True
+            if rows >= max_rows:
+                return False
+            return wins(window, 0, rows + 1, mover_one)
+        position = h + 1
+        options = legal(window if h > 0 or rows == 1 else window, h if h > 0 else n)
+        options = legal(window, h if h > 0 else n)
+        if not options:
+            return not mover_one
+        results = [
+            wins(window[1:] + (tile,), position, rows, not mover_one)
+            for tile in options
+        ]
+        return any(results) if mover_one else all(results)
+
+    if not wins(system.top, 0, 1, True):
+        return None
+
+    def build_I(window: tuple[str, ...], h: int, rows: int) -> Node | None:
+        """Player I to move at position h+1 (h < n)."""
+        options = legal(window, h if h > 0 else n)
+        for tile in options:
+            new_window = window[1:] + (tile,)
+            if not wins(new_window, h + 1, rows, False):
+                continue
+            node = Node("Y1", children=[_c_chain(tile_index[tile])])
+            replies = _continue_after(new_window, h + 1, rows, node)
+            if replies:
+                return node
+        return None
+
+    def _continue_after(window: tuple[str, ...], h: int, rows: int, node: Node) -> bool:
+        """Attach the continuation below a Player I move at position h."""
+        options = legal(window, h if h > 0 else n)
+        # Player II replies (h < n always here since n even, I at odd)
+        for tile in options:
+            reply_window = window[1:] + (tile,)
+            y2 = Node("Y2", children=[_c_chain(tile_index[tile])])
+            node.append(y2)
+            if h + 1 == n:
+                if reply_window == system.bottom:
+                    y2.append(Node("Er", children=[Node("W", children=[Node("Eg")])]))
+                else:
+                    if rows >= max_rows:
+                        return False
+                    er = Node("Er")
+                    y2.append(er)
+                    nxt = build_I(reply_window, 0, rows + 1)
+                    if nxt is None:
+                        return False
+                    er.append(nxt)
+            else:
+                nxt = build_I(reply_window, h + 1, rows)
+                if nxt is None:
+                    return False
+                y2.append(nxt)
+        return True
+
+    first = build_I(system.top, 0, 1)
+    if first is None:
+        return None
+    return XMLTree(Node("r", children=[first]))

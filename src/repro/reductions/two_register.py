@@ -1,0 +1,291 @@
+"""The two-register-machine reduction — undecidability of
+``SAT(X(↓,↑,↓*,↑*,∪,[],=,¬))`` (Theorem 5.4, Figure 4).
+
+The DTD is *fixed* (Theorem 6.7(4) reuses it verbatim):
+
+.. code-block:: text
+
+    r -> C                  C @ s
+    C -> (C, R1, R2) + eps  X @ id
+    R1 -> X + eps           Y @ id
+    R2 -> Y + eps
+    X -> X + eps
+    Y -> Y + eps
+
+A conforming tree is a nested chain of ``C`` elements — one per machine
+ID — whose ``@s`` attribute carries the state and whose ``R1``/``R2``
+children carry unary counters as ``X``/``Y`` chains; ``@id`` attributes
+act as *local keys* (forced by ``QxKey``/``QyKey``) so chain equality and
+±1 relations are expressible as data joins between consecutive IDs.
+
+``machine_query(M)`` assembles ``ε[Qstart ∧ Qhalting ∧ QxKey ∧ QyKey ∧
+⋀_i Q_i]``; it is satisfiable under the DTD iff ``M`` halts — which is why
+the fragment is undecidable.  For validation, :func:`run_tree` turns a
+finite halting run into the corresponding tree, and the evaluator confirms
+the query on it (and rejects trees of non-halting prefixes).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.reductions.base import Encoding
+from repro.solvers.machines import ID, TwoRegisterMachine
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.builder import (
+    anc_or_self,
+    attr_eq,
+    attr_neq,
+    boolean,
+    desc_or_self,
+    exists,
+    label,
+    label_test,
+    parent,
+    q_and,
+    q_not,
+    q_or,
+    seq,
+    wildcard,
+)
+
+_DTD_TEXT = """
+root r
+r -> C
+C -> (C, R1, R2) + eps
+R1 -> X + eps
+R2 -> Y + eps
+X -> X + eps
+Y -> Y + eps
+C @ s
+X @ id
+Y @ id
+"""
+
+
+def machine_dtd() -> DTD:
+    """The fixed DTD of Figure 4."""
+    return parse_dtd(_DTD_TEXT)
+
+
+def _chain(register: str) -> ast.Path:
+    """``R/↓/↓*`` — all counter elements of this ID's register chain."""
+    return seq(label(register), wildcard(), desc_or_self())
+
+
+def _r_anchor(register: str) -> ast.Path:
+    """``↑*[lab() = R]`` — from a counter element to its register node."""
+    return ast.Filter(anc_or_self(), label_test(register))
+
+
+def _ids_of_next(register: str, only_nonlast: bool = False) -> ast.Path:
+    """From a counter element of ID ``c1``: the ids of the *successor* ID's
+    chain (``↑*[lab()=R]/↑/C/R/↓/↓*`` with an optional non-last filter)."""
+    path = seq(_r_anchor(register), parent(), label("C"), _chain(register))
+    if only_nonlast:
+        path = ast.Filter(path, exists(wildcard()))
+    return path
+
+
+def _ids_of_prev(register: str, only_nonlast: bool = False) -> ast.Path:
+    """From a counter element of ID ``c2``: the ids of the *predecessor*
+    ID's chain (``↑*[lab()=R]/↑/↑/R/↓/↓*`` — ``_chain`` supplies the final
+    ``R/↓/↓*`` hop)."""
+    path = seq(_r_anchor(register), parent(), parent(), _chain(register))
+    if only_nonlast:
+        path = ast.Filter(path, exists(wildcard()))
+    return path
+
+
+def _not_in(ids_path: ast.Path) -> ast.Qualifier:
+    """``¬(ε/@id = ids_path/@id)`` — this element's id is outside the set."""
+    return q_not(ast.AttrAttrCmp(ast.Empty(), "id", "=", ids_path, "id"))
+
+
+def _next_chain(register: str) -> ast.Path:
+    """From ID ``c1``: the successor ID's chain (``C/R/↓/↓*``)."""
+    return seq(label("C"), _chain(register))
+
+
+def _q_chain_equal_violated(register: str) -> ast.Qualifier:
+    """``QY``-style: the successor's chain differs from this ID's chain.
+    First disjunct: some element of c1's chain is missing from c2's;
+    second: some element of c2's chain is missing from c1's."""
+    return q_or(
+        exists(ast.Filter(_chain(register), _not_in(_ids_of_next(register)))),
+        exists(ast.Filter(_next_chain(register), _not_in(_ids_of_prev(register)))),
+    )
+
+
+def _q_increment_violated(register: str) -> ast.Qualifier:
+    """``QXa``-style: the successor's chain is *not* this chain plus one new
+    last element (c1's chain must equal c2's chain minus its last)."""
+    return q_or(
+        exists(
+            ast.Filter(
+                _chain(register), _not_in(_ids_of_next(register, only_nonlast=True))
+            )
+        ),
+        exists(
+            ast.Filter(
+                ast.Filter(_next_chain(register), exists(wildcard())),
+                _not_in(_ids_of_prev(register)),
+            )
+        ),
+    )
+
+
+def _q_decrement_violated(register: str) -> ast.Qualifier:
+    """The successor's chain is *not* this chain minus its last element."""
+    return q_or(
+        exists(
+            ast.Filter(
+                ast.Filter(_chain(register), exists(wildcard())),
+                _not_in(_ids_of_next(register)),
+            )
+        ),
+        exists(
+            ast.Filter(
+                _next_chain(register),
+                _not_in(_ids_of_prev(register, only_nonlast=True)),
+            )
+        ),
+    )
+
+
+def _counter_label(register: str) -> str:
+    return "X" if register == "R1" else "Y"
+
+
+def _empty_register(register: str) -> ast.Qualifier:
+    return exists(ast.Filter(label(register), q_not(exists(label(_counter_label(register))))))
+
+
+def _nonempty_register(register: str) -> ast.Qualifier:
+    return exists(ast.Filter(label(register), exists(label(_counter_label(register)))))
+
+
+def machine_query(machine: TwoRegisterMachine) -> ast.Path:
+    """``p`` such that ``(p, machine_dtd())`` is satisfiable iff the
+    machine halts (Theorem 5.4)."""
+    e = ast.Empty()
+    q_start = exists(
+        ast.Filter(
+            label("C"),
+            q_and(attr_eq(e, "s", "0"), _empty_register("R1"), _empty_register("R2")),
+        )
+    )
+    q_halt = exists(
+        ast.Filter(
+            seq(desc_or_self(), label("C")),
+            q_and(
+                attr_eq(e, "s", str(machine.final)),
+                _empty_register("R1"),
+                _empty_register("R2"),
+            ),
+        )
+    )
+    q_xkey = q_not(
+        exists(
+            ast.Filter(
+                seq(desc_or_self(), label("X")),
+                ast.AttrAttrCmp(e, "id", "=", seq(wildcard(), desc_or_self()), "id"),
+            )
+        )
+    )
+    q_ykey = q_not(
+        exists(
+            ast.Filter(
+                seq(desc_or_self(), label("Y")),
+                ast.AttrAttrCmp(e, "id", "=", seq(wildcard(), desc_or_self()), "id"),
+            )
+        )
+    )
+
+    transition_parts: list[ast.Qualifier] = []
+    for state, instruction in enumerate(machine.instructions):
+        if state == machine.final:
+            continue
+        register = "R1" if instruction[1] == 1 else "R2"
+        other = "R2" if register == "R1" else "R1"
+        if instruction[0] == "add":
+            _, _rg, target = instruction
+            violation = q_or(
+                attr_neq(label("C"), "s", str(target)),
+                q_not(exists(label("C"))),
+                _q_increment_violated(register),
+                _q_chain_equal_violated(other),
+            )
+        else:
+            _, _rg, zero_target, pos_target = instruction
+            zero_violation = q_and(
+                _empty_register(register),
+                q_or(
+                    attr_neq(label("C"), "s", str(zero_target)),
+                    q_not(exists(label("C"))),
+                    exists(ast.Filter(seq(label("C"), label(register)),
+                                      exists(label(_counter_label(register))))),
+                    _q_chain_equal_violated(other),
+                ),
+            )
+            pos_violation = q_and(
+                _nonempty_register(register),
+                q_or(
+                    attr_neq(label("C"), "s", str(pos_target)),
+                    q_not(exists(label("C"))),
+                    _q_decrement_violated(register),
+                    _q_chain_equal_violated(other),
+                ),
+            )
+            violation = q_or(zero_violation, pos_violation)
+        transition_parts.append(
+            q_not(
+                exists(
+                    ast.Filter(
+                        seq(desc_or_self(), label("C")),
+                        q_and(attr_eq(e, "s", str(state)), violation),
+                    )
+                )
+            )
+        )
+
+    return boolean(q_and(q_start, q_halt, q_xkey, q_ykey, *transition_parts))
+
+
+def encode_machine(machine: TwoRegisterMachine) -> Encoding:
+    return Encoding(
+        machine_query(machine), machine_dtd(), "Thm 5.4", "X(full,vertical,data,neg)"
+    )
+
+
+def run_tree(trace: list[ID], final_state: int) -> XMLTree:
+    """The Figure 4 tree of a halting run: nested ``C`` per ID, unary
+    ``X``/``Y`` chains with positional ``@id`` keys, and a trailing empty
+    ``C`` below the halting ID (the content model offers no ε exit for an
+    ID that still carries register children)."""
+    root = Node("r")
+
+    def register_node(register: str, count: int) -> Node:
+        node = Node(register)
+        current = node
+        for position in range(count):
+            current = current.append(
+                Node(_counter_label(register), attrs={"id": str(position)})
+            )
+        return node
+
+    parent_node = root
+    for state, m, n in trace:
+        c_node = parent_node.append(Node("C", attrs={"s": str(state)}))
+        parent_node = c_node
+    # the halting C needs the (C, R1, R2) branch; give it an empty inner C
+    trailing = parent_node.append(Node("C", attrs={"s": str(final_state)}))
+    del trailing
+    # now attach registers: walk again adding R1/R2 to every ID node
+    node = root.children[0]
+    for state, m, n in trace:
+        node.append(register_node("R1", m))
+        node.append(register_node("R2", n))
+        node = node.children[0]
+    return XMLTree(root)

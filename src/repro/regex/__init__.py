@@ -1,0 +1,50 @@
+"""Regular expressions over element-type alphabets.
+
+DTD content models (the right-hand sides of productions ``A -> P(A)``) are
+regular expressions over element names.  This package provides their AST
+(:mod:`repro.regex.ast`), a parser for the paper's concrete syntax
+(:mod:`repro.regex.parser`), Glushkov position automata
+(:mod:`repro.regex.nfa`), determinization/minimization
+(:mod:`repro.regex.dfa`), and high-level language operations
+(:mod:`repro.regex.ops`).
+
+The AST deliberately has no "empty language" constant: every content model a
+DTD can express denotes a nonempty language, which several deciders in the
+paper rely on (any syntactically occurring symbol can appear in some word).
+"""
+
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    epsilon,
+    star,
+    sym,
+    union,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.nfa import NFA, glushkov
+from repro.regex.dfa import DFA, determinize, minimize
+from repro.regex.ops import (
+    enumerate_words,
+    language_equal,
+    language_subset,
+    matches,
+    shortest_word,
+    shortest_word_containing,
+)
+
+__all__ = [
+    "Regex", "Epsilon", "Symbol", "Concat", "Union", "Star", "Optional",
+    "epsilon", "sym", "concat", "union", "star",
+    "parse_regex",
+    "NFA", "glushkov",
+    "DFA", "determinize", "minimize",
+    "matches", "shortest_word", "shortest_word_containing",
+    "enumerate_words", "language_subset", "language_equal",
+]

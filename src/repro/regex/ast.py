@@ -1,0 +1,277 @@
+"""AST for regular expressions over element-type alphabets.
+
+The node types mirror the constructs a DTD content model may use
+(Section 2.1 of the paper): the empty word ``ε``, element names,
+concatenation ``,``, disjunction ``+`` and Kleene star ``*``.  We also keep
+``?`` (optionality) as a first-class node because real DTDs use it and the
+paper's constructions (e.g. the 2RM encoding's ``C -> (C, R1, R2) + ε``)
+translate naturally into it.
+
+All nodes are immutable and hashable so they can be used as dictionary keys
+in the dynamic programs of Sections 4 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+
+class Regex:
+    """Base class for content-model regular expressions."""
+
+    __slots__ = ()
+
+    # -- structural predicates -------------------------------------------
+    @property
+    def nullable(self) -> bool:
+        """True iff the empty word belongs to the language."""
+        raise NotImplementedError
+
+    def alphabet(self) -> frozenset[str]:
+        """All element names occurring syntactically in this expression.
+
+        Because the AST has no empty-language constant, every symbol in the
+        alphabet occurs in at least one word of the language.
+        """
+        raise NotImplementedError
+
+    def children(self) -> tuple["Regex", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield this node and every descendant node (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- classification helpers used by dtd.properties --------------------
+    @property
+    def uses_union(self) -> bool:
+        return any(isinstance(node, Union) for node in self.walk())
+
+    @property
+    def uses_star(self) -> bool:
+        return any(isinstance(node, (Star, Optional)) for node in self.walk())
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Regex):
+    """The empty word ``ε``."""
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True, repr=False)
+class Symbol(Regex):
+    """A single element name."""
+
+    name: str
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    """Concatenation of two or more parts (the paper's ``,``)."""
+
+    parts: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+    @cached_property
+    def _nullable(self) -> bool:
+        return all(part.nullable for part in self.parts)
+
+    @property
+    def nullable(self) -> bool:
+        return self._nullable
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset().union(*(part.alphabet() for part in self.parts))
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = str(part)
+            if isinstance(part, (Union,)):
+                text = f"({text})"
+            rendered.append(text)
+        return ", ".join(rendered)
+
+
+@dataclass(frozen=True, repr=False)
+class Union(Regex):
+    """Disjunction of two or more alternatives (the paper's ``+``)."""
+
+    parts: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Union requires at least two parts")
+
+    @cached_property
+    def _nullable(self) -> bool:
+        return any(part.nullable for part in self.parts)
+
+    @property
+    def nullable(self) -> bool:
+        return self._nullable
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset().union(*(part.alphabet() for part in self.parts))
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = str(part)
+            if isinstance(part, (Concat, Union)):
+                text = f"({text})"
+            rendered.append(text)
+        return " + ".join(rendered)
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Regex):
+    """Kleene star."""
+
+    inner: Regex
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if isinstance(self.inner, (Concat, Union, Optional, Star)):
+            text = f"({text})"
+        return f"{text}*"
+
+
+@dataclass(frozen=True, repr=False)
+class Optional(Regex):
+    """Zero-or-one occurrences (``?``), i.e. ``inner + ε``."""
+
+    inner: Regex
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if isinstance(self.inner, (Concat, Union, Optional, Star)):
+            text = f"({text})"
+        return f"{text}?"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors.  They perform light normalization (flattening nested
+# n-ary operators, collapsing trivial cases) so programmatically built
+# content models stay readable.
+# ---------------------------------------------------------------------------
+
+def epsilon() -> Regex:
+    return Epsilon()
+
+
+def sym(name: str) -> Regex:
+    return Symbol(name)
+
+
+def concat(*parts: Regex | str) -> Regex:
+    """Concatenation; flattens nested Concat and drops ε parts."""
+    flat: list[Regex] = []
+    for part in parts:
+        node = Symbol(part) if isinstance(part, str) else part
+        if isinstance(node, Epsilon):
+            continue
+        if isinstance(node, Concat):
+            flat.extend(node.parts)
+        else:
+            flat.append(node)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Regex | str) -> Regex:
+    """Disjunction; flattens nested Union and deduplicates alternatives."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for part in parts:
+        node = Symbol(part) if isinstance(part, str) else part
+        alternatives = node.parts if isinstance(node, Union) else (node,)
+        for alt in alternatives:
+            if alt not in seen:
+                seen.add(alt)
+                flat.append(alt)
+    if not flat:
+        raise ValueError("union requires at least one alternative")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(inner: Regex | str) -> Regex:
+    node = Symbol(inner) if isinstance(inner, str) else inner
+    if isinstance(node, (Star, Epsilon)):
+        return node if isinstance(node, Star) else Epsilon()
+    if isinstance(node, Optional):
+        return Star(node.inner)
+    return Star(node)
+
+
+def optional(inner: Regex | str) -> Regex:
+    node = Symbol(inner) if isinstance(inner, str) else inner
+    if isinstance(node, (Star, Optional, Epsilon)):
+        return node
+    return Optional(node)

@@ -1,0 +1,223 @@
+"""Determinization, minimization and Boolean combinations of DFAs.
+
+Used for language-level questions about content models: equivalence (for
+testing the normalization of Proposition 3.3), inclusion, and emptiness of
+products.  The DFAs are total (a sink state is always materialized) so that
+complementation is a matter of flipping accepting states.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.regex.ast import Regex
+from repro.regex.nfa import NFA, glushkov
+
+
+@dataclass
+class DFA:
+    """A total deterministic automaton over an explicit alphabet.
+
+    States are integers ``0 .. n-1``; ``start`` is the initial state;
+    ``delta[state][symbol]`` is defined for every symbol of ``alphabet``.
+    """
+
+    alphabet: frozenset[str]
+    delta: list[dict[str, int]]
+    start: int
+    accepting: frozenset[int]
+
+    @property
+    def state_count(self) -> int:
+        return len(self.delta)
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        state = self.start
+        for letter in word:
+            if letter not in self.alphabet:
+                return False
+            state = self.delta[state][letter]
+        return state in self.accepting
+
+    def complement(self) -> "DFA":
+        return DFA(
+            alphabet=self.alphabet,
+            delta=[dict(row) for row in self.delta],
+            start=self.start,
+            accepting=frozenset(range(self.state_count)) - self.accepting,
+        )
+
+    def is_empty(self) -> bool:
+        return self.shortest_accepted() is None
+
+    def shortest_accepted(self) -> tuple[str, ...] | None:
+        """A shortest accepted word, or ``None`` if the language is empty."""
+        if self.start in self.accepting:
+            return ()
+        parents: dict[int, tuple[int, str]] = {}
+        queue = deque([self.start])
+        seen = {self.start}
+        order = sorted(self.alphabet)
+        while queue:
+            state = queue.popleft()
+            for letter in order:
+                succ = self.delta[state][letter]
+                if succ in seen:
+                    continue
+                parents[succ] = (state, letter)
+                if succ in self.accepting:
+                    word: list[str] = []
+                    current = succ
+                    while current != self.start:
+                        current, symbol = parents[current]
+                        word.append(symbol)
+                    return tuple(reversed(word))
+                seen.add(succ)
+                queue.append(succ)
+        return None
+
+
+def determinize(nfa: NFA, alphabet: frozenset[str] | None = None) -> DFA:
+    """Subset construction over ``alphabet`` (defaults to the NFA's own)."""
+    if alphabet is None:
+        alphabet = nfa.alphabet()
+    transitions = nfa.transitions()
+    initial = frozenset({0})
+    index: dict[frozenset[int], int] = {initial: 0}
+    delta: list[dict[str, int]] = [{}]
+    accepting: set[int] = set()
+    if any(nfa.is_accepting(q) for q in initial):
+        accepting.add(0)
+    queue = deque([initial])
+    while queue:
+        subset = queue.popleft()
+        row = delta[index[subset]]
+        for letter in alphabet:
+            targets: set[int] = set()
+            for state in subset:
+                targets |= transitions.get(state, {}).get(letter, frozenset())
+            succ = frozenset(targets)
+            if succ not in index:
+                index[succ] = len(delta)
+                delta.append({})
+                queue.append(succ)
+                if any(nfa.is_accepting(q) for q in succ):
+                    accepting.add(index[succ])
+            row[letter] = index[succ]
+    return DFA(alphabet=alphabet, delta=delta, start=0, accepting=frozenset(accepting))
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft partition refinement (on the reachable part)."""
+    reachable = _reachable_states(dfa)
+    accepting = dfa.accepting & reachable
+    rejecting = reachable - accepting
+    partition: list[set[int]] = [block for block in (accepting, rejecting) if block]
+    worklist: list[set[int]] = [min(partition, key=len)] if len(partition) == 2 else list(partition)
+    order = sorted(dfa.alphabet)
+
+    # Precompute inverse transitions restricted to reachable states.
+    inverse: dict[str, dict[int, set[int]]] = {letter: {} for letter in order}
+    for state in reachable:
+        for letter in order:
+            succ = dfa.delta[state][letter]
+            inverse[letter].setdefault(succ, set()).add(state)
+
+    while worklist:
+        splitter = worklist.pop()
+        for letter in order:
+            sources: set[int] = set()
+            for state in splitter:
+                sources |= inverse[letter].get(state, set())
+            new_partition: list[set[int]] = []
+            for block in partition:
+                inside = block & sources
+                outside = block - sources
+                if inside and outside:
+                    new_partition.extend((inside, outside))
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.extend((inside, outside))
+                    else:
+                        worklist.append(min(inside, outside, key=len))
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    block_of: dict[int, int] = {}
+    for block_index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_index
+    delta: list[dict[str, int]] = [{} for _ in partition]
+    for block_index, block in enumerate(partition):
+        representative = next(iter(block))
+        for letter in order:
+            delta[block_index][letter] = block_of[dfa.delta[representative][letter]]
+    return DFA(
+        alphabet=dfa.alphabet,
+        delta=delta,
+        start=block_of[dfa.start],
+        accepting=frozenset(block_of[state] for state in accepting),
+    )
+
+
+def product(left: DFA, right: DFA, mode: str = "intersection") -> DFA:
+    """Product automaton; ``mode`` is ``intersection``, ``union`` or
+    ``difference`` (left minus right).  Both inputs must share an alphabet
+    superset; the product runs over the union alphabet, treating missing
+    letters as impossible (handled by requiring equal alphabets)."""
+    if left.alphabet != right.alphabet:
+        raise ValueError("product requires identical alphabets; re-determinize over a common alphabet")
+    order = sorted(left.alphabet)
+    index: dict[tuple[int, int], int] = {(left.start, right.start): 0}
+    delta: list[dict[str, int]] = [{}]
+    pairs = deque([(left.start, right.start)])
+    accepting: set[int] = set()
+
+    def is_accepting(pair: tuple[int, int]) -> bool:
+        in_left = pair[0] in left.accepting
+        in_right = pair[1] in right.accepting
+        if mode == "intersection":
+            return in_left and in_right
+        if mode == "union":
+            return in_left or in_right
+        if mode == "difference":
+            return in_left and not in_right
+        raise ValueError(f"unknown product mode: {mode}")
+
+    if is_accepting((left.start, right.start)):
+        accepting.add(0)
+    while pairs:
+        pair = pairs.popleft()
+        row = delta[index[pair]]
+        for letter in order:
+            succ = (left.delta[pair[0]][letter], right.delta[pair[1]][letter])
+            if succ not in index:
+                index[succ] = len(delta)
+                delta.append({})
+                pairs.append(succ)
+                if is_accepting(succ):
+                    accepting.add(index[succ])
+            row[letter] = index[succ]
+    return DFA(alphabet=left.alphabet, delta=delta, start=0, accepting=frozenset(accepting))
+
+
+def regex_to_dfa(regex: Regex, alphabet: frozenset[str] | None = None) -> DFA:
+    """Convenience: Glushkov + subset construction (optionally over a larger
+    alphabet so two expressions can be compared)."""
+    nfa = glushkov(regex)
+    full_alphabet = nfa.alphabet() if alphabet is None else alphabet | nfa.alphabet()
+    return determinize(nfa, full_alphabet)
+
+
+def _reachable_states(dfa: DFA) -> set[int]:
+    seen = {dfa.start}
+    queue = deque([dfa.start])
+    while queue:
+        state = queue.popleft()
+        for succ in dfa.delta[state].values():
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen

@@ -1,0 +1,172 @@
+"""Glushkov (position) automata for content models.
+
+The Glushkov construction is the natural automaton model for DTD content
+models: its states are the symbol *occurrences* of the expression, so a run
+over a children word visits one state per child.  Theorem 7.1's sibling-axis
+decision procedure exploits exactly this position/state correspondence.
+
+The construction is the textbook one: ``first``, ``last`` and ``follow``
+sets computed bottom-up, with state ``0`` as the unique initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.ast import Concat, Epsilon, Optional, Regex, Star, Symbol, Union
+
+
+@dataclass
+class NFA:
+    """A Glushkov position automaton.
+
+    Attributes
+    ----------
+    symbols:
+        ``symbols[i]`` is the element name read when *entering* state ``i``;
+        index 0 is the initial state and has no symbol (``None``).
+    first:
+        States reachable from the initial state (position of the first
+        letter of some word).
+    follow:
+        ``follow[q]`` is the set of positions that may immediately follow
+        position ``q`` in some word.
+    last:
+        Positions at which some word may end.
+    nullable:
+        Whether the empty word is accepted.
+    """
+
+    symbols: list[str | None]
+    first: frozenset[int]
+    follow: dict[int, frozenset[int]]
+    last: frozenset[int]
+    nullable: bool
+
+    @property
+    def state_count(self) -> int:
+        return len(self.symbols)
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(s for s in self.symbols if s is not None)
+
+    def successors(self, state: int) -> frozenset[int]:
+        """Positions reachable in one step (state 0 uses ``first``)."""
+        if state == 0:
+            return self.first
+        return self.follow[state]
+
+    def predecessors(self, state: int) -> frozenset[int]:
+        """Positions from which ``state`` is reachable in one step.
+
+        The initial state 0 is included when ``state`` is in ``first``.
+        """
+        preds = {q for q in range(1, self.state_count) if state in self.follow[q]}
+        if state in self.first:
+            preds.add(0)
+        return frozenset(preds)
+
+    def is_accepting(self, state: int) -> bool:
+        if state == 0:
+            return self.nullable
+        return state in self.last
+
+    # -- classical word acceptance ----------------------------------------
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        current = {0}
+        for letter in word:
+            nxt: set[int] = set()
+            for state in current:
+                for succ in self.successors(state):
+                    if self.symbols[succ] == letter:
+                        nxt.add(succ)
+            if not nxt:
+                return False
+            current = nxt
+        return any(self.is_accepting(state) for state in current)
+
+    def transitions(self) -> dict[int, dict[str, frozenset[int]]]:
+        """Materialize a ``state -> symbol -> successors`` table."""
+        table: dict[int, dict[str, frozenset[int]]] = {}
+        for state in range(self.state_count):
+            by_symbol: dict[str, set[int]] = {}
+            for succ in self.successors(state):
+                symbol = self.symbols[succ]
+                assert symbol is not None
+                by_symbol.setdefault(symbol, set()).add(succ)
+            table[state] = {s: frozenset(targets) for s, targets in by_symbol.items()}
+        return table
+
+
+@dataclass
+class _Pieces:
+    """Intermediate Glushkov data for a subexpression (positions are global)."""
+
+    nullable: bool
+    first: frozenset[int] = field(default_factory=frozenset)
+    last: frozenset[int] = field(default_factory=frozenset)
+
+
+def glushkov(regex: Regex) -> NFA:
+    """Build the Glushkov position automaton of ``regex``."""
+    symbols: list[str | None] = [None]
+    follow: dict[int, set[int]] = {}
+
+    def build(node: Regex) -> _Pieces:
+        if isinstance(node, Epsilon):
+            return _Pieces(nullable=True)
+        if isinstance(node, Symbol):
+            position = len(symbols)
+            symbols.append(node.name)
+            follow[position] = set()
+            singleton = frozenset({position})
+            return _Pieces(nullable=False, first=singleton, last=singleton)
+        if isinstance(node, Optional):
+            inner = build(node.inner)
+            return _Pieces(nullable=True, first=inner.first, last=inner.last)
+        if isinstance(node, Star):
+            inner = build(node.inner)
+            for position in inner.last:
+                follow[position] |= inner.first
+            return _Pieces(nullable=True, first=inner.first, last=inner.last)
+        if isinstance(node, Concat):
+            pieces = [build(part) for part in node.parts]
+            # follow links into part i+1 come from the lasts of part i, and of
+            # earlier parts as long as all intervening parts are nullable.
+            for i in range(len(pieces) - 1):
+                j = i
+                while True:
+                    for position in pieces[j].last:
+                        follow[position] |= pieces[i + 1].first
+                    if j == 0 or not pieces[j].nullable:
+                        break
+                    j -= 1
+            nullable = all(piece.nullable for piece in pieces)
+            first: set[int] = set()
+            for piece in pieces:
+                first |= piece.first
+                if not piece.nullable:
+                    break
+            last: set[int] = set()
+            for piece in reversed(pieces):
+                last |= piece.last
+                if not piece.nullable:
+                    break
+            return _Pieces(nullable=nullable, first=frozenset(first), last=frozenset(last))
+        if isinstance(node, Union):
+            pieces = [build(part) for part in node.parts]
+            return _Pieces(
+                nullable=any(piece.nullable for piece in pieces),
+                first=frozenset().union(*(piece.first for piece in pieces)),
+                last=frozenset().union(*(piece.last for piece in pieces)),
+            )
+        raise TypeError(f"unknown regex node: {node!r}")
+
+    pieces = build(regex)
+    return NFA(
+        symbols=symbols,
+        first=pieces.first,
+        follow={position: frozenset(targets) for position, targets in follow.items()},
+        last=pieces.last,
+        nullable=pieces.nullable,
+    )

@@ -1,0 +1,155 @@
+"""High-level language operations on content models.
+
+These are the primitives the satisfiability deciders lean on:
+
+* :func:`matches` — children-word conformance (`T ⊨ D`, condition (3));
+* :func:`shortest_word` — minimal expansions when building witness trees;
+* :func:`shortest_word_containing` — a word witnessing that ``B`` can occur
+  among the children of an ``A`` element (edges of the DTD graph);
+* :func:`enumerate_words` — bounded enumeration driving the bounded-model
+  engine of ``sat.bounded``;
+* :func:`language_subset` / :func:`language_equal` — used by the
+  normalization tests (Proposition 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Sequence
+
+from repro.regex.ast import Regex
+from repro.regex.dfa import product, regex_to_dfa
+from repro.regex.nfa import NFA, glushkov
+
+_NFA_CACHE: dict[Regex, NFA] = {}
+
+
+def cached_nfa(regex: Regex) -> NFA:
+    """Glushkov automaton with memoization (content models are reused
+    heavily by every decider)."""
+    nfa = _NFA_CACHE.get(regex)
+    if nfa is None:
+        nfa = glushkov(regex)
+        _NFA_CACHE[regex] = nfa
+    return nfa
+
+
+def matches(regex: Regex, word: Sequence[str]) -> bool:
+    """Does ``word`` belong to the language of ``regex``?"""
+    return cached_nfa(regex).accepts(tuple(word))
+
+
+def shortest_word(regex: Regex) -> tuple[str, ...]:
+    """A shortest word of the language.
+
+    Content models always denote nonempty languages (there is no empty-
+    language constant), so this never fails.
+    """
+    nfa = cached_nfa(regex)
+    if nfa.nullable:
+        return ()
+    # BFS over states; states are positions so the word is read off the path.
+    parents: dict[int, int] = {}
+    queue = deque([0])
+    seen = {0}
+    while queue:
+        state = queue.popleft()
+        for succ in nfa.successors(state):
+            if succ in seen:
+                continue
+            parents[succ] = state
+            if nfa.is_accepting(succ):
+                word: list[str] = []
+                current = succ
+                while current != 0:
+                    symbol = nfa.symbols[current]
+                    assert symbol is not None
+                    word.append(symbol)
+                    current = parents[current]
+                return tuple(reversed(word))
+            seen.add(succ)
+            queue.append(succ)
+    raise AssertionError("content models always denote a nonempty language")
+
+
+def shortest_word_containing(regex: Regex, symbol: str) -> tuple[str, ...] | None:
+    """A shortest word containing at least one occurrence of ``symbol``,
+    or ``None`` when no word of the language contains it.
+
+    For the content-model AST (no empty-language constant) this is
+    equivalent to ``symbol in regex.alphabet()``, but the word itself is
+    needed to build witness trees (Theorem 4.1's ``Tree(p, D)``).
+    """
+    nfa = cached_nfa(regex)
+    # BFS over (state, seen-symbol?) pairs.
+    start = (0, False)
+    parents: dict[tuple[int, bool], tuple[tuple[int, bool], str]] = {}
+    queue = deque([start])
+    seen = {start}
+    while queue:
+        node = queue.popleft()
+        state, found = node
+        if found and nfa.is_accepting(state):
+            word: list[str] = []
+            current = node
+            while current != start:
+                current, letter = parents[current]
+                word.append(letter)
+            return tuple(reversed(word))
+        for succ in nfa.successors(state):
+            letter = nfa.symbols[succ]
+            assert letter is not None
+            succ_node = (succ, found or letter == symbol)
+            if succ_node not in seen:
+                seen.add(succ_node)
+                parents[succ_node] = (node, letter)
+                queue.append(succ_node)
+    return None
+
+
+def enumerate_words(
+    regex: Regex,
+    max_length: int,
+    max_words: int | None = None,
+) -> Iterator[tuple[str, ...]]:
+    """Yield accepted words in length-lexicographic order, up to
+    ``max_length`` (and at most ``max_words`` items if given)."""
+    nfa = cached_nfa(regex)
+    emitted = 0
+    # On-the-fly determinization keyed by the word read so far, so each word
+    # is tracked (and emitted) once no matter how many runs produce it.
+    frontier: dict[tuple[str, ...], frozenset[int]] = {(): frozenset({0})}
+    if nfa.nullable:
+        yield ()
+        emitted += 1
+        if max_words is not None and emitted >= max_words:
+            return
+    for _ in range(max_length):
+        extensions: dict[tuple[str, ...], set[int]] = {}
+        for word, states in frontier.items():
+            for state in states:
+                for succ in nfa.successors(state):
+                    letter = nfa.symbols[succ]
+                    assert letter is not None
+                    extensions.setdefault(word + (letter,), set()).add(succ)
+        frontier = {word: frozenset(states) for word, states in extensions.items()}
+        if not frontier:
+            return
+        for word in sorted(frontier):
+            if any(nfa.is_accepting(state) for state in frontier[word]):
+                yield word
+                emitted += 1
+                if max_words is not None and emitted >= max_words:
+                    return
+
+
+def language_subset(left: Regex, right: Regex) -> bool:
+    """Language inclusion via DFA difference emptiness."""
+    alphabet = left.alphabet() | right.alphabet()
+    left_dfa = regex_to_dfa(left, alphabet)
+    right_dfa = regex_to_dfa(right, alphabet)
+    return product(left_dfa, right_dfa, "difference").is_empty()
+
+
+def language_equal(left: Regex, right: Regex) -> bool:
+    return language_subset(left, right) and language_subset(right, left)

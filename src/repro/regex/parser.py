@@ -1,0 +1,171 @@
+"""Parser for content-model expressions.
+
+Concrete syntax (paper conventions, Section 2.1):
+
+* element names: identifiers (``[A-Za-z_][A-Za-z0-9_.:-]*``);
+* the empty word: ``eps`` (also accepted: ``EMPTY``, the XML-DTD spelling);
+* concatenation: ``,``;
+* disjunction: ``+`` (the paper's convention) or ``|`` (XML-DTD convention);
+* Kleene star: postfix ``*``; optionality: postfix ``?``;
+* grouping: parentheses.
+
+Note that unlike XML DTDs, postfix ``+`` (one-or-more) is *not* supported
+because the paper reserves infix ``+`` for disjunction; write ``a, a*``
+explicitly.  Precedence (loosest to tightest): disjunction, concatenation,
+postfix operators.
+
+Examples
+--------
+>>> str(parse_regex("X1, X2, X3"))
+'X1, X2, X3'
+>>> str(parse_regex("(C, R1, R2) + eps"))
+'(C, R1, R2) + eps'
+>>> str(parse_regex("(X + eps), (T + F)"))
+'(X + eps), (T + F)'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.:-]*)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<plus>\+)
+  | (?P<bar>\|)
+  | (?P<star>\*)
+  | (?P<question>\?)
+    """,
+    re.VERBOSE,
+)
+
+_EPSILON_NAMES = {"eps", "EMPTY", "epsilon"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ParseError("unexpected character in content model", text, index)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), index))
+        index = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind or 'end of input'}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    # grammar: union := concat (('+' | '|') concat)*
+    def parse_union(self) -> Regex:
+        parts = [self.parse_concat()]
+        while self.peek().kind in ("plus", "bar"):
+            self.advance()
+            parts.append(self.parse_concat())
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+
+    # concat := postfix (',' postfix)*
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while self.peek().kind == "comma":
+            self.advance()
+            parts.append(self.parse_postfix())
+        flattened = [part for part in parts if not isinstance(part, Epsilon)]
+        if not flattened:
+            return Epsilon()
+        if len(flattened) == 1:
+            return flattened[0]
+        return Concat(tuple(flattened))
+
+    # postfix := atom ('*' | '?')*
+    def parse_postfix(self) -> Regex:
+        node = self.parse_atom()
+        while self.peek().kind in ("star", "question"):
+            token = self.advance()
+            if token.kind == "star":
+                node = node if isinstance(node, Epsilon) else Star(node)
+            else:
+                node = node if isinstance(node, (Epsilon, Star, Optional)) else Optional(node)
+        return node
+
+    # atom := NAME | 'eps' | '(' union ')'
+    def parse_atom(self) -> Regex:
+        token = self.peek()
+        if token.kind == "name":
+            self.advance()
+            if token.value in _EPSILON_NAMES:
+                return Epsilon()
+            return Symbol(token.value)
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_union()
+            self.expect("rparen")
+            return inner
+        raise ParseError(
+            f"expected element name, 'eps' or '(', found {token.kind or 'end of input'}",
+            self.text,
+            token.position,
+        )
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a content-model expression.
+
+    Raises :class:`repro.errors.ParseError` on malformed input.
+    """
+    parser = _Parser(text)
+    node = parser.parse_union()
+    trailing = parser.peek()
+    if trailing.kind != "end":
+        raise ParseError("trailing input after content model", text, trailing.position)
+    return node

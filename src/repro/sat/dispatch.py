@@ -1,0 +1,115 @@
+"""Automatic algorithm selection.
+
+``decide(query, dtd)`` routes a satisfiability question to the strongest
+procedure the library has for the query's fragment and the DTD's class,
+mirroring the paper's result map:
+
+==========================================  ==================================
+query / DTD shape                            procedure
+==========================================  ==================================
+no DTD, ``X(↓,↓*,∪,[])``                     Thm 6.11(1) cubic algorithm
+no DTD, ``X(↓,↑,[],=)``                      Thm 6.11(2) conjunctive queries
+no DTD, anything else                        Prop 3.1 reduction to ``D_p``
+``X(↓,↓*,∪)``                                Thm 4.1 PTIME reach
+``X(→,←)``                                   Thm 7.1 PTIME sibling analysis
+``X(↓,↓*,∪,[])``, disjunction-free DTD       Thm 6.8 PTIME
+``X(↓,↑)``                                   Thm 6.8(2) rewriting + above
+``X(↓,↓*,∪,[],¬)`` (covers positive ``[]``)  Thm 5.3 types fixpoint (EXPTIME)
+``X(↓,∪,[],=,¬)``                            Thm 5.5 small-model (NEXPTIME)
+positive with ``↑*``/data joins              Thm 4.4 layered strategy
+anything else (↑ + ¬, siblings + ¬, ...)     bounded semi-decision
+==========================================  ==================================
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.dtd.properties import is_disjunction_free
+from repro.errors import ReproError
+from repro.sat.bounded import Bounds, sat_bounded
+from repro.sat.conjunctive import _ALLOWED as _CQ_ALLOWED
+from repro.sat.conjunctive import sat_conjunctive_no_dtd
+from repro.sat.disjunction_free import sat_disjunction_free
+from repro.sat.downward import sat_downward
+from repro.sat.exptime_types import _ALLOWED as _TYPES_ALLOWED
+from repro.sat.exptime_types import sat_exptime_types
+from repro.sat.nexptime import _ALLOWED as _NEXP_ALLOWED
+from repro.sat.nexptime import sat_nexptime
+from repro.sat.no_dtd import _ALLOWED as _NODTD_ALLOWED
+from repro.sat.no_dtd import sat_no_dtd
+from repro.sat.positive import sat_positive
+from repro.sat.result import SatResult
+from repro.sat.sibling import sat_sibling
+from repro.dtd.transforms import universal_dtds
+from repro.xpath.ast import Path
+from repro.xpath.fragments import (
+    CHILD_UP,
+    DOWNWARD,
+    POSITIVE,
+    SIBLING,
+    features_of,
+)
+from repro.xpath.rewrite import upward_to_qualifiers
+
+
+def decide(query: Path, dtd: DTD | None = None, bounds: Bounds | None = None) -> SatResult:
+    """Decide satisfiability of ``(query, dtd)`` — or of ``query`` alone
+    over unconstrained trees when ``dtd`` is ``None`` — with the strongest
+    applicable procedure."""
+    if dtd is None:
+        return _decide_no_dtd(query, bounds)
+    used = features_of(query)
+
+    if DOWNWARD.contains(query):
+        return sat_downward(query, dtd)
+    if SIBLING.contains(query):
+        return sat_sibling(query, dtd)
+
+    if CHILD_UP.contains(query):
+        rewritten = upward_to_qualifiers(query)
+        if not rewritten.complete:
+            return SatResult(False, "dispatch", reason="query climbs above the root")
+        query = rewritten.path
+        used = features_of(query)
+
+    if used <= _TYPES_ALLOWED:
+        if is_disjunction_free(dtd) and _disjunction_free_applicable(used):
+            return sat_disjunction_free(query, dtd)
+        try:
+            return sat_exptime_types(query, dtd)
+        except ReproError:
+            pass  # fall through to bounded search
+    if used <= _NEXP_ALLOWED:
+        return sat_nexptime(query, dtd)
+    if POSITIVE.contains(query):
+        return sat_positive(query, dtd, bounds)
+    return sat_bounded(query, dtd, bounds)
+
+
+def _disjunction_free_applicable(used) -> bool:
+    from repro.xpath.fragments import Feature
+
+    return Feature.NEGATION not in used and Feature.LABEL_TEST not in used
+
+
+def _decide_no_dtd(query: Path, bounds: Bounds | None) -> SatResult:
+    used = features_of(query)
+    if used <= _NODTD_ALLOWED:
+        return sat_no_dtd(query)
+    if used <= _CQ_ALLOWED:
+        return sat_conjunctive_no_dtd(query)
+    # Proposition 3.1: reduce to the DTD family D_p
+    results = [decide(query, family_dtd, bounds) for family_dtd in universal_dtds(query)]
+    for result in results:
+        if result.is_sat:
+            result.reason = "via Prop 3.1 universal DTD; " + result.reason
+            return result
+    if all(result.is_unsat for result in results):
+        return SatResult(
+            False, "prop3.1-family",
+            reason="unsatisfiable under every universal DTD",
+        )
+    return SatResult(
+        None, "prop3.1-family",
+        reason="some universal-DTD instances undecided within bounds",
+    )

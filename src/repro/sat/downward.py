@@ -1,0 +1,159 @@
+"""Theorem 4.1: ``SAT(X(↓,↓*,∪))`` is in PTIME.
+
+The decision procedure is the paper's dynamic program over the DTD graph:
+for every subquery ``p'`` (in bottom-up order) and element type ``A``,
+``reach(p', A)`` is the set of element types reachable from an ``A``
+element via ``p'`` in ``G_D``.  The pair ``(p, D)`` is satisfiable iff
+``reach(p, r) ≠ ∅``.
+
+Two implementation notes:
+
+* The paper first normalizes the DTD (Proposition 3.3).  For this
+  qualifier-free fragment normalization is unnecessary: a label ``l`` can be
+  a child of an ``A`` element iff ``l`` occurs in ``P(A)`` (content models
+  never denote the empty language), so the DTD graph of the *original* DTD
+  already supports the recurrence, saving the ``O(|p||D|^3)`` rewriting and
+  giving the ``O(|p||D|^2)`` bound directly.
+* When satisfiable we also build the witness ``Tree(p, D)`` following the
+  paper's ``path(p', A, B)`` construction: a chain of labels realizing the
+  query, grafted into minimal conforming context.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD
+from repro.errors import FragmentError
+from repro.regex.ops import shortest_word_containing
+from repro.sat.result import SatResult
+from repro.xmltree.generate import _minimal_node, minimal_tree
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.ast import Path
+from repro.xpath.fragments import DOWNWARD
+
+METHOD = "thm4.1-reach"
+
+
+def sat_downward(query: Path, dtd: DTD) -> SatResult:
+    """Decide ``(query, dtd)`` for ``query ∈ X(↓,↓*,∪)``.
+
+    Raises :class:`FragmentError` outside the fragment.
+    """
+    if not DOWNWARD.contains(query):
+        raise FragmentError(
+            f"sat_downward requires X(child,dos,union); query uses "
+            f"{sorted(str(f) for f in DOWNWARD.missing(query))} extra"
+        )
+    dtd.require_terminating()
+    graph = DTDGraph(dtd)
+    reach_cache: dict[tuple[Path, str], frozenset[str]] = {}
+
+    def reach(sub: Path, element_type: str) -> frozenset[str]:
+        key = (sub, element_type)
+        cached = reach_cache.get(key)
+        if cached is not None:
+            return cached
+        result = _reach(sub, element_type)
+        reach_cache[key] = result
+        return result
+
+    def _reach(sub: Path, element_type: str) -> frozenset[str]:
+        if isinstance(sub, ast.Empty):
+            return frozenset({element_type})
+        if isinstance(sub, ast.Label):
+            if sub.name in dtd.child_types(element_type):
+                return frozenset({sub.name})
+            return frozenset()
+        if isinstance(sub, ast.Wildcard):
+            return dtd.child_types(element_type)
+        if isinstance(sub, ast.DescOrSelf):
+            return graph.reachable_from(element_type)
+        if isinstance(sub, ast.Union):
+            return reach(sub.left, element_type) | reach(sub.right, element_type)
+        if isinstance(sub, ast.Seq):
+            targets: set[str] = set()
+            for middle in reach(sub.left, element_type):
+                targets |= reach(sub.right, middle)
+            return frozenset(targets)
+        raise FragmentError(f"unexpected node in X(child,dos,union): {sub!r}")
+
+    final = reach(query, dtd.root)
+    stats = {"reach_entries": len(reach_cache)}
+    if not final:
+        return SatResult(False, METHOD, stats=stats)
+    witness = _build_witness(query, dtd, graph, reach)
+    return SatResult(True, METHOD, witness=witness, stats=stats)
+
+
+def _build_witness(query, dtd: DTD, graph: DTDGraph, reach) -> XMLTree:
+    """The paper's ``Tree(p, D)``: realize one label path from the root,
+    then complete it into a conforming tree with minimal expansions."""
+    target = min(reach(query, dtd.root))  # deterministic choice
+    labels = _path_labels(query, dtd.root, target, dtd, graph, reach)
+    tree = _chain_tree(dtd, labels)
+    return tree
+
+
+def _path_labels(sub, source: str, target: str, dtd: DTD, graph: DTDGraph, reach) -> list[str]:
+    """``path(p', A, B)``: labels of a witness path from ``A`` (excluded)
+    to ``B`` (included; empty when the path stays put)."""
+    if isinstance(sub, ast.Empty):
+        return []
+    if isinstance(sub, (ast.Label, ast.Wildcard)):
+        return [target]
+    if isinstance(sub, ast.DescOrSelf):
+        path = graph.shortest_path(source, target)
+        if path is None:
+            raise AssertionError("reach promised a path")
+        return path[1:]
+    if isinstance(sub, ast.Union):
+        if target in reach(sub.left, source):
+            return _path_labels(sub.left, source, target, dtd, graph, reach)
+        return _path_labels(sub.right, source, target, dtd, graph, reach)
+    if isinstance(sub, ast.Seq):
+        for middle in sorted(reach(sub.left, source)):
+            if target in reach(sub.right, middle):
+                head = _path_labels(sub.left, source, middle, dtd, graph, reach)
+                tail = _path_labels(sub.right, middle, target, dtd, graph, reach)
+                return head + tail
+        raise AssertionError("reach promised a decomposition")
+    raise FragmentError(f"unexpected node: {sub!r}")
+
+
+def _chain_tree(dtd: DTD, labels: list[str]) -> XMLTree:
+    """A conforming tree containing the root-to-leaf label chain
+    ``root/labels[0]/labels[1]/...``: each chain node's children word is a
+    shortest word containing the next chain label, with the off-chain
+    positions expanded minimally."""
+    if not labels:
+        return minimal_tree(dtd)
+
+    def build(label: str, remaining: list[str]) -> Node:
+        node = Node(label=label)
+        for attr in sorted(dtd.attrs_of(label)):
+            node.attrs[attr] = f"{attr}0"
+        if not remaining:
+            for child_label in _min_word(dtd, label):
+                node.append(_minimal_node(dtd, child_label))
+            return node
+        next_label = remaining[0]
+        word = shortest_word_containing(dtd.production(label), next_label)
+        if word is None:
+            raise AssertionError(f"{next_label} not a possible child of {label}")
+        placed = False
+        for symbol in word:
+            if symbol == next_label and not placed:
+                node.append(build(symbol, remaining[1:]))
+                placed = True
+            else:
+                node.append(_minimal_node(dtd, symbol))
+        return node
+
+    return XMLTree(build(dtd.root, labels))
+
+
+def _min_word(dtd: DTD, label: str):
+    from repro.xmltree.generate import _min_words
+
+    return _min_words(dtd)[label]

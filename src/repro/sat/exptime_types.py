@@ -1,0 +1,406 @@
+"""An exact decision procedure for ``X(↓,↓*,∪,[],¬)`` under arbitrary DTDs
+— the downward case of Theorem 5.3's EXPTIME upper bound.
+
+The paper proves the bound through two-way alternating automata; for the
+downward fragment an equivalent, far more implementable procedure is a
+*satisfiable-types fixpoint* (the classical EXPTIME tree-automaton
+construction specialized to XPath):
+
+1. **Closure.**  The query decomposes into finitely many *residual
+   qualifiers* whose truth at a node can matter.  A downward qualifier sees
+   the subtree only through *child facts*:
+
+   * ``("c", label | None, q | None)`` — some child with that label (or any
+     label) satisfies residual ``q`` (or no constraint);
+   * ``("cd", q)`` — some child has a self-or-descendant satisfying ``q``
+     (the ``↓*`` fact, transitively propagated).
+
+2. **Types.**  A node type is ``(A, truths, dtruths)``: the element type
+   plus the truth values of every closure qualifier and every ``↓*`` fact.
+   Both are functions of ``A`` and the set of child facts present.
+
+3. **Fixpoint.**  A type is realizable iff some children word of ``P(A)``
+   can be assembled from realizable types producing exactly that fact set.
+   Achievable fact sets are computed per element type by reachability over
+   (Glushkov state × fact bitmask) — the exponential step, exactly where
+   the EXPTIME lives.
+
+``(p, D)`` is satisfiable iff some realizable root type makes ``p`` true.
+Each realizable type remembers one witnessing children word, so SAT
+answers come with a concrete conforming tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.dtd.model import DTD
+from repro.errors import FragmentError, ReproError
+from repro.regex.ops import cached_nfa
+from repro.sat.result import SatResult
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xpath.fragments import REC_NEG_DOWN_UNION, Feature, features_of
+
+METHOD = "thm5.3-types-fixpoint"
+
+_ALLOWED = REC_NEG_DOWN_UNION.allowed | {Feature.LABEL_TEST}
+
+_TRUE = ast.PathExists(ast.Empty())
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """Element type + truths of all tracked facts at the node."""
+
+    label: str
+    truths: frozenset[Qualifier]
+    dtruths: frozenset[Qualifier]
+
+
+# -- step-case decomposition -------------------------------------------------
+
+@dataclass(frozen=True)
+class Done:
+    """The path may end at the context node."""
+
+
+@dataclass(frozen=True)
+class Child:
+    label: str | None
+    residual: Path
+
+
+@dataclass(frozen=True)
+class Desc:
+    residual: Path
+
+
+@dataclass(frozen=True)
+class Check:
+    qualifier: Qualifier
+    residual: Path
+
+
+_CASES_CACHE: dict[Path, tuple] = {}
+
+
+def first_cases(path: Path) -> tuple:
+    """All first-step cases of a downward path (memoized)."""
+    cached = _CASES_CACHE.get(path)
+    if cached is None:
+        cached = tuple(_first_cases(path))
+        _CASES_CACHE[path] = cached
+    return cached
+
+
+def _first_cases(path: Path) -> list:
+    if isinstance(path, ast.Empty):
+        return [Done()]
+    if isinstance(path, ast.Label):
+        return [Child(path.name, ast.Empty())]
+    if isinstance(path, ast.Wildcard):
+        return [Child(None, ast.Empty())]
+    if isinstance(path, ast.DescOrSelf):
+        return [Done()]  # descendant-or-self is trivially nonempty at self
+    if isinstance(path, ast.Union):
+        return list(first_cases(path.left)) + list(first_cases(path.right))
+    if isinstance(path, ast.Filter):
+        if isinstance(path.path, ast.Empty):
+            return [Check(path.qualifier, ast.Empty())]
+        return _first_cases(
+            ast.Seq(path.path, ast.Filter(ast.Empty(), path.qualifier))
+        )
+    if isinstance(path, ast.Seq):
+        left, right = path.left, path.right
+        if isinstance(left, ast.Empty):
+            return list(first_cases(right))
+        if isinstance(left, ast.Label):
+            return [Child(left.name, right)]
+        if isinstance(left, ast.Wildcard):
+            return [Child(None, right)]
+        if isinstance(left, ast.DescOrSelf):
+            return list(first_cases(right)) + [Desc(right)]
+        if isinstance(left, ast.Union):
+            return (
+                list(first_cases(ast.Seq(left.left, right)))
+                + list(first_cases(ast.Seq(left.right, right)))
+            )
+        if isinstance(left, ast.Seq):
+            return list(first_cases(ast.Seq(left.left, ast.Seq(left.right, right))))
+        if isinstance(left, ast.Filter):
+            if isinstance(left.path, ast.Empty):
+                return [Check(left.qualifier, right)]
+            return list(
+                first_cases(
+                    ast.Seq(
+                        left.path,
+                        ast.Seq(ast.Filter(ast.Empty(), left.qualifier), right),
+                    )
+                )
+            )
+        raise FragmentError(f"unexpected step {left!r}")
+    raise FragmentError(f"unexpected path node {path!r}")
+
+
+def _residual_qual(path: Path) -> Qualifier | None:
+    """Tracked qualifier for a residual path (``None`` when trivially ε)."""
+    if isinstance(path, ast.Empty):
+        return None
+    return ast.PathExists(path)
+
+
+# -- closure collection --------------------------------------------------------
+
+class _Closure:
+    def __init__(self) -> None:
+        self.quals: list[Qualifier] = []
+        self.qual_set: set[Qualifier] = set()
+        self.dquals: set[Qualifier] = set()
+        self.facts: list[tuple] = []
+        self.fact_index: dict[tuple, int] = {}
+        self._paths_seen: set[Path] = set()
+
+    def add_qual(self, qualifier: Qualifier, pending: deque) -> None:
+        if qualifier not in self.qual_set:
+            self.qual_set.add(qualifier)
+            self.quals.append(qualifier)
+            pending.append(qualifier)
+
+    def add_fact(self, fact: tuple) -> None:
+        if fact not in self.fact_index:
+            self.fact_index[fact] = len(self.facts)
+            self.facts.append(fact)
+
+    def collect(self, seed: Qualifier) -> None:
+        pending: deque[Qualifier] = deque()
+        self.add_qual(seed, pending)
+        while pending:
+            qualifier = pending.popleft()
+            if isinstance(qualifier, (ast.And, ast.Or)):
+                self.add_qual(qualifier.left, pending)
+                self.add_qual(qualifier.right, pending)
+            elif isinstance(qualifier, ast.Not):
+                self.add_qual(qualifier.inner, pending)
+            elif isinstance(qualifier, ast.PathExists):
+                self._collect_path(qualifier.path, pending)
+            elif isinstance(qualifier, (ast.LabelTest,)):
+                pass
+            else:
+                raise FragmentError(
+                    f"qualifier {qualifier!r} outside X(child,dos,union,qual,neg)"
+                )
+
+    def _collect_path(self, path: Path, pending: deque) -> None:
+        if path in self._paths_seen:
+            return
+        self._paths_seen.add(path)
+        for case in first_cases(path):
+            if isinstance(case, Done):
+                continue
+            if isinstance(case, Child):
+                residual = _residual_qual(case.residual)
+                self.add_fact(("c", case.label, residual))
+                if residual is not None:
+                    self.add_qual(residual, pending)
+            elif isinstance(case, Desc):
+                residual = _residual_qual(case.residual) or _TRUE
+                self.add_fact(("cd", residual))
+                self.dquals.add(residual)
+                self.add_qual(residual, pending)
+            elif isinstance(case, Check):
+                self.add_qual(case.qualifier, pending)
+                self._collect_path(case.residual, pending)
+
+
+# -- truth evaluation at (label, fact set) -------------------------------------
+
+class _Evaluator:
+    def __init__(self, closure: _Closure, label: str, fact_bits: int):
+        self.closure = closure
+        self.label = label
+        self.fact_bits = fact_bits
+        self._truth_cache: dict[Qualifier, bool] = {}
+        self._pe_cache: dict[Path, bool] = {}
+
+    def has_fact(self, fact: tuple) -> bool:
+        index = self.closure.fact_index.get(fact)
+        if index is None:
+            raise AssertionError(f"untracked fact {fact!r}")
+        return bool(self.fact_bits >> index & 1)
+
+    def truth(self, qualifier: Qualifier) -> bool:
+        cached = self._truth_cache.get(qualifier)
+        if cached is None:
+            cached = self._truth(qualifier)
+            self._truth_cache[qualifier] = cached
+        return cached
+
+    def _truth(self, qualifier: Qualifier) -> bool:
+        if isinstance(qualifier, ast.PathExists):
+            return self.path_exists(qualifier.path)
+        if isinstance(qualifier, ast.LabelTest):
+            return qualifier.name == self.label
+        if isinstance(qualifier, ast.And):
+            return self.truth(qualifier.left) and self.truth(qualifier.right)
+        if isinstance(qualifier, ast.Or):
+            return self.truth(qualifier.left) or self.truth(qualifier.right)
+        if isinstance(qualifier, ast.Not):
+            return not self.truth(qualifier.inner)
+        raise FragmentError(f"unexpected qualifier {qualifier!r}")
+
+    def path_exists(self, path: Path) -> bool:
+        cached = self._pe_cache.get(path)
+        if cached is None:
+            cached = self._path_exists(path)
+            self._pe_cache[path] = cached
+        return cached
+
+    def _path_exists(self, path: Path) -> bool:
+        for case in first_cases(path):
+            if isinstance(case, Done):
+                return True
+            if isinstance(case, Child):
+                if self.has_fact(("c", case.label, _residual_qual(case.residual))):
+                    return True
+            elif isinstance(case, Desc):
+                residual = _residual_qual(case.residual) or _TRUE
+                if self.has_fact(("cd", residual)):
+                    return True
+            elif isinstance(case, Check):
+                if self.truth(case.qualifier) and self.path_exists(case.residual):
+                    return True
+        return False
+
+
+# -- the fixpoint ---------------------------------------------------------------
+
+def sat_exptime_types(
+    query: Path, dtd: DTD, max_facts: int = 22
+) -> SatResult:
+    """Decide ``(query, dtd)`` for ``query ∈ X(↓,↓*,∪,[],¬)``.
+
+    ``max_facts`` caps the fact-bitmask width (the 2^facts reachability is
+    the EXPTIME step); a :class:`ReproError` asks callers to fall back to
+    the bounded engine beyond it.
+    """
+    used = features_of(query)
+    if not used <= _ALLOWED:
+        raise FragmentError(
+            f"sat_exptime_types requires X(child,dos,union,qual,neg); query uses "
+            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+        )
+    dtd.require_terminating()
+
+    closure = _Closure()
+    seed = ast.PathExists(query)
+    closure.collect(seed)
+    if len(closure.facts) > max_facts:
+        raise ReproError(
+            f"{len(closure.facts)} child facts exceed max_facts={max_facts}; "
+            "use sat_bounded for queries this large"
+        )
+
+    fact_count = len(closure.facts)
+    types_by_label: dict[str, list[NodeType]] = {name: [] for name in dtd.element_types}
+    type_set: set[NodeType] = set()
+    realization: dict[NodeType, tuple[NodeType, ...]] = {}
+    contribution_cache: dict[NodeType, int] = {}
+
+    def contribution(node_type: NodeType) -> int:
+        bits = contribution_cache.get(node_type)
+        if bits is None:
+            bits = 0
+            for index, fact in enumerate(closure.facts):
+                if fact[0] == "c":
+                    _tag, label, qual = fact
+                    if (label is None or label == node_type.label) and (
+                        qual is None or qual in node_type.truths
+                    ):
+                        bits |= 1 << index
+                else:
+                    _tag, qual = fact
+                    if qual in node_type.dtruths:
+                        bits |= 1 << index
+            contribution_cache[node_type] = bits
+        return bits
+
+    def derive(label: str, fact_bits: int) -> NodeType:
+        evaluator = _Evaluator(closure, label, fact_bits)
+        truths = frozenset(q for q in closure.quals if evaluator.truth(q))
+        dtruths = frozenset(
+            q
+            for q in closure.dquals
+            if evaluator.truth(q)
+            or (("cd", q) in closure.fact_index and evaluator.has_fact(("cd", q)))
+        )
+        return NodeType(label, truths, dtruths)
+
+    def achievable(label: str) -> list[tuple[int, tuple[NodeType, ...]]]:
+        """All achievable (fact bitmask, witnessing word of child types)
+        for the content model of ``label``, given current types."""
+        nfa = cached_nfa(dtd.production(label))
+        start = (0, 0)
+        parents: dict[tuple[int, int], tuple[tuple[int, int], NodeType]] = {}
+        seen = {start}
+        queue = deque([start])
+        results: dict[int, tuple[NodeType, ...]] = {}
+        while queue:
+            state, bits = queue.popleft()
+            if nfa.is_accepting(state) and bits not in results:
+                word: list[NodeType] = []
+                current = (state, bits)
+                while current != start:
+                    current, chosen = parents[current]
+                    word.append(chosen)
+                results[bits] = tuple(reversed(word))
+            for succ in nfa.successors(state):
+                symbol = nfa.symbols[succ]
+                assert symbol is not None
+                for child_type in types_by_label[symbol]:
+                    succ_node = (succ, bits | contribution(child_type))
+                    if succ_node not in seen:
+                        seen.add(succ_node)
+                        parents[succ_node] = ((state, bits), child_type)
+                        queue.append(succ_node)
+        return list(results.items())
+
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        for label in sorted(dtd.element_types):
+            for bits, word in achievable(label):
+                node_type = derive(label, bits)
+                if node_type not in type_set:
+                    type_set.add(node_type)
+                    types_by_label[label].append(node_type)
+                    realization[node_type] = word
+                    changed = True
+
+    stats = {
+        "closure_quals": len(closure.quals),
+        "facts": fact_count,
+        "types": len(type_set),
+        "rounds": rounds,
+    }
+    root_types = [t for t in types_by_label[dtd.root] if seed in t.truths]
+    if not root_types:
+        return SatResult(False, METHOD, stats=stats)
+    witness = _realize(root_types[0], realization, dtd)
+    return SatResult(True, METHOD, witness=witness, stats=stats)
+
+
+def _realize(node_type: NodeType, realization, dtd: DTD) -> XMLTree:
+    def build(current: NodeType) -> Node:
+        node = Node(current.label)
+        for attr in sorted(dtd.attrs_of(current.label)):
+            node.attrs[attr] = f"{attr}0"
+        for child_type in realization[current]:
+            node.append(build(child_type))
+        return node
+
+    return XMLTree(build(node_type))

@@ -1,0 +1,92 @@
+"""Theorem 5.5: ``SAT(X(↓,∪,[],=,¬))`` is in NEXPTIME.
+
+The paper's argument is a small-model property: a satisfiable pair has a
+model of depth ≤ ``|p|`` (the query is nonrecursive and downward: nothing
+below its lookahead horizon matters) and width ≤ ``|D| + |p|`` (the
+``witness()`` pruning), whose attribute-equality pattern needs at most one
+distinct value per attribute slot.
+
+We realize the nondeterministic "guess a model" step by instantiating the
+bounded-model engine with exactly these bounds, with one refinement: the
+depth bound is the query's *lookahead depth* (the deepest chain of child
+steps, through qualifiers), which is ≤ ``|p|`` and usually far smaller.
+Below the horizon, frontier nodes are completed minimally — sound because
+the query cannot inspect them.
+
+When the engine covers the bound-implied space the ``False`` answer is
+definitive (that is Theorem 5.5's content); if internal caps were hit the
+result is honestly ``unknown``.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.errors import FragmentError
+from repro.sat.bounded import Bounds, sat_bounded
+from repro.sat.result import SatResult
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xpath.fragments import DATA_NEG_DOWN, Feature, features_of
+
+METHOD = "thm5.5-smallmodel"
+
+_ALLOWED = DATA_NEG_DOWN.allowed | {Feature.LABEL_TEST}
+
+
+def lookahead_depth(node: Path | Qualifier) -> int:
+    """The deepest chain of child steps the expression can inspect,
+    counting through qualifiers (``↓*``/``↑`` are outside this fragment)."""
+    if isinstance(node, (ast.Label, ast.Wildcard)):
+        return 1
+    if isinstance(node, ast.Seq):
+        return lookahead_depth(node.left) + lookahead_depth(node.right)
+    if isinstance(node, ast.Union):
+        return max(lookahead_depth(node.left), lookahead_depth(node.right))
+    if isinstance(node, ast.Filter):
+        return lookahead_depth(node.path) + lookahead_depth(node.qualifier)
+    if isinstance(node, ast.PathExists):
+        return lookahead_depth(node.path)
+    if isinstance(node, (ast.And, ast.Or)):
+        return max(lookahead_depth(node.left), lookahead_depth(node.right))
+    if isinstance(node, ast.Not):
+        return lookahead_depth(node.inner)
+    if isinstance(node, (ast.AttrConstCmp,)):
+        return lookahead_depth(node.path)
+    if isinstance(node, ast.AttrAttrCmp):
+        return max(lookahead_depth(node.left_path), lookahead_depth(node.right_path))
+    return 0  # ε, label tests
+
+
+def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
+                 assignment_cap: int = 4096) -> SatResult:
+    """Decide ``(query, dtd)`` for ``query ∈ X(↓,∪,[],=,¬)`` by small-model
+    search (Theorem 5.5 bounds)."""
+    used = features_of(query)
+    if not used <= _ALLOWED:
+        raise FragmentError(
+            f"sat_nexptime requires X(child,union,qual,data,neg); query uses "
+            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+        )
+    dtd.require_terminating()
+    depth = lookahead_depth(query)
+    paper_width = dtd.size() + query.size()
+    width = min(paper_width, width_cap)
+    bounds = Bounds(
+        max_depth=depth,
+        max_width=width,
+        max_nodes=max(40, min((width + 1) ** max(depth, 1), 10_000)),
+        max_trees=200_000,
+        value_pool=3,
+        max_assignments=assignment_cap,
+        complete_frontier=True,
+        frontier_sound=True,       # depth = exact lookahead of the query
+        width_sound=width >= paper_width,
+    )
+    inner = sat_bounded(query, dtd, bounds)
+    reason = inner.reason
+    if inner.satisfiable is None and "width" not in reason:
+        reason += f" (paper width bound |D|+|p| = {dtd.size() + query.size()})"
+    return SatResult(
+        inner.satisfiable, METHOD, witness=inner.witness, reason=reason,
+        stats=inner.stats,
+    )

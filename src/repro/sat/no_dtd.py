@@ -1,0 +1,232 @@
+"""Theorem 6.11(1): in the absence of DTDs, ``SAT(X(↓,↓*,∪,[]))`` is in
+PTIME (cubic), and *every* query is satisfiable when label tests are
+disallowed.
+
+The algorithm is the paper's ``reach``/``sat`` dynamic program over the
+label set ``Ele = labels(p) ∪ {X}``: with no DTD, ``↓``/``↓*`` reach every
+label, and a conjunction of qualifiers is satisfiable at a node iff each
+conjunct is — witnesses live in independent branches because nothing
+constrains the children words.  The witness construction is the paper's
+``Tree(p)``: a pattern tree with a separate branch per qualifier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FragmentError
+from repro.sat.result import SatResult
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier, labels_mentioned
+from repro.xpath.fragments import DOWNWARD_QUAL, Feature, features_of
+
+METHOD = "thm6.11-no-dtd"
+
+_ALLOWED = DOWNWARD_QUAL.allowed | {Feature.LABEL_TEST}
+
+
+def sat_no_dtd(query: Path) -> SatResult:
+    """Decide satisfiability of ``query ∈ X(↓,↓*,∪,[])`` (label tests
+    allowed) over unconstrained trees."""
+    used = features_of(query)
+    if not used <= _ALLOWED:
+        raise FragmentError(
+            f"sat_no_dtd requires X(child,dos,union,qual); query uses "
+            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+        )
+    if Feature.LABEL_TEST not in used:
+        # the paper's observation: without label tests every query in the
+        # fragment is satisfiable
+        witness = _build_witness(query, _trivial_reach(query))
+        return SatResult(
+            True, METHOD, witness=witness, reason="label-test-free: always satisfiable"
+        )
+
+    labels = sorted(labels_mentioned(query))
+    fresh = "X"
+    while fresh in labels:
+        fresh += "_"
+    universe = frozenset(labels) | {fresh}
+
+    reach_cache: dict[tuple[Path, str], frozenset[str]] = {}
+    sat_cache: dict[tuple[Qualifier, str], bool] = {}
+
+    def reach(sub: Path, label: str) -> frozenset[str]:
+        key = (sub, label)
+        cached = reach_cache.get(key)
+        if cached is None:
+            cached = _reach(sub, label)
+            reach_cache[key] = cached
+        return cached
+
+    def _reach(sub: Path, label: str) -> frozenset[str]:
+        if isinstance(sub, ast.Empty):
+            return frozenset({label})
+        if isinstance(sub, ast.Label):
+            # no DTD: any label can appear as a child of any node
+            return frozenset({sub.name})
+        if isinstance(sub, (ast.Wildcard, ast.DescOrSelf)):
+            return universe
+        if isinstance(sub, ast.Union):
+            return reach(sub.left, label) | reach(sub.right, label)
+        if isinstance(sub, ast.Seq):
+            targets: set[str] = set()
+            for middle in reach(sub.left, label):
+                targets |= reach(sub.right, middle)
+            return frozenset(targets)
+        if isinstance(sub, ast.Filter):
+            return frozenset(
+                target for target in reach(sub.path, label) if sat_q(sub.qualifier, target)
+            )
+        raise FragmentError(f"unexpected node {sub!r}")
+
+    def sat_q(qualifier: Qualifier, label: str) -> bool:
+        key = (qualifier, label)
+        cached = sat_cache.get(key)
+        if cached is None:
+            cached = _sat_q(qualifier, label)
+            sat_cache[key] = cached
+        return cached
+
+    def _sat_q(qualifier: Qualifier, label: str) -> bool:
+        if isinstance(qualifier, ast.PathExists):
+            return bool(reach(qualifier.path, label))
+        if isinstance(qualifier, ast.LabelTest):
+            return qualifier.name == label
+        if isinstance(qualifier, ast.And):
+            # independent branches: conjuncts decide separately
+            return sat_q(qualifier.left, label) and sat_q(qualifier.right, label)
+        if isinstance(qualifier, ast.Or):
+            return sat_q(qualifier.left, label) or sat_q(qualifier.right, label)
+        raise FragmentError(f"unexpected qualifier {qualifier!r}")
+
+    satisfiable_roots = [
+        label for label in sorted(universe) if reach(query, label)
+    ]
+    stats = {"reach_entries": len(reach_cache), "sat_entries": len(sat_cache)}
+    if not satisfiable_roots:
+        return SatResult(False, METHOD, stats=stats)
+    root_label = satisfiable_roots[0]
+    witness = _build_witness_checked(query, root_label, reach, sat_q)
+    return SatResult(True, METHOD, witness=witness, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Witness construction (the paper's Tree(p)): no DTD constraints, so every
+# requirement gets its own branch.
+# ---------------------------------------------------------------------------
+
+class _TrivialTables:
+    """reach/sat tables for the label-test-free case: everything reachable,
+    everything satisfiable."""
+
+    def __init__(self, universe: frozenset[str]):
+        self.universe = universe
+
+
+def _trivial_reach(query: Path):
+    labels = sorted(labels_mentioned(query)) or ["X"]
+
+    def reach(sub: Path, label: str) -> frozenset[str]:
+        del sub, label
+        return frozenset(labels)
+
+    return reach
+
+
+def _build_witness(query: Path, reach) -> XMLTree:
+    """Label-test-free witness: greedily realize one branch per
+    requirement; any labels work, so use the mentioned ones."""
+    root = Node("X")
+    _grow(root, query)
+    return XMLTree(root)
+
+
+def _grow(node: Node, sub: Path) -> Node:
+    """Append a witness branch for ``sub`` below ``node``; returns the final
+    node.  Only safe without label tests (labels are free)."""
+    if isinstance(sub, ast.Empty):
+        return node
+    if isinstance(sub, ast.Label):
+        return node.append(Node(sub.name))
+    if isinstance(sub, (ast.Wildcard, ast.DescOrSelf)):
+        return node.append(Node("X"))
+    if isinstance(sub, ast.Seq):
+        middle = _grow(node, sub.left)
+        return _grow(middle, sub.right)
+    if isinstance(sub, ast.Union):
+        return _grow(node, sub.left)
+    if isinstance(sub, ast.Filter):
+        target = _grow(node, sub.path)
+        _grow_qualifier(target, sub.qualifier)
+        return target
+    raise FragmentError(f"unexpected node {sub!r}")
+
+
+def _grow_qualifier(node: Node, qualifier: Qualifier) -> None:
+    if isinstance(qualifier, ast.PathExists):
+        _grow(node, qualifier.path)
+        return
+    if isinstance(qualifier, ast.And):
+        _grow_qualifier(node, qualifier.left)
+        _grow_qualifier(node, qualifier.right)
+        return
+    if isinstance(qualifier, ast.Or):
+        _grow_qualifier(node, qualifier.left)
+        return
+    raise FragmentError(f"unexpected qualifier {qualifier!r}")
+
+
+def _build_witness_checked(query: Path, root_label: str, reach, sat_q) -> XMLTree:
+    """Witness construction guided by the reach/sat tables (needed when
+    label tests force choices)."""
+
+    def realize_path(node: Node, sub: Path, target: str) -> Node:
+        if isinstance(sub, ast.Empty):
+            return node
+        if isinstance(sub, ast.Label):
+            return node.append(Node(sub.name))
+        if isinstance(sub, ast.Wildcard):
+            return node.append(Node(target))
+        if isinstance(sub, ast.DescOrSelf):
+            if target == node.label:
+                return node  # descendant-or-self includes self
+            return node.append(Node(target))
+        if isinstance(sub, ast.Union):
+            if target in reach(sub.left, node.label):
+                return realize_path(node, sub.left, target)
+            return realize_path(node, sub.right, target)
+        if isinstance(sub, ast.Seq):
+            for middle in sorted(reach(sub.left, node.label)):
+                if target in reach(sub.right, middle):
+                    mid = realize_path(node, sub.left, middle)
+                    return realize_path(mid, sub.right, target)
+            raise AssertionError("reach promised a decomposition")
+        if isinstance(sub, ast.Filter):
+            end = realize_path(node, sub.path, target)
+            realize_qualifier(end, sub.qualifier)
+            return end
+        raise FragmentError(f"unexpected node {sub!r}")
+
+    def realize_qualifier(node: Node, qualifier: Qualifier) -> None:
+        if isinstance(qualifier, ast.PathExists):
+            targets = reach(qualifier.path, node.label)
+            realize_path(node, qualifier.path, min(targets))
+            return
+        if isinstance(qualifier, ast.LabelTest):
+            return
+        if isinstance(qualifier, ast.And):
+            realize_qualifier(node, qualifier.left)
+            realize_qualifier(node, qualifier.right)
+            return
+        if isinstance(qualifier, ast.Or):
+            if sat_q(qualifier.left, node.label):
+                realize_qualifier(node, qualifier.left)
+            else:
+                realize_qualifier(node, qualifier.right)
+            return
+        raise FragmentError(f"unexpected qualifier {qualifier!r}")
+
+    root = Node(root_label)
+    target = min(reach(query, root_label))
+    realize_path(root, query, target)
+    return XMLTree(root)

@@ -1,0 +1,64 @@
+"""The result type shared by all satisfiability deciders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.xmltree.model import XMLTree
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability check.
+
+    Attributes
+    ----------
+    satisfiable:
+        ``True`` (a witness exists), ``False`` (proven unsatisfiable), or
+        ``None`` — the procedure was a bounded semi-decision and exhausted
+        its bounds without an answer (never a proof of unsatisfiability).
+    method:
+        Which algorithm produced the answer (e.g. ``"thm4.1-reach"``).
+    witness:
+        A conforming tree satisfying the query, when ``satisfiable``.
+    reason:
+        Free-text explanation (used mostly by ``None`` results).
+    stats:
+        Algorithm-specific counters (table sizes, trees enumerated, ...).
+    """
+
+    satisfiable: bool | None
+    method: str
+    witness: XMLTree | None = None
+    reason: str = ""
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.satisfiable is True
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.satisfiable is False
+
+    @property
+    def unknown(self) -> bool:
+        return self.satisfiable is None
+
+    def __bool__(self) -> bool:
+        if self.satisfiable is None:
+            raise ValueError(
+                f"{self.method} could not decide ({self.reason}); "
+                "check .satisfiable explicitly for three-valued results"
+            )
+        return self.satisfiable
+
+    def describe(self) -> str:
+        verdict = {True: "SAT", False: "UNSAT", None: "UNKNOWN"}[self.satisfiable]
+        parts = [f"{verdict} [{self.method}]"]
+        if self.reason:
+            parts.append(self.reason)
+        if self.witness is not None:
+            parts.append(f"witness has {len(self.witness)} nodes")
+        return "; ".join(parts)

@@ -1,0 +1,20 @@
+"""Independent oracle solvers for the source problems of the paper's
+lower-bound reductions: 3SAT (DPLL), Q3SAT (QBF evaluation), two-player
+corridor tiling (game search), and two-register machines (simulation).
+
+These exist so every encoding in :mod:`repro.reductions` can be validated
+end to end: *source instance is a yes-instance ⟺ the encoded (query, DTD)
+pair is satisfiable*.
+"""
+
+from repro.solvers.dpll import CNF, Clause, dpll_satisfiable, random_3cnf
+from repro.solvers.qbf import QBF, qbf_valid, random_q3sat
+from repro.solvers.tiling_game import TilingSystem, player_one_wins
+from repro.solvers.machines import TwoRegisterMachine, run_machine
+
+__all__ = [
+    "CNF", "Clause", "dpll_satisfiable", "random_3cnf",
+    "QBF", "qbf_valid", "random_q3sat",
+    "TilingSystem", "player_one_wins",
+    "TwoRegisterMachine", "run_machine",
+]

@@ -1,0 +1,156 @@
+"""CNF formulas and a DPLL satisfiability solver.
+
+Literals are nonzero integers (DIMACS convention: ``-3`` is ``¬x3``);
+variables are numbered from 1.  The solver implements unit propagation,
+pure-literal elimination and branching on the most frequent variable —
+plenty for the instance sizes the reduction benchmarks use, while being an
+*independent* implementation to validate the XPath encodings against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+Clause = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula: a conjunction of integer-literal clauses."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.n_vars:
+                    raise ValueError(f"literal {literal} out of range")
+
+    @property
+    def variables(self) -> range:
+        return range(1, self.n_vars + 1)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return all(
+            any(assignment.get(abs(literal), False) == (literal > 0) for literal in clause)
+            for clause in self.clauses
+        )
+
+    def describe(self) -> str:
+        def lit(literal: int) -> str:
+            return f"x{literal}" if literal > 0 else f"~x{-literal}"
+
+        return " & ".join(
+            "(" + " | ".join(lit(l) for l in clause) + ")" for clause in self.clauses
+        )
+
+
+def dpll_satisfiable(cnf: CNF) -> dict[int, bool] | None:
+    """A satisfying assignment (total over all variables), or ``None``."""
+    assignment: dict[int, bool] = {}
+    result = _dpll([list(clause) for clause in cnf.clauses], assignment)
+    if result is None:
+        return None
+    for variable in cnf.variables:
+        result.setdefault(variable, False)
+    return result
+
+
+def _dpll(clauses: list[list[int]], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return dict(assignment)
+
+    # unit propagation
+    unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+    if unit is not None:
+        assignment[abs(unit)] = unit > 0
+        result = _dpll(clauses, assignment)
+        if result is None:
+            del assignment[abs(unit)]
+        return result
+
+    # pure literal elimination
+    literals = {literal for clause in clauses for literal in clause}
+    pure = next((l for l in literals if -l not in literals), None)
+    if pure is not None:
+        assignment[abs(pure)] = pure > 0
+        result = _dpll(clauses, assignment)
+        if result is None:
+            del assignment[abs(pure)]
+        return result
+
+    # branch on the most frequent variable
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+    variable = max(counts, key=counts.get)  # type: ignore[arg-type]
+    for value in (True, False):
+        assignment[variable] = value
+        result = _dpll(clauses, assignment)
+        if result is not None:
+            return result
+        del assignment[variable]
+    return None
+
+
+def _simplify(clauses: list[list[int]], assignment: dict[int, bool]) -> list[list[int]] | None:
+    """Apply the assignment; ``None`` signals an empty (false) clause."""
+    simplified: list[list[int]] = []
+    for clause in clauses:
+        kept: list[int] = []
+        satisfied = False
+        for literal in clause:
+            value = assignment.get(abs(literal))
+            if value is None:
+                kept.append(literal)
+            elif value == (literal > 0):
+                satisfied = True
+                break
+        if satisfied:
+            continue
+        if not kept:
+            return None
+        simplified.append(kept)
+    return simplified
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Exhaustive check, for validating DPLL in tests (≤ ~20 variables)."""
+    for mask in range(1 << cnf.n_vars):
+        assignment = {
+            variable: bool(mask >> (variable - 1) & 1) for variable in cnf.variables
+        }
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+def random_3cnf(rng: random.Random, n_vars: int, n_clauses: int) -> CNF:
+    """Uniform random 3-CNF (three distinct variables per clause)."""
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables for 3-CNF")
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), 3)
+        clause = tuple(
+            variable if rng.random() < 0.5 else -variable for variable in variables
+        )
+        clauses.append(clause)
+    return CNF(n_vars=n_vars, clauses=tuple(clauses))
+
+
+def cnf(clauses: Iterable[Iterable[int]], n_vars: int | None = None) -> CNF:
+    """Convenience constructor: infers ``n_vars`` when omitted."""
+    materialized = tuple(tuple(clause) for clause in clauses)
+    if n_vars is None:
+        n_vars = max(
+            (abs(literal) for clause in materialized for literal in clause), default=0
+        )
+    return CNF(n_vars=n_vars, clauses=materialized)

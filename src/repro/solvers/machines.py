@@ -1,0 +1,119 @@
+"""Two-register machines (2RM) — the undecidability source of Theorem 5.4.
+
+A 2RM has registers ``r1, r2`` and numbered instructions; an instantaneous
+description (ID) is ``(i, m, n)``.  Instructions:
+
+* ``("add", rg, j)`` — increment register ``rg``, go to state ``j``;
+* ``("sub", rg, j, k)`` — if ``rg`` is zero go to ``j``; else decrement
+  and go to ``k``.
+
+The halting problem ``(0,0,0) ⇒* (f,0,0)`` is undecidable; the simulator
+here is bounded (step budget) and used to validate the XPath encoding on
+machines whose behavior is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+Instruction = tuple  # ("add", rg, j) | ("sub", rg, j, k)
+ID = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class TwoRegisterMachine:
+    """Instructions indexed from 0; ``final`` is the halting state ``f``."""
+
+    instructions: tuple[Instruction, ...]
+    final: int
+
+    def __post_init__(self) -> None:
+        for instruction in self.instructions:
+            kind = instruction[0]
+            if kind == "add":
+                _, rg, target = instruction
+                targets = (target,)
+            elif kind == "sub":
+                _, rg, zero_target, pos_target = instruction
+                targets = (zero_target, pos_target)
+            else:
+                raise ValueError(f"bad instruction {instruction!r}")
+            if rg not in (1, 2):
+                raise ValueError(f"bad register {rg!r}")
+            for target in targets:
+                if not 0 <= target <= len(self.instructions):
+                    raise ValueError(f"target {target} out of range")
+
+    def step(self, current: ID) -> ID | None:
+        state, m, n = current
+        if state == self.final or state >= len(self.instructions):
+            return None
+        instruction = self.instructions[state]
+        if instruction[0] == "add":
+            _, rg, target = instruction
+            return (target, m + 1, n) if rg == 1 else (target, m, n + 1)
+        _, rg, zero_target, pos_target = instruction
+        value = m if rg == 1 else n
+        if value == 0:
+            return (zero_target, m, n)
+        if rg == 1:
+            return (pos_target, m - 1, n)
+        return (pos_target, m, n - 1)
+
+
+def run_machine(machine: TwoRegisterMachine, max_steps: int = 10_000
+                ) -> tuple[list[ID], Literal["halted", "stuck", "budget"]]:
+    """Run from ``(0,0,0)``; returns the ID trace and how it ended.
+
+    ``halted`` means the final ID ``(f,0,0)`` was reached exactly.
+    ``stuck`` means execution stopped elsewhere (fell off the program or
+    reached ``f`` with nonzero registers).  ``budget`` means the step cap
+    was hit (the machine may diverge).
+    """
+    trace: list[ID] = [(0, 0, 0)]
+    for _ in range(max_steps):
+        state, m, n = trace[-1]
+        if state == machine.final:
+            return trace, "halted" if (m, n) == (0, 0) else "stuck"
+        nxt = machine.step(trace[-1])
+        if nxt is None:
+            return trace, "stuck"
+        trace.append(nxt)
+    return trace, "budget"
+
+
+# -- sample machines -------------------------------------------------------------
+
+def halting_adder(count: int = 2) -> TwoRegisterMachine:
+    """Add ``count`` to r1, move it to r2, drain r2 — halts at
+    ``(f, 0, 0)``."""
+    instructions: list[Instruction] = []
+    for index in range(count):
+        instructions.append(("add", 1, index + 1))
+    move_loop = len(instructions)
+    # while r1 > 0: r1--, r2++
+    instructions.append(("sub", 1, move_loop + 3, move_loop + 1))
+    instructions.append(("add", 2, move_loop))
+    instructions.append(("add", 2, move_loop))  # unreachable filler
+    drain = move_loop + 3
+    instructions.append(("sub", 2, drain + 2, drain + 1))
+    instructions.append(("sub", 2, drain + 2, drain + 1))
+    final = drain + 2
+    return TwoRegisterMachine(tuple(instructions), final=final)
+
+
+def trivial_halt() -> TwoRegisterMachine:
+    """Halts immediately: state 0 is the final state."""
+    return TwoRegisterMachine((("add", 1, 0),), final=0)
+
+
+def diverging_loop() -> TwoRegisterMachine:
+    """Increments r1 forever — never halts."""
+    return TwoRegisterMachine((("add", 1, 0),), final=1)
+
+
+def stuck_machine() -> TwoRegisterMachine:
+    """Reaches the final state with a nonzero register (never the final
+    ID)."""
+    return TwoRegisterMachine((("add", 1, 1),), final=1)

@@ -1,0 +1,78 @@
+"""Quantified 3SAT (Q3SAT) instances and a recursive QBF evaluator.
+
+An instance is ``Q1 x1 ... Qm xm . E`` with ``E`` a 3-CNF over
+``x1..xm`` — the source problem of the paper's PSPACE-hardness reductions
+(Proposition 5.1, Theorem 6.7(1), Corollary 6.15(1), Proposition 7.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.solvers.dpll import CNF, random_3cnf
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A fully quantified Boolean formula in prenex 3-CNF form.
+
+    ``quantifiers[i]`` is ``"A"`` (∀) or ``"E"`` (∃) for variable ``i+1``.
+    """
+
+    quantifiers: tuple[str, ...]
+    matrix: CNF
+
+    def __post_init__(self) -> None:
+        if len(self.quantifiers) != self.matrix.n_vars:
+            raise ValueError("one quantifier per variable required")
+        for quantifier in self.quantifiers:
+            if quantifier not in ("A", "E"):
+                raise ValueError(f"bad quantifier {quantifier!r}")
+
+    @property
+    def n_vars(self) -> int:
+        return self.matrix.n_vars
+
+    def describe(self) -> str:
+        prefix = " ".join(
+            f"{'∀' if q == 'A' else '∃'}x{i + 1}" for i, q in enumerate(self.quantifiers)
+        )
+        return f"{prefix} . {self.matrix.describe()}"
+
+
+def qbf_valid(qbf: QBF) -> bool:
+    """Evaluate the QBF (exponential recursion with assignment pruning)."""
+
+    def recurse(index: int, assignment: dict[int, bool]) -> bool:
+        if index > qbf.n_vars:
+            return qbf.matrix.evaluate(assignment)
+        # prune: if some clause is already false under the partial
+        # assignment, the branch fails regardless of later choices
+        for clause in qbf.matrix.clauses:
+            decided = [
+                assignment[abs(l)] == (l > 0)
+                for l in clause
+                if abs(l) in assignment
+            ]
+            if len(decided) == len(clause) and not any(decided):
+                return False
+        quantifier = qbf.quantifiers[index - 1]
+        outcomes = []
+        for value in (True, False):
+            assignment[index] = value
+            outcomes.append(recurse(index + 1, assignment))
+            del assignment[index]
+            if quantifier == "E" and outcomes[-1]:
+                return True
+            if quantifier == "A" and not outcomes[-1]:
+                return False
+        return all(outcomes) if quantifier == "A" else any(outcomes)
+
+    return recurse(1, {})
+
+
+def random_q3sat(rng: random.Random, n_vars: int, n_clauses: int) -> QBF:
+    matrix = random_3cnf(rng, n_vars, n_clauses)
+    quantifiers = tuple(rng.choice("AE") for _ in range(n_vars))
+    return QBF(quantifiers=quantifiers, matrix=matrix)

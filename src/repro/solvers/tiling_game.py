@@ -1,0 +1,129 @@
+"""Two-player corridor tiling (TPG-CT), the EXPTIME-complete source
+problem of Theorems 5.6 and 6.7(2)/(3).
+
+An instance is a tiling system ``(X, H, V, t, b)`` and corridor width
+``n``: players alternately place tiles row by row, left to right (Player I
+first), respecting the horizontal relation ``H`` within a row and the
+vertical relation ``V`` between rows; the top row is fixed to ``t``.
+Player I wins when the corridor is completed with bottom row ``b``
+(Player II may keep the game going; a player unable to move loses).
+
+``player_one_wins`` solves the game by memoized alternating search over
+snapshots (the last ``n`` tiles placed), exactly the state space the
+paper's attribute encoding uses (Figure 5) — exponential in ``n``, which
+is the point of the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class TilingSystem:
+    """``(X, H, V, t, b)`` with corridor width ``n = len(top)``."""
+
+    tiles: tuple[str, ...]
+    horizontal: frozenset[tuple[str, str]]   # allowed left→right pairs
+    vertical: frozenset[tuple[str, str]]     # allowed upper→lower pairs
+    top: tuple[str, ...]
+    bottom: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.top) != len(self.bottom):
+            raise ValueError("top and bottom rows must have equal width")
+        for row in (self.top, self.bottom):
+            for tile in row:
+                if tile not in self.tiles:
+                    raise ValueError(f"unknown tile {tile!r}")
+
+    @property
+    def width(self) -> int:
+        return len(self.top)
+
+    def ok_h(self, left: str, right: str) -> bool:
+        return (left, right) in self.horizontal
+
+    def ok_v(self, upper: str, lower: str) -> bool:
+        return (upper, lower) in self.vertical
+
+
+def player_one_wins(system: TilingSystem, max_rows: int = 16) -> bool:
+    """Does Player I have a winning strategy within ``max_rows`` rows?
+
+    The game state is (tiles placed in the current partial row, previous
+    completed row, rows used).  Player I moves at even positions (0-based)
+    of each row because play alternates strictly and ``n`` is even in the
+    paper's reduction; for odd widths the mover is tracked explicitly.
+    A completed corridor must match ``bottom`` for Player I to win; running
+    out of ``max_rows`` loses for Player I (the paper's game is finite
+    because repetition of snapshots can be cut).
+    """
+    n = system.width
+
+    @lru_cache(maxsize=None)
+    def wins(prev_row: tuple[str, ...], partial: tuple[str, ...],
+             rows_used: int, mover_is_one: bool) -> bool:
+        position = len(partial)
+        if position == n:
+            # row completed: II may stop the game if the row matches bottom?
+            # Per the paper, the game ends when the bottom row is reached;
+            # Player I wins iff the completed row equals `bottom`, else the
+            # game continues with the next row.
+            if partial == system.bottom:
+                return True
+            if rows_used >= max_rows:
+                return False
+            return wins(partial, (), rows_used + 1, mover_is_one)
+        legal = [
+            tile
+            for tile in system.tiles
+            if (position == 0 or system.ok_h(partial[-1], tile))
+            and system.ok_v(prev_row[position], tile)
+        ]
+        if not legal:
+            # the mover cannot place a tile and loses
+            return not mover_is_one
+        if mover_is_one:
+            return any(
+                wins(prev_row, partial + (tile,), rows_used, False) for tile in legal
+            )
+        return all(
+            wins(prev_row, partial + (tile,), rows_used, True) for tile in legal
+        )
+
+    return wins(system.top, (), 1, True)
+
+
+def enumerate_plays(system: TilingSystem, max_rows: int = 4):
+    """All complete corridors (sequences of rows from top to bottom) within
+    ``max_rows`` rows — used to cross-check small instances in tests."""
+    n = system.width
+
+    def extend(rows: tuple[tuple[str, ...], ...]):
+        if rows[-1] == system.bottom and len(rows) > 1:
+            yield rows
+        if len(rows) >= max_rows:
+            return
+        for row in _rows_after(system, rows[-1]):
+            yield from extend(rows + (row,))
+
+    yield from extend((system.top,))
+
+
+def _rows_after(system: TilingSystem, prev: tuple[str, ...]):
+    n = system.width
+
+    def build(partial: tuple[str, ...]):
+        if len(partial) == n:
+            yield partial
+            return
+        for tile in system.tiles:
+            if partial and not system.ok_h(partial[-1], tile):
+                continue
+            if not system.ok_v(prev[len(partial)], tile):
+                continue
+            yield from build(partial + (tile,))
+
+    yield from build(())

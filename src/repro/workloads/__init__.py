@@ -1,0 +1,12 @@
+"""Workload generation: random queries per fragment, DTD families, and
+scaling-series helpers for the benchmark harnesses."""
+
+from repro.workloads.queries import random_query
+from repro.workloads.dtds import document_dtd, mid_size_dtd, recursive_chain_dtd
+from repro.workloads.scaling import fit_polynomial_degree, growth_ratio
+
+__all__ = [
+    "random_query",
+    "document_dtd", "mid_size_dtd", "recursive_chain_dtd",
+    "fit_polynomial_degree", "growth_ratio",
+]

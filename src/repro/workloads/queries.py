@@ -1,0 +1,121 @@
+"""Random query generation per fragment.
+
+``random_query(rng, fragment, labels, ...)`` draws a query using only the
+operators the fragment allows; it is the workhorse of the agreement
+property tests (decider vs. oracle) and of the Table-1 benchmark grid.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xpath.fragments import Feature, Fragment
+
+
+def random_query(
+    rng: random.Random,
+    fragment: Fragment,
+    labels: list[str],
+    attrs: list[str] | None = None,
+    constants: list[str] | None = None,
+    max_depth: int = 3,
+    union_bias: float = 0.25,
+    qualifier_bias: float = 0.4,
+) -> Path:
+    """Draw a random query from ``fragment`` over the given label set."""
+    generator = _Generator(
+        rng=rng,
+        allowed=fragment.allowed,
+        labels=labels,
+        attrs=attrs or ["a", "b"],
+        constants=constants or ["0", "1"],
+        union_bias=union_bias,
+        qualifier_bias=qualifier_bias,
+    )
+    return generator.path(max_depth)
+
+
+class _Generator:
+    def __init__(self, rng, allowed, labels, attrs, constants, union_bias, qualifier_bias):
+        self.rng = rng
+        self.allowed = allowed
+        self.labels = labels
+        self.attrs = attrs
+        self.constants = constants
+        self.union_bias = union_bias
+        self.qualifier_bias = qualifier_bias
+
+    def can(self, feature: Feature) -> bool:
+        return feature in self.allowed
+
+    def step(self) -> Path:
+        options: list[Path] = [ast.Label(self.rng.choice(self.labels))]
+        if self.can(Feature.WILDCARD):
+            options.append(ast.Wildcard())
+        if self.can(Feature.DESCENDANT):
+            options.append(ast.DescOrSelf())
+        if self.can(Feature.PARENT):
+            options.append(ast.Parent())
+        if self.can(Feature.ANCESTOR):
+            options.append(ast.AncOrSelf())
+        if self.can(Feature.RIGHT_SIB):
+            options.append(ast.RightSib())
+        if self.can(Feature.LEFT_SIB):
+            options.append(ast.LeftSib())
+        if self.can(Feature.RIGHT_SIB_STAR):
+            options.append(ast.RightSibStar())
+        if self.can(Feature.LEFT_SIB_STAR):
+            options.append(ast.LeftSibStar())
+        return self.rng.choice(options)
+
+    def path(self, depth: int) -> Path:
+        if depth <= 0:
+            return self.step()
+        roll = self.rng.random()
+        if roll < self.union_bias and self.can(Feature.UNION):
+            return ast.Union(self.path(depth - 1), self.path(depth - 1))
+        if roll < self.union_bias + self.qualifier_bias and self.can(Feature.QUALIFIER):
+            return ast.Filter(self.path(depth - 1), self.qualifier(depth - 1))
+        length = self.rng.randint(1, 3)
+        parts = [self.step() for _ in range(length)]
+        return ast.seq_of(*parts)
+
+    def qualifier(self, depth: int) -> Qualifier:
+        options = ["path"]
+        if self.can(Feature.LABEL_TEST):
+            options.append("label")
+        if self.can(Feature.DATA):
+            options.extend(["attr_const", "attr_join"])
+        if depth > 0:
+            options.extend(["and", "or"] if self.can(Feature.UNION) else ["and"])
+            if self.can(Feature.NEGATION):
+                options.append("not")
+        kind = self.rng.choice(options)
+        if kind == "path":
+            return ast.PathExists(self.path(max(depth - 1, 0)))
+        if kind == "label":
+            return ast.LabelTest(self.rng.choice(self.labels))
+        if kind == "attr_const":
+            return ast.AttrConstCmp(
+                self.path(max(depth - 1, 0)),
+                self.rng.choice(self.attrs),
+                self.rng.choice(["=", "!="]),
+                self.rng.choice(self.constants),
+            )
+        if kind == "attr_join":
+            return ast.AttrAttrCmp(
+                self.path(max(depth - 1, 0)),
+                self.rng.choice(self.attrs),
+                self.rng.choice(["=", "!="]),
+                self.path(max(depth - 1, 0)),
+                self.rng.choice(self.attrs),
+            )
+        if kind == "and":
+            return ast.And(self.qualifier(depth - 1), self.qualifier(depth - 1))
+        if kind == "or":
+            return ast.Or(self.qualifier(depth - 1), self.qualifier(depth - 1))
+        if kind == "not":
+            return ast.Not(self.qualifier(depth - 1))
+        raise AssertionError(kind)

@@ -1,0 +1,49 @@
+"""Scaling-series analysis for the benchmark harnesses.
+
+The paper's claims are asymptotic (PTIME vs. NP vs. EXPTIME...); the
+benchmarks validate the *shape* of measured running times:
+
+* :func:`fit_polynomial_degree` — least-squares slope of log(time) against
+  log(size): a PTIME algorithm shows a small, stable degree;
+* :func:`growth_ratio` — mean successive ratio of a series: exponential
+  procedures show ratios bounded away from 1 as size grows linearly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fit_polynomial_degree(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) vs log(size) (the apparent
+    polynomial degree).  Ignores non-positive entries."""
+    points = [
+        (math.log(size), math.log(time))
+        for size, time in zip(sizes, times)
+        if size > 0 and time > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        raise ValueError("sizes are constant")
+    return numerator / denominator
+
+
+def growth_ratio(values: Sequence[float]) -> float:
+    """Geometric-mean ratio between successive values (>1 signals
+    super-polynomial growth on linearly spaced inputs)."""
+    ratios = [
+        after / before
+        for before, after in zip(values, values[1:])
+        if before > 0 and after > 0
+    ]
+    if not ratios:
+        raise ValueError("need at least two positive values")
+    log_mean = sum(math.log(ratio) for ratio in ratios) / len(ratios)
+    return math.exp(log_mean)

@@ -1,0 +1,25 @@
+"""Ordered, labeled, attributed trees — the paper's XML tree model.
+
+:mod:`repro.xmltree.model` defines the tree structure, navigation and
+construction helpers; :mod:`repro.xmltree.validate` implements conformance
+``T ⊨ D``; :mod:`repro.xmltree.stream` produces the streamed tag encodings
+``stream(T)`` / ``stream(T, m)`` used by the two-way automata of Section 7;
+:mod:`repro.xmltree.generate` builds minimal completions and random
+conforming trees.
+"""
+
+from repro.xmltree.model import Node, XMLTree, tree
+from repro.xmltree.validate import conforms, violations
+from repro.xmltree.stream import stream, stream_selected
+from repro.xmltree.generate import (
+    complete_random_tree,
+    minimal_tree,
+    random_tree,
+)
+
+__all__ = [
+    "Node", "XMLTree", "tree",
+    "conforms", "violations",
+    "stream", "stream_selected",
+    "minimal_tree", "random_tree", "complete_random_tree",
+]

@@ -1,0 +1,221 @@
+"""XML trees: finite node-labeled ordered trees with attribute values.
+
+Nodes carry a label (element type), an ordered child list, and a mapping
+from attribute names to string values.  Navigation (parent, siblings,
+descendants) is precomputed on construction so the XPath evaluator and the
+streaming encoder can move in all four directions cheaply.
+
+Trees are mutable only through :meth:`Node.append`; calling
+:meth:`XMLTree.freeze` (done automatically by :func:`tree`) fixes parent and
+sibling links.  The :func:`tree` convenience constructor builds a whole tree
+from nested tuples, which keeps tests and encodings readable:
+
+>>> doc = tree(("r", [("X", [("T", [])]), ("X", [("F", [])])]))
+>>> [child.label for child in doc.root.children]
+['X', 'X']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass(eq=False)
+class Node:
+    """A single element node."""
+
+    label: str
+    children: list["Node"] = field(default_factory=list)
+    attrs: dict[str, str] = field(default_factory=dict)
+    parent: "Node | None" = field(default=None, repr=False)
+    index_in_parent: int = field(default=-1, repr=False)
+    node_id: int = field(default=-1, repr=False)
+    depth: int = field(default=0, repr=False)
+
+    def append(self, child: "Node") -> "Node":
+        self.children.append(child)
+        return child
+
+    # -- navigation ---------------------------------------------------------
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def left_sibling(self) -> "Node | None":
+        if self.parent is None or self.index_in_parent == 0:
+            return None
+        return self.parent.children[self.index_in_parent - 1]
+
+    @property
+    def right_sibling(self) -> "Node | None":
+        if self.parent is None:
+            return None
+        siblings = self.parent.children
+        if self.index_in_parent + 1 >= len(siblings):
+            return None
+        return siblings[self.index_in_parent + 1]
+
+    def left_siblings(self) -> Iterator["Node"]:
+        """Self, then siblings strictly to the left, nearest first
+        (the reflexive ``←*`` axis)."""
+        yield self
+        if self.parent is not None:
+            for index in range(self.index_in_parent - 1, -1, -1):
+                yield self.parent.children[index]
+
+    def right_siblings(self) -> Iterator["Node"]:
+        """Self, then siblings strictly to the right, nearest first
+        (the reflexive ``→*`` axis)."""
+        yield self
+        if self.parent is not None:
+            for index in range(self.index_in_parent + 1, len(self.parent.children)):
+                yield self.parent.children[index]
+
+    def descendants_or_self(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree rooted here (``↓*``)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def ancestors_or_self(self) -> Iterator["Node"]:
+        """Self, then each ancestor up to the root (``↑*``)."""
+        node: Node | None = self
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def child_labels(self) -> tuple[str, ...]:
+        return tuple(child.label for child in self.children)
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.descendants_or_self())
+
+    def path_from_root(self) -> tuple[int, ...]:
+        """Position indices from the root down to this node (stable address)."""
+        address: list[int] = []
+        node: Node = self
+        while node.parent is not None:
+            address.append(node.index_in_parent)
+            node = node.parent
+        return tuple(reversed(address))
+
+    def pretty(self, indent: int = 0) -> str:
+        attr_text = ""
+        if self.attrs:
+            rendered = ", ".join(f"@{k}={v!r}" for k, v in sorted(self.attrs.items()))
+            attr_text = f" [{rendered}]"
+        lines = [f"{'  ' * indent}{self.label}{attr_text}"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+class XMLTree:
+    """A rooted tree with frozen navigation links and node numbering."""
+
+    def __init__(self, root: Node):
+        self.root = root
+        self._nodes: list[Node] = []
+        self.freeze()
+
+    def freeze(self) -> None:
+        """(Re)compute parent links, sibling indices, depths and node ids.
+
+        Call again after structural edits made via ``Node.append``.
+        """
+        self._nodes = []
+        stack: list[tuple[Node, Node | None, int, int]] = [(self.root, None, 0, 0)]
+        while stack:
+            node, parent, index, depth = stack.pop()
+            node.parent = parent
+            node.index_in_parent = index
+            node.depth = depth
+            node.node_id = len(self._nodes)
+            self._nodes.append(node)
+            for child_index, child in enumerate(reversed(node.children)):
+                real_index = len(node.children) - 1 - child_index
+                stack.append((child, node, real_index, depth + 1))
+
+    # -- iteration -----------------------------------------------------------
+    def nodes(self) -> Sequence[Node]:
+        """All nodes in document (pre-) order."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Maximum number of edges from root to any node."""
+        return max(node.depth for node in self._nodes)
+
+    def labels_used(self) -> frozenset[str]:
+        return frozenset(node.label for node in self._nodes)
+
+    def find(self, label: str) -> Node | None:
+        """First node (document order) with the given label."""
+        for node in self._nodes:
+            if node.label == label:
+                return node
+        return None
+
+    def node_at(self, address: tuple[int, ...]) -> Node:
+        node = self.root
+        for index in address:
+            node = node.children[index]
+        return node
+
+    def pretty(self) -> str:
+        return self.root.pretty()
+
+    def copy(self) -> "XMLTree":
+        return XMLTree(_copy_node(self.root))
+
+
+def _copy_node(node: Node) -> Node:
+    return Node(
+        label=node.label,
+        children=[_copy_node(child) for child in node.children],
+        attrs=dict(node.attrs),
+    )
+
+
+NodeSpec = tuple  # (label, children) or (label, children, attrs)
+
+
+def node(spec: NodeSpec) -> Node:
+    """Build a :class:`Node` from nested tuples.
+
+    A spec is ``(label, children)`` or ``(label, children, attrs)`` where
+    ``children`` is a sequence of specs and ``attrs`` a mapping.
+    """
+    if len(spec) == 2:
+        label, children = spec
+        attrs: Mapping[str, str] = {}
+    elif len(spec) == 3:
+        label, children, attrs = spec
+    else:
+        raise ValueError(f"bad node spec: {spec!r}")
+    return Node(
+        label=label,
+        children=[node(child) for child in children],
+        attrs=dict(attrs),
+    )
+
+
+def tree(spec: NodeSpec) -> XMLTree:
+    """Build a frozen :class:`XMLTree` from nested tuples (see :func:`node`)."""
+    return XMLTree(node(spec))
+
+
+def chain(labels: Iterable[str], attrs_last: Mapping[str, str] | None = None) -> Node:
+    """A single chain of nodes ``labels[0]/labels[1]/.../labels[-1]``;
+    useful for witness-path constructions."""
+    labels = list(labels)
+    if not labels:
+        raise ValueError("chain requires at least one label")
+    current = Node(label=labels[-1], attrs=dict(attrs_last or {}))
+    for label in reversed(labels[:-1]):
+        current = Node(label=label, children=[current])
+    return current

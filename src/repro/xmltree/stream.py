@@ -1,0 +1,69 @@
+"""Streamed tag encodings of trees (Section 7.3.1).
+
+``stream(T)`` is the word over ``XML(Σ) = {<A>, </A> | A ∈ Σ}`` obtained by
+a document-order traversal.  ``stream(T, m)`` additionally marks the opening
+tag of the selected node ``m`` with ``true`` and all other opening tags with
+``false`` — the alphabet ``XML_sel(Σ)`` over which two-way alternating
+selection automata run.
+
+Letters are represented as tuples:
+
+* ``("open", label, selected: bool)`` for ``(<A>, true/false)``;
+* ``("close", label)`` for ``</A>``.
+
+For plain (non-selection) streams the ``selected`` flag is ``False``
+everywhere, so one representation serves both alphabets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmltree.model import Node, XMLTree
+
+OpenLetter = tuple[str, str, bool]
+CloseLetter = tuple[str, str]
+Letter = OpenLetter | CloseLetter
+
+
+def stream(tree: XMLTree) -> list[Letter]:
+    """``stream(T)``: the streamed document with no selected node."""
+    return list(_stream_node(tree.root, None))
+
+
+def stream_selected(tree: XMLTree, selected: Node) -> list[Letter]:
+    """``stream(T, m)``: opening tag of ``selected`` marked ``true``."""
+    return list(_stream_node(tree.root, selected))
+
+
+def open_position(tree: XMLTree, target: Node) -> int:
+    """``pos(n)``: index of the opening tag of ``target`` in ``stream(T)``."""
+    position = 0
+    for node, letter_kind in _events(tree.root):
+        if letter_kind == "open" and node is target:
+            return position
+        position += 1
+    raise ValueError("node does not belong to this tree")
+
+
+def node_of_position(tree: XMLTree, position: int) -> tuple[Node, str]:
+    """Inverse of the stream encoding: the node and event kind ('open' or
+    'close') at stream index ``position``."""
+    for index, (node, kind) in enumerate(_events(tree.root)):
+        if index == position:
+            return node, kind
+    raise IndexError(position)
+
+
+def _stream_node(node: Node, selected: Node | None) -> Iterator[Letter]:
+    yield ("open", node.label, node is selected)
+    for child in node.children:
+        yield from _stream_node(child, selected)
+    yield ("close", node.label)
+
+
+def _events(node: Node) -> Iterator[tuple[Node, str]]:
+    yield (node, "open")
+    for child in node.children:
+        yield from _events(child)
+    yield (node, "close")

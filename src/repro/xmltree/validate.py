@@ -1,0 +1,76 @@
+"""Conformance ``T ⊨ D`` (Section 2.1).
+
+A tree satisfies a DTD iff (1) the root bears the root type, (2) every node
+bears an element type of the DTD, (3) every node's children-label word
+belongs to the language of its production, and (4) every node carries
+exactly the attributes ``R(label)`` (each with some value; values are
+strings and uniqueness per node is structural).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.regex.ops import matches
+from repro.xmltree.model import Node, XMLTree
+
+
+def violations(tree: XMLTree, dtd: DTD, limit: int | None = 10) -> list[str]:
+    """Human-readable list of conformance violations (empty iff ``T ⊨ D``).
+
+    ``limit`` caps the number of reported problems (``None`` for all).
+    """
+    problems: list[str] = []
+
+    def report(message: str) -> bool:
+        problems.append(message)
+        return limit is not None and len(problems) >= limit
+
+    if tree.root.label != dtd.root:
+        if report(f"root is {tree.root.label!r}, expected {dtd.root!r}"):
+            return problems
+
+    known = dtd.element_types
+    for node in tree.nodes():
+        if node.label not in known:
+            if report(f"node {node.path_from_root()} has unknown type {node.label!r}"):
+                return problems
+            continue
+        production = dtd.production(node.label)
+        word = node.child_labels()
+        if not matches(production, word):
+            if report(
+                f"children of {node.label!r} at {node.path_from_root()} are "
+                f"{list(word)}, not in L({production})"
+            ):
+                return problems
+        expected_attrs = dtd.attrs_of(node.label)
+        actual_attrs = frozenset(node.attrs)
+        if expected_attrs != actual_attrs:
+            missing = sorted(expected_attrs - actual_attrs)
+            extra = sorted(actual_attrs - expected_attrs)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"unexpected {extra}")
+            if report(
+                f"attributes of {node.label!r} at {node.path_from_root()}: "
+                + ", ".join(detail)
+            ):
+                return problems
+    return problems
+
+
+def conforms(tree: XMLTree, dtd: DTD) -> bool:
+    """``T ⊨ D``."""
+    return not violations(tree, dtd, limit=1)
+
+
+def node_conforms_locally(node: Node, dtd: DTD) -> bool:
+    """Local check for one node: label known, children word in the content
+    model, attributes exact.  Used by incremental tree builders."""
+    if node.label not in dtd.element_types:
+        return False
+    if not matches(dtd.production(node.label), node.child_labels()):
+        return False
+    return frozenset(node.attrs) == dtd.attrs_of(node.label)

@@ -1,0 +1,76 @@
+"""The XPath class of the paper and its fragments.
+
+The full language is ``X(↓, ↓*, ↑, ↑*, ←, →, ←*, →*, ∪, [], =, ¬)``
+(Sections 2.2 and 7.1):
+
+.. code-block:: text
+
+    p ::= ε | l | ↓ | ↓* | ↑ | ↑* | ← | → | ←* | →* | p/p | p ∪ p | p[q]
+    q ::= p | lab() = A | p/@a op 'c' | p/@a op p'/@b
+        | q ∧ q | q ∨ q | ¬q            (op ∈ {=, ≠})
+
+Modules: :mod:`repro.xpath.ast` (nodes), :mod:`repro.xpath.parser` (ASCII
+concrete syntax), :mod:`repro.xpath.semantics` (the binary-predicate
+semantics of Section 2.2), :mod:`repro.xpath.fragments` (operator
+classification, e.g. "is this query in ``X(↓,[],¬)``?"),
+:mod:`repro.xpath.inverse` (Proposition 3.2's ``inverse``),
+:mod:`repro.xpath.rewrite` (the query rewritings of Theorems 6.6(3) and
+6.8(2)), and :mod:`repro.xpath.builder` (programmatic construction).
+"""
+
+from repro.xpath.ast import (
+    AncOrSelf,
+    And,
+    AttrAttrCmp,
+    AttrConstCmp,
+    DescOrSelf,
+    Empty,
+    Filter,
+    Label,
+    LabelTest,
+    LeftSib,
+    LeftSibStar,
+    Not,
+    Or,
+    Parent,
+    Path,
+    PathExists,
+    Qualifier,
+    RightSib,
+    RightSibStar,
+    Seq,
+    Union,
+    Wildcard,
+)
+from repro.xpath.parser import parse_query, parse_qualifier
+from repro.xpath.semantics import evaluate, holds, satisfies
+from repro.xpath.fragments import Fragment, features_of, FRAGMENTS
+from repro.xpath.inverse import inverse
+from repro.xpath.builder import (
+    anc_or_self,
+    attr_eq,
+    desc_or_self,
+    label,
+    parent,
+    q_and,
+    q_not,
+    q_or,
+    self_path,
+    seq,
+    union,
+    wildcard,
+)
+
+__all__ = [
+    "Path", "Qualifier",
+    "Empty", "Label", "Wildcard", "DescOrSelf", "Parent", "AncOrSelf",
+    "LeftSib", "RightSib", "LeftSibStar", "RightSibStar",
+    "Seq", "Union", "Filter",
+    "PathExists", "LabelTest", "AttrConstCmp", "AttrAttrCmp", "And", "Or", "Not",
+    "parse_query", "parse_qualifier",
+    "evaluate", "holds", "satisfies",
+    "Fragment", "features_of", "FRAGMENTS",
+    "inverse",
+    "self_path", "label", "wildcard", "desc_or_self", "parent", "anc_or_self",
+    "seq", "union", "q_and", "q_or", "q_not", "attr_eq",
+]

@@ -1,0 +1,125 @@
+"""Ergonomic constructors for building queries programmatically.
+
+The reduction suite builds large queries (the corridor-tiling encoding can
+reach thousands of nodes); these helpers keep that code close to the
+paper's notation:
+
+>>> q = q_and(attr_eq(self_path(), "s", "0"),
+...           q_not(exists(seq(label("R1"), label("X")))))
+>>> str(filter_path(label("C"), q))
+"C[@s = '0' and not(R1/X)]"
+"""
+
+from __future__ import annotations
+
+from repro.xpath import ast
+from repro.xpath.ast import CompareOp, Path, Qualifier
+
+
+def self_path() -> Path:
+    return ast.Empty()
+
+
+def label(name: str) -> Path:
+    return ast.Label(name)
+
+
+def wildcard() -> Path:
+    return ast.Wildcard()
+
+
+def desc_or_self() -> Path:
+    return ast.DescOrSelf()
+
+
+def parent() -> Path:
+    return ast.Parent()
+
+
+def anc_or_self() -> Path:
+    return ast.AncOrSelf()
+
+
+def right_sib() -> Path:
+    return ast.RightSib()
+
+
+def left_sib() -> Path:
+    return ast.LeftSib()
+
+
+def seq(*parts: Path | str) -> Path:
+    """``p1/p2/.../pk`` (strings become label steps; ε parts are dropped)."""
+    resolved = [ast.Label(part) if isinstance(part, str) else part for part in parts]
+    return ast.seq_of(*resolved)
+
+
+def union(*parts: Path | str) -> Path:
+    resolved = [ast.Label(part) if isinstance(part, str) else part for part in parts]
+    return ast.union_of(*resolved)
+
+
+def steps(part: Path | str, count: int) -> Path:
+    """``part/part/.../part`` (``count`` compositions, the paper's
+    ``↓^k`` / ``→^k`` shorthand); ``count == 0`` gives ``ε``."""
+    resolved = ast.Label(part) if isinstance(part, str) else part
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    if count == 0:
+        return ast.Empty()
+    return ast.seq_of(*([resolved] * count))
+
+
+def filter_path(path: Path | str, qualifier: Qualifier) -> Path:
+    resolved = ast.Label(path) if isinstance(path, str) else path
+    return ast.Filter(resolved, qualifier)
+
+
+def exists(path: Path | str) -> Qualifier:
+    resolved = ast.Label(path) if isinstance(path, str) else path
+    return ast.PathExists(resolved)
+
+
+def label_test(name: str) -> Qualifier:
+    return ast.LabelTest(name)
+
+
+def q_and(*parts: Qualifier) -> Qualifier:
+    return ast.and_of(*parts)
+
+
+def q_or(*parts: Qualifier) -> Qualifier:
+    return ast.or_of(*parts)
+
+
+def q_not(part: Qualifier) -> Qualifier:
+    return ast.Not(part)
+
+
+def attr_eq(path: Path | str, attr: str, value: str) -> Qualifier:
+    """``p/@attr = 'value'``."""
+    resolved = ast.Label(path) if isinstance(path, str) else path
+    return ast.AttrConstCmp(resolved, attr, "=", value)
+
+
+def attr_neq(path: Path | str, attr: str, value: str) -> Qualifier:
+    resolved = ast.Label(path) if isinstance(path, str) else path
+    return ast.AttrConstCmp(resolved, attr, "!=", value)
+
+
+def attr_join(
+    left: Path | str,
+    left_attr: str,
+    right: Path | str,
+    right_attr: str,
+    op: CompareOp = "=",
+) -> Qualifier:
+    """``p/@a op p'/@b``."""
+    left_resolved = ast.Label(left) if isinstance(left, str) else left
+    right_resolved = ast.Label(right) if isinstance(right, str) else right
+    return ast.AttrAttrCmp(left_resolved, left_attr, op, right_resolved, right_attr)
+
+
+def boolean(qualifier: Qualifier) -> Path:
+    """``ε[q]`` — a Boolean query (the class ``X_bl`` of Prop 3.2(2))."""
+    return ast.Filter(ast.Empty(), qualifier)

@@ -1,0 +1,196 @@
+"""Fragment lattice: which operators a query uses, and membership in the
+paper's named fragments.
+
+The paper denotes a fragment by listing its operators, e.g. ``X(↓,[],¬)``.
+:func:`features_of` extracts the operator set of a concrete query;
+:class:`Fragment` is a named operator set with a ``contains`` check.  The
+registry :data:`FRAGMENTS` holds every fragment the paper names, keyed by
+its ASCII rendering (``"X(child,qual,neg)"``); module-level constants
+expose the frequently used ones.
+
+Conventions from the paper:
+
+* label steps and ``/`` belong to every fragment;
+* the absence of ``∪`` forbids both path union and qualifier disjunction;
+* ``lab() = A`` is available wherever qualifiers are, but is tracked as its
+  own feature because Theorem 6.11(1) distinguishes the label-test-free
+  case;
+* ``=`` covers both ``=`` and ``≠`` comparisons (data values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+
+
+@unique
+class Feature(Enum):
+    WILDCARD = "child"          # ↓
+    DESCENDANT = "dos"          # ↓*
+    PARENT = "parent"           # ↑
+    ANCESTOR = "aos"            # ↑*
+    RIGHT_SIB = "rs"            # →
+    RIGHT_SIB_STAR = "rss"      # →*
+    LEFT_SIB = "ls"             # ←
+    LEFT_SIB_STAR = "lss"       # ←*
+    UNION = "union"             # ∪ (and ∨ in qualifiers)
+    QUALIFIER = "qual"          # [ ]
+    NEGATION = "neg"            # ¬
+    DATA = "data"               # = and !=
+    LABEL_TEST = "labtest"      # lab() = A
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_PATH_FEATURES: dict[type, Feature] = {
+    ast.Wildcard: Feature.WILDCARD,
+    ast.DescOrSelf: Feature.DESCENDANT,
+    ast.Parent: Feature.PARENT,
+    ast.AncOrSelf: Feature.ANCESTOR,
+    ast.RightSib: Feature.RIGHT_SIB,
+    ast.RightSibStar: Feature.RIGHT_SIB_STAR,
+    ast.LeftSib: Feature.LEFT_SIB,
+    ast.LeftSibStar: Feature.LEFT_SIB_STAR,
+}
+
+
+def features_of(query: Path | Qualifier) -> frozenset[Feature]:
+    """The exact set of operators used by ``query``."""
+    features: set[Feature] = set()
+    for node in query.walk():
+        feature = _PATH_FEATURES.get(type(node))
+        if feature is not None:
+            features.add(feature)
+        elif isinstance(node, (ast.Union, ast.Or)):
+            features.add(Feature.UNION)
+        elif isinstance(node, ast.Filter):
+            features.add(Feature.QUALIFIER)
+        elif isinstance(node, ast.Not):
+            features.add(Feature.NEGATION)
+            features.add(Feature.QUALIFIER)
+        elif isinstance(node, (ast.AttrConstCmp, ast.AttrAttrCmp)):
+            features.add(Feature.DATA)
+            features.add(Feature.QUALIFIER)
+        elif isinstance(node, ast.LabelTest):
+            features.add(Feature.LABEL_TEST)
+            features.add(Feature.QUALIFIER)
+        elif isinstance(node, ast.And):
+            features.add(Feature.QUALIFIER)
+    return frozenset(features)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A named set of allowed operators."""
+
+    name: str
+    allowed: frozenset[Feature]
+
+    def contains(self, query: Path | Qualifier) -> bool:
+        return features_of(query) <= self.allowed
+
+    def missing(self, query: Path | Qualifier) -> frozenset[Feature]:
+        """Operators the query uses that the fragment forbids."""
+        return features_of(query) - self.allowed
+
+    def __le__(self, other: "Fragment") -> bool:
+        return self.allowed <= other.allowed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _fragment(*features: Feature, label_test: bool | None = None) -> Fragment:
+    """Build a fragment; by the paper's convention label tests come with
+    qualifiers unless explicitly disabled."""
+    allowed = set(features)
+    if label_test is None:
+        label_test = Feature.QUALIFIER in allowed
+    if label_test:
+        allowed.add(Feature.LABEL_TEST)
+    name = "X(" + ",".join(sorted(f.value for f in allowed)) + ")"
+    return Fragment(name, frozenset(allowed))
+
+
+F = Feature
+
+# Positive fragments (Section 4)
+DOWNWARD = _fragment(F.WILDCARD, F.DESCENDANT, F.UNION)                      # X(↓,↓*,∪)
+CHILD_QUAL = _fragment(F.WILDCARD, F.QUALIFIER)                              # X(↓,[])
+UNION_QUAL = _fragment(F.UNION, F.QUALIFIER)                                 # X(∪,[])
+CHILD_UP = _fragment(F.WILDCARD, F.PARENT)                                   # X(↓,↑)
+DOWNWARD_QUAL = _fragment(F.WILDCARD, F.DESCENDANT, F.UNION, F.QUALIFIER)    # X(↓,↓*,∪,[])
+POSITIVE = _fragment(
+    F.WILDCARD, F.DESCENDANT, F.PARENT, F.ANCESTOR, F.UNION, F.QUALIFIER, F.DATA
+)                                                                            # X(↓,↓*,↑,↑*,∪,[],=)
+
+# Fragments with negation (Section 5)
+CHILD_QUAL_NEG = _fragment(F.WILDCARD, F.QUALIFIER, F.NEGATION)              # X(↓,[],¬)
+NONREC_NEG = _fragment(F.WILDCARD, F.PARENT, F.UNION, F.QUALIFIER, F.NEGATION)  # X(↓,↑,∪,[],¬)
+REC_NEG_DOWN = _fragment(F.WILDCARD, F.DESCENDANT, F.QUALIFIER, F.NEGATION)  # X(↓,↓*,[],¬)
+REC_NEG_DOWN_UNION = _fragment(
+    F.WILDCARD, F.DESCENDANT, F.UNION, F.QUALIFIER, F.NEGATION
+)                                                                            # X(↓,↓*,∪,[],¬)
+REC_NEG = _fragment(
+    F.WILDCARD, F.DESCENDANT, F.PARENT, F.ANCESTOR, F.UNION, F.QUALIFIER, F.NEGATION
+)                                                                            # X(↓,↓*,↑,↑*,∪,[],¬)
+DATA_NEG_DOWN = _fragment(F.WILDCARD, F.UNION, F.QUALIFIER, F.DATA, F.NEGATION)  # X(↓,∪,[],=,¬)
+UP_DATA_NEG = _fragment(F.PARENT, F.QUALIFIER, F.DATA, F.NEGATION)           # X(↑,[],=,¬)
+FULL_VERTICAL = _fragment(
+    F.WILDCARD, F.DESCENDANT, F.PARENT, F.ANCESTOR,
+    F.UNION, F.QUALIFIER, F.DATA, F.NEGATION,
+)                                                                            # X(↓,↑,↓*,↑*,∪,[],=,¬)
+
+# Fragments with sibling axes (Section 7)
+SIBLING = _fragment(F.RIGHT_SIB, F.LEFT_SIB)                                 # X(→,←)
+SIBLING_QUAL = _fragment(F.RIGHT_SIB, F.QUALIFIER)                           # X(→,[])
+SIBLING_QUAL_NEG = _fragment(F.RIGHT_SIB, F.QUALIFIER, F.NEGATION)           # X(→,[],¬)
+SIBLING_VERTICAL_NEG = _fragment(
+    F.WILDCARD, F.PARENT, F.RIGHT_SIB, F.LEFT_SIB, F.RIGHT_SIB_STAR, F.LEFT_SIB_STAR,
+    F.UNION, F.QUALIFIER, F.NEGATION,
+)                                                                            # X(↓,↑,←,→,←*,→*,∪,[],¬)
+
+FULL = _fragment(*Feature)                                                   # everything
+
+FRAGMENTS: dict[str, Fragment] = {
+    fragment.name: fragment
+    for fragment in (
+        DOWNWARD, CHILD_QUAL, UNION_QUAL, CHILD_UP, DOWNWARD_QUAL, POSITIVE,
+        CHILD_QUAL_NEG, NONREC_NEG, REC_NEG_DOWN, REC_NEG_DOWN_UNION, REC_NEG,
+        DATA_NEG_DOWN, UP_DATA_NEG, FULL_VERTICAL,
+        SIBLING, SIBLING_QUAL, SIBLING_QUAL_NEG, SIBLING_VERTICAL_NEG,
+        FULL,
+    )
+}
+
+
+def is_positive(query: Path | Qualifier) -> bool:
+    """No negation (the query is in positive XPath, Section 4)."""
+    return Feature.NEGATION not in features_of(query)
+
+
+def uses_recursion(query: Path | Qualifier) -> bool:
+    """Uses ``↓*`` or ``↑*``."""
+    return bool(
+        features_of(query) & {Feature.DESCENDANT, Feature.ANCESTOR}
+    )
+
+
+def uses_upward(query: Path | Qualifier) -> bool:
+    return bool(features_of(query) & {Feature.PARENT, Feature.ANCESTOR})
+
+
+def uses_sibling(query: Path | Qualifier) -> bool:
+    return bool(
+        features_of(query)
+        & {Feature.RIGHT_SIB, Feature.LEFT_SIB, Feature.RIGHT_SIB_STAR, Feature.LEFT_SIB_STAR}
+    )
+
+
+def uses_data(query: Path | Qualifier) -> bool:
+    return Feature.DATA in features_of(query)

@@ -1,0 +1,75 @@
+"""The ``inverse`` operator and the containment-to-satisfiability reduction
+(Proposition 3.2).
+
+``inverse(p)`` traverses ``p`` backwards: ``T ⊨ p(n, m)`` iff
+``T ⊨ inverse(p)(m, n)`` — up to the root test, which is why the reduction
+appends the qualifier ``[¬↑]`` ("no parent", i.e. the node is the root).
+
+The reduction itself: ``p1 ⊆ p2`` under ``D`` iff
+``p = p1[¬( inverse(p2)[¬↑] )]`` is unsatisfiable under ``D``
+(Proposition 3.2(3); requires the fragment to contain negation and be
+closed under inverse).
+"""
+
+from __future__ import annotations
+
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+
+
+def inverse(path: Path) -> Path:
+    """The paper's ``inverse`` function (proof of Proposition 3.2).
+
+    * ``inverse(l) = ε[lab() = l]/↑``
+    * ``inverse(↓) = ↑``, ``inverse(↓*) = ↑*`` and vice versa
+    * ``inverse(→) = ←``, ``inverse(→*) = ←*`` and vice versa
+    * ``inverse(p/p') = inverse(p')/inverse(p)``
+    * ``inverse(p ∪ p') = inverse(p) ∪ inverse(p')``
+    * ``inverse(p[q]) = ε[q]/inverse(p)``
+    * ``inverse(ε) = ε``
+    """
+    if isinstance(path, ast.Empty):
+        return path
+    if isinstance(path, ast.Label):
+        return ast.Seq(ast.Filter(ast.Empty(), ast.LabelTest(path.name)), ast.Parent())
+    if isinstance(path, ast.Wildcard):
+        return ast.Parent()
+    if isinstance(path, ast.Parent):
+        return ast.Wildcard()
+    if isinstance(path, ast.DescOrSelf):
+        return ast.AncOrSelf()
+    if isinstance(path, ast.AncOrSelf):
+        return ast.DescOrSelf()
+    if isinstance(path, ast.RightSib):
+        return ast.LeftSib()
+    if isinstance(path, ast.LeftSib):
+        return ast.RightSib()
+    if isinstance(path, ast.RightSibStar):
+        return ast.LeftSibStar()
+    if isinstance(path, ast.LeftSibStar):
+        return ast.RightSibStar()
+    if isinstance(path, ast.Seq):
+        return ast.Seq(inverse(path.right), inverse(path.left))
+    if isinstance(path, ast.Union):
+        return ast.Union(inverse(path.left), inverse(path.right))
+    if isinstance(path, ast.Filter):
+        return ast.Seq(ast.Filter(ast.Empty(), path.qualifier), inverse(path.path))
+    raise TypeError(f"cannot invert path node: {path!r}")
+
+
+def root_test() -> Qualifier:
+    """``¬↑`` — holds exactly at the root."""
+    return ast.Not(ast.PathExists(ast.Parent()))
+
+
+def non_containment_query(p1: Path, p2: Path) -> Path:
+    """The query ``p1[¬( inverse(p2)[¬↑] )]`` of Proposition 3.2(3):
+    satisfiable (under ``D``) iff ``p1 ⊄ p2`` (under ``D``)."""
+    witness_escape = ast.Filter(inverse(p2), root_test())
+    return ast.Filter(p1, ast.Not(ast.PathExists(witness_escape)))
+
+
+def boolean_non_containment_query(q1: Qualifier, q2: Qualifier) -> Path:
+    """Proposition 3.2(2): for Boolean queries ``ε[q1] ⊆ ε[q2]`` under ``D``
+    iff ``ε[q1 ∧ ¬q2]`` is unsatisfiable under ``D``."""
+    return ast.Filter(ast.Empty(), ast.And(q1, ast.Not(q2)))

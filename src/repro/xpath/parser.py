@@ -1,0 +1,299 @@
+"""Parser for the ASCII concrete syntax of the paper's XPath class.
+
+Syntax summary (see :mod:`repro.xpath.ast` for the correspondence table):
+
+.. code-block:: text
+
+    query      :=  union
+    union      :=  sequence ('|' sequence)*
+    sequence   :=  step ('/' step)*
+    step       :=  primary ('[' qualifier ']')*
+    primary    :=  '(' union ')' | '.' | '**' | '*' | '^*' | '^'
+                 | '>*' | '>' | '<*' | '<' | NAME
+    qualifier  :=  q_or
+    q_or       :=  q_and ('or' q_and)*
+    q_and      :=  q_prim ('and' q_prim)*
+    q_prim     :=  'not' '(' qualifier ')'
+                 | 'lab()' ('='|'!=') NAME
+                 | comparison | path-as-qualifier | '(' qualifier ')'
+    comparison :=  qpath ('='|'!=') (STRING | NUMBER | qpath)
+    qpath      :=  '@' NAME | union ['/' '@' NAME]
+
+Constants on the right-hand side of comparisons are single-quoted strings or
+bare numbers (``@s = 0`` and ``@s = '0'`` are the same); bare identifiers on
+the right-hand side must be attribute paths (use quotes for string
+constants that look like names).
+
+Examples
+--------
+>>> str(parse_query("X1/T | X1/F"))
+'X1/T | X1/F'
+>>> str(parse_query(".[**/C[@s = '7'] and not(R1/X)]"))
+".[**/C[@s = '7'] and not(R1/X)]"
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dstar>\*\*)
+  | (?P<star>\*)
+  | (?P<aos>\^\*)
+  | (?P<parent>\^)
+  | (?P<rss>>\*)
+  | (?P<rs>>)
+  | (?P<lss><\*)
+  | (?P<ls><)
+  | (?P<neq>!=)
+  | (?P<eq>=)
+  | (?P<slash>/)
+  | (?P<bar>\|)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<at>@)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*')
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.:-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ParseError("unexpected character in query", text, index)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), index))
+        index = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+_AXIS_TOKENS = {
+    "dot": ast.Empty,
+    "star": ast.Wildcard,
+    "dstar": ast.DescOrSelf,
+    "parent": ast.Parent,
+    "aos": ast.AncOrSelf,
+    "rs": ast.RightSib,
+    "rss": ast.RightSibStar,
+    "ls": ast.LeftSib,
+    "lss": ast.LeftSibStar,
+}
+
+_KEYWORDS = {"and", "or", "not", "lab"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self, ahead: int = 0) -> _Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind}", self.text, token.position
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.peek().position)
+
+    # -- paths ---------------------------------------------------------------
+    def parse_union(self, in_qualifier: bool = False) -> Path:
+        parts = [self.parse_sequence(in_qualifier)]
+        while self.peek().kind == "bar":
+            self.advance()
+            parts.append(self.parse_sequence(in_qualifier))
+        return ast.union_of(*parts)
+
+    def parse_sequence(self, in_qualifier: bool) -> Path:
+        node = self.parse_step(in_qualifier)
+        while self.peek().kind == "slash":
+            # inside qualifiers, '/@attr' terminates the path part of a
+            # comparison; leave it for the caller.
+            if in_qualifier and self.peek(1).kind == "at":
+                break
+            self.advance()
+            node = ast.Seq(node, self.parse_step(in_qualifier))
+        return node
+
+    def parse_step(self, in_qualifier: bool) -> Path:
+        node = self.parse_primary(in_qualifier)
+        while self.peek().kind == "lbracket":
+            self.advance()
+            qualifier = self.parse_qualifier_expr()
+            self.expect("rbracket")
+            node = ast.Filter(node, qualifier)
+        return node
+
+    def parse_primary(self, in_qualifier: bool) -> Path:
+        token = self.peek()
+        if token.kind in _AXIS_TOKENS:
+            self.advance()
+            return _AXIS_TOKENS[token.kind]()
+        if token.kind == "name":
+            if token.value in _KEYWORDS:
+                raise self.error(f"keyword {token.value!r} cannot start a path")
+            self.advance()
+            return ast.Label(token.value)
+        if token.kind == "lparen":
+            self.advance()
+            node = self.parse_union(in_qualifier)
+            self.expect("rparen")
+            return node
+        raise self.error(f"expected a path step, found {token.kind}")
+
+    # -- qualifiers ------------------------------------------------------------
+    def parse_qualifier_expr(self) -> Qualifier:
+        return self.parse_q_or()
+
+    def parse_q_or(self) -> Qualifier:
+        parts = [self.parse_q_and()]
+        while self.peek().kind == "name" and self.peek().value == "or":
+            self.advance()
+            parts.append(self.parse_q_and())
+        return ast.or_of(*parts)
+
+    def parse_q_and(self) -> Qualifier:
+        parts = [self.parse_q_prim()]
+        while self.peek().kind == "name" and self.peek().value == "and":
+            self.advance()
+            parts.append(self.parse_q_prim())
+        return ast.and_of(*parts)
+
+    def parse_q_prim(self) -> Qualifier:
+        token = self.peek()
+        if token.kind == "name" and token.value == "not" and self.peek(1).kind == "lparen":
+            self.advance()
+            self.advance()
+            inner = self.parse_qualifier_expr()
+            self.expect("rparen")
+            return ast.Not(inner)
+        if token.kind == "name" and token.value == "lab" and self.peek(1).kind == "lparen":
+            self.advance()
+            self.expect("lparen")
+            self.expect("rparen")
+            op_token = self.advance()
+            if op_token.kind not in ("eq", "neq"):
+                raise self.error("expected '=' or '!=' after lab()")
+            name = self.expect("name")
+            test = ast.LabelTest(name.value)
+            return test if op_token.kind == "eq" else ast.Not(test)
+        if token.kind == "lparen":
+            # Could be a grouped qualifier or a parenthesized path; try the
+            # qualifier reading first and backtrack if its continuation is
+            # not qualifier-like.
+            saved = self.index
+            try:
+                self.advance()
+                inner = self.parse_qualifier_expr()
+                self.expect("rparen")
+            except ParseError:
+                self.index = saved
+            else:
+                follow = self.peek()
+                if follow.kind in ("rbracket", "rparen", "end") or (
+                    follow.kind == "name" and follow.value in ("and", "or")
+                ):
+                    return inner
+                self.index = saved
+        return self.parse_comparison_or_path()
+
+    def parse_comparison_or_path(self) -> Qualifier:
+        path, attr = self.parse_qpath()
+        op_token = self.peek()
+        if op_token.kind in ("eq", "neq"):
+            if attr is None:
+                raise self.error("comparison requires an attribute on the left")
+            self.advance()
+            op: ast.CompareOp = "=" if op_token.kind == "eq" else "!="
+            return self.parse_comparison_rhs(path, attr, op)
+        if attr is not None:
+            raise self.error("attribute paths must be compared with = or !=")
+        return ast.PathExists(path)
+
+    def parse_comparison_rhs(self, left_path: Path, left_attr: str, op: ast.CompareOp) -> Qualifier:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return ast.AttrConstCmp(left_path, left_attr, op, token.value[1:-1])
+        if token.kind == "number":
+            self.advance()
+            return ast.AttrConstCmp(left_path, left_attr, op, token.value)
+        right_path, right_attr = self.parse_qpath()
+        if right_attr is None:
+            raise self.error(
+                "right-hand side of a comparison must be a constant or an "
+                "attribute path (quote string constants)"
+            )
+        return ast.AttrAttrCmp(left_path, left_attr, op, right_path, right_attr)
+
+    def parse_qpath(self) -> tuple[Path, str | None]:
+        if self.peek().kind == "at":
+            self.advance()
+            name = self.expect("name")
+            return ast.Empty(), name.value
+        path = self.parse_union(in_qualifier=True)
+        if self.peek().kind == "slash" and self.peek(1).kind == "at":
+            self.advance()
+            self.advance()
+            name = self.expect("name")
+            return path, name.value
+        return path, None
+
+
+def parse_query(text: str) -> Path:
+    """Parse a path expression; raises :class:`ParseError` on bad input."""
+    parser = _Parser(text)
+    node = parser.parse_union()
+    trailing = parser.peek()
+    if trailing.kind != "end":
+        raise ParseError("trailing input after query", text, trailing.position)
+    return node
+
+
+def parse_qualifier(text: str) -> Qualifier:
+    """Parse a qualifier expression (the part inside ``[...]``)."""
+    parser = _Parser(text)
+    node = parser.parse_qualifier_expr()
+    trailing = parser.peek()
+    if trailing.kind != "end":
+        raise ParseError("trailing input after qualifier", text, trailing.position)
+    return node

@@ -1,0 +1,161 @@
+"""Query rewritings between fragments.
+
+Two directions, both from the paper:
+
+* :func:`qualifiers_to_upward` — the linear-time ``rewrite`` of
+  Theorem 6.6(3) (due to Benedikt et al. 2005): label-test-free ``X(↓,[])``
+  queries become equivalent ``X(↓,↑)`` queries by replacing each qualifier
+  ``[η]`` with the round trip ``η/↑``.
+
+* :func:`upward_to_qualifiers` — the reverse rewriting used by
+  Theorem 6.8(2): ``X(↓,↑)`` queries become equivalent-at-the-root
+  ``X(↓,[])`` queries via ``p/η/↑ → p[η]``.  A query whose ``↑`` steps
+  climb above the context node cannot be rewritten; the function reports
+  this through :class:`UpwardRewriteResult.complete` (such a query is
+  unsatisfiable at the root when the residue starts with ``↑``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FragmentError
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+
+
+def qualifiers_to_upward(path: Path) -> Path:
+    """Theorem 6.6(3): rewrite a label-test-free ``X(↓,[])`` query into an
+    equivalent ``X(↓,↑)`` query.
+
+    Rules: ``rewrite(p1[q]) = rewrite(p1)/rewrite([q])`` with
+    ``rewrite([η]) = η/↑``, ``rewrite([p1/p2]) = rewrite([p1])/rewrite([p2])``
+    and ``rewrite([q1 ∧ q2]) = rewrite([q1])/rewrite([q2])``.
+    """
+    if isinstance(path, (ast.Empty, ast.Label, ast.Wildcard)):
+        return path
+    if isinstance(path, ast.Seq):
+        return ast.Seq(qualifiers_to_upward(path.left), qualifiers_to_upward(path.right))
+    if isinstance(path, ast.Filter):
+        return ast.seq_of(
+            qualifiers_to_upward(path.path), _qualifier_roundtrip(path.qualifier)
+        )
+    raise FragmentError(
+        f"qualifiers_to_upward handles X(child,qual) without label tests; got {path}"
+    )
+
+
+def _qualifier_roundtrip(qualifier: Qualifier) -> Path:
+    """``rewrite([q])``: a net-zero-movement path verifying ``q``."""
+    if isinstance(qualifier, ast.PathExists):
+        return _path_roundtrip(qualifier.path)
+    if isinstance(qualifier, ast.And):
+        return ast.seq_of(
+            _qualifier_roundtrip(qualifier.left), _qualifier_roundtrip(qualifier.right)
+        )
+    raise FragmentError(
+        f"qualifiers_to_upward cannot rewrite qualifier {qualifier} "
+        "(only paths and conjunctions are allowed)"
+    )
+
+
+def _path_roundtrip(path: Path) -> Path:
+    """``rewrite([p])``: descend along ``p`` (verifying nested qualifiers on
+    the way) and climb back exactly as many levels as ``p`` descends."""
+    pieces, depth = _descend_pieces(path)
+    pieces = pieces + [ast.Parent()] * depth
+    return ast.seq_of(*pieces) if pieces else ast.Empty()
+
+
+def _descend_pieces(path: Path) -> tuple[list[Path], int]:
+    """Flatten a downward path into movement pieces, inlining qualifier
+    round trips after the step they decorate; returns the pieces and the
+    number of levels descended."""
+    if isinstance(path, ast.Empty):
+        return [], 0
+    if isinstance(path, (ast.Label, ast.Wildcard)):
+        return [path], 1
+    if isinstance(path, ast.Seq):
+        left_pieces, left_depth = _descend_pieces(path.left)
+        right_pieces, right_depth = _descend_pieces(path.right)
+        return left_pieces + right_pieces, left_depth + right_depth
+    if isinstance(path, ast.Filter):
+        pieces, depth = _descend_pieces(path.path)
+        return pieces + [_qualifier_roundtrip(path.qualifier)], depth
+    raise FragmentError(f"qualifiers_to_upward cannot rewrite subpath {path}")
+
+
+@dataclass(frozen=True)
+class UpwardRewriteResult:
+    """Outcome of :func:`upward_to_qualifiers`.
+
+    ``path`` is equivalent to the input *at the root* when ``complete``;
+    when ``complete`` is false the input's residue still begins with ``↑``
+    steps that climb above the context node — evaluated at the root such a
+    query selects nothing, so it is unsatisfiable there.
+    """
+
+    path: Path
+    complete: bool
+
+
+def upward_to_qualifiers(path: Path) -> UpwardRewriteResult:
+    """Theorem 6.8(2): rewrite an ``X(↓,↑)`` query into ``X(↓,[])``.
+
+    The query is flattened into its step sequence; each ``↑`` consumes the
+    preceding downward step ``η`` into a qualifier (``p/η/↑ → p[η]``).
+    ``↑`` steps that climb above the context node cannot be consumed; they
+    are kept in an irreducible prefix and reported via ``complete=False``
+    (evaluated at the root such a query selects nothing).
+    """
+    prefix: list[Path] = []        # irreducible ↑ steps (with their filters)
+    base_quals: list[Qualifier] = []  # qualifiers holding at the current base
+    stack: list[Path] = []         # pending downward steps (with filters)
+
+    def flush_base_then_up() -> None:
+        for qualifier in base_quals:
+            if prefix:
+                prefix[-1] = ast.Filter(prefix[-1], qualifier)
+            else:
+                prefix.append(ast.Filter(ast.Empty(), qualifier))
+        base_quals.clear()
+        prefix.append(ast.Parent())
+
+    for step in _flatten(path):
+        if isinstance(step, ast.Parent):
+            if stack:
+                eta = stack.pop()
+                if stack:
+                    stack[-1] = ast.Filter(stack[-1], ast.PathExists(eta))
+                else:
+                    base_quals.append(ast.PathExists(eta))
+            else:
+                flush_base_then_up()
+        else:
+            stack.append(step)
+
+    pieces: list[Path] = list(prefix)
+    for qualifier in base_quals:
+        if pieces:
+            pieces[-1] = ast.Filter(pieces[-1], qualifier)
+        else:
+            pieces.append(ast.Filter(ast.Empty(), qualifier))
+    pieces.extend(stack)
+    rewritten = ast.seq_of(*pieces) if pieces else ast.Empty()
+    return UpwardRewriteResult(rewritten, complete=not prefix)
+
+
+def _flatten(path: Path) -> list[Path]:
+    """Step list of an ``X(↓,↑)`` query (no unions or qualifiers).
+
+    A ``Filter`` produced by earlier rewriting passes is kept as one step.
+    """
+    if isinstance(path, ast.Seq):
+        return _flatten(path.left) + _flatten(path.right)
+    if isinstance(path, ast.Empty):
+        return []
+    if isinstance(path, (ast.Label, ast.Wildcard, ast.Parent)):
+        return [path]
+    if isinstance(path, ast.Filter) and isinstance(path.path, (ast.Label, ast.Wildcard)):
+        return [path]
+    raise FragmentError(f"upward_to_qualifiers handles X(child,parent) queries; got {path}")

@@ -1,0 +1,143 @@
+"""The binary-predicate semantics of Section 2.2 (extended with the sibling
+axes of Section 7.1).
+
+``T ⊨ p(n, n')`` is implemented by :func:`evaluate`, which returns
+``n[[p]]`` — the set of nodes reachable from the context node ``n`` via
+``p``; ``T ⊨ q(n)`` by :func:`holds`; ``T ⊨ p`` (satisfaction at the root)
+by :func:`satisfies`.
+
+The evaluator memoizes per (subexpression, context node), giving the
+polynomial combined complexity the paper cites for XPath evaluation
+(Gottlob, Koch, Pichler) — sufficient for validating every encoding in the
+reduction suite, where evaluation (not satisfiability) is the workhorse.
+"""
+
+from __future__ import annotations
+
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xmltree.model import Node, XMLTree
+
+
+class Evaluator:
+    """Evaluation context with memoization over one fixed tree."""
+
+    def __init__(self, tree: XMLTree):
+        self.tree = tree
+        self._path_cache: dict[tuple[int, int], frozenset[Node]] = {}
+        self._qual_cache: dict[tuple[int, int], bool] = {}
+
+    # -- paths ----------------------------------------------------------------
+    def evaluate(self, path: Path, context: Node) -> frozenset[Node]:
+        key = (id(path), context.node_id)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        result = frozenset(self._evaluate(path, context))
+        self._path_cache[key] = result
+        return result
+
+    def _evaluate(self, path: Path, node: Node) -> set[Node]:
+        if isinstance(path, ast.Empty):
+            return {node}
+        if isinstance(path, ast.Label):
+            return {child for child in node.children if child.label == path.name}
+        if isinstance(path, ast.Wildcard):
+            return set(node.children)
+        if isinstance(path, ast.DescOrSelf):
+            return set(node.descendants_or_self())
+        if isinstance(path, ast.Parent):
+            return set() if node.parent is None else {node.parent}
+        if isinstance(path, ast.AncOrSelf):
+            return set(node.ancestors_or_self())
+        if isinstance(path, ast.RightSib):
+            sibling = node.right_sibling
+            return set() if sibling is None else {sibling}
+        if isinstance(path, ast.LeftSib):
+            sibling = node.left_sibling
+            return set() if sibling is None else {sibling}
+        if isinstance(path, ast.RightSibStar):
+            return set(node.right_siblings())
+        if isinstance(path, ast.LeftSibStar):
+            return set(node.left_siblings())
+        if isinstance(path, ast.Seq):
+            result: set[Node] = set()
+            for middle in self.evaluate(path.left, node):
+                result |= self.evaluate(path.right, middle)
+            return result
+        if isinstance(path, ast.Union):
+            return set(self.evaluate(path.left, node)) | set(self.evaluate(path.right, node))
+        if isinstance(path, ast.Filter):
+            return {
+                target
+                for target in self.evaluate(path.path, node)
+                if self.holds(path.qualifier, target)
+            }
+        raise TypeError(f"unknown path node: {path!r}")
+
+    # -- qualifiers --------------------------------------------------------------
+    def holds(self, qualifier: Qualifier, node: Node) -> bool:
+        key = (id(qualifier), node.node_id)
+        cached = self._qual_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._holds(qualifier, node)
+        self._qual_cache[key] = result
+        return result
+
+    def _holds(self, qualifier: Qualifier, node: Node) -> bool:
+        if isinstance(qualifier, ast.PathExists):
+            return bool(self.evaluate(qualifier.path, node))
+        if isinstance(qualifier, ast.LabelTest):
+            return node.label == qualifier.name
+        if isinstance(qualifier, ast.AttrConstCmp):
+            for target in self.evaluate(qualifier.path, node):
+                value = target.attrs.get(qualifier.attr)
+                if value is None:
+                    continue
+                if (value == qualifier.value) == (qualifier.op == "="):
+                    return True
+            return False
+        if isinstance(qualifier, ast.AttrAttrCmp):
+            left_values = {
+                target.attrs[qualifier.left_attr]
+                for target in self.evaluate(qualifier.left_path, node)
+                if qualifier.left_attr in target.attrs
+            }
+            if not left_values:
+                return False
+            for target in self.evaluate(qualifier.right_path, node):
+                value = target.attrs.get(qualifier.right_attr)
+                if value is None:
+                    continue
+                if qualifier.op == "=":
+                    if value in left_values:
+                        return True
+                else:
+                    if left_values - {value}:
+                        return True
+            return False
+        if isinstance(qualifier, ast.And):
+            return self.holds(qualifier.left, node) and self.holds(qualifier.right, node)
+        if isinstance(qualifier, ast.Or):
+            return self.holds(qualifier.left, node) or self.holds(qualifier.right, node)
+        if isinstance(qualifier, ast.Not):
+            return not self.holds(qualifier.inner, node)
+        raise TypeError(f"unknown qualifier node: {qualifier!r}")
+
+
+def evaluate(path: Path, tree: XMLTree, context: Node | None = None) -> frozenset[Node]:
+    """``n[[p]]``: nodes reachable from ``context`` (default: the root)."""
+    evaluator = Evaluator(tree)
+    return evaluator.evaluate(path, context or tree.root)
+
+
+def holds(qualifier: Qualifier, tree: XMLTree, context: Node | None = None) -> bool:
+    """``T ⊨ q(n)`` for ``n = context`` (default: the root)."""
+    evaluator = Evaluator(tree)
+    return evaluator.holds(qualifier, context or tree.root)
+
+
+def satisfies(tree: XMLTree, path: Path) -> bool:
+    """``T ⊨ p``: the answer of ``p`` at the root is nonempty."""
+    return bool(evaluate(path, tree))

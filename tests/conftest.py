@@ -1,0 +1,58 @@
+"""Shared fixtures: the DTDs the paper uses as running examples."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import parse_dtd
+
+
+@pytest.fixture
+def example_2_1_dtd():
+    """Example 2.1: the 3SAT DTD for variables x1..x3."""
+    return parse_dtd(
+        """
+        root r
+        r  -> X1, X2, X3
+        X1 -> T + F
+        X2 -> T + F
+        X3 -> T + F
+        T  -> eps
+        F  -> eps
+        """
+    )
+
+
+@pytest.fixture
+def example_2_3_dtd():
+    """Example 2.3: r -> A*; the query B is unsatisfiable under it."""
+    return parse_dtd(
+        """
+        root r
+        r -> A*
+        A -> eps
+        """
+    )
+
+
+@pytest.fixture
+def recursive_dtd():
+    """A recursive DTD (C chains, as in the 2RM encoding skeleton)."""
+    return parse_dtd(
+        """
+        root r
+        r -> C
+        C -> (C, R1, R2) + eps
+        R1 -> X + eps
+        R2 -> Y + eps
+        X -> X + eps
+        Y -> Y + eps
+        """
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20250611)

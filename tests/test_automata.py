@@ -1,0 +1,168 @@
+"""Tests for the two-way alternating automata machinery (Claim 7.6).
+
+The central property: for every query ``p`` (no data values), tree ``T``,
+context node ``n`` and candidate ``m``, the automaton ``trans(p, depth)``
+accepts ``(stream(T, m), pos(n))`` iff ``T ⊨ p(n, m)`` per the direct
+evaluator — the executable content of Claim 7.6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import accepts, atom, conj, disj, false, qtrans, trans, true
+from repro.automata.boolformula import BAnd, BOr
+from repro.dtd import random_dtd
+from repro.errors import FragmentError
+from repro.workloads import random_query
+from repro.xmltree import random_tree, tree
+from repro.xmltree.stream import open_position, stream_selected
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+from repro.xpath.semantics import Evaluator, evaluate
+from repro.xpath.fragments import Fragment
+
+
+class TestBoolFormula:
+    def test_evaluate(self):
+        formula = conj(atom("a"), disj(atom("b"), atom("c")))
+        assert formula.evaluate(lambda payload: payload in {"a", "b"})
+        assert not formula.evaluate(lambda payload: payload in {"b", "c"})
+
+    def test_simplification(self):
+        assert conj(true(), atom("a")) == atom("a")
+        assert conj(false(), atom("a")) == false()
+        assert disj(true(), atom("a")) == true()
+        assert disj(false(), atom("a")) == atom("a")
+
+    def test_dual_involution(self):
+        formula = conj(atom("a"), disj(atom("b"), true()))
+        assert formula.dual().dual() == formula
+
+    def test_dual_swaps(self):
+        formula = conj(atom("a"), atom("b"))
+        dualized = formula.dual()
+        assert isinstance(dualized, BOr)
+
+    def test_flattening(self):
+        nested = conj(conj(atom("a"), atom("b")), atom("c"))
+        assert isinstance(nested, BAnd)
+        assert len(nested.parts) == 3
+
+    def test_map_atoms(self):
+        formula = disj(atom(1), atom(2))
+        mapped = formula.map_atoms(lambda payload: payload * 10)
+        assert mapped.atoms() == frozenset({10, 20})
+
+
+@pytest.fixture
+def doc():
+    return tree(
+        (
+            "r",
+            [
+                ("A", [("B", [("C", [])])]),
+                ("B", []),
+                ("A", [("C", []), ("B", [])]),
+            ],
+        )
+    )
+
+
+QUERIES = [
+    "A", "*", ".", "**", "^", "^*", ">", ">*", "<", "<*",
+    "A/B", "A/B/C", "**/C", "A/>", "A/B/^", "A[B]", "A[not(B)]",
+    "A[B]/B", "A | B", "*[lab() = B]", "^*/A", "A/B[C]/^", "A[B/C]",
+    "**[C]", "A[not(B) and not(C)]", "(A|B)/C", "**/^", "A/>[lab() = B]",
+    "A/<*/B", "*[B or C]", ".[not(**/C)]", "A[C]/>*[lab() = B]",
+]
+
+
+class TestClaim76:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_trans_matches_evaluator(self, doc, text):
+        query = parse_query(text)
+        automaton = trans(query, doc.depth())
+        evaluator = Evaluator(doc)
+        for n in doc.nodes():
+            expected = evaluator.evaluate(query, n)
+            position = open_position(doc, n)
+            for m in doc.nodes():
+                word = stream_selected(doc, m)
+                assert accepts(automaton, word, position) == (m in expected), (
+                    text, n.label, m.label,
+                )
+
+    @pytest.mark.parametrize("text", ["B", "not(B)", "B and C", "lab() = A", "B/C or C"])
+    def test_qtrans_matches_evaluator(self, doc, text):
+        from repro.xpath import parse_qualifier
+
+        qualifier = parse_qualifier(text)
+        automaton = qtrans(qualifier, doc.depth())
+        evaluator = Evaluator(doc)
+        for n in doc.nodes():
+            word = stream_selected(doc, n)  # mark irrelevant
+            position = open_position(doc, n)
+            assert accepts(automaton, word, position) == evaluator.holds(qualifier, n), (
+                text, n.label,
+            )
+
+    def test_rejects_data_values(self):
+        with pytest.raises(FragmentError):
+            trans(parse_query("A[@a = '1']"), 3)
+
+    def test_random_agreement(self, rng):
+        fragment = Fragment(
+            "sibling-vertical",
+            frag.SIBLING_VERTICAL_NEG.allowed
+            | {frag.Feature.DESCENDANT, frag.Feature.ANCESTOR},
+        )
+        for _ in range(15):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            doc = random_tree(dtd, rng, max_nodes=12)
+            query = random_query(rng, fragment, sorted(dtd.element_types), max_depth=2)
+            automaton = trans(query, doc.depth())
+            evaluator = Evaluator(doc)
+            for n in list(doc.nodes())[:6]:
+                expected = evaluator.evaluate(query, n)
+                position = open_position(doc, n)
+                for m in list(doc.nodes())[:6]:
+                    word = stream_selected(doc, m)
+                    assert accepts(automaton, word, position) == (m in expected), (
+                        str(query), doc.pretty(), n.node_id, m.node_id,
+                    )
+
+    def test_automaton_size_linear_in_query(self):
+        sizes = []
+        for k in (1, 2, 4, 8):
+            query = parse_query("/".join(["A"] * k))
+            automaton = trans(query, 10)
+            sizes.append(len(automaton.states))
+        # each composition adds one axis gadget: linear growth
+        deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert all(delta > 0 for delta in deltas)
+        assert sizes[-1] < sizes[0] * 20
+
+
+class TestAcceptanceEngine:
+    def test_initial_formula_conjunction(self, doc):
+        # A and B both children of the root: conjunction of two automata
+        auto_a = trans(parse_query("A"), doc.depth())
+        word = stream_selected(doc, doc.root.children[0])
+        assert accepts(auto_a, word, 0)
+        word_b = stream_selected(doc, doc.root.children[1])
+        auto_b = trans(parse_query("B"), doc.depth())
+        assert accepts(auto_b, word_b, 0)
+        assert not accepts(auto_b, word, 0)
+
+    def test_depth_bound_matters(self, doc):
+        # the bound caps the *relative* depth one gadget can count; a bare
+        # ** gadget with bound 1 cannot reach a depth-3 descendant
+        query = parse_query("**")
+        shallow = trans(query, 1)
+        c_node = doc.root.children[0].children[0].children[0]
+        assert c_node.depth == 3
+        word = stream_selected(doc, c_node)
+        assert not accepts(shallow, word, 0)
+        deep = trans(query, doc.depth())
+        assert accepts(deep, word, 0)

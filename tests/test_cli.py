@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+DTD_TEXT = """
+root r
+r -> A, (B + C)
+A -> eps
+B -> eps
+C -> eps
+"""
+
+
+@pytest.fixture
+def dtd_file(tmp_path):
+    path = tmp_path / "schema.dtd"
+    path.write_text(DTD_TEXT)
+    return str(path)
+
+
+class TestCheck:
+    def test_satisfiable(self, dtd_file, capsys):
+        code = main(["check", "--dtd", dtd_file, "A"])
+        assert code == 0
+        assert "SAT" in capsys.readouterr().out
+
+    def test_unsatisfiable(self, dtd_file, capsys):
+        code = main(["check", "--dtd", dtd_file, ".[B and C]"])
+        assert code == 1
+        assert "UNSAT" in capsys.readouterr().out
+
+    def test_witness_printed(self, dtd_file, capsys):
+        code = main(["check", "--dtd", dtd_file, "B", "--witness"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r" in out and "B" in out
+
+    def test_no_dtd(self, capsys):
+        assert main(["check", "A[B]"]) == 0
+        assert main(["check", ".[lab() = A and lab() = B]"]) == 1
+
+    def test_parse_error_exit_code(self, dtd_file, capsys):
+        code = main(["check", "--dtd", dtd_file, "A[["])
+        assert code == 3
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_dtd_file(self, capsys):
+        code = main(["check", "--dtd", "/nonexistent.dtd", "A"])
+        assert code == 3
+
+
+class TestContains:
+    def test_contained(self, dtd_file, capsys):
+        code = main(["contains", "--dtd", dtd_file, "B", "*"])
+        assert code == 0
+        assert "contained" in capsys.readouterr().out
+
+    def test_not_contained_with_witness(self, dtd_file, capsys):
+        code = main(["contains", "--dtd", dtd_file, "*", "B", "--witness"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not contained" in out
+
+
+class TestClassify:
+    def test_query_and_dtd_report(self, dtd_file, capsys):
+        code = main(["classify", "--dtd", dtd_file, "**/B[@a != '1']"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data" in out and "dos" in out
+        assert "nonrecursive" in out
+
+    def test_query_only(self, capsys):
+        assert main(["classify", "A/B"]) == 0
+        assert "label steps only" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""Tests for the DTD model, parser, graph, properties and transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import (
+    DTD,
+    DTDGraph,
+    is_disjunction_free,
+    is_no_star,
+    is_nonrecursive,
+    is_normalized,
+    max_document_depth,
+    normalize,
+    parse_dtd,
+    random_dtd,
+    terminating_types,
+    universal_dtds,
+)
+from repro.dtd.properties import classify
+from repro.dtd.transforms import (
+    eliminate_disjunction,
+    eliminate_recursion_in_query,
+    eliminate_star,
+)
+from repro.errors import DTDError, ParseError
+from repro.regex import parse_regex
+from repro.regex.ops import language_equal
+from repro.xpath import parse_query
+
+
+class TestModel:
+    def test_element_types_and_accessors(self, example_2_1_dtd):
+        dtd = example_2_1_dtd
+        assert dtd.root == "r"
+        assert dtd.element_types == frozenset({"r", "X1", "X2", "X3", "T", "F"})
+        assert str(dtd.production("X1")) == "T + F"
+        assert dtd.attrs_of("r") == frozenset()
+
+    def test_unknown_type_raises(self, example_2_1_dtd):
+        with pytest.raises(DTDError):
+            example_2_1_dtd.production("Z")
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(DTDError):
+            DTD(root="r", productions={"r": parse_regex("A")})
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(DTDError):
+            DTD(root="r", productions={"A": parse_regex("eps")})
+
+    def test_describe_roundtrip(self, example_2_1_dtd):
+        text = example_2_1_dtd.describe()
+        again = parse_dtd(text)
+        assert again.root == example_2_1_dtd.root
+        assert again.element_types == example_2_1_dtd.element_types
+        for name in again.element_types:
+            assert language_equal(again.production(name), example_2_1_dtd.production(name))
+
+    def test_attributes_parse(self):
+        dtd = parse_dtd("root r\nr -> C*\nC -> eps\nC @ s, next\n")
+        assert dtd.attrs_of("C") == frozenset({"s", "next"})
+        assert dtd.attribute_names == frozenset({"s", "next"})
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_dtd("r -> A")  # missing root
+        with pytest.raises(ParseError):
+            parse_dtd("root r\nr => A\n")
+
+
+class TestGraphAndProperties:
+    def test_classification_example_2_1(self, example_2_1_dtd):
+        summary = classify(example_2_1_dtd)
+        assert summary == {
+            "normalized": True,
+            "disjunction_free": False,
+            "nonrecursive": True,
+            "no_star": True,
+            "all_terminating": True,
+        }
+
+    def test_recursive_detection(self, recursive_dtd):
+        assert not is_nonrecursive(recursive_dtd)
+        assert terminating_types(recursive_dtd) == recursive_dtd.element_types
+
+    def test_nonterminating_detected(self):
+        dtd = DTD(
+            root="r",
+            productions={"r": parse_regex("A"), "A": parse_regex("A")},
+        )
+        assert terminating_types(dtd) == frozenset({})
+        with pytest.raises(DTDError):
+            dtd.require_terminating()
+
+    def test_depth_bound(self, example_2_1_dtd):
+        assert max_document_depth(example_2_1_dtd) == 2
+
+    def test_depth_unbounded_for_recursive(self, recursive_dtd):
+        with pytest.raises(ValueError):
+            max_document_depth(recursive_dtd)
+
+    def test_reachability_and_paths(self, example_2_1_dtd):
+        graph = DTDGraph(example_2_1_dtd)
+        assert graph.reachable_from("r") == example_2_1_dtd.element_types
+        assert graph.shortest_path("r", "T") in (["r", "X1", "T"], ["r", "X2", "T"], ["r", "X3", "T"])
+        assert graph.shortest_path("T", "r") is None
+
+
+class TestNormalize:
+    def test_already_normalized_is_identity(self, example_2_1_dtd):
+        result = normalize(example_2_1_dtd)
+        assert result.new_types == frozenset()
+        assert result.dtd.productions == dict(example_2_1_dtd.productions)
+
+    def test_normal_form_reached(self):
+        dtd = parse_dtd(
+            """
+            root r
+            r -> (X + eps), (T + F)
+            X -> (A, B)*
+            A -> eps
+            B -> eps
+            T -> eps
+            F -> eps
+            """
+        )
+        result = normalize(dtd)
+        assert is_normalized(result.dtd)
+        assert result.dtd.root == dtd.root
+        # old types survive with their names
+        assert dtd.element_types <= result.dtd.element_types
+
+    def test_no_new_constructs_claim(self):
+        # a star-free DTD stays star-free after normalization
+        dtd = parse_dtd("root r\nr -> (A + B), C\nA -> eps\nB -> eps\nC -> eps\n")
+        result = normalize(dtd)
+        assert is_no_star(result.dtd)
+
+    def test_rewrite_query_skips_new_types(self):
+        dtd = parse_dtd(
+            "root r\nr -> (X + eps), (T + F)\nX -> eps\nT -> eps\nF -> eps\n"
+        )
+        result = normalize(dtd)
+        rewritten = result.rewrite_query(parse_query("X"))
+        # the rewritten query must mention the new union types
+        assert any(name in str(rewritten) for name in result.new_types)
+
+
+class TestTransforms:
+    def test_universal_dtds_shape(self):
+        query = parse_query("A/B[C or @a = '1']")
+        family = universal_dtds(query)
+        roots = {dtd.root for dtd in family}
+        assert {"A", "B", "C", "X"} <= roots
+        sample = family[0]
+        assert sample.attrs_of("A") == frozenset({"a"})
+        # every type can generate any children sequence
+        assert sample.child_types("A") == sample.element_types
+
+    def test_eliminate_recursion(self, example_2_1_dtd):
+        query = parse_query("**/T")
+        rewritten = eliminate_recursion_in_query(query, example_2_1_dtd)
+        assert "**" not in str(rewritten)
+        assert "*/*" in str(rewritten)  # unrolled to ε ∪ ↓ ∪ ↓²
+
+    def test_eliminate_star_unrolls(self):
+        dtd = parse_dtd("root r\nr -> A*\nA -> eps\n")
+        unrolled = eliminate_star(dtd, 2)
+        assert is_no_star(unrolled)
+        production = unrolled.production("r")
+        from repro.regex.ops import matches
+
+        assert matches(production, [])
+        assert matches(production, ["A"])
+        assert matches(production, ["A", "A"])
+        assert not matches(production, ["A", "A", "A"])
+
+    def test_eliminate_disjunction(self, example_2_1_dtd):
+        result = eliminate_disjunction(example_2_1_dtd)
+        assert is_disjunction_free(result.dtd)
+        assert result.guard is not None
+        guarded = result.guard_query(parse_query("X1/T"))
+        assert "not(" in str(guarded)
+
+
+class TestGenerator:
+    def test_random_dtd_always_wellformed(self, rng):
+        for _ in range(30):
+            dtd = random_dtd(rng, n_types=6)
+            assert terminating_types(dtd) == dtd.element_types
+
+    def test_flags_respected(self, rng):
+        for _ in range(20):
+            dtd = random_dtd(rng, n_types=5, allow_union=False)
+            assert is_disjunction_free(dtd)
+        for _ in range(20):
+            dtd = random_dtd(rng, n_types=5, allow_recursion=False)
+            assert is_nonrecursive(dtd)
+        for _ in range(20):
+            dtd = random_dtd(rng, n_types=5, allow_star=False, allow_recursion=False)
+            assert is_no_star(dtd)
+
+    def test_attributes_generated(self, rng):
+        dtd = random_dtd(rng, n_types=4, attribute_names=("a", "b"), attr_probability=1.0)
+        assert dtd.attrs_of("r") == frozenset({"a", "b"})

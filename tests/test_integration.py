@@ -1,0 +1,190 @@
+"""Integration tests across modules: the Section 3 reductions
+(normalization, universal DTDs, containment), Proposition 6.1's recursion
+elimination, and end-to-end dispatch coherence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.containment import brute_force_contains, contains
+from repro.dtd import normalize, parse_dtd, random_dtd, universal_dtds
+from repro.dtd.properties import is_normalized, is_nonrecursive
+from repro.dtd.transforms import eliminate_disjunction, eliminate_recursion_in_query
+from repro.sat import Bounds, decide, sat_bounded, sat_exptime_types
+from repro.workloads import random_query
+from repro.xmltree import conforms, random_tree
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+from repro.xpath.semantics import satisfies
+
+
+class TestProposition33:
+    """Normalization preserves satisfiability: (p, D) sat iff
+    (f(p), N(D)) sat."""
+
+    def test_normal_form(self, rng):
+        for _ in range(15):
+            dtd = random_dtd(rng, n_types=5)
+            result = normalize(dtd)
+            assert is_normalized(result.dtd)
+
+    def test_satisfiability_preserved_downward(self, rng):
+        for _ in range(25):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            result = normalize(dtd)
+            query = random_query(
+                rng, frag.DOWNWARD_QUAL, sorted(dtd.element_types), max_depth=2
+            )
+            if frag.Feature.LABEL_TEST in frag.features_of(query):
+                continue
+            original = sat_exptime_types(query, dtd)
+            rewritten = result.rewrite_query(query)
+            try:
+                normalized = sat_exptime_types(rewritten, result.dtd, max_facts=36)
+            except Exception:
+                continue  # fact blow-up from ∇-expansion: skip this sample
+            assert original.satisfiable == normalized.satisfiable, (
+                str(query), dtd.describe(),
+            )
+
+    def test_satisfiability_preserved_upward(self, rng):
+        # upward modalities need label tests in f(p); verify via evaluation
+        # on transformed witnesses instead of deciders
+        dtd = parse_dtd("root r\nr -> (A + eps), B\nA -> C\nB -> eps\nC -> eps\n")
+        result = normalize(dtd)
+        query = parse_query("A/C/^/^/B")
+        rewritten = result.rewrite_query(query)
+        original = decide(query, dtd)
+        assert original.is_sat
+        new = sat_bounded(rewritten, result.dtd, Bounds(max_depth=6, max_width=4))
+        assert new.is_sat
+
+    def test_no_new_constructs(self, rng):
+        for _ in range(10):
+            dtd = random_dtd(rng, n_types=4, allow_star=False)
+            from repro.dtd.properties import is_no_star
+
+            assert is_no_star(normalize(dtd).dtd)
+
+
+class TestProposition31:
+    """DTD-less satisfiability = satisfiability under some universal D_p."""
+
+    def test_equivalence_with_no_dtd_decider(self, rng):
+        from repro.sat import sat_no_dtd
+
+        for _ in range(20):
+            query = random_query(rng, frag.DOWNWARD_QUAL, ["A", "B"], max_depth=2)
+            direct = sat_no_dtd(query)
+            family = universal_dtds(query)
+            via_family = [sat_exptime_types(query, dtd, max_facts=26) for dtd in family]
+            assert direct.satisfiable == any(r.is_sat for r in via_family), str(query)
+
+    def test_family_shape(self):
+        query = parse_query("A[B and not(C)]")
+        family = universal_dtds(query)
+        assert len(family) == 4  # A, B, C, X roots
+        for dtd in family:
+            assert dtd.element_types == {"A", "B", "C", "X"}
+
+
+class TestProposition61:
+    """Under nonrecursive DTDs, ↓* elimination preserves satisfiability."""
+
+    def test_equivalence(self, rng):
+        for _ in range(20):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            query = random_query(
+                rng, frag.REC_NEG_DOWN_UNION, sorted(dtd.element_types), max_depth=2
+            )
+            rewritten = eliminate_recursion_in_query(query, dtd)
+            assert not frag.uses_recursion(rewritten)
+            original = sat_exptime_types(query, dtd)
+            try:
+                unrolled = sat_exptime_types(rewritten, dtd, max_facts=40)
+            except Exception:
+                continue  # fact blow-up on unrolled unions: skip
+            assert original.satisfiable == unrolled.satisfiable, str(query)
+
+
+class TestCorollary610:
+    """Disjunction elimination preserves satisfiability for the guarded
+    query (spot checks via the types fixpoint)."""
+
+    def test_guarded_equivalence(self, example_2_1_dtd):
+        result = eliminate_disjunction(example_2_1_dtd)
+        for text in ["X1/T", ".[X1/T and X1/F]", ".[not(X1/T)]"]:
+            query = parse_query(text)
+            original = sat_exptime_types(query, example_2_1_dtd)
+            guarded = result.guard_query(query)
+            transformed = sat_exptime_types(guarded, result.dtd, max_facts=30)
+            assert original.satisfiable == transformed.satisfiable, text
+
+
+class TestContainment:
+    def test_simple_containments(self, example_2_1_dtd):
+        dtd = example_2_1_dtd
+        # X1/T ⊆ */T under the DTD
+        result = contains(parse_query("X1/T"), parse_query("*/T"), dtd)
+        assert result.contained is True
+        # */T ⊄ X1/T (T under X2 is a counterexample)
+        result2 = contains(parse_query("*/T"), parse_query("X1/T"), dtd)
+        assert result2.contained is False
+        assert result2.counterexample is not None
+        assert conforms(result2.counterexample, dtd)
+
+    def test_boolean_containment(self, example_2_1_dtd):
+        from repro.xpath import parse_qualifier
+        from repro.containment import contains_boolean
+
+        q1 = parse_qualifier("X1/T and X2/T")
+        q2 = parse_qualifier("X1/T")
+        assert contains_boolean(q1, q2, example_2_1_dtd).contained is True
+        assert contains_boolean(q2, q1, example_2_1_dtd).contained is False
+
+    def test_equal_queries_contained(self, example_2_1_dtd):
+        query = parse_query("X1/T")
+        assert contains(query, query, example_2_1_dtd).contained is True
+
+    def test_agreement_with_brute_force(self, rng):
+        for _ in range(12):
+            dtd = random_dtd(rng, n_types=4, allow_recursion=False)
+            p1 = random_query(rng, frag.DOWNWARD, sorted(dtd.element_types), max_depth=2)
+            p2 = random_query(rng, frag.DOWNWARD, sorted(dtd.element_types), max_depth=2)
+            verdict = contains(p1, p2, dtd, Bounds(max_depth=4, max_width=3))
+            if verdict.contained is False:
+                tree = verdict.counterexample
+                assert tree is not None
+                from repro.xpath.semantics import evaluate
+
+                selected_1 = evaluate(p1, tree)
+                selected_2 = evaluate(p2, tree)
+                assert not selected_1 <= selected_2
+            elif verdict.contained is True:
+                assert brute_force_contains(p1, p2, dtd, trials=60), (
+                    str(p1), str(p2), dtd.describe(),
+                )
+
+
+class TestDispatchCoherence:
+    """decide() must agree with itself across fragments and with witness
+    validation everywhere."""
+
+    def test_random_grid(self, rng):
+        fragments = [frag.DOWNWARD, frag.CHILD_QUAL, frag.UNION_QUAL,
+                     frag.REC_NEG_DOWN_UNION, frag.SIBLING]
+        for _ in range(40):
+            dtd = random_dtd(rng, n_types=4)
+            fragment = rng.choice(fragments)
+            query = random_query(rng, fragment, sorted(dtd.element_types), max_depth=2)
+            result = decide(query, dtd)
+            if result.is_sat and result.witness is not None:
+                assert conforms(result.witness, dtd)
+                assert satisfies(result.witness, query)
+            elif result.is_unsat:
+                # sample random conforming trees: none may satisfy the query
+                for _trial in range(15):
+                    tree = random_tree(dtd, rng, max_nodes=30)
+                    assert not satisfies(tree, query), (str(query), tree.pretty())

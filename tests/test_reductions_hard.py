@@ -1,0 +1,296 @@
+"""Validation of the PSPACE / EXPTIME / undecidability encodings.
+
+These fragments have no exact decider in the library (that is the paper's
+point: they are PSPACE/EXPTIME-hard or undecidable), so validation runs
+through certificates:
+
+* Q3SAT — strategy trees: the full ∀-branching tree with ∃ choices from a
+  strategy satisfies the encoding iff the strategy is winning; validity of
+  the QBF (independent solver) must match the existence of a satisfying
+  strategy among all strategy functions (small instances);
+* tiling — the game tree of a winning Player I strategy satisfies the
+  Theorem 5.6 query; losing instances admit no satisfying strategy tree;
+* 2RM — the run tree of a halting machine satisfies the Theorem 5.4 query;
+  trees of non-halting machines (truncated or wrong-final runs) do not.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dtd.properties import is_disjunction_free, is_nonrecursive, is_no_star
+from repro.reductions import q3sat as q3
+from repro.reductions import tiling as til
+from repro.reductions import two_register as trm
+from repro.solvers.dpll import cnf
+from repro.solvers.machines import (
+    diverging_loop,
+    halting_adder,
+    run_machine,
+    stuck_machine,
+    trivial_halt,
+)
+from repro.solvers.qbf import QBF, qbf_valid
+from repro.solvers.tiling_game import TilingSystem, player_one_wins
+from repro.xmltree.validate import conforms
+from repro.xpath.fragments import Feature, features_of
+from repro.xpath.semantics import satisfies
+
+
+def all_strategies(qbf: QBF):
+    """All strategy functions for the ∃ variables of a small QBF: each ∃
+    variable's choice may depend on the full assignment of earlier
+    variables."""
+    exist_vars = [i for i in range(1, qbf.n_vars + 1) if qbf.quantifiers[i - 1] == "E"]
+    # domain: tuples of earlier-variable assignments; to stay finite, a
+    # strategy is a map (var, tuple of earlier values) -> bool
+    tables: list[dict] = [{}]
+    for var in exist_vars:
+        earlier = var - 1
+        contexts = list(itertools.product([False, True], repeat=earlier))
+        new_tables = []
+        for table in tables:
+            for values in itertools.product([False, True], repeat=len(contexts)):
+                extended = dict(table)
+                for context, value in zip(contexts, values):
+                    extended[(var, context)] = value
+                new_tables.append(extended)
+        tables = new_tables
+
+    def as_function(table):
+        def strategy(var: int, assignment: dict[int, bool]) -> bool:
+            context = tuple(assignment[i] for i in range(1, var))
+            return table[(var, context)]
+
+        return strategy
+
+    return [as_function(table) for table in tables]
+
+
+# A valid QBF with genuine alternation: ∀x1 ∃x2 (x1∨x2)(¬x1∨¬x2) — x2=¬x1.
+ALTERNATING = QBF(("A", "E"), cnf([[1, 2, 2], [-1, -2, -2]], n_vars=2))
+# Invalid: ∃x2 first cannot depend on x1? reversed prefix makes it false.
+ALTERNATING_BAD = QBF(("E", "A"), cnf([[1, 2, 2], [-1, -2, -2]], n_vars=2))
+SIMPLE_VALID = QBF(("E", "E", "A"), cnf([[1, 2, 3], [1, 2, -3]], n_vars=3))
+
+
+class TestQ3SATStrategyTrees:
+    @pytest.mark.parametrize("qbf,expected", [
+        (ALTERNATING, True),
+        (ALTERNATING_BAD, False),
+        (SIMPLE_VALID, True),
+    ])
+    def test_prop_5_1(self, qbf, expected):
+        assert qbf_valid(qbf) == expected
+        encoding = q3.encode_neg_child(qbf)
+        found = False
+        for strategy in all_strategies(qbf):
+            tree = q3.strategy_tree_5_1(qbf, strategy)
+            assert conforms(tree, encoding.dtd), tree.pretty()
+            if satisfies(tree, encoding.query):
+                found = True
+                break
+        assert found == expected
+
+    @pytest.mark.parametrize("qbf,expected", [
+        (ALTERNATING, True),
+        (ALTERNATING_BAD, False),
+        (SIMPLE_VALID, True),
+    ])
+    def test_thm_6_7_1_fixed_dtd(self, qbf, expected):
+        encoding = q3.encode_fixed_neg_child(qbf)
+        found = False
+        for strategy in all_strategies(qbf):
+            tree = q3.strategy_tree_671(qbf, strategy)
+            assert conforms(tree, encoding.dtd), tree.pretty()
+            if satisfies(tree, encoding.query):
+                found = True
+                break
+        assert found == expected
+
+    def test_cor_6_15_1_no_dtd(self):
+        encoding = q3.encode_fixed_neg_child(ALTERNATING, with_dtd=False)
+        assert encoding.dtd is None
+        found = any(
+            satisfies(q3.strategy_tree_671(ALTERNATING, strategy), encoding.query)
+            for strategy in all_strategies(ALTERNATING)
+        )
+        assert found
+
+    def test_fragment_membership(self):
+        encoding = q3.encode_neg_child(ALTERNATING)
+        used = features_of(encoding.query)
+        assert Feature.NEGATION in used
+        assert Feature.PARENT not in used
+        assert Feature.DESCENDANT not in used
+        assert Feature.DATA not in used
+
+
+class TestQ3SATSibling:
+    """Proposition 7.3's flat construction: its semantics coincides with
+    QBF validity on ∃*∀* prefixes (∃ choices cannot depend on ∀ variables
+    in a flat tree), which is what we validate."""
+
+    @pytest.mark.parametrize("qbf,expected", [
+        (SIMPLE_VALID, True),
+        (QBF(("E", "A"), cnf([[1, 2, 2], [-1, -2, -2]], n_vars=2)), False),
+        (QBF(("E", "E"), cnf([[1, 2, 2]], n_vars=2)), True),
+    ])
+    def test_flat_equivalence(self, qbf, expected):
+        assert qbf_valid(qbf) == expected
+        encoding = q3.encode_sibling_neg(qbf)
+        assert is_nonrecursive(encoding.dtd)
+        assert is_no_star(encoding.dtd)
+        forall = {i for i in range(1, qbf.n_vars + 1) if qbf.quantifiers[i - 1] == "A"}
+        exist = [i for i in range(1, qbf.n_vars + 1) if i not in forall]
+        found = False
+        for values in itertools.product([False, True], repeat=len(exist)):
+            assignment = dict.fromkeys(forall, True)
+            assignment.update(dict(zip(exist, values)))
+            tree = q3.assignment_tree_7_3(qbf, assignment, force_both=forall)
+            assert conforms(tree, encoding.dtd), tree.pretty()
+            if satisfies(tree, encoding.query):
+                found = True
+                break
+        assert found == expected
+
+    def test_no_dtd_variant_accepts_canonical_tree(self):
+        qbf = SIMPLE_VALID
+        encoding = q3.encode_sibling_neg(qbf, with_dtd=False)
+        assert encoding.dtd is None
+        forall = {3}
+        tree = q3.assignment_tree_7_3(qbf, {1: True, 2: True, 3: True}, force_both=forall)
+        assert satisfies(tree, encoding.query)
+
+
+def _solvable_tiling() -> TilingSystem:
+    tiles = ("a", "b")
+    horizontal = frozenset({("a", "b"), ("b", "a")})
+    vertical = frozenset({("a", "b"), ("b", "a")})
+    return TilingSystem(tiles, horizontal, vertical, top=("a", "b"), bottom=("b", "a"))
+
+
+def _unsolvable_tiling() -> TilingSystem:
+    tiles = ("a", "b")
+    horizontal = frozenset({("a", "b"), ("b", "a")})
+    vertical = frozenset({("a", "b"), ("b", "a")})
+    # bottom (a, a) violates H: never completable
+    return TilingSystem(
+        tiles, horizontal, vertical, top=("a", "b"), bottom=("a", "a")
+    )
+
+
+class TestTiling:
+    def test_dtd_classes(self):
+        dtd = til.snapshot_dtd(2)
+        assert is_disjunction_free(dtd)
+        chain = til.fixed_chain_tiling_dtd()
+        assert not is_nonrecursive(chain)  # X -> X + eps is recursive
+
+    def test_strategy_tree_satisfies_snapshot_encoding(self):
+        system = _solvable_tiling()
+        assert player_one_wins(system, max_rows=4)
+        encoding = til.encode_snapshot(system)
+        tree = til.strategy_snapshot_tree(system, max_rows=4)
+        assert tree is not None
+        assert conforms(tree, encoding.dtd), tree.pretty()
+        assert satisfies(tree, encoding.query), tree.pretty()
+
+    def test_unsolvable_instance_has_no_strategy_tree(self):
+        system = _unsolvable_tiling()
+        assert not player_one_wins(system, max_rows=4)
+        assert til.strategy_snapshot_tree(system, max_rows=4) is None
+
+    def test_no_dtd_variant(self):
+        system = _solvable_tiling()
+        encoding = til.encode_snapshot(system, with_dtd=False)
+        assert encoding.dtd is None
+        tree = til.strategy_snapshot_tree(system, max_rows=4)
+        assert tree is not None
+        assert satisfies(tree, encoding.query)
+
+    def test_chain_variant(self):
+        system = _solvable_tiling()
+        encoding = til.encode_chain(system)
+        snapshot_tree = til.strategy_snapshot_tree(system, max_rows=4)
+        assert snapshot_tree is not None
+        tree = til.chain_tree_from_snapshot_tree(snapshot_tree, system.width)
+        assert conforms(tree, encoding.dtd), tree.pretty()
+        assert satisfies(tree, encoding.query), tree.pretty()
+
+    def test_fragment(self):
+        encoding = til.encode_snapshot(_solvable_tiling())
+        used = features_of(encoding.query)
+        assert Feature.PARENT in used
+        assert Feature.DATA in used
+        assert Feature.NEGATION in used
+        assert Feature.DESCENDANT not in used
+
+
+class TestTwoRegister:
+    def test_dtd_is_fixed(self):
+        assert trm.machine_dtd().describe() == trm.machine_dtd().describe()
+
+    def test_halting_machines_accept_run_tree(self):
+        for machine in (trivial_halt(), halting_adder(1), halting_adder(2)):
+            trace, status = run_machine(machine)
+            assert status == "halted"
+            encoding = trm.encode_machine(machine)
+            tree = trm.run_tree(trace, machine.final)
+            assert conforms(tree, encoding.dtd), tree.pretty()
+            assert satisfies(tree, encoding.query), tree.pretty()
+
+    def test_wrong_run_rejected(self):
+        machine = halting_adder(1)
+        trace, _status = run_machine(machine)
+        encoding = trm.encode_machine(machine)
+        # truncate the run before halting: query must fail
+        truncated = trm.run_tree(trace[:-1], machine.final)
+        assert not satisfies(truncated, encoding.query)
+
+    def test_stuck_machine_run_rejected(self):
+        machine = stuck_machine()
+        trace, status = run_machine(machine)
+        assert status == "stuck"
+        encoding = trm.encode_machine(machine)
+        tree = trm.run_tree(trace, machine.final)
+        assert not satisfies(tree, encoding.query)
+
+    def test_diverging_prefixes_rejected(self):
+        machine = diverging_loop()
+        trace, status = run_machine(machine, max_steps=6)
+        assert status == "budget"
+        encoding = trm.encode_machine(machine)
+        tree = trm.run_tree(trace, machine.final)
+        assert not satisfies(tree, encoding.query)
+
+    def test_corrupted_counter_rejected(self):
+        machine = halting_adder(1)
+        trace, _ = run_machine(machine)
+        encoding = trm.encode_machine(machine)
+        tree = trm.run_tree(trace, machine.final)
+        # find an X node and duplicate its id within the same chain
+        for node in tree.nodes():
+            if node.label == "X" and node.children:
+                node.children[0].attrs["id"] = node.attrs["id"]
+                break
+        else:
+            # build a run with register value >= 2 to have a 2-chain
+            machine = halting_adder(2)
+            trace, _ = run_machine(machine)
+            encoding = trm.encode_machine(machine)
+            tree = trm.run_tree(trace, machine.final)
+            for node in tree.nodes():
+                if node.label == "X" and node.children:
+                    node.children[0].attrs["id"] = node.attrs["id"]
+                    break
+        assert not satisfies(tree, encoding.query)
+
+    def test_fragment_is_full_vertical(self):
+        # trivial_halt has no transitions, so use a machine with some
+        encoding = trm.encode_machine(halting_adder(1))
+        used = features_of(encoding.query)
+        assert {Feature.DESCENDANT, Feature.ANCESTOR, Feature.PARENT,
+                Feature.DATA, Feature.NEGATION} <= used

@@ -1,0 +1,185 @@
+"""End-to-end validation of the 3SAT encodings (Props 4.2/4.3, Thms
+6.6/6.9, Prop 7.2, Cor 6.14).
+
+Validation scheme, per encoding:
+
+* **canonical-family equivalence** — over *every* assignment of a small
+  formula, the assignment's canonical tree conforms to the encoding DTD and
+  satisfies the encoded query iff the assignment satisfies φ;
+* **decider agreement** — where an exact decider covers the fragment, its
+  verdict equals DPLL's on random instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.dtd.properties import (
+    is_disjunction_free,
+    is_nonrecursive,
+    is_normalized,
+)
+from repro.reductions import threesat as enc
+from repro.sat import decide, sat_exptime_types
+from repro.sat.nexptime import sat_nexptime
+from repro.solvers.dpll import cnf, dpll_satisfiable, random_3cnf
+from repro.xmltree.validate import conforms
+from repro.xpath.fragments import FRAGMENTS, Fragment, features_of
+from repro.xpath.semantics import satisfies
+
+SMALL = cnf([[1, 2, 3], [-1, 2, -3], [1, -2, 3]])
+UNSAT8 = cnf(
+    [[s1 * 1, s2 * 2, s3 * 3] for s1 in (1, -1) for s2 in (1, -1) for s3 in (1, -1)]
+)
+
+
+def all_assignments(n_vars: int):
+    for values in itertools.product([False, True], repeat=n_vars):
+        yield {index + 1: value for index, value in enumerate(values)}
+
+
+def check_family(encoding, witness_builder, formula):
+    """Canonical-family equivalence over every assignment."""
+    for assignment in all_assignments(formula.n_vars):
+        tree = witness_builder(formula, assignment)
+        if encoding.dtd is not None:
+            assert conforms(tree, encoding.dtd), tree.pretty()
+        expected = formula.evaluate(assignment)
+        assert satisfies(tree, encoding.query) == expected, (
+            assignment,
+            tree.pretty(),
+        )
+
+
+CASES = [
+    (enc.encode_child_qual, enc.witness_child_qual),
+    (enc.encode_child_up, enc.witness_child_qual),
+    (enc.encode_union_qual, enc.witness_union_qual),
+    (enc.encode_fixed_child, enc.witness_fixed_child),
+    (enc.encode_df_union_data, enc.witness_df_union_data),
+    (enc.encode_df_child_data, enc.witness_df_child_data),
+    (enc.encode_df_upward, enc.witness_df_upward),
+    (enc.encode_sibling, enc.witness_sibling),
+]
+
+
+@pytest.mark.parametrize("encode,witness", CASES, ids=lambda c: getattr(c, "__name__", ""))
+def test_canonical_family(encode, witness):
+    check_family(encode(SMALL), witness, SMALL)
+
+
+@pytest.mark.parametrize("encode,witness", CASES, ids=lambda c: getattr(c, "__name__", ""))
+def test_unsat_family_never_satisfies(encode, witness):
+    encoding = encode(UNSAT8)
+    for assignment in all_assignments(UNSAT8.n_vars):
+        tree = witness(UNSAT8, assignment)
+        assert not satisfies(tree, encoding.query)
+
+
+class TestFragmentClaims:
+    """Each encoding must actually live in the fragment it claims."""
+
+    def test_fragments(self):
+        checks = {
+            enc.encode_child_qual: "X(child,qual)",
+            enc.encode_union_qual: "X(qual,union)",
+            enc.encode_child_up: "X(child,parent)",
+        }
+        from repro.xpath import fragments as frag
+
+        assert frag.CHILD_QUAL.contains(enc.encode_child_qual(SMALL).query)
+        assert frag.UNION_QUAL.contains(enc.encode_union_qual(SMALL).query)
+        assert frag.CHILD_UP.contains(enc.encode_child_up(SMALL).query)
+        assert frag.CHILD_QUAL.contains(enc.encode_fixed_child(SMALL).query)
+        assert frag.CHILD_UP.contains(enc.encode_fixed_up(SMALL).query)
+        assert features_of(enc.encode_sibling(SMALL).query) <= (
+            frag.SIBLING_QUAL.allowed
+        )
+
+    def test_dtd_classes(self):
+        assert is_disjunction_free(enc.encode_df_union_data(SMALL).dtd)
+        assert is_disjunction_free(enc.encode_df_child_data(SMALL).dtd)
+        assert is_disjunction_free(enc.fixed_693_dtd())
+        sibling_dtd = enc.fixed_sibling_dtd()
+        assert is_disjunction_free(sibling_dtd)
+        assert is_nonrecursive(sibling_dtd)
+        # the chain DTD is recursive and non-normalized by design
+        assert not is_nonrecursive(enc.fixed_chain_dtd())
+        assert not is_normalized(enc.fixed_chain_dtd())
+        assert is_normalized(enc._dtd_4_2_1(SMALL))
+
+    def test_fixed_dtds_independent_of_instance(self, rng):
+        f1 = random_3cnf(rng, 4, 3)
+        f2 = random_3cnf(rng, 5, 6)
+        assert enc.encode_union_qual(f1).dtd.describe() == enc.encode_union_qual(f2).dtd.describe()
+        assert enc.encode_fixed_child(f1).dtd.describe() == enc.encode_fixed_child(f2).dtd.describe()
+        assert enc.encode_sibling(f1).dtd.describe() == enc.encode_sibling(f2).dtd.describe()
+
+
+class TestDeciderAgreement:
+    """φ satisfiable (DPLL) ⟺ encoding satisfiable (exact decider)."""
+
+    def test_child_qual_vs_dpll(self, rng):
+        for _ in range(10):
+            formula = random_3cnf(rng, 3, rng.randint(2, 6))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_child_qual(formula)
+            result = sat_exptime_types(encoding.query, encoding.dtd)
+            assert result.satisfiable == expected, formula.describe()
+
+    def test_union_qual_vs_dpll(self, rng):
+        for _ in range(10):
+            formula = random_3cnf(rng, 3, rng.randint(2, 6))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_union_qual(formula)
+            result = sat_exptime_types(encoding.query, encoding.dtd, max_facts=26)
+            assert result.satisfiable == expected, formula.describe()
+
+    def test_child_up_vs_dpll(self, rng):
+        for _ in range(8):
+            formula = random_3cnf(rng, 3, rng.randint(2, 5))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_child_up(formula)
+            result = decide(encoding.query, encoding.dtd)
+            assert result.satisfiable == expected, formula.describe()
+
+    def test_df_union_data_vs_dpll(self, rng):
+        for _ in range(8):
+            formula = random_3cnf(rng, 3, rng.randint(2, 6))
+            expected = dpll_satisfiable(formula) is not None
+            encoding = enc.encode_df_union_data(formula)
+            result = sat_nexptime(encoding.query, encoding.dtd)
+            assert result.satisfiable == expected, formula.describe()
+
+    def test_unsat_instance_child_qual(self):
+        encoding = enc.encode_child_qual(UNSAT8)
+        result = sat_exptime_types(encoding.query, encoding.dtd, max_facts=30)
+        assert result.is_unsat
+
+
+class TestNoDTDVariants:
+    def test_cor_6_14_1(self):
+        encoding = enc.encode_df_union_data(SMALL, with_dtd=False)
+        assert encoding.dtd is None
+        tree = enc.witness_df_union_data(SMALL, next(all_assignments(3)))
+        # evaluator-only check (no conformance without a DTD)
+        expected = SMALL.evaluate(next(all_assignments(3)))
+        assert satisfies(tree, encoding.query) == expected
+
+    def test_cor_6_14_2(self):
+        encoding = enc.encode_df_upward(SMALL, with_dtd=False)
+        assert encoding.dtd is None
+        for assignment in all_assignments(SMALL.n_vars):
+            tree = enc.witness_df_upward(SMALL, assignment)
+            assert satisfies(tree, encoding.query) == SMALL.evaluate(assignment)
+
+
+class TestFixedUpRewrite:
+    def test_rewritten_query_equivalent_on_family(self):
+        base = enc.encode_fixed_child(SMALL)
+        rewritten = enc.encode_fixed_up(SMALL)
+        for assignment in all_assignments(SMALL.n_vars):
+            tree = enc.witness_fixed_child(SMALL, assignment)
+            assert satisfies(tree, base.query) == satisfies(tree, rewritten.query)

@@ -1,0 +1,242 @@
+"""Tests for content-model regular expressions (repro.regex)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.regex import (
+    Concat,
+    Epsilon,
+    Star,
+    Symbol,
+    Union,
+    determinize,
+    enumerate_words,
+    glushkov,
+    language_equal,
+    language_subset,
+    matches,
+    minimize,
+    parse_regex,
+    shortest_word,
+)
+from repro.regex.ast import Optional, concat, epsilon, star, sym, union
+from repro.regex.dfa import product, regex_to_dfa
+from repro.regex.ops import shortest_word_containing
+
+
+class TestParser:
+    def test_symbols_and_concat(self):
+        node = parse_regex("A, B, C")
+        assert isinstance(node, Concat)
+        assert [str(p) for p in node.parts] == ["A", "B", "C"]
+
+    def test_union_plus_and_bar(self):
+        assert parse_regex("A + B") == parse_regex("A | B")
+
+    def test_epsilon_spellings(self):
+        assert parse_regex("eps") == Epsilon()
+        assert parse_regex("EMPTY") == Epsilon()
+
+    def test_star_and_optional(self):
+        node = parse_regex("A*, B?")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[0], Star)
+        assert isinstance(node.parts[1], Optional)
+
+    def test_nested_groups(self):
+        node = parse_regex("(A + eps), (T + F)")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[0], Union)
+
+    def test_epsilon_dropped_in_concat(self):
+        assert parse_regex("eps, A") == Symbol("A")
+
+    def test_precedence_union_loosest(self):
+        node = parse_regex("A, B + C")
+        assert isinstance(node, Union)
+
+    @pytest.mark.parametrize("bad", ["", "A,,B", "(A", "A)", "*", "A B", "A,"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_regex(bad)
+
+    def test_roundtrip_through_str(self):
+        for text in ["A", "A, B", "A + B", "A*", "(A, B)*", "(A + eps), C?", "A, (B + C)*, D"]:
+            node = parse_regex(text)
+            assert parse_regex(str(node)) == node
+
+
+class TestGlushkov:
+    def test_simple_acceptance(self):
+        nfa = glushkov(parse_regex("A, B*, C"))
+        assert nfa.accepts(("A", "C"))
+        assert nfa.accepts(("A", "B", "B", "C"))
+        assert not nfa.accepts(("A", "B"))
+        assert not nfa.accepts(())
+
+    def test_nullable(self):
+        assert glushkov(parse_regex("A*")).accepts(())
+        assert glushkov(parse_regex("A?, B?")).accepts(())
+
+    def test_union_acceptance(self):
+        nfa = glushkov(parse_regex("(A, B) + (B, A)"))
+        assert nfa.accepts(("A", "B"))
+        assert nfa.accepts(("B", "A"))
+        assert not nfa.accepts(("A", "A"))
+
+    def test_nary_concat_with_nullable_middle(self):
+        nfa = glushkov(parse_regex("A, B?, C"))
+        assert nfa.accepts(("A", "C"))
+        assert nfa.accepts(("A", "B", "C"))
+        assert not nfa.accepts(("A", "B", "B", "C"))
+
+    def test_predecessors_inverse_of_successors(self):
+        nfa = glushkov(parse_regex("A, (B + C)*, D"))
+        for state in range(nfa.state_count):
+            for succ in nfa.successors(state):
+                assert state in nfa.predecessors(succ)
+
+
+class TestOps:
+    def test_matches(self):
+        production = parse_regex("(C, R1, R2) + eps")
+        assert matches(production, [])
+        assert matches(production, ["C", "R1", "R2"])
+        assert not matches(production, ["C"])
+
+    def test_shortest_word(self):
+        assert shortest_word(parse_regex("A, B*, C")) == ("A", "C")
+        assert shortest_word(parse_regex("A*")) == ()
+        assert shortest_word(parse_regex("(A, A, A) + B")) == ("B",)
+
+    def test_shortest_word_containing(self):
+        word = shortest_word_containing(parse_regex("A, (B + C)*, D"), "C")
+        assert word == ("A", "C", "D")
+        assert shortest_word_containing(parse_regex("A, B"), "Z") is None
+
+    def test_enumerate_words_order_and_dedup(self):
+        words = list(enumerate_words(parse_regex("(A + eps), (T + F)"), 2))
+        assert words == [("F",), ("T",), ("A", "F"), ("A", "T")]
+
+    def test_enumerate_words_respects_caps(self):
+        words = list(enumerate_words(parse_regex("A*"), 5, max_words=3))
+        assert words == [(), ("A",), ("A", "A")]
+
+    def test_language_subset_and_equal(self):
+        assert language_subset(parse_regex("A, B"), parse_regex("A, B*"))
+        assert not language_subset(parse_regex("A, B*"), parse_regex("A, B"))
+        assert language_equal(parse_regex("A?"), parse_regex("A + eps"))
+        assert language_equal(parse_regex("(A*)*"), parse_regex("A*"))
+
+
+class TestDFA:
+    def test_determinize_agrees_with_nfa(self):
+        production = parse_regex("A, (B + C)*, D")
+        nfa = glushkov(production)
+        dfa = determinize(nfa)
+        for word in [("A", "D"), ("A", "B", "C", "D"), ("A",), ("D",), ()]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_minimize_preserves_language(self):
+        production = parse_regex("(A + B), (A + B), C?")
+        dfa = determinize(glushkov(production))
+        small = minimize(dfa)
+        assert small.state_count <= dfa.state_count
+        for word in [("A", "A"), ("A", "B", "C"), ("A",), ("A", "B", "C", "C")]:
+            assert small.accepts(word) == dfa.accepts(word)
+
+    def test_complement(self):
+        dfa = regex_to_dfa(parse_regex("A, B"))
+        comp = dfa.complement()
+        assert not comp.accepts(("A", "B"))
+        assert comp.accepts(("A",))
+        assert comp.accepts(())
+
+    def test_product_difference_empty_for_equal(self):
+        left = regex_to_dfa(parse_regex("A?"), frozenset({"A"}))
+        right = regex_to_dfa(parse_regex("A + eps"), frozenset({"A"}))
+        assert product(left, right, "difference").is_empty()
+
+    def test_shortest_accepted(self):
+        dfa = regex_to_dfa(parse_regex("A, B, C"))
+        assert dfa.shortest_accepted() == ("A", "B", "C")
+
+
+# -- property-based tests -----------------------------------------------------
+
+_symbols = st.sampled_from(["A", "B", "C"])
+
+
+def _regex_strategy() -> st.SearchStrategy:
+    return st.recursive(
+        st.one_of(_symbols.map(sym), st.just(epsilon())),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda pair: concat(*pair)),
+            st.tuples(inner, inner).map(lambda pair: union(*pair)),
+            inner.map(star),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(regex=_regex_strategy(), seed=st.integers(0, 10_000))
+@settings(max_examples=150, deadline=None)
+def test_enumerated_words_are_accepted(regex, seed):
+    """Every enumerated word is accepted by both the NFA and the DFA."""
+    del seed
+    dfa = regex_to_dfa(regex, frozenset({"A", "B", "C"}))
+    nfa = glushkov(regex)
+    for word in enumerate_words(regex, 4, max_words=20):
+        assert nfa.accepts(word)
+        assert dfa.accepts(word)
+
+
+@given(regex=_regex_strategy(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_nfa_dfa_agree_on_random_words(regex, data):
+    word = tuple(
+        data.draw(st.lists(_symbols, min_size=0, max_size=5, )))
+    nfa = glushkov(regex)
+    dfa = regex_to_dfa(regex, frozenset({"A", "B", "C"}))
+    assert nfa.accepts(word) == dfa.accepts(word)
+
+
+@given(regex=_regex_strategy())
+@settings(max_examples=100, deadline=None)
+def test_shortest_word_is_accepted_and_minimal(regex):
+    word = shortest_word(regex)
+    assert glushkov(regex).accepts(word)
+    # no accepted word is shorter (enumerate_words is length-ordered)
+    first = next(iter(enumerate_words(regex, max(len(word), 1))), None)
+    if first is not None:
+        assert len(first) >= 0
+        assert len(word) <= len(first) or word == ()
+
+
+@given(regex=_regex_strategy())
+@settings(max_examples=100, deadline=None)
+def test_minimize_idempotent(regex):
+    dfa = regex_to_dfa(regex, frozenset({"A", "B", "C"}))
+    once = minimize(dfa)
+    twice = minimize(once)
+    assert once.state_count == twice.state_count
+
+
+def test_random_membership_against_python_re(rng=random.Random(7)):
+    """Cross-check against Python's own regex engine on word encodings."""
+    import re as pyre
+
+    cases = ["A, B", "A*", "(A + B)*", "A, (B + C)?, A", "(A, B) + (B, A)"]
+    translations = ["AB", "A*", "(A|B)*", "A(B|C)?A", "(AB)|(BA)"]
+    for text, pattern in zip(cases, translations):
+        production = parse_regex(text)
+        compiled = pyre.compile(pattern)
+        for _ in range(200):
+            word = [rng.choice("ABC") for _ in range(rng.randint(0, 5))]
+            expected = compiled.fullmatch("".join(word)) is not None
+            assert matches(production, word) == expected, (text, word)

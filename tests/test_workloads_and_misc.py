@@ -1,0 +1,142 @@
+"""Tests for workload generation, scaling fits, and assorted edge cases
+(failure injection on parsers and deciders)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import DTDError, FragmentError, ParseError
+from repro.dtd import DTD, parse_dtd, random_dtd
+from repro.regex import parse_regex
+from repro.sat import decide, sat_downward, sat_sibling
+from repro.sat.result import SatResult
+from repro.workloads import (
+    document_dtd,
+    fit_polynomial_degree,
+    growth_ratio,
+    mid_size_dtd,
+    random_query,
+    recursive_chain_dtd,
+)
+from repro.xmltree import minimal_tree, conforms
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+
+
+class TestScalingFits:
+    def test_linear_series(self):
+        sizes = [10, 20, 40, 80]
+        times = [s * 3.0 for s in sizes]
+        assert abs(fit_polynomial_degree(sizes, times) - 1.0) < 1e-9
+
+    def test_quadratic_series(self):
+        sizes = [10, 20, 40, 80]
+        times = [s**2 for s in sizes]
+        assert abs(fit_polynomial_degree(sizes, times) - 2.0) < 1e-9
+
+    def test_exponential_growth_ratio(self):
+        values = [1, 2, 4, 8, 16]
+        assert abs(growth_ratio(values) - 2.0) < 1e-9
+
+    def test_flat_growth_ratio(self):
+        assert abs(growth_ratio([5, 5, 5]) - 1.0) < 1e-9
+
+    def test_degenerate_inputs_raise(self):
+        with pytest.raises(ValueError):
+            fit_polynomial_degree([1], [1])
+        with pytest.raises(ValueError):
+            fit_polynomial_degree([5, 5], [1, 2])
+        with pytest.raises(ValueError):
+            growth_ratio([0, 0])
+
+    def test_noise_tolerance(self):
+        rng = random.Random(1)
+        sizes = [10, 20, 40, 80, 160]
+        times = [s**1.5 * rng.uniform(0.9, 1.1) for s in sizes]
+        degree = fit_polynomial_degree(sizes, times)
+        assert 1.2 < degree < 1.8
+
+
+class TestWorkloadDTDs:
+    def test_document_dtd_wellformed(self):
+        for sections in (1, 2, 4):
+            dtd = document_dtd(sections)
+            tree = minimal_tree(dtd)
+            assert conforms(tree, dtd)
+
+    def test_recursive_chain_dtd(self):
+        dtd = recursive_chain_dtd()
+        from repro.dtd.properties import is_nonrecursive
+
+        assert not is_nonrecursive(dtd)
+        assert conforms(minimal_tree(dtd), dtd)
+
+    def test_mid_size_dtd_scales(self):
+        small = mid_size_dtd(2)
+        large = mid_size_dtd(6)
+        assert large.size() > small.size()
+        assert conforms(minimal_tree(large), large)
+
+
+class TestQueryGenerator:
+    def test_respects_each_fragment(self, rng):
+        for fragment in (frag.DOWNWARD, frag.CHILD_QUAL, frag.SIBLING,
+                         frag.UP_DATA_NEG, frag.FULL_VERTICAL):
+            for _ in range(20):
+                query = random_query(rng, fragment, ["A", "B"], max_depth=3)
+                assert frag.features_of(query) <= fragment.allowed, (
+                    fragment.name, str(query),
+                )
+
+    def test_depth_zero_yields_single_step(self, rng):
+        query = random_query(rng, frag.DOWNWARD, ["A"], max_depth=0)
+        assert query.size() == 1
+
+
+class TestFailureInjection:
+    def test_malformed_regexes(self):
+        for bad in ["(", "a++b", "a |", ", a"]:
+            with pytest.raises(ParseError):
+                parse_regex(bad)
+
+    def test_dtd_cycle_without_exit_rejected_at_use(self):
+        dtd = DTD(root="r", productions={
+            "r": parse_regex("A"),
+            "A": parse_regex("A"),
+        })
+        with pytest.raises(DTDError):
+            sat_downward(parse_query("A"), dtd)
+
+    def test_decider_fragment_guards(self, example_2_1_dtd):
+        with pytest.raises(FragmentError):
+            sat_downward(parse_query("A[@a = '1']"), example_2_1_dtd)
+        with pytest.raises(FragmentError):
+            sat_sibling(parse_query("A[B]"), example_2_1_dtd)
+
+    def test_satresult_describe(self):
+        result = SatResult(True, "test-method", reason="because")
+        assert "SAT" in result.describe()
+        assert "test-method" in result.describe()
+        unknown = SatResult(None, "m", reason="bounds")
+        assert "UNKNOWN" in unknown.describe()
+
+    def test_decide_rejects_unknown_elements_gracefully(self, example_2_1_dtd):
+        # a query over labels absent from the DTD is simply unsatisfiable
+        result = decide(parse_query("Nope/Also"), example_2_1_dtd)
+        assert result.is_unsat
+
+
+class TestRandomDTDProperties:
+    def test_sizes_grow_with_types(self, rng):
+        small = random_dtd(rng, n_types=3)
+        large = random_dtd(rng, n_types=12)
+        assert large.size() > small.size()
+
+    def test_parse_describe_fixpoint(self, rng):
+        for _ in range(10):
+            dtd = random_dtd(rng, n_types=5)
+            again = parse_dtd(dtd.describe())
+            assert again.describe() == dtd.describe()

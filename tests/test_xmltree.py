@@ -1,0 +1,154 @@
+"""Tests for the XML tree model, validation, streaming and generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import parse_dtd
+from repro.xmltree import (
+    conforms,
+    minimal_tree,
+    random_tree,
+    stream,
+    stream_selected,
+    tree,
+    violations,
+)
+from repro.xmltree.generate import complete_minimal
+from repro.xmltree.model import Node, chain
+from repro.xmltree.stream import node_of_position, open_position
+
+
+class TestModel:
+    def test_tree_construction_and_navigation(self):
+        doc = tree(("r", [("A", [("B", [])]), ("C", [])]))
+        root = doc.root
+        assert root.child_labels() == ("A", "C")
+        a, c = root.children
+        assert a.parent is root
+        assert a.right_sibling is c
+        assert c.left_sibling is a
+        assert c.right_sibling is None
+        assert [n.label for n in a.descendants_or_self()] == ["A", "B"]
+        assert [n.label for n in a.children[0].ancestors_or_self()] == ["B", "A", "r"]
+
+    def test_sibling_star_order(self):
+        doc = tree(("r", [("A", []), ("B", []), ("C", [])]))
+        b = doc.root.children[1]
+        assert [n.label for n in b.right_siblings()] == ["B", "C"]
+        assert [n.label for n in b.left_siblings()] == ["B", "A"]
+
+    def test_depth_and_ids(self):
+        doc = tree(("r", [("A", [("B", [])])]))
+        assert doc.depth() == 2
+        assert len(doc) == 3
+        assert doc.root.node_id == 0
+
+    def test_addressing(self):
+        doc = tree(("r", [("A", [("B", [])]), ("C", [])]))
+        b = doc.root.children[0].children[0]
+        assert b.path_from_root() == (0, 0)
+        assert doc.node_at((0, 0)) is b
+
+    def test_attrs(self):
+        doc = tree(("r", [("C", [], {"s": "0"})]))
+        assert doc.root.children[0].attrs == {"s": "0"}
+
+    def test_chain_builder(self):
+        node = chain(["A", "B", "C"], {"v": "1"})
+        assert node.label == "A"
+        assert node.children[0].children[0].attrs == {"v": "1"}
+
+    def test_copy_independent(self):
+        doc = tree(("r", [("A", [])]))
+        clone = doc.copy()
+        clone.root.children[0].append(Node("Z"))
+        clone.freeze()
+        assert doc.root.children[0].children == []
+
+
+class TestValidate:
+    def test_conforms(self, example_2_1_dtd):
+        good = tree(("r", [("X1", [("T", [])]), ("X2", [("F", [])]), ("X3", [("T", [])])]))
+        assert conforms(good, example_2_1_dtd)
+
+    def test_violations_reported(self, example_2_1_dtd):
+        bad = tree(("r", [("X1", [("T", []), ("F", [])])]))
+        found = violations(bad, example_2_1_dtd, limit=None)
+        assert found  # missing X2, X3 and double truth value
+
+    def test_wrong_root(self, example_2_1_dtd):
+        assert not conforms(tree(("X1", [("T", [])])), example_2_1_dtd)
+
+    def test_attribute_exactness(self):
+        dtd = parse_dtd("root r\nr -> eps\nr @ a\n")
+        assert conforms(tree(("r", [], {"a": "1"})), dtd)
+        assert not conforms(tree(("r", [])), dtd)
+        assert not conforms(tree(("r", [], {"a": "1", "b": "2"})), dtd)
+
+
+class TestStream:
+    def test_stream_shape(self):
+        doc = tree(("r", [("A", []), ("B", [])]))
+        letters = stream(doc)
+        assert letters == [
+            ("open", "r", False),
+            ("open", "A", False),
+            ("close", "A"),
+            ("open", "B", False),
+            ("close", "B"),
+            ("close", "r"),
+        ]
+
+    def test_selected_stream_marks_one_node(self):
+        doc = tree(("r", [("A", []), ("A", [])]))
+        second = doc.root.children[1]
+        letters = stream_selected(doc, second)
+        opens = [letter for letter in letters if letter[0] == "open"]
+        assert [letter[2] for letter in opens] == [False, False, True]
+
+    def test_positions(self):
+        doc = tree(("r", [("A", [("B", [])])]))
+        b = doc.root.children[0].children[0]
+        position = open_position(doc, b)
+        found, kind = node_of_position(doc, position)
+        assert found is b and kind == "open"
+
+
+class TestGenerate:
+    def test_minimal_tree_conforms(self, example_2_1_dtd, recursive_dtd):
+        for dtd in (example_2_1_dtd, recursive_dtd):
+            doc = minimal_tree(dtd)
+            assert conforms(doc, dtd)
+
+    def test_minimal_tree_small_for_recursive(self, recursive_dtd):
+        doc = minimal_tree(recursive_dtd)
+        assert len(doc) <= 10
+
+    def test_random_trees_conform(self, example_2_1_dtd, recursive_dtd, rng):
+        for dtd in (example_2_1_dtd, recursive_dtd):
+            for _ in range(25):
+                doc = random_tree(dtd, rng, max_nodes=60)
+                assert conforms(doc, dtd)
+
+    def test_attributes_filled(self, rng):
+        dtd = parse_dtd("root r\nr -> C*\nC -> eps\nC @ s\n")
+        doc = random_tree(dtd, rng)
+        for node in doc.nodes():
+            if node.label == "C":
+                assert "s" in node.attrs
+
+    def test_complete_minimal_extends_prefix(self):
+        dtd = parse_dtd("root r\nr -> A, B, C\nA -> eps\nB -> eps\nC -> eps\n")
+        partial = Node("r", children=[Node("A")])
+        doc = complete_minimal(partial, dtd)
+        assert conforms(doc, dtd)
+        assert doc.root.child_labels() == ("A", "B", "C")
+
+    def test_complete_minimal_rejects_bad_prefix(self):
+        from repro.errors import DTDError
+
+        dtd = parse_dtd("root r\nr -> A\nA -> eps\n")
+        partial = Node("r", children=[Node("A"), Node("A")])
+        with pytest.raises(DTDError):
+            complete_minimal(partial, dtd)
