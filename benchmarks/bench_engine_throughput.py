@@ -1,0 +1,130 @@
+"""Engine throughput: cold vs. warm cache, serial vs. parallel.
+
+Not a paper figure — this benchmark guards the batch engine
+(`repro.engine`) against cache and routing regressions:
+
+* **cold vs. warm** — a duplicate-heavy workload (the engine's target
+  traffic shape) is run twice in one process; the warm pass must hit the
+  decision cache instead of re-running ``decide()`` (the acceptance bar
+  is ≥ 10× fewer ``decide()`` invocations, asserted here);
+* **serial vs. parallel** — a heavy-fragment workload (EXPTIME types
+  fixpoint) is run with 1 worker (inline) and with a process pool;
+  wall-clock per configuration is reported.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI) shrinks the workload so
+the whole file runs in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from benchmarks.conftest import format_table
+from repro.dtd import random_dtd
+from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.workloads import batch_jobs, document_dtd, mid_size_dtd, recursive_chain_dtd
+from repro.xpath import fragments as frag
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+N_JOBS = 200 if QUICK else 1000
+N_HEAVY = 16 if QUICK else 80
+HEAVY_DTD_TYPES = 32 if QUICK else 64
+POOL_WORKERS = (2,) if QUICK else (2, 4)
+
+
+def _registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.register("docs", document_dtd(sections=3))
+    registry.register("grid", mid_size_dtd(width=4))
+    registry.register("chain", recursive_chain_dtd())
+    return registry
+
+
+def _light_jobs(rng: random.Random, registry: SchemaRegistry, n_jobs: int):
+    schemas = {name: registry.get(name).dtd for name in registry.names}
+    return batch_jobs(
+        rng, schemas, n_jobs,
+        fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL),
+        duplicate_rate=0.5, variant_rate=0.5,
+    )
+
+
+def _heavy_registry(rng: random.Random) -> SchemaRegistry:
+    # large DTDs: the Thm 5.3 types fixpoint scales with |D|, so each
+    # pooled job carries enough work (tens of ms) to amortize the fork
+    registry = SchemaRegistry()
+    for index in range(2):
+        registry.register(f"bulk{index}", random_dtd(rng, n_types=HEAVY_DTD_TYPES))
+    return registry
+
+
+def _heavy_jobs(rng: random.Random, registry: SchemaRegistry, n_jobs: int):
+    schemas = {name: registry.get(name).dtd for name in registry.names}
+    return batch_jobs(
+        rng, schemas, n_jobs,
+        fragments=(frag.REC_NEG_DOWN, frag.REC_NEG_DOWN_UNION),
+        max_depth=3, duplicate_rate=0.1, variant_rate=0.5,
+    )
+
+
+def test_cold_vs_warm(report, rng):
+    registry = _registry()
+    jobs = _light_jobs(rng, registry, N_JOBS)
+    engine = BatchEngine(registry=registry, cache=DecisionCache(capacity=8192))
+
+    cold = engine.run(jobs)
+    warm = engine.run(jobs)
+
+    assert cold.stats.decide_calls > 0
+    assert warm.stats.decide_calls * 10 <= cold.stats.decide_calls, (
+        f"warm pass made {warm.stats.decide_calls} decide() calls vs "
+        f"{cold.stats.decide_calls} cold — cache is not absorbing reruns"
+    )
+
+    rows = []
+    for name, stats in (("cold", cold.stats), ("warm", warm.stats)):
+        rate = stats.jobs / stats.elapsed_s if stats.elapsed_s else float("inf")
+        rows.append([
+            name, stats.jobs, stats.decide_calls, stats.cache_hits,
+            f"{stats.elapsed_s * 1e3:.1f} ms", f"{rate:,.0f} jobs/s",
+        ])
+    report(
+        "engine_throughput_cache",
+        format_table(
+            ["pass", "jobs", "decide()", "cache hits", "wall", "throughput"], rows
+        ),
+    )
+
+
+def test_serial_vs_parallel(report, rng):
+    registry = _heavy_registry(rng)
+    jobs = _heavy_jobs(rng, registry, N_HEAVY)
+
+    rows = []
+    serial_elapsed = None
+    for workers in (1,) + POOL_WORKERS:
+        engine = BatchEngine(
+            registry=registry, cache=DecisionCache(capacity=8192), workers=workers
+        )
+        start = time.perf_counter()
+        outcome = engine.run(jobs)
+        elapsed = time.perf_counter() - start
+        if workers == 1:
+            serial_elapsed = elapsed
+        assert outcome.stats.errors == 0
+        speedup = serial_elapsed / elapsed if elapsed else float("inf")
+        rows.append([
+            workers, outcome.stats.jobs, outcome.stats.decide_calls,
+            outcome.stats.pool_decides, f"{elapsed * 1e3:.1f} ms",
+            f"{speedup:.2f}x",
+        ])
+    table = format_table(
+        ["workers", "jobs", "decide()", "pooled", "wall", "vs serial"], rows
+    )
+    report(
+        "engine_throughput_workers",
+        table + f"\nhost cpus: {os.cpu_count()} (pool speedup needs > 1 core; "
+        "on 1 core the fork/pickle overhead shows as a slowdown)",
+    )

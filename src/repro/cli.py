@@ -21,17 +21,49 @@ Subcommands
     Report a query's fragment features and a DTD's Section-6 classes::
 
         python -m repro classify --dtd schema.dtd "A//B[@x = '1']"
+
+``batch``
+    Decide a JSONL workload of ``(query, schema)`` jobs with the batch
+    engine (schema-artifact reuse, canonical-form decision cache, process
+    pool for heavy fragments)::
+
+        python -m repro batch jobs.jsonl \
+            --schema catalog=catalog.dtd --schema docs=docs.dtd \
+            --out results.jsonl --workers 4 --repeat 2
+
+    Each input line is ``{"query": ..., "schema": ..., "id": ...}``
+    (``schema`` and ``id`` optional); each output line is the structured
+    per-job result.  ``--repeat`` re-runs the workload in the same
+    process, so the second pass exercises the warm cache; per-pass
+    ``decide()`` counts and cache stats are printed at the end.
+
+``stats``
+    Aggregate a batch result file (verdicts, methods, routes, schemas)::
+
+        python -m repro stats results.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
 import sys
 
 from repro.containment import contains as containment_check
 from repro.dtd import parse_dtd
 from repro.dtd.properties import classify as classify_dtd
-from repro.errors import ReproError
+from repro.engine import (
+    BatchEngine,
+    DecisionCache,
+    SchemaRegistry,
+    read_jobs,
+    read_jobs_file,
+    write_results,
+    write_results_file,
+)
+from repro.errors import EngineError, ReproError
 from repro.sat import decide
 from repro.xpath import parse_query
 from repro.xpath.fragments import features_of
@@ -88,6 +120,108 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_registry(args: argparse.Namespace) -> SchemaRegistry:
+    registry = SchemaRegistry()
+    for spec in args.schema or []:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise EngineError(f"--schema expects NAME=PATH, got {spec!r}")
+        registry.register_file(name, path)
+    if args.schema_dir is not None:
+        pattern = os.path.join(args.schema_dir, "*.dtd")
+        for path in sorted(glob.glob(pattern)):
+            name = os.path.splitext(os.path.basename(path))[0]
+            registry.register_file(name, path)
+    return registry
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.cache_size < 1:
+        raise EngineError(f"--cache-size must be positive, got {args.cache_size}")
+    if args.repeat < 1:
+        raise EngineError(f"--repeat must be positive, got {args.repeat}")
+    registry = _build_registry(args)
+    engine = BatchEngine(
+        registry=registry,
+        cache=DecisionCache(capacity=args.cache_size),
+        workers=args.workers,
+    )
+    if args.jobs == "-":
+        jobs = list(read_jobs(sys.stdin))
+    else:
+        jobs = read_jobs_file(args.jobs)
+
+    passes = []
+    report = None
+    for pass_number in range(1, args.repeat + 1):
+        current = engine.run(jobs)
+        passes.append(current.stats)
+        if report is None:
+            report = current  # --out gets the cold pass: real methods/timings
+        print(
+            f"pass {pass_number}: {current.stats.jobs} jobs, "
+            f"{current.stats.decide_calls} decide() calls, "
+            f"{current.stats.cache_hits} cache hits, "
+            f"{current.stats.elapsed_s:.3f}s"
+        )
+    assert report is not None
+
+    if args.out == "-":
+        write_results(sys.stdout, report)
+    elif args.out is not None:
+        write_results_file(args.out, report)
+        print(f"wrote {len(report.results)} results to {args.out}")
+
+    counts = report.verdict_counts()
+    print(
+        f"verdicts      : {counts['sat']} sat, {counts['unsat']} unsat, "
+        f"{counts['unknown']} unknown, {counts['error']} errors"
+    )
+    print(passes[-1].describe())
+    if args.stats_json is not None:
+        with open(args.stats_json, "w") as handle:
+            json.dump([stats.as_dict() for stats in passes], handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    def bump(table: dict[str, int], key: str) -> None:
+        table[key] = table.get(key, 0) + 1
+
+    verdict_names = {True: "sat", False: "unsat", None: "unknown"}
+    verdicts: dict[str, int] = {}
+    methods: dict[str, int] = {}
+    routes: dict[str, int] = {}
+    schemas: dict[str, int] = {}
+    total = cached = 0
+    with open(args.results) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            total += 1
+            if record.get("error") is not None:
+                bump(verdicts, "error")
+            else:
+                bump(verdicts, verdict_names[record.get("satisfiable")])
+            bump(methods, record.get("method", "?"))
+            bump(routes, record.get("route", "?"))
+            bump(schemas, record.get("schema") or "(no DTD)")
+            if record.get("cached"):
+                cached += 1
+
+    print(f"results : {total} ({cached} answered from cache)")
+    for title, table in (
+        ("verdict", verdicts), ("method", methods),
+        ("route", routes), ("schema", schemas),
+    ):
+        for key in sorted(table, key=lambda k: (-table[k], k)):
+            print(f"{title:<8}: {table[key]:>6}  {key}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +248,44 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("query")
     classify.add_argument("--dtd", help="path to a DTD file")
     classify.set_defaults(func=_cmd_classify)
+
+    batch = sub.add_parser(
+        "batch", help="decide a JSONL workload with the batch engine"
+    )
+    batch.add_argument("jobs", help="JSONL job file ('-' for stdin)")
+    batch.add_argument(
+        "--schema", action="append", metavar="NAME=PATH",
+        help="register a DTD file under NAME (repeatable)",
+    )
+    batch.add_argument(
+        "--schema-dir", metavar="DIR",
+        help="register every *.dtd file in DIR under its basename",
+    )
+    batch.add_argument(
+        "--out", metavar="PATH",
+        help="write per-job results as JSONL ('-' for stdout)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for heavy (EXPTIME/NEXPTIME) jobs (default 1: inline)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="decision-cache capacity (default 4096 entries)",
+    )
+    batch.add_argument(
+        "--repeat", type=int, default=1, metavar="K",
+        help="run the workload K times in one process (pass 2+ is warm-cache)",
+    )
+    batch.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write per-pass engine stats as JSON",
+    )
+    batch.set_defaults(func=_cmd_batch)
+
+    stats = sub.add_parser("stats", help="aggregate a batch result file")
+    stats.add_argument("results", help="JSONL result file produced by 'batch --out'")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

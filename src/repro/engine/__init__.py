@@ -1,0 +1,42 @@
+"""Batch decision engine: serve many queries per schema.
+
+The paper's deciders answer one ``(query, DTD)`` question at a time; this
+package amortizes their setup across production-scale workloads:
+
+* :mod:`repro.engine.registry` — :class:`SchemaRegistry` fingerprints
+  DTDs and precomputes per-schema artifacts (parsed model, dependency
+  graph, Section-6 classification, Proposition 3.3 normal form) once;
+* :mod:`repro.engine.cache` — :class:`DecisionCache`, a bounded LRU over
+  canonical query form × schema fingerprint;
+* :mod:`repro.engine.batch` — :class:`BatchEngine` runs ``(query,
+  schema_ref)`` job streams, inline for PTIME fragments and on a process
+  pool for EXPTIME/NEXPTIME ones;
+* :mod:`repro.engine.jobs` — JSONL serialization driving ``python -m
+  repro batch``.
+"""
+
+from repro.engine.batch import (
+    BatchEngine,
+    BatchReport,
+    EngineStats,
+    Job,
+    JobResult,
+    plan_route,
+)
+from repro.engine.cache import CachedDecision, DecisionCache, decision_key
+from repro.engine.jobs import (
+    read_jobs,
+    read_jobs_file,
+    write_jobs_file,
+    write_results,
+    write_results_file,
+)
+from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_fingerprint
+
+__all__ = [
+    "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult", "plan_route",
+    "CachedDecision", "DecisionCache", "decision_key",
+    "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
+    "read_jobs", "read_jobs_file", "write_jobs_file",
+    "write_results", "write_results_file",
+]

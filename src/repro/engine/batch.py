@@ -1,0 +1,397 @@
+"""The batch satisfiability engine.
+
+:class:`BatchEngine` layers three amortizations over
+:func:`repro.sat.dispatch.decide` for the serve-many-queries-per-schema
+workload:
+
+1. **per-schema artifacts** — DTD parsing, classification, and graph
+   construction run once per schema in the :class:`SchemaRegistry` and are
+   passed to the dispatcher through its ``artifacts`` hook;
+2. **decision caching** — a bounded LRU keyed on canonical query form ×
+   schema fingerprint (:class:`DecisionCache`), so repeated questions
+   (including syntactic variants) skip ``decide()`` entirely;
+3. **parallel heavy jobs** — queries routed to the EXPTIME/NEXPTIME/
+   bounded procedures run on a ``concurrent.futures`` process pool, while
+   PTIME-fragment queries are decided inline (forking a worker would cost
+   more than the decision).  The split is chosen per query from
+   ``features_of`` and the schema's precomputed classification, mirroring
+   the dispatcher's routing.
+
+Identical in-flight questions are coalesced: within one batch, a question
+is decided at most once no matter how many jobs ask it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import EngineError, ReproError
+from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key
+from repro.engine.registry import SchemaArtifacts, SchemaRegistry
+from repro.sat.bounded import Bounds
+from repro.sat.conjunctive import _ALLOWED as _CQ_ALLOWED
+from repro.sat.dispatch import decide
+from repro.sat.exptime_types import _ALLOWED as _TYPES_ALLOWED
+from repro.sat.no_dtd import _ALLOWED as _NODTD_ALLOWED
+from repro.xpath.ast import Path
+from repro.xpath.fragments import CHILD_UP, DOWNWARD, SIBLING, Feature, features_of
+from repro.xpath.parser import parse_query
+
+
+@dataclass(frozen=True)
+class Job:
+    """One satisfiability question: a query against a registered schema
+    (``schema=None`` decides over unconstrained trees)."""
+
+    query: str | Path
+    schema: str | None = None
+    id: str | None = None
+
+    @classmethod
+    def coerce(cls, raw: "Job | dict | tuple | str") -> "Job":
+        if isinstance(raw, cls):
+            job = raw
+        elif isinstance(raw, str):
+            job = cls(query=raw)
+        elif isinstance(raw, tuple):
+            if not 1 <= len(raw) <= 3:
+                raise EngineError(f"job tuple must be (query[, schema[, id]]): {raw!r}")
+            job = cls(*raw)
+        elif isinstance(raw, dict):
+            if "query" not in raw:
+                raise EngineError(f"job record missing 'query': {raw!r}")
+            job = cls(query=raw["query"], schema=raw.get("schema"), id=raw.get("id"))
+        else:
+            raise EngineError(f"cannot interpret job {raw!r}")
+        if not isinstance(job.query, (str, Path)):
+            raise EngineError(
+                f"job query must be an XPath string or AST, got {job.query!r}"
+            )
+        if job.schema is not None and not isinstance(job.schema, str):
+            raise EngineError(f"job schema must be a string, got {job.schema!r}")
+        return job
+
+    @property
+    def query_text(self) -> str:
+        return self.query if isinstance(self.query, str) else str(self.query)
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job."""
+
+    id: str
+    query: str
+    schema: str | None
+    fingerprint: str | None
+    satisfiable: bool | None
+    method: str
+    reason: str = ""
+    route: str = "inline"          # cache | inline | pool | error
+    cached: bool = False
+    elapsed_ms: float = 0.0
+    error: str | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        record = {
+            "id": self.id,
+            "query": self.query,
+            "schema": self.schema,
+            "fingerprint": self.fingerprint,
+            "satisfiable": self.satisfiable,
+            "method": self.method,
+            "route": self.route,
+            "cached": self.cached,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+        if self.reason:
+            record["reason"] = self.reason
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for one :meth:`BatchEngine.run`."""
+
+    jobs: int = 0
+    errors: int = 0
+    decide_calls: int = 0
+    inline_decides: int = 0
+    pool_decides: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+    cache: dict[str, Any] = field(default_factory=dict)
+    registry: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "errors": self.errors,
+            "decide_calls": self.decide_calls,
+            "inline_decides": self.inline_decides,
+            "pool_decides": self.pool_decides,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "cache": dict(self.cache),
+            "registry": dict(self.registry),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"jobs          : {self.jobs} ({self.errors} errors)",
+            f"decide() calls: {self.decide_calls} "
+            f"({self.inline_decides} inline, {self.pool_decides} pooled, "
+            f"{self.workers} workers)",
+            f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
+            f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
+            f"{self.cache.get('evictions', 0)} evictions "
+            f"(lifetime hit rate {self.cache.get('hit_rate', 0.0):.1%})",
+            f"schemas       : {self.registry.get('schemas', 0)} registered, "
+            f"{self.registry.get('builds', 0)} artifact builds, "
+            f"{self.registry.get('dedup_hits', 0)} dedup hits",
+            f"wall time     : {self.elapsed_s:.3f}s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class BatchReport:
+    """Results plus engine statistics for one batch run."""
+
+    results: list[JobResult]
+    stats: EngineStats
+
+    def verdict_counts(self) -> dict[str, int]:
+        counts = {"sat": 0, "unsat": 0, "unknown": 0, "error": 0}
+        for result in self.results:
+            if result.error is not None:
+                counts["error"] += 1
+            elif result.satisfiable is True:
+                counts["sat"] += 1
+            elif result.satisfiable is False:
+                counts["unsat"] += 1
+            else:
+                counts["unknown"] += 1
+        return counts
+
+
+def plan_route(query: Path, artifacts: SchemaArtifacts | None) -> str:
+    """``"inline"`` for queries the dispatcher answers in PTIME, ``"pool"``
+    for those routed to the heavy EXPTIME/NEXPTIME/bounded procedures.
+
+    This mirrors the routing of :func:`repro.sat.dispatch.decide` using
+    only ``features_of`` and the schema's precomputed classification —
+    cheap enough to run per job.
+    """
+    used = features_of(query)
+    if artifacts is None:
+        # PTIME without a DTD: Thm 6.11(1) and 6.11(2); everything else
+        # goes through the Prop 3.1 universal-DTD family
+        if used <= _NODTD_ALLOWED or used <= _CQ_ALLOWED:
+            return "inline"
+        return "pool"
+    if used <= DOWNWARD.allowed or used <= SIBLING.allowed:
+        return "inline"
+    if used <= CHILD_UP.allowed or used <= _TYPES_ALLOWED:
+        # PTIME only on disjunction-free DTDs without negation/label tests
+        # (Thm 6.8); otherwise the types fixpoint is EXPTIME
+        if artifacts.disjunction_free and not (
+            used & {Feature.NEGATION, Feature.LABEL_TEST}
+        ):
+            return "inline"
+        return "pool"
+    return "pool"
+
+
+def _pool_decide(query: Path, dtd, bounds) -> tuple[bool | None, str, str]:
+    """Process-pool entry point: returns the compact decision record
+    (witness trees stay in the worker)."""
+    result = decide(query, dtd, bounds)
+    return (result.satisfiable, result.method, result.reason)
+
+
+class BatchEngine:
+    """Execute batches of ``(query, schema_ref)`` jobs with schema-artifact
+    reuse, decision caching, and a process pool for heavy fragments."""
+
+    def __init__(
+        self,
+        registry: SchemaRegistry | None = None,
+        cache: DecisionCache | None = None,
+        workers: int = 1,
+        bounds: Bounds | None = None,
+    ):
+        if workers < 1:
+            raise EngineError(f"workers must be positive, got {workers}")
+        self.registry = registry if registry is not None else SchemaRegistry()
+        self.cache = cache if cache is not None else DecisionCache()
+        self.workers = workers
+        self.bounds = bounds
+
+    # -- execution ----------------------------------------------------------
+    def run(self, jobs: Iterable[Job | dict | tuple | str]) -> BatchReport:
+        """Decide every job; returns per-job results (input order) and
+        aggregate stats for this run."""
+        start = time.perf_counter()
+        stats = EngineStats(workers=self.workers)
+        results: list[JobResult | None] = []
+        # key -> (future, indices of jobs awaiting it)
+        pending: dict[CacheKey, tuple[Future, list[int]]] = {}
+        executor: ProcessPoolExecutor | None = None
+
+        try:
+            for index, raw in enumerate(jobs):
+                results.append(None)
+                stats.jobs += 1
+                try:
+                    job = Job.coerce(raw)
+                    query = (
+                        parse_query(job.query)
+                        if isinstance(job.query, str)
+                        else job.query
+                    )
+                    artifacts = (
+                        self.registry.get(job.schema)
+                        if job.schema is not None
+                        else None
+                    )
+                except ReproError as error:
+                    stats.errors += 1
+                    results[index] = self._error_result(raw, error)
+                    continue
+
+                key = decision_key(
+                    query, artifacts.fingerprint if artifacts else None, self.bounds
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    results[index] = self._result(
+                        job, artifacts, cached, route="cache", cached=True
+                    )
+                    continue
+                if key in pending:
+                    stats.coalesced += 1
+                    pending[key][1].append(index)
+                    results[index] = self._result(
+                        job, artifacts,
+                        CachedDecision(None, "pending"), route="pool",
+                    )
+                    continue
+
+                route = plan_route(query, artifacts)
+                if route == "pool" and self.workers > 1:
+                    if executor is None:
+                        executor = ProcessPoolExecutor(max_workers=self.workers)
+                    future = executor.submit(
+                        _pool_decide, query,
+                        artifacts.dtd if artifacts else None, self.bounds,
+                    )
+                    stats.decide_calls += 1
+                    stats.pool_decides += 1
+                    pending[key] = (future, [index])
+                    results[index] = self._result(
+                        job, artifacts, CachedDecision(None, "pending"),
+                        route="pool",
+                    )
+                    continue
+
+                job_start = time.perf_counter()
+                try:
+                    outcome = decide(query, bounds=self.bounds, artifacts=artifacts)
+                    decision = CachedDecision(
+                        outcome.satisfiable, outcome.method, outcome.reason
+                    )
+                except ReproError as error:
+                    stats.errors += 1
+                    stats.decide_calls += 1
+                    stats.inline_decides += 1
+                    results[index] = self._error_result(raw, error)
+                    continue
+                stats.decide_calls += 1
+                stats.inline_decides += 1
+                self.cache.put(key, decision)
+                results[index] = self._result(
+                    job, artifacts, decision, route="inline",
+                    elapsed_ms=(time.perf_counter() - job_start) * 1e3,
+                )
+
+            self._drain(pending, results, stats)
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+        stats.elapsed_s = time.perf_counter() - start
+        stats.cache = self.cache.stats()
+        stats.registry = self.registry.stats()
+        return BatchReport(results=[r for r in results if r is not None], stats=stats)
+
+    # -- helpers ------------------------------------------------------------
+    def _drain(self, pending, results, stats) -> None:
+        for key, (future, indices) in pending.items():
+            try:
+                satisfiable, method, reason = future.result()
+            except Exception as error:  # worker died or raised (e.g. BrokenProcessPool)
+                stats.errors += len(indices)
+                for index in indices:
+                    results[index].error = str(error)
+                    results[index].method = "error"
+                    results[index].route = "error"
+                continue
+            decision = CachedDecision(satisfiable, method, reason)
+            self.cache.put(key, decision)
+            for position, index in enumerate(indices):
+                result = results[index]
+                result.satisfiable = satisfiable
+                result.method = method
+                result.reason = reason
+                result.cached = position > 0  # coalesced onto the first ask
+
+    def _result(
+        self,
+        job: Job,
+        artifacts: SchemaArtifacts | None,
+        decision: CachedDecision,
+        route: str,
+        cached: bool = False,
+        elapsed_ms: float = 0.0,
+    ) -> JobResult:
+        return JobResult(
+            id=job.id if job.id is not None else job.query_text,
+            query=job.query_text,
+            schema=job.schema,
+            fingerprint=artifacts.fingerprint if artifacts else None,
+            satisfiable=decision.satisfiable,
+            method=decision.method,
+            reason=decision.reason,
+            route=route,
+            cached=cached,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def _error_result(self, raw, error: ReproError) -> JobResult:
+        query_text = schema = job_id = None
+        try:
+            job = Job.coerce(raw)
+            query_text, schema, job_id = job.query_text, job.schema, job.id
+        except ReproError:
+            query_text = repr(raw)
+        return JobResult(
+            id=job_id if job_id is not None else (query_text or ""),
+            query=query_text or "",
+            schema=schema,
+            fingerprint=None,
+            satisfiable=None,
+            method="error",
+            route="error",
+            error=str(error),
+        )

@@ -1,0 +1,148 @@
+"""Schema registry: DTD fingerprinting and per-schema artifact caching.
+
+``decide()`` treats every call as independent: it re-classifies the DTD
+(disjunction-freeness, recursion, ...) on every query.  A production
+checker sees millions of queries against a handful of schemas, so the
+registry runs the expensive ``repro.dtd`` pipeline **once per schema** and
+hands the precomputed record to the dispatcher through the ``artifacts``
+hook of :func:`repro.sat.dispatch.decide`.
+
+A schema is identified by a **fingerprint** — a content hash of the
+canonical rendering produced by :meth:`repro.dtd.model.DTD.describe`
+(root first, element types alphabetical; it round-trips through
+:func:`repro.dtd.parser.parse_dtd`).  Registering the same content twice,
+even under different names, shares one artifact record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator
+
+from repro.dtd.graph import DTDGraph
+from repro.dtd.model import DTD
+from repro.dtd.normalize import NormalizationResult, normalize
+from repro.dtd.parser import parse_dtd
+from repro.dtd.properties import classify
+from repro.errors import EngineError
+
+
+def schema_fingerprint(dtd: DTD) -> str:
+    """Stable content hash of a DTD (independent of how it was written:
+    whitespace, comments, and declaration order do not matter)."""
+    return hashlib.sha256(dtd.describe().encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SchemaArtifacts:
+    """Everything the engine precomputes for one schema.
+
+    ``classification`` (and the termination check) runs at registration
+    time — the dispatcher and the engine's routing consult it on every
+    query.  ``graph`` and ``normalized`` are built on first use and then
+    cached for the schema's lifetime (they serve registry *clients* —
+    workload generators, audits — not the dispatch hot path).
+    """
+
+    name: str
+    fingerprint: str
+    dtd: DTD
+    classification: dict[str, bool] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.dtd.require_terminating()
+        self.classification = classify(self.dtd)
+
+    @cached_property
+    def graph(self) -> DTDGraph:
+        """The dependency graph ``G_D`` (computed once, on demand)."""
+        return DTDGraph(self.dtd)
+
+    @property
+    def disjunction_free(self) -> bool:
+        return self.classification["disjunction_free"]
+
+    @property
+    def nonrecursive(self) -> bool:
+        return self.classification["nonrecursive"]
+
+    @cached_property
+    def normalized(self) -> NormalizationResult:
+        """Proposition 3.3 normal form ``N(D)`` (computed once, on demand)."""
+        return normalize(self.dtd)
+
+    @property
+    def short_fingerprint(self) -> str:
+        return self.fingerprint[:12]
+
+    def describe(self) -> str:
+        classes = ", ".join(name for name, value in self.classification.items() if value)
+        return (
+            f"{self.name} [{self.short_fingerprint}] "
+            f"|D|={self.dtd.size()}, {len(self.dtd.element_types)} types"
+            + (f" ({classes})" if classes else "")
+        )
+
+
+class SchemaRegistry:
+    """Named, fingerprint-deduplicated collection of schema artifacts."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, SchemaArtifacts] = {}
+        self._by_fingerprint: dict[str, SchemaArtifacts] = {}
+        self.builds = 0       # artifact pipelines actually run
+        self.dedup_hits = 0   # registrations resolved to an existing record
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str, schema: DTD | str) -> SchemaArtifacts:
+        """Register a schema under ``name``; ``schema`` is a parsed
+        :class:`DTD` or the textual syntax.  Content already registered
+        (under any name) reuses the existing artifact record."""
+        dtd = parse_dtd(schema) if isinstance(schema, str) else schema
+        fingerprint = schema_fingerprint(dtd)
+        artifacts = self._by_fingerprint.get(fingerprint)
+        if artifacts is None:
+            artifacts = SchemaArtifacts(name=name, fingerprint=fingerprint, dtd=dtd)
+            self._by_fingerprint[fingerprint] = artifacts
+            self.builds += 1
+        else:
+            self.dedup_hits += 1
+        self._by_name[name] = artifacts
+        return artifacts
+
+    def register_file(self, name: str, path: str) -> SchemaArtifacts:
+        with open(path) as handle:
+            return self.register(name, handle.read())
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, ref: str) -> SchemaArtifacts:
+        """Resolve a schema reference: a registered name or a (full)
+        fingerprint; raises :class:`EngineError` when unknown."""
+        artifacts = self._by_name.get(ref) or self._by_fingerprint.get(ref)
+        if artifacts is None:
+            known = ", ".join(sorted(self._by_name)) or "(none)"
+            raise EngineError(f"unknown schema {ref!r}; registered: {known}")
+        return artifacts
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._by_name or ref in self._by_fingerprint
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self) -> Iterator[SchemaArtifacts]:
+        return iter(self._by_fingerprint.values())
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "schemas": len(self._by_fingerprint),
+            "names": len(self._by_name),
+            "builds": self.builds,
+            "dedup_hits": self.dedup_hits,
+        }

@@ -54,6 +54,11 @@ class UnsupportedQueryError(FragmentError):
     not start with a label step)."""
 
 
+class EngineError(ReproError):
+    """Raised by the batch decision engine for configuration problems
+    (unknown schema references, malformed job records, ...)."""
+
+
 class BoundsExhausted(ReproError):
     """Raised (or recorded) when a bounded semi-decision procedure exhausted
     its search bounds without finding a model.  This is *not* a proof of

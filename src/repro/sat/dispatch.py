@@ -52,20 +52,38 @@ from repro.xpath.fragments import (
 from repro.xpath.rewrite import upward_to_qualifiers
 
 
-def decide(query: Path, dtd: DTD | None = None, bounds: Bounds | None = None) -> SatResult:
+def decide(
+    query: Path,
+    dtd: DTD | None = None,
+    bounds: Bounds | None = None,
+    *,
+    artifacts=None,
+) -> SatResult:
     """Decide satisfiability of ``(query, dtd)`` — or of ``query`` alone
     over unconstrained trees when ``dtd`` is ``None`` — with the strongest
-    applicable procedure."""
+    applicable procedure.
+
+    ``artifacts`` is the batch-engine hook: a pre-registered schema record
+    (:class:`repro.engine.SchemaArtifacts`, or any object with ``dtd`` and
+    ``disjunction_free`` attributes).  When given, ``dtd`` may be omitted
+    and the per-schema classification is reused instead of being
+    recomputed for every query against the same schema.
+    """
+    if dtd is None and artifacts is not None:
+        dtd = artifacts.dtd
     if dtd is None:
         return _decide_no_dtd(query, bounds)
+
+    # one features pass serves every routing check below; it is only
+    # recomputed when the rewrite actually changes the query
     used = features_of(query)
 
-    if DOWNWARD.contains(query):
+    if used <= DOWNWARD.allowed:
         return sat_downward(query, dtd)
-    if SIBLING.contains(query):
+    if used <= SIBLING.allowed:
         return sat_sibling(query, dtd)
 
-    if CHILD_UP.contains(query):
+    if used <= CHILD_UP.allowed:
         rewritten = upward_to_qualifiers(query)
         if not rewritten.complete:
             return SatResult(False, "dispatch", reason="query climbs above the root")
@@ -73,7 +91,10 @@ def decide(query: Path, dtd: DTD | None = None, bounds: Bounds | None = None) ->
         used = features_of(query)
 
     if used <= _TYPES_ALLOWED:
-        if is_disjunction_free(dtd) and _disjunction_free_applicable(used):
+        if _disjunction_free_applicable(used) and (
+            artifacts.disjunction_free if artifacts is not None
+            else is_disjunction_free(dtd)
+        ):
             return sat_disjunction_free(query, dtd)
         try:
             return sat_exptime_types(query, dtd)
@@ -81,7 +102,7 @@ def decide(query: Path, dtd: DTD | None = None, bounds: Bounds | None = None) ->
             pass  # fall through to bounded search
     if used <= _NEXP_ALLOWED:
         return sat_nexptime(query, dtd)
-    if POSITIVE.contains(query):
+    if used <= POSITIVE.allowed:
         return sat_positive(query, dtd, bounds)
     return sat_bounded(query, dtd, bounds)
 

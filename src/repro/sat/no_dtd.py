@@ -17,6 +17,7 @@ from repro.sat.result import SatResult
 from repro.xmltree.model import Node, XMLTree
 from repro.xpath import ast
 from repro.xpath.ast import Path, Qualifier, labels_mentioned
+from repro.xpath.canonical import query_key
 from repro.xpath.fragments import DOWNWARD_QUAL, Feature, features_of
 
 METHOD = "thm6.11-no-dtd"
@@ -47,11 +48,23 @@ def sat_no_dtd(query: Path) -> SatResult:
         fresh += "_"
     universe = frozenset(labels) | {fresh}
 
-    reach_cache: dict[tuple[Path, str], frozenset[str]] = {}
-    sat_cache: dict[tuple[Qualifier, str], bool] = {}
+    # memo tables keyed on the stable query_key (a content digest, so the
+    # tables could be shared across processes/sessions, unlike per-process
+    # salted hash()); keys are memoized by node identity because the AST
+    # is fixed for the duration of the call
+    reach_cache: dict[tuple[str, str], frozenset[str]] = {}
+    sat_cache: dict[tuple[str, str], bool] = {}
+    node_keys: dict[int, str] = {}
+
+    def key_of(node: Path | Qualifier) -> str:
+        key = node_keys.get(id(node))
+        if key is None:
+            key = query_key(node)
+            node_keys[id(node)] = key
+        return key
 
     def reach(sub: Path, label: str) -> frozenset[str]:
-        key = (sub, label)
+        key = (key_of(sub), label)
         cached = reach_cache.get(key)
         if cached is None:
             cached = _reach(sub, label)
@@ -80,7 +93,7 @@ def sat_no_dtd(query: Path) -> SatResult:
         raise FragmentError(f"unexpected node {sub!r}")
 
     def sat_q(qualifier: Qualifier, label: str) -> bool:
-        key = (qualifier, label)
+        key = (key_of(qualifier), label)
         cached = sat_cache.get(key)
         if cached is None:
             cached = _sat_q(qualifier, label)

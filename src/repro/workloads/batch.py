@@ -1,0 +1,99 @@
+"""Batch workload generation for the decision engine.
+
+Production checkers see query streams that are heavily repetitive: the
+same audit questions recur against the same handful of schemas, often as
+syntactic variants produced by different query writers.  ``batch_jobs``
+models that: it draws fresh queries per schema from
+:func:`repro.workloads.queries.random_query`, re-asks earlier questions
+with probability ``duplicate_rate``, and rewrites re-asked queries into
+canonicalization-equivalent variants (commuted conjuncts, duplicated
+union branches) with probability ``variant_rate`` — exactly the traffic
+shape the engine's decision cache is built to absorb.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.dtd.model import DTD
+from repro.engine.batch import Job
+from repro.workloads.queries import random_query
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xpath.fragments import DOWNWARD_QUAL, Fragment
+
+
+def syntactic_variant(rng: random.Random, path: Path) -> Path:
+    """A syntactic variant of ``path`` with the same canonical form
+    (:func:`repro.xpath.canonical.canonicalize`): commutes ``∪``/``∧``/``∨``
+    operands and occasionally duplicates a union branch."""
+    rewritten = _vary_path(rng, path)
+    if rng.random() < 0.2:
+        rewritten = ast.Union(rewritten, rewritten)
+    return rewritten
+
+
+def _vary_path(rng: random.Random, path: Path) -> Path:
+    if isinstance(path, ast.Seq):
+        return ast.Seq(_vary_path(rng, path.left), _vary_path(rng, path.right))
+    if isinstance(path, ast.Union):
+        left, right = _vary_path(rng, path.left), _vary_path(rng, path.right)
+        return ast.Union(right, left) if rng.random() < 0.5 else ast.Union(left, right)
+    if isinstance(path, ast.Filter):
+        return ast.Filter(_vary_path(rng, path.path), _vary_qualifier(rng, path.qualifier))
+    return path
+
+
+def _vary_qualifier(rng: random.Random, qualifier: Qualifier) -> Qualifier:
+    if isinstance(qualifier, (ast.And, ast.Or)):
+        connective = type(qualifier)
+        left = _vary_qualifier(rng, qualifier.left)
+        right = _vary_qualifier(rng, qualifier.right)
+        return connective(right, left) if rng.random() < 0.5 else connective(left, right)
+    if isinstance(qualifier, ast.Not):
+        return ast.Not(_vary_qualifier(rng, qualifier.inner))
+    if isinstance(qualifier, ast.PathExists):
+        return ast.PathExists(_vary_path(rng, qualifier.path))
+    return qualifier
+
+
+def batch_jobs(
+    rng: random.Random,
+    schemas: Mapping[str, DTD],
+    n_jobs: int,
+    fragments: Sequence[Fragment] = (DOWNWARD_QUAL,),
+    max_depth: int = 3,
+    duplicate_rate: float = 0.4,
+    variant_rate: float = 0.5,
+    no_dtd_rate: float = 0.0,
+) -> list[Job]:
+    """Draw a batch workload over the given schemas.
+
+    Each job is fresh with probability ``1 - duplicate_rate`` (a random
+    query from a random fragment in ``fragments``, over the labels of a
+    random schema); otherwise it re-asks an earlier question, rewritten by
+    :func:`syntactic_variant` with probability ``variant_rate``.  A
+    ``no_dtd_rate`` fraction of fresh jobs omits the schema.
+    """
+    if not schemas:
+        raise ValueError("batch_jobs needs at least one schema")
+    names = sorted(schemas)
+    history: list[tuple[Path, str | None]] = []
+    jobs: list[Job] = []
+    for index in range(n_jobs):
+        if history and rng.random() < duplicate_rate:
+            query, schema = rng.choice(history)
+            if rng.random() < variant_rate:
+                query = syntactic_variant(rng, query)
+        else:
+            schema = None if rng.random() < no_dtd_rate else rng.choice(names)
+            label_pool = sorted(
+                schemas[schema].element_types if schema is not None
+                else schemas[rng.choice(names)].element_types
+            )
+            fragment = rng.choice(list(fragments))
+            query = random_query(rng, fragment, label_pool, max_depth=max_depth)
+            history.append((query, schema))
+        jobs.append(Job(query=str(query), schema=schema, id=f"job-{index}"))
+    return jobs

@@ -15,7 +15,8 @@ semantics of Section 2.2), :mod:`repro.xpath.fragments` (operator
 classification, e.g. "is this query in ``X(↓,[],¬)``?"),
 :mod:`repro.xpath.inverse` (Proposition 3.2's ``inverse``),
 :mod:`repro.xpath.rewrite` (the query rewritings of Theorems 6.6(3) and
-6.8(2)), and :mod:`repro.xpath.builder` (programmatic construction).
+6.8(2)), :mod:`repro.xpath.canonical` (canonical forms and stable cache
+keys), and :mod:`repro.xpath.builder` (programmatic construction).
 """
 
 from repro.xpath.ast import (
@@ -43,6 +44,7 @@ from repro.xpath.ast import (
     Wildcard,
 )
 from repro.xpath.parser import parse_query, parse_qualifier
+from repro.xpath.canonical import canonicalize, canonicalize_qualifier, query_key
 from repro.xpath.semantics import evaluate, holds, satisfies
 from repro.xpath.fragments import Fragment, features_of, FRAGMENTS
 from repro.xpath.inverse import inverse
@@ -68,6 +70,7 @@ __all__ = [
     "Seq", "Union", "Filter",
     "PathExists", "LabelTest", "AttrConstCmp", "AttrAttrCmp", "And", "Or", "Not",
     "parse_query", "parse_qualifier",
+    "canonicalize", "canonicalize_qualifier", "query_key",
     "evaluate", "holds", "satisfies",
     "Fragment", "features_of", "FRAGMENTS",
     "inverse",

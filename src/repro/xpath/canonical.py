@@ -1,0 +1,128 @@
+"""Canonical query forms and stable cache keys.
+
+Two exports, both built on the fact that ``str()`` of an AST round-trips
+through the parser (see :mod:`repro.xpath.ast`):
+
+* :func:`query_key` — a stable string key for a path or qualifier, usable
+  as a dictionary key across processes and sessions (unlike ``hash()``,
+  which Python salts per process for strings and derives structurally for
+  dataclasses).  Deciders memoize on it; the batch engine's decision cache
+  keys on ``query_key(canonicalize(p))`` so syntactic variants share one
+  entry.
+
+* :func:`canonicalize` — a satisfiability-preserving normal form:
+
+  - ``/`` and ``∪`` are re-associated (flattened spines);
+  - ``∪``, ``∧`` and ``∨`` operands are deduplicated and sorted, so
+    commuted variants coincide (``p1 | p2`` vs ``p2 | p1``);
+  - trivial unions collapse (``p | p`` becomes ``p``);
+  - nested filters merge (``p[q1][q2]`` becomes ``p[q1 ∧ q2]``);
+  - double negation cancels (``¬¬q`` becomes ``q``);
+  - symmetric data comparisons order their sides (``p/@a = p'/@b``).
+
+  Every rewrite preserves the query's semantics node-for-node, so a
+  witness for the canonical form is a witness for the original, and the
+  canonical form never uses an operator the original lacked (routing in
+  :func:`repro.sat.dispatch.decide` can only improve).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier, and_of, or_of, seq_of, union_of
+
+
+def query_key(node: Path | Qualifier) -> str:
+    """A stable, process-independent key for an AST node.
+
+    Structurally equal nodes map to equal keys; a :class:`Path` and a
+    :class:`Qualifier` never collide even when they render identically
+    (``PathExists(p)`` prints as ``p``).
+    """
+    kind = "P" if isinstance(node, Path) else "Q"
+    digest = hashlib.blake2b(str(node).encode("utf-8"), digest_size=16)
+    return f"{kind}:{digest.hexdigest()}"
+
+
+def canonicalize(path: Path) -> Path:
+    """The canonical form of ``path`` (see module docstring)."""
+    if isinstance(path, ast.Seq):
+        parts = [canonicalize(part) for part in _seq_parts(path)]
+        return seq_of(*parts) if parts else ast.Empty()
+    if isinstance(path, ast.Union):
+        parts = [canonicalize(part) for part in _union_parts(path)]
+        return union_of(*_ordered_unique(parts))
+    if isinstance(path, ast.Filter):
+        base = canonicalize(path.path)
+        qualifier = canonicalize_qualifier(path.qualifier)
+        if isinstance(base, ast.Filter):
+            # p[q1][q2] == p[q1 and q2]
+            merged = canonicalize_qualifier(ast.And(base.qualifier, qualifier))
+            return ast.Filter(base.path, merged)
+        return ast.Filter(base, qualifier)
+    return path
+
+
+def canonicalize_qualifier(qualifier: Qualifier) -> Qualifier:
+    """The canonical form of a qualifier (see module docstring)."""
+    if isinstance(qualifier, ast.And):
+        parts = [canonicalize_qualifier(part) for part in _conn_parts(qualifier, ast.And)]
+        return and_of(*_ordered_unique(parts))
+    if isinstance(qualifier, ast.Or):
+        parts = [canonicalize_qualifier(part) for part in _conn_parts(qualifier, ast.Or)]
+        return or_of(*_ordered_unique(parts))
+    if isinstance(qualifier, ast.Not):
+        inner = canonicalize_qualifier(qualifier.inner)
+        if isinstance(inner, ast.Not):
+            return inner.inner
+        return ast.Not(inner)
+    if isinstance(qualifier, ast.PathExists):
+        return ast.PathExists(canonicalize(qualifier.path))
+    if isinstance(qualifier, ast.AttrConstCmp):
+        return ast.AttrConstCmp(
+            canonicalize(qualifier.path), qualifier.attr, qualifier.op, qualifier.value
+        )
+    if isinstance(qualifier, ast.AttrAttrCmp):
+        left = (canonicalize(qualifier.left_path), qualifier.left_attr)
+        right = (canonicalize(qualifier.right_path), qualifier.right_attr)
+        # = and != are both symmetric: order the sides deterministically
+        if (str(right[0]), right[1]) < (str(left[0]), left[1]):
+            left, right = right, left
+        return ast.AttrAttrCmp(left[0], left[1], qualifier.op, right[0], right[1])
+    return qualifier
+
+
+# ---------------------------------------------------------------------------
+# Spine flattening and operand ordering
+# ---------------------------------------------------------------------------
+
+def _seq_parts(path: Path) -> list[Path]:
+    if isinstance(path, ast.Seq):
+        return _seq_parts(path.left) + _seq_parts(path.right)
+    return [path]
+
+
+def _union_parts(path: Path) -> list[Path]:
+    if isinstance(path, ast.Union):
+        return _union_parts(path.left) + _union_parts(path.right)
+    return [path]
+
+
+def _conn_parts(qualifier: Qualifier, connective: type) -> list[Qualifier]:
+    if isinstance(qualifier, connective):
+        return (
+            _conn_parts(qualifier.left, connective)
+            + _conn_parts(qualifier.right, connective)
+        )
+    return [qualifier]
+
+
+def _ordered_unique(parts):
+    """Sort operands by their rendering and drop duplicates (operand order
+    of ``∪``/``∧``/``∨`` is semantically irrelevant)."""
+    unique: dict[str, object] = {}
+    for part in parts:
+        unique.setdefault(str(part), part)
+    return [unique[text] for text in sorted(unique)]

@@ -1,0 +1,134 @@
+"""Tests for :mod:`repro.xpath.canonical`: the stable ``query_key`` and
+the ``canonicalize`` normal form.
+
+Invariants:
+
+* ``query_key`` round-trips with the parser: structurally equal ASTs and
+  their reparsed renderings share a key, paths and qualifiers never
+  collide;
+* ``canonicalize`` is idempotent, collapses syntactic variants (commuted
+  conjuncts, duplicated union branches, re-associated compositions), and
+  preserves the decided verdict;
+* the canonical form never uses operators the original lacked (routing
+  can only improve).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import decide
+from repro.workloads import random_query, syntactic_variant
+from repro.xpath import ast, parse_query
+from repro.xpath.canonical import canonicalize, canonicalize_qualifier, query_key
+from repro.xpath.fragments import features_of
+from repro.xpath import fragments as frag
+from repro.xpath.parser import parse_qualifier
+
+_LABELS = ["A", "B", "C"]
+
+
+def _queries(fragment=frag.FULL, max_depth: int = 3):
+    def build(seed: int) -> ast.Path:
+        rng = random.Random(seed)
+        return random_query(rng, fragment, _LABELS, max_depth=max_depth)
+
+    return st.integers(0, 10**9).map(build)
+
+
+# -- query_key -------------------------------------------------------------------
+
+class TestQueryKey:
+    @given(query=_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_through_parser(self, query):
+        # one parse normalizes n-ary associativity; compare at the fixed point
+        parsed = parse_query(str(query))
+        assert query_key(parse_query(str(parsed))) == query_key(parsed)
+
+    @given(query=_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_equal_asts_share_keys(self, query):
+        clone = parse_query(str(parse_query(str(query))))
+        again = parse_query(str(parse_query(str(query))))
+        assert clone == again
+        assert query_key(clone) == query_key(again)
+
+    def test_distinct_queries_distinct_keys(self):
+        assert query_key(parse_query("A/B")) != query_key(parse_query("A/C"))
+
+    def test_path_and_qualifier_never_collide(self):
+        # PathExists(p) renders exactly like p
+        path = parse_query("A/B")
+        qualifier = parse_qualifier("A/B")
+        assert str(path) == str(qualifier)
+        assert query_key(path) != query_key(qualifier)
+
+    def test_stable_literal(self):
+        # keys are content-derived, not per-process (unlike hash())
+        assert query_key(parse_query("A/B")) == query_key(parse_query("A/B"))
+
+
+# -- canonicalize ----------------------------------------------------------------
+
+class TestCanonicalize:
+    @pytest.mark.parametrize(
+        "variant, baseline",
+        [
+            ("A[B and C]", "A[C and B]"),                    # commuted and
+            ("A[B or C or B]", "A[C or B]"),                 # commuted + deduped or
+            ("A | B | A", "B | A"),                          # trivial union collapse
+            ("A | A", "A"),
+            ("(A/B)/C", "A/(B/C)"),                          # re-association
+            ("A[B][C]", "A[C and B]"),                       # filter merge
+            ("A[not(not(B))]", "A[B]"),                      # double negation
+            ("A[@x = 'v' and B]", "A[B and @x = 'v']"),
+            (".[A/@a = B/@b]", ".[B/@b = A/@a]"),            # symmetric data cmp
+        ],
+    )
+    def test_variants_coincide(self, variant, baseline):
+        left = canonicalize(parse_query(variant))
+        right = canonicalize(parse_query(baseline))
+        assert left == right
+        assert query_key(left) == query_key(right)
+
+    def test_distinct_queries_stay_distinct(self):
+        assert canonicalize(parse_query("A[B]")) != canonicalize(parse_query("A[C]"))
+        # sequence order is NOT commutative
+        assert canonicalize(parse_query("A/B")) != canonicalize(parse_query("B/A"))
+        # qualifier negation is not dropped
+        assert canonicalize(parse_query("A[not(B)]")) != canonicalize(parse_query("A[B]"))
+
+    @given(query=_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, query):
+        once = canonicalize(query)
+        assert canonicalize(once) == once
+
+    @given(query=_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_no_new_operators(self, query):
+        assert features_of(canonicalize(query)) <= features_of(query)
+
+    @given(seed=st.integers(0, 10**9))
+    @settings(max_examples=150, deadline=None)
+    def test_syntactic_variants_share_canonical_form(self, seed):
+        rng = random.Random(seed)
+        query = random_query(rng, frag.FULL, _LABELS, max_depth=3)
+        variant = syntactic_variant(rng, query)
+        assert canonicalize(variant) == canonicalize(query)
+
+    @given(query=_queries(fragment=frag.DOWNWARD_QUAL, max_depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_verdict_preserved_no_dtd(self, query):
+        original = decide(query)
+        canonical = decide(canonicalize(query))
+        assert original.satisfiable == canonical.satisfiable
+
+    def test_canonical_qualifier_and_flattening(self):
+        qualifier = parse_qualifier("C and A and B and A")
+        flat = canonicalize_qualifier(qualifier)
+        assert flat == canonicalize_qualifier(parse_qualifier("A and B and C"))

@@ -77,3 +77,131 @@ class TestClassify:
     def test_query_only(self, capsys):
         assert main(["classify", "A/B"]) == 0
         assert "label steps only" in capsys.readouterr().out
+
+
+DISJFREE_DTD_TEXT = """
+root r
+r -> A, B
+A -> C*
+B -> eps
+C -> eps
+"""
+
+DOC_DTD_TEXT = """
+root doc
+doc -> title, para*
+title -> eps
+para -> text?
+text -> eps
+"""
+
+
+@pytest.fixture
+def schema_dir(tmp_path):
+    directory = tmp_path / "schemas"
+    directory.mkdir()
+    (directory / "main.dtd").write_text(DTD_TEXT)
+    (directory / "disjfree.dtd").write_text(DISJFREE_DTD_TEXT)
+    (directory / "doc.dtd").write_text(DOC_DTD_TEXT)
+    return str(directory)
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    path.write_text(
+        "\n".join([
+            '{"query": "A", "schema": "main"}',
+            '{"query": ".[B and C]", "schema": "main", "id": "dead"}',
+            '{"query": "A[C]", "schema": "disjfree"}',
+            '{"query": "title | para/text", "schema": "doc"}',
+            '{"query": "A[B]"}',
+        ]) + "\n"
+    )
+    return str(path)
+
+
+class TestBatch:
+    def test_batch_and_stats(self, schema_dir, jobs_file, tmp_path, capsys):
+        results = str(tmp_path / "results.jsonl")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--out", results, "--repeat", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass 1" in out and "pass 2" in out
+        assert "cache" in out
+
+        code = main(["stats", results])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results : 5" in out
+        assert "sat" in out and "unsat" in out
+
+    def test_named_schema_and_stdout_results(self, tmp_path, jobs_file, capsys):
+        import json
+
+        schema_path = tmp_path / "main.dtd"
+        schema_path.write_text(DTD_TEXT)
+        jobs = tmp_path / "one.jsonl"
+        jobs.write_text('{"query": ".[B and C]", "schema": "catalog"}\n')
+        code = main([
+            "batch", str(jobs), "--schema", f"catalog={schema_path}", "--out", "-",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        record = next(
+            json.loads(line) for line in out.splitlines() if line.startswith("{")
+        )
+        assert record["satisfiable"] is False
+        assert record["schema"] == "catalog"
+
+    def test_warm_rerun_reported_in_stats_json(
+        self, schema_dir, tmp_path, capsys
+    ):
+        """Acceptance: a 1k-query JSONL workload against 3 registered
+        schemas in one process; the warm pass must report >= 10x fewer
+        decide() invocations."""
+        import json
+        import random
+
+        from repro.dtd import parse_dtd
+        from repro.engine import write_jobs_file
+        from repro.workloads import batch_jobs
+        from repro.xpath import fragments as frag
+
+        schemas = {
+            "main": parse_dtd(DTD_TEXT),
+            "disjfree": parse_dtd(DISJFREE_DTD_TEXT),
+            "doc": parse_dtd(DOC_DTD_TEXT),
+        }
+        jobs = batch_jobs(
+            random.Random(3), schemas, n_jobs=1000,
+            fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL),
+            duplicate_rate=0.5,
+        )
+        jobs_path = str(tmp_path / "big.jsonl")
+        write_jobs_file(jobs_path, jobs)
+        stats_path = str(tmp_path / "stats.json")
+
+        code = main([
+            "batch", jobs_path, "--schema-dir", schema_dir,
+            "--repeat", "2", "--stats-json", stats_path,
+        ])
+        assert code == 0
+        with open(stats_path) as handle:
+            cold, warm = json.load(handle)
+        assert cold["jobs"] == warm["jobs"] == 1000
+        assert cold["registry"]["schemas"] >= 3
+        assert cold["decide_calls"] > 0
+        assert warm["decide_calls"] * 10 <= cold["decide_calls"]
+
+    def test_bad_schema_spec_exits_3(self, jobs_file, capsys):
+        code = main(["batch", jobs_file, "--schema", "no-equals-sign"])
+        assert code == 3
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_missing_jobs_file_exits_3(self, capsys):
+        code = main(["batch", "/nonexistent.jsonl"])
+        assert code == 3

@@ -1,0 +1,104 @@
+"""Table-driven routing test for :func:`repro.sat.dispatch.decide`.
+
+One row per line of the dispatch docstring's result map, asserting the
+query reaches the intended procedure via ``SatResult.method``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import parse_dtd
+from repro.engine import SchemaRegistry
+from repro.sat import decide
+from repro.sat import (
+    bounded,
+    conjunctive,
+    disjunction_free,
+    downward,
+    exptime_types,
+    nexptime,
+    no_dtd,
+    positive,
+    sibling,
+)
+from repro.xpath import parse_query
+
+# disjunction everywhere: forces the EXPTIME/NEXPTIME procedures
+GENERAL_DTD = """
+root r
+r  -> A, (B + C)
+A  -> D*
+B  -> eps
+C  -> A?
+D  -> eps
+A  @ a
+D  @ a
+"""
+
+# no + (and no ?): Theorem 6.8 territory
+DISJFREE_DTD = """
+root r
+r -> A, B
+A -> C*
+B -> eps
+C -> eps
+"""
+
+ROUTES = [
+    # (query, dtd: None | "general" | "disjfree", expected method)
+    ("A[B | C]", None, no_dtd.METHOD),              # Thm 6.11(1)
+    ("A[@a = '1']", None, conjunctive.METHOD),      # Thm 6.11(2)
+    ("A | **/B", "general", downward.METHOD),       # Thm 4.1
+    ("A/>/B", "general", sibling.METHOD),           # Thm 7.1
+    ("A[C]", "disjfree", disjunction_free.METHOD),  # Thm 6.8
+    ("A/^/B", "disjfree", disjunction_free.METHOD), # Thm 6.8(2) rewriting + above
+    ("A[not(B)]", "general", exptime_types.METHOD), # Thm 5.3
+    ("A[not(@a = '1')]", "general", nexptime.METHOD),  # Thm 5.5
+    ("A[^*/. and @a = '1']/D", "general", positive.METHOD),  # Thm 4.4
+    ("A[not(>)]", "general", bounded.METHOD),       # semi-decision fallback
+]
+
+
+@pytest.fixture(scope="module")
+def dtds():
+    return {
+        None: None,
+        "general": parse_dtd(GENERAL_DTD),
+        "disjfree": parse_dtd(DISJFREE_DTD),
+    }
+
+
+@pytest.mark.parametrize("query_text, dtd_key, expected_method", ROUTES)
+def test_result_map_routing(dtds, query_text, dtd_key, expected_method):
+    result = decide(parse_query(query_text), dtds[dtd_key])
+    assert result.method == expected_method, (
+        f"{query_text!r} under {dtd_key or 'no'} DTD routed to "
+        f"{result.method}, expected {expected_method}"
+    )
+
+
+def test_no_dtd_fallback_uses_universal_family():
+    # no DTD, outside both PTIME no-DTD fragments: Prop 3.1 reduction
+    result = decide(parse_query("A[not(B)]"))
+    assert result.method == "prop3.1-family" or "Prop 3.1" in result.reason
+
+
+def test_routing_unchanged_with_registered_artifacts():
+    """The artifacts hook must not change where queries are routed."""
+    registry = SchemaRegistry()
+    for name, text in (("general", GENERAL_DTD), ("disjfree", DISJFREE_DTD)):
+        registry.register(name, text)
+    for query_text, dtd_key, expected_method in ROUTES:
+        if dtd_key is None:
+            continue
+        artifacts = registry.get(dtd_key)
+        result = decide(parse_query(query_text), artifacts=artifacts)
+        assert result.method == expected_method
+
+
+def test_climbing_above_root_is_unsat():
+    dtd = parse_dtd(DISJFREE_DTD)
+    result = decide(parse_query("^/A"), dtd)
+    assert result.is_unsat
+    assert result.method == "dispatch"

@@ -1,0 +1,387 @@
+"""Tests for the batch decision engine (:mod:`repro.engine`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import parse_dtd
+from repro.engine import (
+    BatchEngine,
+    DecisionCache,
+    Job,
+    SchemaRegistry,
+    decision_key,
+    plan_route,
+    read_jobs,
+    read_jobs_file,
+    schema_fingerprint,
+    write_jobs_file,
+    write_results_file,
+)
+from repro.engine.cache import NO_SCHEMA, CachedDecision
+from repro.errors import EngineError
+from repro.sat import decide
+from repro.workloads import batch_jobs, document_dtd, mid_size_dtd
+from repro.xpath import parse_query
+from repro.xpath import fragments as frag
+
+THREESAT_DTD = """
+root r
+r  -> X1, X2, X3
+X1 -> T + F
+X2 -> T + F
+X3 -> T + F
+T  -> eps
+F  -> eps
+"""
+
+DISJFREE_DTD = """
+root r
+r -> A, B
+A -> C*
+B -> eps
+C -> eps
+"""
+
+
+@pytest.fixture
+def registry():
+    registry = SchemaRegistry()
+    registry.register("threesat", THREESAT_DTD)
+    registry.register("disjfree", DISJFREE_DTD)
+    registry.register("docs", document_dtd())
+    return registry
+
+
+# -- fingerprints and the registry ----------------------------------------------
+
+class TestSchemaRegistry:
+    def test_fingerprint_ignores_formatting(self):
+        reordered = """
+        # same schema, different spelling
+        X3 -> T + F
+        X1 -> T + F
+        root r
+        T -> eps
+        r -> X1, X2, X3
+        F -> eps
+        X2 -> T + F
+        """
+        assert schema_fingerprint(parse_dtd(THREESAT_DTD)) == schema_fingerprint(
+            parse_dtd(reordered)
+        )
+
+    def test_fingerprint_separates_content(self):
+        assert schema_fingerprint(parse_dtd(THREESAT_DTD)) != schema_fingerprint(
+            parse_dtd(DISJFREE_DTD)
+        )
+
+    def test_same_content_shares_artifacts(self, registry):
+        before = registry.stats()["builds"]
+        again = registry.register("threesat-alias", THREESAT_DTD)
+        assert again is registry.get("threesat")
+        assert registry.stats()["builds"] == before
+        assert registry.stats()["dedup_hits"] == 1
+
+    def test_lookup_by_name_and_fingerprint(self, registry):
+        artifacts = registry.get("disjfree")
+        assert registry.get(artifacts.fingerprint) is artifacts
+        assert "disjfree" in registry
+        assert len(registry) == 3
+
+    def test_unknown_reference(self, registry):
+        with pytest.raises(EngineError, match="unknown schema"):
+            registry.get("nope")
+
+    def test_artifacts_precompute_classification(self, registry):
+        artifacts = registry.get("disjfree")
+        assert artifacts.disjunction_free is True
+        assert artifacts.nonrecursive is True
+        assert registry.get("threesat").disjunction_free is False
+        assert artifacts.graph.children("A") == frozenset({"C"})
+
+    def test_normalized_form_cached(self, registry):
+        artifacts = registry.get("threesat")
+        assert artifacts.normalized is artifacts.normalized
+        assert artifacts.normalized.original is artifacts.dtd
+
+
+# -- the decision cache ----------------------------------------------------------
+
+class TestDecisionCache:
+    def test_hit_miss_eviction_counters(self):
+        cache = DecisionCache(capacity=2)
+        k1 = ("q1", "s")
+        k2 = ("q2", "s")
+        k3 = ("q3", "s")
+        answer = CachedDecision(True, "m")
+        assert cache.get(k1) is None
+        cache.put(k1, answer)
+        cache.put(k2, answer)
+        assert cache.get(k1) == answer        # refreshes recency of k1
+        cache.put(k3, answer)                 # evicts k2 (least recent)
+        assert cache.get(k2) is None
+        assert cache.get(k1) == answer
+        assert (cache.hits, cache.misses, cache.evictions) == (2, 2, 1)
+        assert len(cache) == 2
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            DecisionCache(capacity=0)
+
+    def test_key_unifies_syntactic_variants(self):
+        fingerprint = "f" * 64
+        assert decision_key(parse_query("A[B and C]"), fingerprint) == decision_key(
+            parse_query("A[C and B]"), fingerprint
+        )
+        assert decision_key(parse_query("A | A"), fingerprint) == decision_key(
+            parse_query("A"), fingerprint
+        )
+        assert decision_key(parse_query("A"), fingerprint) != decision_key(
+            parse_query("B"), fingerprint
+        )
+
+    def test_key_separates_schemas(self):
+        query = parse_query("A")
+        assert decision_key(query, "a" * 64) != decision_key(query, "b" * 64)
+        assert decision_key(query, None)[1] == NO_SCHEMA
+
+    def test_key_separates_bounds(self):
+        # an 'unknown' cached under tight bounds must not answer an
+        # engine configured with larger ones
+        from repro.sat import Bounds
+
+        query = parse_query("A")
+        fingerprint = "f" * 64
+        tight = decision_key(query, fingerprint, Bounds(max_depth=2))
+        large = decision_key(query, fingerprint, Bounds(max_depth=9))
+        assert tight != large
+        assert decision_key(query, fingerprint) == decision_key(query, fingerprint)
+
+
+# -- routing ---------------------------------------------------------------------
+
+class TestPlanRoute:
+    def test_ptime_fragments_inline(self, registry):
+        threesat = registry.get("threesat")
+        assert plan_route(parse_query("X1 | **/T"), threesat) == "inline"
+        assert plan_route(parse_query("X1/>/X2"), threesat) == "inline"
+        assert plan_route(parse_query("A[B]"), None) == "inline"
+        assert plan_route(parse_query("A[@a = '1']"), None) == "inline"
+
+    def test_heavy_fragments_pooled(self, registry):
+        threesat = registry.get("threesat")
+        assert plan_route(parse_query("X1[not(T)]"), threesat) == "pool"
+        assert plan_route(parse_query("X1[not(@a = '1')]"), threesat) == "pool"
+        assert plan_route(parse_query("A[not(B)]"), None) == "pool"
+
+    def test_disjunction_free_qualifiers_inline(self, registry):
+        disjfree = registry.get("disjfree")
+        assert plan_route(parse_query("A[C]"), disjfree) == "inline"
+        assert plan_route(parse_query("A[not(C)]"), disjfree) == "pool"
+        # the same qualifier query is heavy under a DTD with disjunction
+        assert plan_route(parse_query("A[C]"), registry.get("threesat")) == "pool"
+
+
+# -- the batch engine ------------------------------------------------------------
+
+class TestBatchEngine:
+    def test_end_to_end(self, registry):
+        engine = BatchEngine(registry=registry)
+        report = engine.run([
+            Job("X1[T and F]", "threesat", id="contradiction"),
+            Job("sec1/para", "docs"),
+            {"query": "A[C]", "schema": "disjfree"},
+            ("X1/T", "threesat"),
+            "A[B]",                                   # bare string: no DTD
+        ])
+        assert [r.satisfiable for r in report.results] == [
+            False, True, True, True, True
+        ]
+        assert report.results[0].id == "contradiction"
+        assert report.results[0].fingerprint == registry.get("threesat").fingerprint
+        assert report.results[4].schema is None
+        assert report.stats.jobs == 5
+        assert report.stats.decide_calls == 5
+        assert report.verdict_counts() == {
+            "sat": 4, "unsat": 1, "unknown": 0, "error": 0
+        }
+
+    def test_variants_share_cache_within_a_run(self, registry):
+        engine = BatchEngine(registry=registry)
+        report = engine.run([
+            Job("X1[T and F]", "threesat"),
+            Job("X1[F and T]", "threesat"),
+            Job("X1[T and F] | X1[T and F]", "threesat"),
+        ])
+        assert report.stats.decide_calls == 1
+        assert report.stats.cache_hits == 2
+        assert [r.satisfiable for r in report.results] == [False, False, False]
+        assert report.results[1].route == "cache"
+
+    def test_warm_rerun_skips_decide(self, registry):
+        engine = BatchEngine(registry=registry)
+        jobs = [Job("X1[T]", "threesat"), Job("A[C]", "disjfree"), Job("sec1", "docs")]
+        cold = engine.run(jobs)
+        warm = engine.run(jobs)
+        assert cold.stats.decide_calls == 3
+        assert warm.stats.decide_calls == 0
+        assert warm.stats.cache_hits == 3
+        assert [r.satisfiable for r in warm.results] == [
+            r.satisfiable for r in cold.results
+        ]
+
+    def test_non_string_query_is_a_job_error(self, registry):
+        report = BatchEngine(registry=registry).run([
+            {"query": 5},                    # valid JSON, wrong type
+            {"query": ["a", "list"]},
+            Job("X1", "threesat"),
+        ])
+        assert report.stats.errors == 2
+        assert "XPath string" in report.results[0].error
+        assert report.results[2].satisfiable is True
+
+    def test_coerce_rejects_malformed_tuples(self):
+        with pytest.raises(EngineError, match="job tuple"):
+            Job.coerce(("q", "s", "id", "extra"))
+        with pytest.raises(EngineError, match="schema must be a string"):
+            Job.coerce(("q", 42))
+
+    def test_error_jobs_are_recorded_not_raised(self, registry):
+        engine = BatchEngine(registry=registry)
+        report = engine.run([
+            Job("A[[", "threesat"),          # parse error
+            Job("A", "unregistered"),        # unknown schema
+            Job("X1/T", "threesat"),         # fine
+        ])
+        assert report.stats.errors == 2
+        assert report.results[0].error is not None
+        assert "unknown schema" in report.results[1].error
+        assert report.results[2].satisfiable is True
+        assert report.verdict_counts()["error"] == 2
+
+    def test_eviction_bounds_memory(self, registry):
+        engine = BatchEngine(registry=registry, cache=DecisionCache(capacity=2))
+        labels = ["r", "X1", "X2", "X3", "T", "F"]
+        report = engine.run([Job(label, "threesat") for label in labels])
+        assert len(engine.cache) == 2
+        assert engine.cache.evictions == len(labels) - 2
+        assert report.stats.decide_calls == len(labels)
+
+    def test_parallel_matches_serial(self, registry):
+        jobs = [
+            Job("X1[not(T)]", "threesat"),
+            Job("X1[not(F and T)]", "threesat"),
+            Job("X1[T]/T", "threesat"),
+            Job("X2[not(T) and not(F)]", "threesat"),
+        ]
+        serial = BatchEngine(registry=registry).run(jobs)
+        parallel = BatchEngine(registry=registry, workers=2).run(jobs)
+        assert [r.satisfiable for r in parallel.results] == [
+            r.satisfiable for r in serial.results
+        ]
+        assert [r.method for r in parallel.results] == [
+            r.method for r in serial.results
+        ]
+        assert parallel.stats.pool_decides > 0
+        assert parallel.stats.errors == 0
+
+    def test_in_flight_duplicates_coalesce(self, registry):
+        jobs = [
+            Job("X1[not(T)]", "threesat"),
+            Job("X1[not(T)]", "threesat"),
+            Job("X1[not(T)] | X1[not(T)]", "threesat"),
+        ]
+        report = BatchEngine(registry=registry, workers=2).run(jobs)
+        assert report.stats.decide_calls == 1
+        assert report.stats.coalesced == 2
+        assert all(r.satisfiable is True for r in report.results)
+
+    def test_rejects_bad_worker_count(self, registry):
+        with pytest.raises(EngineError):
+            BatchEngine(registry=registry, workers=0)
+
+    def test_acceptance_thousand_jobs_three_schemas(self, registry):
+        """1k-job workload over 3 schemas; the warm rerun must make at
+        least 10x fewer decide() calls (the PR's acceptance bar)."""
+        rng = random.Random(20250611)
+        schemas = {name: registry.get(name).dtd for name in registry.names}
+        jobs = batch_jobs(
+            rng, schemas, n_jobs=1000,
+            fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL),
+            duplicate_rate=0.5, variant_rate=0.5,
+        )
+        engine = BatchEngine(registry=registry, cache=DecisionCache(capacity=8192))
+        cold = engine.run(jobs)
+        warm = engine.run(jobs)
+        assert cold.stats.jobs == warm.stats.jobs == 1000
+        assert len(registry) >= 3
+        assert cold.stats.decide_calls > 0
+        assert warm.stats.decide_calls * 10 <= cold.stats.decide_calls
+        assert warm.stats.errors == 0
+
+
+# -- JSONL round trips -----------------------------------------------------------
+
+class TestJobsIO:
+    def test_jobs_roundtrip(self, tmp_path, registry):
+        path = str(tmp_path / "jobs.jsonl")
+        jobs = [
+            Job("X1[T]", "threesat", id="a"),
+            Job("A[B]"),
+        ]
+        assert write_jobs_file(path, jobs) == 2
+        loaded = read_jobs_file(path)
+        assert loaded == jobs
+
+    def test_read_skips_blanks_and_comments(self):
+        lines = [
+            "# corpus header",
+            "",
+            '{"query": "A"}',
+            '  {"query": "B", "schema": "s"}  ',
+        ]
+        assert list(read_jobs(lines)) == [Job("A"), Job("B", "s")]
+
+    def test_read_rejects_bad_lines(self):
+        with pytest.raises(EngineError, match="line 1"):
+            list(read_jobs(["not json"]))
+        with pytest.raises(EngineError, match="missing 'query'"):
+            list(read_jobs(['{"schema": "s"}']))
+        with pytest.raises(EngineError):
+            list(read_jobs(['["a", "list"]']))
+
+    def test_results_file(self, tmp_path, registry):
+        import json
+
+        engine = BatchEngine(registry=registry)
+        report = engine.run([Job("X1[T and F]", "threesat", id="dead")])
+        path = str(tmp_path / "results.jsonl")
+        write_results_file(path, report)
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[0]["id"] == "dead"
+        assert records[0]["satisfiable"] is False
+        assert records[0]["method"] == "thm5.3-types-fixpoint"
+
+
+# -- engine vs. plain decide agreement -------------------------------------------
+
+def test_engine_agrees_with_decide(registry):
+    rng = random.Random(7)
+    schemas = {name: registry.get(name).dtd for name in registry.names}
+    jobs = batch_jobs(
+        rng, schemas, n_jobs=60,
+        fragments=(frag.DOWNWARD_QUAL, frag.CHILD_QUAL_NEG),
+        max_depth=2, duplicate_rate=0.3,
+    )
+    report = BatchEngine(registry=registry).run(jobs)
+    for job, result in zip(jobs, report.results):
+        expected = decide(
+            parse_query(job.query_text),
+            registry.get(job.schema).dtd if job.schema else None,
+        )
+        assert result.satisfiable == expected.satisfiable, job.query_text
