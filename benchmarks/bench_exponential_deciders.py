@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.dtd import parse_dtd

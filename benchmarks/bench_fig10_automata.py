@@ -8,7 +8,6 @@ agreement-with-evaluator property that constitutes the claim.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.automata import accepts, trans

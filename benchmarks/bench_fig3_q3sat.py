@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.reductions import q3sat as enc

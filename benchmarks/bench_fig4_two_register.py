@@ -9,7 +9,6 @@ theorem's point.)
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.reductions import two_register as enc

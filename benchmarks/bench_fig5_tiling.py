@@ -8,7 +8,6 @@ the reduction requires); the game solver's own exponential state space.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.reductions import tiling as enc

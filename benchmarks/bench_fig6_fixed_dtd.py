@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.reductions import threesat as enc

@@ -9,7 +9,6 @@ chain-variant encoding validated on converted snapshot trees.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.dtd.properties import is_disjunction_free, is_nonrecursive

@@ -14,7 +14,6 @@ from __future__ import annotations
 import itertools
 import time
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.dtd import random_dtd

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.containment import contains

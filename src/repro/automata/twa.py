@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
-from repro.automata.boolformula import BFalse, BFormula, BTrue
+from repro.automata.boolformula import BFalse, BFormula
 
 Letter = tuple
 State = Hashable

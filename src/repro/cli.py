@@ -22,10 +22,18 @@ Subcommands
 
         python -m repro classify --dtd schema.dtd "A//B[@x = '1']"
 
+``explain``
+    Print the query planner's routing decision — rewrite passes, chosen
+    decider (theorem + complexity class), fallback chain, inline/pool
+    route — without deciding anything::
+
+        python -m repro explain --dtd schema.dtd "A[not(B)]"
+        python -m repro explain --json "A/^/B"
+
 ``batch``
     Decide a JSONL workload of ``(query, schema)`` jobs with the batch
-    engine (schema-artifact reuse, canonical-form decision cache, process
-    pool for heavy fragments)::
+    engine (schema-artifact reuse, plan-cached routing, canonical-form
+    decision cache, process pool for heavy fragments)::
 
         python -m repro batch jobs.jsonl \
             --schema catalog=catalog.dtd --schema docs=docs.dtd \
@@ -64,7 +72,7 @@ from repro.engine import (
     write_results_file,
 )
 from repro.errors import EngineError, ReproError
-from repro.sat import decide
+from repro.sat import DEFAULT_PLANNER, decide
 from repro.xpath import parse_query
 from repro.xpath.fragments import features_of
 
@@ -106,10 +114,14 @@ def _cmd_contains(args: argparse.Namespace) -> int:
     return 2
 
 
+def _render_features(features) -> str:
+    rendered = sorted(str(f) for f in features)
+    return ", ".join(rendered) if rendered else "(label steps only)"
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
-    features = sorted(str(f) for f in features_of(query))
-    print(f"query features : {', '.join(features) if features else '(label steps only)'}")
+    print(f"query features : {_render_features(features_of(query))}")
     print(f"query size     : {query.size()}")
     if args.dtd is not None:
         dtd = _load_dtd(args.dtd)
@@ -117,6 +129,25 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"DTD size       : {dtd.size()}")
         for name, value in classify_dtd(dtd).items():
             print(f"DTD {name:<16}: {'yes' if value else 'no'}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    features = features_of(query)
+    if args.dtd is not None:
+        registry = SchemaRegistry()
+        name = os.path.splitext(os.path.basename(args.dtd))[0]
+        artifacts = registry.register_file(name, args.dtd)
+        plan = DEFAULT_PLANNER.plan_for(features, artifacts=artifacts)
+    else:
+        plan = DEFAULT_PLANNER.plan_for(features)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+    print(f"query      : {args.query}")
+    print(f"features   : {_render_features(features)}")
+    print(plan.explain())
     return 0
 
 
@@ -248,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("query")
     classify.add_argument("--dtd", help="path to a DTD file")
     classify.set_defaults(func=_cmd_classify)
+
+    explain = sub.add_parser(
+        "explain", help="print the planner's routing decision for a query"
+    )
+    explain.add_argument("query", help="XPath query (ASCII syntax)")
+    explain.add_argument("--dtd", help="path to a DTD file (textual syntax)")
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the serialized plan instead of the human-readable form",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     batch = sub.add_parser(
         "batch", help="decide a JSONL workload with the batch engine"

@@ -29,7 +29,6 @@ relations); callers must check first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.errors import FragmentError
 from repro.dtd.model import DTD

@@ -23,7 +23,7 @@ from repro.engine.batch import (
     JobResult,
     plan_route,
 )
-from repro.engine.cache import CachedDecision, DecisionCache, decision_key
+from repro.engine.cache import CachedDecision, DecisionCache, decision_key, decision_key_for
 from repro.engine.jobs import (
     read_jobs,
     read_jobs_file,
@@ -35,7 +35,7 @@ from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_finger
 
 __all__ = [
     "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult", "plan_route",
-    "CachedDecision", "DecisionCache", "decision_key",
+    "CachedDecision", "DecisionCache", "decision_key", "decision_key_for",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
     "read_jobs", "read_jobs_file", "write_jobs_file",
     "write_results", "write_results_file",

@@ -7,15 +7,18 @@ workload:
 1. **per-schema artifacts** — DTD parsing, classification, and graph
    construction run once per schema in the :class:`SchemaRegistry` and are
    passed to the dispatcher through its ``artifacts`` hook;
-2. **decision caching** — a bounded LRU keyed on canonical query form ×
+2. **plan caching** — routing goes through the query planner
+   (:mod:`repro.sat.planner`); the resulting
+   :class:`~repro.sat.planner.Plan` is cached per feature signature on the
+   schema's artifact record, so a warm run resolves routing with zero
+   planner invocations and jobs group by plan;
+3. **decision caching** — a bounded LRU keyed on canonical query form ×
    schema fingerprint (:class:`DecisionCache`), so repeated questions
    (including syntactic variants) skip ``decide()`` entirely;
-3. **parallel heavy jobs** — queries routed to the EXPTIME/NEXPTIME/
-   bounded procedures run on a ``concurrent.futures`` process pool, while
-   PTIME-fragment queries are decided inline (forking a worker would cost
-   more than the decision).  The split is chosen per query from
-   ``features_of`` and the schema's precomputed classification, mirroring
-   the dispatcher's routing.
+4. **parallel heavy jobs** — jobs whose plan routes to the heavy
+   EXPTIME/NEXPTIME/bounded procedures (``plan.route == "pool"``) run on a
+   ``concurrent.futures`` process pool, while PTIME plans are decided
+   inline (forking a worker would cost more than the decision).
 
 Identical in-flight questions are coalesced: within one batch, a question
 is decided at most once no matter how many jobs ask it.
@@ -29,15 +32,13 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import EngineError, ReproError
-from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key
+from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key_for
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
 from repro.sat.bounded import Bounds
-from repro.sat.conjunctive import _ALLOWED as _CQ_ALLOWED
-from repro.sat.dispatch import decide
-from repro.sat.exptime_types import _ALLOWED as _TYPES_ALLOWED
-from repro.sat.no_dtd import _ALLOWED as _NODTD_ALLOWED
+from repro.sat.planner import Plan, Planner, execute_plan
 from repro.xpath.ast import Path
-from repro.xpath.fragments import CHILD_UP, DOWNWARD, SIBLING, Feature, features_of
+from repro.xpath.canonical import canonicalize
+from repro.xpath.fragments import features_of
 from repro.xpath.parser import parse_query
 
 
@@ -125,6 +126,8 @@ class EngineStats:
     pool_decides: int = 0
     cache_hits: int = 0
     coalesced: int = 0
+    planner_invocations: int = 0   # plans built during this run
+    plan_cache_hits: int = 0       # routing resolved from a plan cache
     workers: int = 1
     elapsed_s: float = 0.0
     cache: dict[str, Any] = field(default_factory=dict)
@@ -139,6 +142,8 @@ class EngineStats:
             "pool_decides": self.pool_decides,
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
+            "planner_invocations": self.planner_invocations,
+            "plan_cache_hits": self.plan_cache_hits,
             "workers": self.workers,
             "elapsed_s": round(self.elapsed_s, 4),
             "cache": dict(self.cache),
@@ -151,6 +156,8 @@ class EngineStats:
             f"decide() calls: {self.decide_calls} "
             f"({self.inline_decides} inline, {self.pool_decides} pooled, "
             f"{self.workers} workers)",
+            f"planner       : {self.planner_invocations} plans built, "
+            f"{self.plan_cache_hits} plan-cache hits",
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
             f"{self.cache.get('evictions', 0)} evictions "
@@ -185,43 +192,34 @@ class BatchReport:
 
 
 def plan_route(query: Path, artifacts: SchemaArtifacts | None) -> str:
-    """``"inline"`` for queries the dispatcher answers in PTIME, ``"pool"``
-    for those routed to the heavy EXPTIME/NEXPTIME/bounded procedures.
+    """``"inline"`` for queries whose plan is PTIME, ``"pool"`` for those
+    routed to the heavy EXPTIME/NEXPTIME/bounded procedures.
 
-    This mirrors the routing of :func:`repro.sat.dispatch.decide` using
-    only ``features_of`` and the schema's precomputed classification —
-    cheap enough to run per job.
+    Thin wrapper over the query planner (kept for callers that only care
+    about the inline/pool split); the :class:`BatchEngine` itself consults
+    the full :class:`~repro.sat.planner.Plan` from the schema's plan
+    cache.
     """
-    used = features_of(query)
-    if artifacts is None:
-        # PTIME without a DTD: Thm 6.11(1) and 6.11(2); everything else
-        # goes through the Prop 3.1 universal-DTD family
-        if used <= _NODTD_ALLOWED or used <= _CQ_ALLOWED:
-            return "inline"
-        return "pool"
-    if used <= DOWNWARD.allowed or used <= SIBLING.allowed:
-        return "inline"
-    if used <= CHILD_UP.allowed or used <= _TYPES_ALLOWED:
-        # PTIME only on disjunction-free DTDs without negation/label tests
-        # (Thm 6.8); otherwise the types fixpoint is EXPTIME
-        if artifacts.disjunction_free and not (
-            used & {Feature.NEGATION, Feature.LABEL_TEST}
-        ):
-            return "inline"
-        return "pool"
-    return "pool"
+    return _ROUTE_PLANNER.plan_query(query, artifacts=artifacts).route
 
 
-def _pool_decide(query: Path, dtd, bounds) -> tuple[bool | None, str, str]:
+#: module-level planner backing the plan_route convenience wrapper; plans
+#: for registered schemas still land in the shared per-artifact caches
+_ROUTE_PLANNER = Planner()
+
+
+def _pool_decide(canonical: Path, dtd, bounds, plan: Plan) -> tuple[bool | None, str, str]:
     """Process-pool entry point: returns the compact decision record
-    (witness trees stay in the worker)."""
-    result = decide(query, dtd, bounds)
+    (witness trees stay in the worker; the plan and the pre-canonicalized
+    query ride along so the worker skips planning and canonicalization)."""
+    result = execute_plan(plan, canonical, dtd, bounds, pre_canonicalized=True)
     return (result.satisfiable, result.method, result.reason)
 
 
 class BatchEngine:
     """Execute batches of ``(query, schema_ref)`` jobs with schema-artifact
-    reuse, decision caching, and a process pool for heavy fragments."""
+    reuse, plan-cached routing, decision caching, and a process pool for
+    heavy fragments."""
 
     def __init__(
         self,
@@ -229,11 +227,13 @@ class BatchEngine:
         cache: DecisionCache | None = None,
         workers: int = 1,
         bounds: Bounds | None = None,
+        planner: Planner | None = None,
     ):
         if workers < 1:
             raise EngineError(f"workers must be positive, got {workers}")
         self.registry = registry if registry is not None else SchemaRegistry()
         self.cache = cache if cache is not None else DecisionCache()
+        self.planner = planner if planner is not None else Planner()
         self.workers = workers
         self.bounds = bounds
 
@@ -243,6 +243,8 @@ class BatchEngine:
         aggregate stats for this run."""
         start = time.perf_counter()
         stats = EngineStats(workers=self.workers)
+        planner_invocations_before = self.planner.invocations
+        plan_hits_before = self.planner.cache_hits
         results: list[JobResult | None] = []
         # key -> (future, indices of jobs awaiting it)
         pending: dict[CacheKey, tuple[Future, list[int]]] = {}
@@ -269,8 +271,11 @@ class BatchEngine:
                     results[index] = self._error_result(raw, error)
                     continue
 
-                key = decision_key(
-                    query, artifacts.fingerprint if artifacts else None, self.bounds
+                # one canonicalization per job, shared by the cache key and
+                # the decision (execute_plan skips its canonicalize pass)
+                canonical = canonicalize(query)
+                key = decision_key_for(
+                    canonical, artifacts.fingerprint if artifacts else None, self.bounds
                 )
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -288,13 +293,13 @@ class BatchEngine:
                     )
                     continue
 
-                route = plan_route(query, artifacts)
-                if route == "pool" and self.workers > 1:
+                plan = self.planner.plan_for(features_of(query), artifacts=artifacts)
+                if plan.route == "pool" and self.workers > 1:
                     if executor is None:
                         executor = ProcessPoolExecutor(max_workers=self.workers)
                     future = executor.submit(
-                        _pool_decide, query,
-                        artifacts.dtd if artifacts else None, self.bounds,
+                        _pool_decide, canonical,
+                        artifacts.dtd if artifacts else None, self.bounds, plan,
                     )
                     stats.decide_calls += 1
                     stats.pool_decides += 1
@@ -307,7 +312,11 @@ class BatchEngine:
 
                 job_start = time.perf_counter()
                 try:
-                    outcome = decide(query, bounds=self.bounds, artifacts=artifacts)
+                    outcome = execute_plan(
+                        plan, canonical,
+                        artifacts.dtd if artifacts else None, self.bounds,
+                        pre_canonicalized=True,
+                    )
                     decision = CachedDecision(
                         outcome.satisfiable, outcome.method, outcome.reason
                     )
@@ -331,6 +340,8 @@ class BatchEngine:
                 executor.shutdown()
 
         stats.elapsed_s = time.perf_counter() - start
+        stats.planner_invocations = self.planner.invocations - planner_invocations_before
+        stats.plan_cache_hits = self.planner.cache_hits - plan_hits_before
         stats.cache = self.cache.stats()
         stats.registry = self.registry.stats()
         return BatchReport(results=[r for r in results if r is not None], stats=stats)

@@ -35,8 +35,15 @@ def decision_key(query: Path, fingerprint: str | None, bounds=None) -> CacheKey:
     bounded semi-decision procedures: an ``unknown`` cached under tight
     bounds must not be served to an engine configured with larger ones.
     """
+    return decision_key_for(canonicalize(query), fingerprint, bounds)
+
+
+def decision_key_for(canonical: Path, fingerprint: str | None, bounds=None) -> CacheKey:
+    """:func:`decision_key` for an already-canonicalized query — the batch
+    engine canonicalizes once per job and reuses the form for both the
+    cache key and the decision itself."""
     bounds_tag = DEFAULT_BOUNDS if bounds is None else repr(bounds)
-    return (query_key(canonicalize(query)), fingerprint or NO_SCHEMA, bounds_tag)
+    return (query_key(canonical), fingerprint or NO_SCHEMA, bounds_tag)
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from repro.dtd.normalize import NormalizationResult, normalize
 from repro.dtd.parser import parse_dtd
 from repro.dtd.properties import classify
 from repro.errors import EngineError
+from repro.sat.planner import Plan
 
 
 def schema_fingerprint(dtd: DTD) -> str:
@@ -44,12 +45,19 @@ class SchemaArtifacts:
     query.  ``graph`` and ``normalized`` are built on first use and then
     cached for the schema's lifetime (they serve registry *clients* —
     workload generators, audits — not the dispatch hot path).
+
+    ``plan_cache`` holds the query planner's routing decisions for this
+    schema, keyed by feature signature: the first query of each fragment
+    shape pays for planning (one registry scan), every later query —
+    across batches, engines, and plain ``decide(..., artifacts=)`` calls —
+    reuses the cached :class:`~repro.sat.planner.Plan`.
     """
 
     name: str
     fingerprint: str
     dtd: DTD
     classification: dict[str, bool] = field(init=False)
+    plan_cache: dict[str, "Plan"] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.dtd.require_terminating()
@@ -145,4 +153,8 @@ class SchemaRegistry:
             "names": len(self._by_name),
             "builds": self.builds,
             "dedup_hits": self.dedup_hits,
+            "plans": sum(
+                len(artifacts.plan_cache)
+                for artifacts in self._by_fingerprint.values()
+            ),
         }

@@ -280,8 +280,7 @@ def run_tree(trace: list[ID], final_state: int) -> XMLTree:
         c_node = parent_node.append(Node("C", attrs={"s": str(state)}))
         parent_node = c_node
     # the halting C needs the (C, R1, R2) branch; give it an empty inner C
-    trailing = parent_node.append(Node("C", attrs={"s": str(final_state)}))
-    del trailing
+    parent_node.append(Node("C", attrs={"s": str(final_state)}))
     # now attach registers: walk again adding R1/R2 to every ID node
     node = root.children[0]
     for state, m, n in trace:

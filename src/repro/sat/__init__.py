@@ -13,6 +13,9 @@ module                        fragment / setting                      theorem
 :mod:`repro.sat.exptime_types`  ``X(↓,↓*,∪,[],¬)`` under any DTD      Thm 5.3 (downward case)
 :mod:`repro.sat.positive`     positive XPath (Thm 4.4)                Thm 4.4
 :mod:`repro.sat.bounded`      bounded-model engine (semi-decision)    —
+:mod:`repro.sat.family`       no-DTD via universal-DTD family         Prop 3.1
+:mod:`repro.sat.registry`     decider capability descriptors          —
+:mod:`repro.sat.planner`      declarative, cacheable decision plans   —
 :mod:`repro.sat.dispatch`     automatic algorithm selection           —
 ============================  ======================================  ============
 
@@ -22,6 +25,7 @@ the DTD and the query.
 """
 
 from repro.sat.result import SatResult
+from repro.sat.registry import DeciderSpec, all_deciders, get_decider, routing_table
 from repro.sat.downward import sat_downward
 from repro.sat.disjunction_free import sat_disjunction_free
 from repro.sat.no_dtd import sat_no_dtd
@@ -30,10 +34,22 @@ from repro.sat.sibling import sat_sibling
 from repro.sat.exptime_types import sat_exptime_types
 from repro.sat.positive import sat_positive
 from repro.sat.bounded import Bounds, sat_bounded, iter_conforming_trees
+from repro.sat.family import sat_universal_family
+from repro.sat.planner import (
+    DEFAULT_PLANNER,
+    Plan,
+    Planner,
+    build_plan,
+    execute_plan,
+)
 from repro.sat.dispatch import decide
 
 __all__ = [
     "SatResult",
+    "DeciderSpec",
+    "all_deciders",
+    "get_decider",
+    "routing_table",
     "sat_downward",
     "sat_disjunction_free",
     "sat_no_dtd",
@@ -41,8 +57,14 @@ __all__ = [
     "sat_sibling",
     "sat_exptime_types",
     "sat_positive",
+    "sat_universal_family",
     "Bounds",
     "sat_bounded",
     "iter_conforming_trees",
+    "DEFAULT_PLANNER",
+    "Plan",
+    "Planner",
+    "build_plan",
+    "execute_plan",
     "decide",
 ]

@@ -30,11 +30,12 @@ from typing import Iterator
 from repro.dtd.model import DTD
 from repro.dtd.properties import is_no_star, is_nonrecursive, max_document_depth
 from repro.regex.ops import cached_nfa, enumerate_words
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.model import Node, XMLTree
 from repro.xmltree.validate import conforms
 from repro.xpath.ast import Path, constants_mentioned
-from repro.xpath.fragments import uses_data
+from repro.xpath.fragments import FULL, uses_data
 from repro.xpath.semantics import satisfies
 
 METHOD = "bounded-model"
@@ -321,3 +322,16 @@ def _max_word_length(dtd: DTD, name: str) -> int:
         raise TypeError(node)
 
     return longest(dtd.production(name))
+
+
+SPEC = register_decider(DeciderSpec(
+    name="bounded",
+    method=METHOD,
+    fn=sat_bounded,
+    allowed=FULL.allowed,
+    shape="anything else (↑ + ¬, siblings + ¬, ...)",
+    theorem="—",
+    complexity="semi-decision",
+    cost_rank=90,
+    accepts_bounds=True,
+))

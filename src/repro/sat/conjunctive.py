@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import FragmentError
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.model import Node, XMLTree
 from repro.xpath import ast
@@ -33,16 +34,6 @@ from repro.xpath.ast import Path, Qualifier
 from repro.xpath.fragments import Feature, features_of
 
 METHOD = "thm6.11-conjunctive"
-
-_ALLOWED = frozenset(
-    {
-        Feature.WILDCARD,
-        Feature.PARENT,
-        Feature.QUALIFIER,
-        Feature.DATA,
-        Feature.LABEL_TEST,
-    }
-)
 
 
 @dataclass
@@ -70,10 +61,10 @@ def translate(query: Path) -> _CQ:
     """Lemma 6.12: linear-time translation of an ``X(↓,↑,[],=)`` query into
     a conjunctive query (raises :class:`FragmentError` outside it)."""
     used = features_of(query)
-    if not used <= _ALLOWED:
+    if not used <= SPEC.allowed:
         raise FragmentError(
             f"sat_conjunctive_no_dtd requires X(child,parent,qual,data); query uses "
-            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+            f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
     cq = _CQ()
     root = cq.fresh()
@@ -234,7 +225,6 @@ def sat_conjunctive_no_dtd(query: Path) -> SatResult:
         parent_of[child_cls] = parent_cls
     # acyclicity
     for cls in classes:
-        slow = cls
         steps = 0
         current = cls
         while current in parent_of:
@@ -242,7 +232,6 @@ def sat_conjunctive_no_dtd(query: Path) -> SatResult:
             steps += 1
             if steps > len(classes):
                 return SatResult(False, METHOD, reason="cyclic child relation")
-        del slow
 
     witness = _canonical_model(cq, variables, values, parent_of, classes, const_class)
     return SatResult(
@@ -301,3 +290,22 @@ def _canonical_model(cq, variables, values, parent_of, classes, const_class) -> 
             attached.add(top)
             root.append(nodes[top])
     return XMLTree(root)
+
+
+SPEC = register_decider(DeciderSpec(
+    name="conjunctive",
+    method=METHOD,
+    fn=sat_conjunctive_no_dtd,
+    allowed=frozenset({
+        Feature.WILDCARD,
+        Feature.PARENT,
+        Feature.QUALIFIER,
+        Feature.DATA,
+        Feature.LABEL_TEST,
+    }),
+    shape="X(↓,↑,[],=)",
+    theorem="Thm 6.11(2)",
+    complexity="PTIME",
+    cost_rank=20,
+    needs_dtd=False,
+))

@@ -22,10 +22,11 @@ from repro.dtd.graph import DTDGraph
 from repro.dtd.model import DTD
 from repro.dtd.properties import is_disjunction_free
 from repro.errors import FragmentError
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xpath import ast
 from repro.xpath.ast import Path, Qualifier
-from repro.xpath.fragments import CHILD_UP, DOWNWARD_QUAL
+from repro.xpath.fragments import CHILD_UP, DOWNWARD_QUAL, Feature
 from repro.xpath.rewrite import upward_to_qualifiers
 
 METHOD = "thm6.8-disjfree"
@@ -130,3 +131,20 @@ def _build_witness(query: Path, dtd: DTD, reach, sat_qual, graph: DTDGraph):
 
     builder = WitnessBuilder(dtd, reach, sat_qual, graph)
     return builder.build(query)
+
+
+SPEC = register_decider(DeciderSpec(
+    name="disjunction_free",
+    method=METHOD,
+    fn=sat_disjunction_free,
+    # Thm 6.8 needs a positive, label-test-free query: DOWNWARD_QUAL minus
+    # the label tests the fragment convention would add (the ``X(↓,↑)``
+    # case of Thm 6.8(2) reaches this decider through the
+    # upward_to_qualifiers rewrite pass, whose output lands in this set)
+    allowed=DOWNWARD_QUAL.allowed - {Feature.LABEL_TEST},
+    shape="X(↓,↓*,∪,[]) / X(↓,↑)",
+    theorem="Thm 6.8",
+    complexity="PTIME",
+    cost_rank=30,
+    traits=("disjunction_free",),
+))

@@ -2,54 +2,27 @@
 
 ``decide(query, dtd)`` routes a satisfiability question to the strongest
 procedure the library has for the query's fragment and the DTD's class,
-mirroring the paper's result map:
+mirroring the paper's result map.  Routing is delegated to the query
+planner (:mod:`repro.sat.planner`): the query's feature signature and the
+schema's classification select a :class:`~repro.sat.planner.Plan` —
+rewrite passes, decider, fallback chain — which is then executed.  Pass a
+pre-computed ``plan`` to skip planning entirely (the batch engine does,
+from its per-schema plan cache).
 
-==========================================  ==================================
-query / DTD shape                            procedure
-==========================================  ==================================
-no DTD, ``X(↓,↓*,∪,[])``                     Thm 6.11(1) cubic algorithm
-no DTD, ``X(↓,↑,[],=)``                      Thm 6.11(2) conjunctive queries
-no DTD, anything else                        Prop 3.1 reduction to ``D_p``
-``X(↓,↓*,∪)``                                Thm 4.1 PTIME reach
-``X(→,←)``                                   Thm 7.1 PTIME sibling analysis
-``X(↓,↓*,∪,[])``, disjunction-free DTD       Thm 6.8 PTIME
-``X(↓,↑)``                                   Thm 6.8(2) rewriting + above
-``X(↓,↓*,∪,[],¬)`` (covers positive ``[]``)  Thm 5.3 types fixpoint (EXPTIME)
-``X(↓,∪,[],=,¬)``                            Thm 5.5 small-model (NEXPTIME)
-positive with ``↑*``/data joins              Thm 4.4 layered strategy
-anything else (↑ + ¬, siblings + ¬, ...)     bounded semi-decision
-==========================================  ==================================
+The result map below is rendered from the decider registry
+(:mod:`repro.sat.registry`) at import time, so this table cannot drift
+from the code.
 """
 
 from __future__ import annotations
 
 from repro.dtd.model import DTD
-from repro.dtd.properties import is_disjunction_free
-from repro.errors import ReproError
-from repro.sat.bounded import Bounds, sat_bounded
-from repro.sat.conjunctive import _ALLOWED as _CQ_ALLOWED
-from repro.sat.conjunctive import sat_conjunctive_no_dtd
-from repro.sat.disjunction_free import sat_disjunction_free
-from repro.sat.downward import sat_downward
-from repro.sat.exptime_types import _ALLOWED as _TYPES_ALLOWED
-from repro.sat.exptime_types import sat_exptime_types
-from repro.sat.nexptime import _ALLOWED as _NEXP_ALLOWED
-from repro.sat.nexptime import sat_nexptime
-from repro.sat.no_dtd import _ALLOWED as _NODTD_ALLOWED
-from repro.sat.no_dtd import sat_no_dtd
-from repro.sat.positive import sat_positive
+from repro.sat.bounded import Bounds
+from repro.sat.planner import DEFAULT_PLANNER, Plan, execute_plan
+from repro.sat.registry import routing_table
 from repro.sat.result import SatResult
-from repro.sat.sibling import sat_sibling
-from repro.dtd.transforms import universal_dtds
 from repro.xpath.ast import Path
-from repro.xpath.fragments import (
-    CHILD_UP,
-    DOWNWARD,
-    POSITIVE,
-    SIBLING,
-    features_of,
-)
-from repro.xpath.rewrite import upward_to_qualifiers
+from repro.xpath.fragments import features_of
 
 
 def decide(
@@ -58,6 +31,7 @@ def decide(
     bounds: Bounds | None = None,
     *,
     artifacts=None,
+    plan: Plan | None = None,
 ) -> SatResult:
     """Decide satisfiability of ``(query, dtd)`` — or of ``query`` alone
     over unconstrained trees when ``dtd`` is ``None`` — with the strongest
@@ -65,72 +39,26 @@ def decide(
 
     ``artifacts`` is the batch-engine hook: a pre-registered schema record
     (:class:`repro.engine.SchemaArtifacts`, or any object with ``dtd`` and
-    ``disjunction_free`` attributes).  When given, ``dtd`` may be omitted
-    and the per-schema classification is reused instead of being
-    recomputed for every query against the same schema.
+    the schema-trait attributes).  When given, ``dtd`` may be omitted; the
+    per-schema classification is reused and the routing decision is cached
+    on the record's plan cache instead of being re-derived per call.
+
+    ``plan`` short-circuits planning with an already-computed
+    :class:`~repro.sat.planner.Plan` (it must have been built for this
+    query's feature signature and this schema's class).
     """
     if dtd is None and artifacts is not None:
         dtd = artifacts.dtd
-    if dtd is None:
-        return _decide_no_dtd(query, bounds)
-
-    # one features pass serves every routing check below; it is only
-    # recomputed when the rewrite actually changes the query
-    used = features_of(query)
-
-    if used <= DOWNWARD.allowed:
-        return sat_downward(query, dtd)
-    if used <= SIBLING.allowed:
-        return sat_sibling(query, dtd)
-
-    if used <= CHILD_UP.allowed:
-        rewritten = upward_to_qualifiers(query)
-        if not rewritten.complete:
-            return SatResult(False, "dispatch", reason="query climbs above the root")
-        query = rewritten.path
-        used = features_of(query)
-
-    if used <= _TYPES_ALLOWED:
-        if _disjunction_free_applicable(used) and (
-            artifacts.disjunction_free if artifacts is not None
-            else is_disjunction_free(dtd)
-        ):
-            return sat_disjunction_free(query, dtd)
-        try:
-            return sat_exptime_types(query, dtd)
-        except ReproError:
-            pass  # fall through to bounded search
-    if used <= _NEXP_ALLOWED:
-        return sat_nexptime(query, dtd)
-    if used <= POSITIVE.allowed:
-        return sat_positive(query, dtd, bounds)
-    return sat_bounded(query, dtd, bounds)
-
-
-def _disjunction_free_applicable(used) -> bool:
-    from repro.xpath.fragments import Feature
-
-    return Feature.NEGATION not in used and Feature.LABEL_TEST not in used
+    if plan is None:
+        plan = DEFAULT_PLANNER.plan_for(
+            features_of(query), artifacts=artifacts, dtd=dtd
+        )
+    return execute_plan(plan, query, dtd, bounds)
 
 
 def _decide_no_dtd(query: Path, bounds: Bounds | None) -> SatResult:
-    used = features_of(query)
-    if used <= _NODTD_ALLOWED:
-        return sat_no_dtd(query)
-    if used <= _CQ_ALLOWED:
-        return sat_conjunctive_no_dtd(query)
-    # Proposition 3.1: reduce to the DTD family D_p
-    results = [decide(query, family_dtd, bounds) for family_dtd in universal_dtds(query)]
-    for result in results:
-        if result.is_sat:
-            result.reason = "via Prop 3.1 universal DTD; " + result.reason
-            return result
-    if all(result.is_unsat for result in results):
-        return SatResult(
-            False, "prop3.1-family",
-            reason="unsatisfiable under every universal DTD",
-        )
-    return SatResult(
-        None, "prop3.1-family",
-        reason="some universal-DTD instances undecided within bounds",
-    )
+    """Back-compat shim: decide over unconstrained trees (no DTD)."""
+    return decide(query, None, bounds)
+
+
+__doc__ = (__doc__ or "") + "\n" + routing_table() + "\n"

@@ -25,6 +25,7 @@ from repro.dtd.graph import DTDGraph
 from repro.dtd.model import DTD
 from repro.errors import FragmentError
 from repro.regex.ops import shortest_word_containing
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.generate import _minimal_node, minimal_tree
 from repro.xmltree.model import Node, XMLTree
@@ -157,3 +158,15 @@ def _min_word(dtd: DTD, label: str):
     from repro.xmltree.generate import _min_words
 
     return _min_words(dtd)[label]
+
+
+SPEC = register_decider(DeciderSpec(
+    name="downward",
+    method=METHOD,
+    fn=sat_downward,
+    allowed=DOWNWARD.allowed,
+    shape="X(↓,↓*,∪)",
+    theorem="Thm 4.1",
+    complexity="PTIME",
+    cost_rank=10,
+))

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.dtd.model import DTD
 from repro.errors import FragmentError, ReproError
 from repro.regex.ops import cached_nfa
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.model import Node, XMLTree
 from repro.xpath import ast
@@ -45,8 +46,6 @@ from repro.xpath.ast import Path, Qualifier
 from repro.xpath.fragments import REC_NEG_DOWN_UNION, Feature, features_of
 
 METHOD = "thm5.3-types-fixpoint"
-
-_ALLOWED = REC_NEG_DOWN_UNION.allowed | {Feature.LABEL_TEST}
 
 _TRUE = ast.PathExists(ast.Empty())
 
@@ -287,10 +286,10 @@ def sat_exptime_types(
     the bounded engine beyond it.
     """
     used = features_of(query)
-    if not used <= _ALLOWED:
+    if not used <= SPEC.allowed:
         raise FragmentError(
             f"sat_exptime_types requires X(child,dos,union,qual,neg); query uses "
-            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+            f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
     dtd.require_terminating()
 
@@ -404,3 +403,16 @@ def _realize(node_type: NodeType, realization, dtd: DTD) -> XMLTree:
         return node
 
     return XMLTree(build(node_type))
+
+
+SPEC = register_decider(DeciderSpec(
+    name="exptime_types",
+    method=METHOD,
+    fn=sat_exptime_types,
+    allowed=REC_NEG_DOWN_UNION.allowed | {Feature.LABEL_TEST},
+    shape="X(↓,↓*,∪,[],¬)",
+    theorem="Thm 5.3",
+    complexity="EXPTIME",
+    cost_rank=40,
+    may_decline=True,  # raises ReproError beyond max_facts: fall back
+))

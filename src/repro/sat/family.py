@@ -1,0 +1,64 @@
+"""Proposition 3.1: no-DTD satisfiability via the universal-DTD family.
+
+A query ``p`` outside the PTIME no-DTD fragments is satisfiable over
+unconstrained trees iff ``(p, D)`` is satisfiable for some member of the
+family ``D_p`` (one universal DTD per possible root label; see
+:func:`repro.dtd.transforms.universal_dtds`).
+
+The family is evaluated **lazily**: members are decided one at a time and
+the first SAT witness short-circuits the loop — deciding the remaining
+universal DTDs (each an independent EXPTIME/NEXPTIME/bounded run) would
+only reconfirm the answer.  ``False`` still requires every member to be
+proven unsatisfiable; a bounded member left undecided degrades the family
+verdict to ``unknown``.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.transforms import universal_dtds
+from repro.sat.registry import DeciderSpec, register_decider
+from repro.sat.result import SatResult
+from repro.xpath.ast import Path
+from repro.xpath.fragments import FULL
+
+METHOD = "prop3.1-family"
+
+
+def sat_universal_family(query: Path, bounds=None) -> SatResult:
+    """Decide DTD-less satisfiability of ``query`` by Proposition 3.1,
+    short-circuiting on the first satisfiable family member."""
+    from repro.sat.dispatch import decide  # deferred: dispatch routes back here
+
+    undecided = 0
+    for family_dtd in universal_dtds(query):
+        result = decide(query, family_dtd, bounds)
+        if result.is_sat:
+            result.reason = "via Prop 3.1 universal DTD" + (
+                f"; {result.reason}" if result.reason else ""
+            )
+            return result
+        if result.satisfiable is None:
+            undecided += 1
+    if undecided == 0:
+        return SatResult(
+            False, METHOD,
+            reason="unsatisfiable under every universal DTD",
+        )
+    return SatResult(
+        None, METHOD,
+        reason="some universal-DTD instances undecided within bounds",
+    )
+
+
+SPEC = register_decider(DeciderSpec(
+    name="universal_family",
+    method=METHOD,
+    fn=sat_universal_family,
+    allowed=FULL.allowed,
+    shape="anything else",
+    theorem="Prop 3.1",
+    complexity="reduction",
+    cost_rank=90,
+    needs_dtd=False,
+    accepts_bounds=True,
+))

@@ -23,14 +23,13 @@ from __future__ import annotations
 from repro.dtd.model import DTD
 from repro.errors import FragmentError
 from repro.sat.bounded import Bounds, sat_bounded
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xpath import ast
 from repro.xpath.ast import Path, Qualifier
 from repro.xpath.fragments import DATA_NEG_DOWN, Feature, features_of
 
 METHOD = "thm5.5-smallmodel"
-
-_ALLOWED = DATA_NEG_DOWN.allowed | {Feature.LABEL_TEST}
 
 
 def lookahead_depth(node: Path | Qualifier) -> int:
@@ -62,10 +61,10 @@ def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
     """Decide ``(query, dtd)`` for ``query ∈ X(↓,∪,[],=,¬)`` by small-model
     search (Theorem 5.5 bounds)."""
     used = features_of(query)
-    if not used <= _ALLOWED:
+    if not used <= SPEC.allowed:
         raise FragmentError(
             f"sat_nexptime requires X(child,union,qual,data,neg); query uses "
-            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+            f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
     dtd.require_terminating()
     depth = lookahead_depth(query)
@@ -90,3 +89,15 @@ def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
         inner.satisfiable, METHOD, witness=inner.witness, reason=reason,
         stats=inner.stats,
     )
+
+
+SPEC = register_decider(DeciderSpec(
+    name="nexptime",
+    method=METHOD,
+    fn=sat_nexptime,
+    allowed=DATA_NEG_DOWN.allowed | {Feature.LABEL_TEST},
+    shape="X(↓,∪,[],=,¬)",
+    theorem="Thm 5.5",
+    complexity="NEXPTIME",
+    cost_rank=50,
+))

@@ -19,20 +19,19 @@ from repro.xpath import ast
 from repro.xpath.ast import Path, Qualifier, labels_mentioned
 from repro.xpath.canonical import query_key
 from repro.xpath.fragments import DOWNWARD_QUAL, Feature, features_of
+from repro.sat.registry import DeciderSpec, register_decider
 
 METHOD = "thm6.11-no-dtd"
-
-_ALLOWED = DOWNWARD_QUAL.allowed | {Feature.LABEL_TEST}
 
 
 def sat_no_dtd(query: Path) -> SatResult:
     """Decide satisfiability of ``query ∈ X(↓,↓*,∪,[])`` (label tests
     allowed) over unconstrained trees."""
     used = features_of(query)
-    if not used <= _ALLOWED:
+    if not used <= SPEC.allowed:
         raise FragmentError(
             f"sat_no_dtd requires X(child,dos,union,qual); query uses "
-            f"{sorted(str(f) for f in used - _ALLOWED)} extra"
+            f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
     if Feature.LABEL_TEST not in used:
         # the paper's observation: without label tests every query in the
@@ -243,3 +242,16 @@ def _build_witness_checked(query: Path, root_label: str, reach, sat_q) -> XMLTre
     target = min(reach(query, root_label))
     realize_path(root, query, target)
     return XMLTree(root)
+
+
+SPEC = register_decider(DeciderSpec(
+    name="no_dtd",
+    method=METHOD,
+    fn=sat_no_dtd,
+    allowed=DOWNWARD_QUAL.allowed | {Feature.LABEL_TEST},
+    shape="X(↓,↓*,∪,[])",
+    theorem="Thm 6.11(1)",
+    complexity="PTIME",
+    cost_rank=10,
+    needs_dtd=False,
+))

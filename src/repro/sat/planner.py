@@ -1,0 +1,354 @@
+"""Query planner: declarative, cacheable, explainable decision plans.
+
+Routing a satisfiability question used to live in an if-chain inside
+``decide()``.  The planner replaces that chain with an explicit
+:class:`Plan` — the ordered rewrite passes to apply, the decider that
+answers, and the fallback chain if it declines — computed purely from
+
+* the query's **feature signature** (:func:`repro.xpath.fragments.feature_signature`), and
+* the schema's **classification traits** (:func:`repro.dtd.properties.classify`),
+
+by scanning the decider registry (:mod:`repro.sat.registry`) and the
+rewrite-pass registry (:data:`repro.xpath.rewrite.PASSES`) in cost-rank
+order.  Because a plan depends on nothing else, it is cached per
+``(feature signature × schema fingerprint)`` on the schema's artifact
+record, so a warm batch run resolves routing without invoking the
+planner at all.
+
+Plans serialize (``to_dict``/``from_dict``) and explain themselves
+(``python -m repro explain``); :func:`execute_plan` runs one against a
+concrete query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.dtd.model import DTD
+from repro.dtd import properties as dtd_properties
+from repro.errors import ReproError
+from repro.sat.registry import DeciderSpec, deciders, get_decider, registry_size
+from repro.sat.result import SatResult
+from repro.xpath.ast import Path
+from repro.xpath.fragments import Feature, feature_signature, features_of
+from repro.xpath.rewrite import PASSES, get_pass
+
+#: method tag of verdicts produced by the plan itself (e.g. a query whose
+#: ``↑`` steps climb above the root is unsatisfiable before any decider runs)
+PLAN_METHOD = "dispatch"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One routing decision: rewrites to apply, decider to run, fallbacks.
+
+    A plan is pure data — names into the pass/decider registries — so it
+    is hashable, serializable, and independent of the concrete query it
+    was planned from (any query with the same feature signature against
+    the same schema class executes identically).
+    """
+
+    signature: str
+    schema: str | None               # short schema fingerprint, or None (no DTD)
+    rewrites: tuple[str, ...]        # rewrite-pass names, applied in order
+    decider: str                     # primary decider (registry name)
+    fallbacks: tuple[str, ...] = ()  # tried in order if the primary declines
+    route: str = "inline"            # "inline" (PTIME) | "pool" (heavy)
+    notes: tuple[str, ...] = ()
+
+    @property
+    def spec(self) -> DeciderSpec:
+        return get_decider(self.decider)
+
+    @property
+    def method(self) -> str:
+        return self.spec.method
+
+    @property
+    def theorem(self) -> str:
+        return self.spec.theorem
+
+    @property
+    def complexity(self) -> str:
+        return self.spec.complexity
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "schema": self.schema,
+            "rewrites": list(self.rewrites),
+            "decider": self.decider,
+            "fallbacks": list(self.fallbacks),
+            "route": self.route,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "Plan":
+        return cls(
+            signature=record["signature"],
+            schema=record.get("schema"),
+            rewrites=tuple(record.get("rewrites", ())),
+            decider=record["decider"],
+            fallbacks=tuple(record.get("fallbacks", ())),
+            route=record.get("route", "inline"),
+            notes=tuple(record.get("notes", ())),
+        )
+
+    def explain(self) -> str:
+        """Human-readable account of the plan, for ``repro explain``."""
+        spec = self.spec
+        fragment = "X()" if self.signature == "()" else f"X({self.signature})"
+        lines = [
+            f"plan for {fragment} "
+            + (f"against schema {self.schema}" if self.schema else "without a DTD"),
+            f"  rewrites   : {', '.join(self.rewrites) if self.rewrites else '(none)'}",
+            f"  decider    : {self.decider} — {spec.theorem}, {spec.complexity} "
+            f"[{spec.method}]",
+        ]
+        if self.fallbacks:
+            parts = []
+            for name in self.fallbacks:
+                fallback = get_decider(name)
+                parts.append(f"{name} ({fallback.theorem}, {fallback.complexity})")
+            lines.append(f"  fallbacks  : {' -> '.join(parts)}")
+        else:
+            lines.append("  fallbacks  : (none)")
+        lines.append(f"  route      : {self.route}")
+        for note in self.notes:
+            lines.append(f"  note       : {note}")
+        return "\n".join(lines)
+
+
+TraitCheck = Callable[[str], bool]
+
+# scan lists are pure functions of the (static after import) registries;
+# cache them per setting, invalidating if either registry grows
+_SCAN_CACHE: dict[bool, tuple[tuple[int, int], tuple, tuple]] = {}
+
+
+def _scan_items(has_dtd: bool):
+    """The planner's merged scan order for one setting: the unconditional
+    (``trigger=None``) rewrite passes in rank order, and the
+    ``(rank, kind, item)`` list interleaving deciders with triggered
+    passes."""
+    stamp = (registry_size(), len(PASSES))
+    cached = _SCAN_CACHE.get(has_dtd)
+    if cached is not None and cached[0] == stamp:
+        return cached[1], cached[2]
+    specs = deciders(needs_dtd=has_dtd)
+    unconditional = tuple(sorted(
+        (p for p in PASSES.values() if p.trigger is None),
+        key=lambda p: (p.rank, p.name),
+    ))
+    items: list[tuple[int, int, Any]] = [(spec.cost_rank, 1, spec) for spec in specs]
+    items += [
+        (rewrite_pass.rank, 0, rewrite_pass)
+        for rewrite_pass in PASSES.values()
+        if rewrite_pass.trigger is not None
+    ]
+    items.sort(key=lambda item: item[:2])
+    _SCAN_CACHE[has_dtd] = (stamp, unconditional, tuple(items))
+    return unconditional, tuple(items)
+
+_TRAIT_PREDICATES: dict[str, Callable[[DTD], bool]] = {
+    "normalized": dtd_properties.is_normalized,
+    "disjunction_free": dtd_properties.is_disjunction_free,
+    "nonrecursive": dtd_properties.is_nonrecursive,
+    "no_star": dtd_properties.is_no_star,
+}
+
+
+def build_plan(
+    features: frozenset[Feature],
+    *,
+    has_dtd: bool,
+    traits: TraitCheck,
+    schema: str | None = None,
+) -> Plan:
+    """Construct the plan for a feature set against one schema class.
+
+    The scan merges registered deciders and trigger-carrying rewrite
+    passes in cost-rank order: a pass whose trigger fragment contains the
+    current features fires and replaces the feature set by the pass's
+    declared output bound; the first decider whose allowed set contains
+    the features (and whose schema traits hold) becomes the primary.  If
+    the primary may decline, the scan continues to record the fallback
+    chain, stopping at the first decider that cannot decline.
+
+    ``traits`` is consulted lazily — only when a trait-gated decider's
+    operator set actually matches — so planning a downward query never
+    pays for a disjunction-freeness check.
+    """
+    signature = feature_signature(features)
+    notes: list[str] = []
+
+    unconditional, items = _scan_items(has_dtd)
+    rewrites: list[str] = []
+    for rewrite_pass in unconditional:
+        rewrites.append(rewrite_pass.name)
+        features = rewrite_pass.output_bound(features)
+
+    primary: DeciderSpec | None = None
+    fallbacks: list[str] = []
+    for _rank, kind, item in items:
+        if kind == 0:  # rewrite pass
+            if primary is None and features <= item.trigger.allowed:
+                rewrites.append(item.name)
+                features = item.output_bound(features)
+                notes.append(f"{item.name}: {item.description}")
+            continue
+        spec = item
+        if not spec.accepts(features):
+            continue
+        if spec.traits and not all(traits(name) for name in spec.traits):
+            continue
+        if primary is None:
+            primary = spec
+            if spec.traits:
+                notes.append(
+                    "schema is " + ", ".join(t.replace("_", "-") for t in spec.traits)
+                    + f": {spec.theorem} applies"
+                )
+            if not spec.may_decline:
+                break
+        else:
+            fallbacks.append(spec.name)
+            if not spec.may_decline:
+                break
+    if primary is None:
+        raise ReproError(
+            f"no registered decider accepts X({signature}) "
+            f"({'with' if has_dtd else 'without'} a DTD)"
+        )
+    return Plan(
+        signature=signature,
+        schema=schema,
+        rewrites=tuple(rewrites),
+        decider=primary.name,
+        fallbacks=tuple(fallbacks),
+        route="inline" if primary.complexity == "PTIME" else "pool",
+        notes=tuple(notes),
+    )
+
+
+def execute_plan(
+    plan: Plan,
+    query: Path,
+    dtd: DTD | None = None,
+    bounds=None,
+    *,
+    pre_canonicalized: bool = False,
+) -> SatResult:
+    """Run ``plan`` against a concrete query: apply its rewrite passes in
+    order, then the decider chain.
+
+    ``pre_canonicalized`` skips the plan's ``canonicalize`` pass for
+    callers that already hold the canonical form (the batch engine
+    computes it for the decision-cache key).
+    """
+    for name in plan.rewrites:
+        if pre_canonicalized and name == "canonicalize":
+            continue
+        outcome = get_pass(name).run(query)
+        if not outcome.complete:
+            return SatResult(
+                False, PLAN_METHOD, reason="query climbs above the root"
+            )
+        query = outcome.path
+    chain = (plan.decider,) + plan.fallbacks
+    for position, name in enumerate(chain):
+        spec = get_decider(name)
+        try:
+            return spec.call(query, dtd, bounds)
+        except ReproError:
+            if not (spec.may_decline and position + 1 < len(chain)):
+                raise
+    raise AssertionError("unreachable: decider chain exhausted")
+
+
+class Planner:
+    """Plan factory with per-destination caching and telemetry.
+
+    Plans for registered schemas are cached on the schema's artifact
+    record (``artifacts.plan_cache``, living in the engine's
+    :class:`~repro.engine.registry.SchemaRegistry`), keyed by feature
+    signature; no-DTD plans are cached on the planner itself.  Ad-hoc
+    ``(query, DTD)`` calls — no registered artifacts — are planned fresh
+    each time (the scan lists themselves are precomputed, so a fresh plan
+    is one walk over ~10 cached registry entries); register the schema to
+    amortize even that.
+    """
+
+    def __init__(self) -> None:
+        self._no_dtd_cache: dict[str, Plan] = {}
+        self.invocations = 0  # plans actually built
+        self.cache_hits = 0   # plans served from a plan cache
+
+    def plan_for(
+        self,
+        features: frozenset[Feature],
+        *,
+        artifacts=None,
+        dtd: DTD | None = None,
+    ) -> Plan:
+        if artifacts is not None:
+            cache = getattr(artifacts, "plan_cache", None)
+            signature = feature_signature(features)
+            if cache is not None:
+                plan = cache.get(signature)
+                if plan is not None:
+                    self.cache_hits += 1
+                    return plan
+            self.invocations += 1
+            plan = build_plan(
+                features,
+                has_dtd=True,
+                traits=lambda name: _artifact_trait(artifacts, name),
+                schema=getattr(artifacts, "short_fingerprint", None),
+            )
+            if cache is not None:
+                cache[signature] = plan
+            return plan
+        if dtd is not None:
+            self.invocations += 1
+            return build_plan(
+                features,
+                has_dtd=True,
+                traits=lambda name: _TRAIT_PREDICATES[name](dtd),
+                schema="(unregistered)",
+            )
+        signature = feature_signature(features)
+        plan = self._no_dtd_cache.get(signature)
+        if plan is not None:
+            self.cache_hits += 1
+            return plan
+        self.invocations += 1
+        plan = build_plan(features, has_dtd=False, traits=lambda name: False)
+        self._no_dtd_cache[signature] = plan
+        return plan
+
+    def plan_query(self, query: Path, *, artifacts=None, dtd: DTD | None = None) -> Plan:
+        return self.plan_for(features_of(query), artifacts=artifacts, dtd=dtd)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "invocations": self.invocations,
+            "cache_hits": self.cache_hits,
+            "no_dtd_plans": len(self._no_dtd_cache),
+        }
+
+
+def _artifact_trait(artifacts, name: str) -> bool:
+    """Resolve a schema trait from an artifact record, preferring the
+    precomputed classification; duck-typed attributes keep the dispatch
+    ``artifacts`` contract (any object with the trait as an attribute)."""
+    classification = getattr(artifacts, "classification", None)
+    if classification is not None and name in classification:
+        return bool(classification[name])
+    return bool(getattr(artifacts, name))
+
+
+#: the planner behind plain :func:`repro.sat.dispatch.decide` calls
+DEFAULT_PLANNER = Planner()

@@ -24,6 +24,7 @@ from repro.dtd.model import DTD
 from repro.errors import FragmentError
 from repro.sat.bounded import Bounds, sat_bounded
 from repro.sat.exptime_types import sat_exptime_types
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xpath.ast import Path
 from repro.xpath.fragments import (
@@ -92,3 +93,16 @@ def small_model_bounds(query: Path, dtd: DTD, cap_depth: int = 8,
         max_depth=min((3 * p_size - 1) * d_size, cap_depth),
         max_width=min(d_size + p_size, cap_width),
     )
+
+
+SPEC = register_decider(DeciderSpec(
+    name="positive",
+    method=METHOD,
+    fn=sat_positive,
+    allowed=POSITIVE.allowed,
+    shape="positive with ↑*/data joins",
+    theorem="Thm 4.4",
+    complexity="NP",
+    cost_rank=60,
+    accepts_bounds=True,
+))

@@ -1,0 +1,191 @@
+"""Decider registry: declarative capability descriptors for every
+satisfiability procedure in :mod:`repro.sat`.
+
+Each decider module registers one :class:`DeciderSpec` describing *what*
+it can decide — allowed operator set, required schema traits, complexity
+class, paper theorem, position in the routing order — instead of hiding
+that knowledge in ad-hoc ``_ALLOWED`` frozensets and an if-chain.  The
+query planner (:mod:`repro.sat.planner`) consumes this registry to build
+explainable, cacheable :class:`~repro.sat.planner.Plan` objects, and the
+dispatcher's routing-table docstring is rendered from it, so code and
+docs cannot drift.
+
+The registry is populated as decider modules import; :func:`load` imports
+every built-in decider so lookups see the full table regardless of which
+module the caller touched first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import FragmentError
+from repro.xpath.fragments import Feature
+
+
+@dataclass(frozen=True)
+class DeciderSpec:
+    """Capability descriptor of one decision procedure.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"downward"``).
+    method:
+        The ``SatResult.method`` tag the procedure reports.
+    fn:
+        The decision function.  Called ``fn(query)`` for no-DTD deciders,
+        ``fn(query, dtd)`` for DTD deciders, with a trailing ``bounds``
+        argument when ``accepts_bounds``.
+    allowed:
+        Operator set the procedure accepts (a query routes here only when
+        ``features_of(query) <= allowed``).
+    shape:
+        The paper's rendering of that fragment/setting, for generated docs
+        (e.g. ``"X(↓,↓*,∪)"``).
+    theorem:
+        Paper reference (e.g. ``"Thm 4.1"``).
+    complexity:
+        Complexity class of the procedure (``"PTIME"``, ``"EXPTIME"``,
+        ``"NEXPTIME"``, ``"NP"``, ``"semi-decision"``).  ``"PTIME"`` plans
+        run inline in the batch engine; everything else is pooled.
+    cost_rank:
+        Position in the routing order: the planner picks the *lowest*
+        matching rank, so cheaper/stronger procedures get low ranks.
+    needs_dtd:
+        ``True`` for deciders over ``(query, DTD)`` pairs, ``False`` for
+        the no-DTD setting.
+    accepts_bounds:
+        The function takes the engine's search :class:`~repro.sat.bounded.Bounds`.
+    traits:
+        Schema classification predicates (keys of
+        :func:`repro.dtd.properties.classify`) that must hold for the
+        schema, e.g. ``("disjunction_free",)``.
+    may_decline:
+        The procedure may raise :class:`~repro.errors.ReproError` to ask
+        for a fallback (e.g. the types fixpoint beyond its fact cap); the
+        planner then records a fallback chain.
+    """
+
+    name: str
+    method: str
+    fn: Callable
+    allowed: frozenset[Feature]
+    shape: str
+    theorem: str
+    complexity: str
+    cost_rank: int
+    needs_dtd: bool = True
+    accepts_bounds: bool = False
+    traits: tuple[str, ...] = ()
+    may_decline: bool = False
+
+    def accepts(self, features: frozenset[Feature]) -> bool:
+        return features <= self.allowed
+
+    def call(self, query, dtd=None, bounds=None):
+        args = [query]
+        if self.needs_dtd:
+            args.append(dtd)
+        if self.accepts_bounds:
+            args.append(bounds)
+        return self.fn(*args)
+
+    def describe(self) -> str:
+        qualifiers = []
+        if self.traits:
+            qualifiers.append("requires " + ", ".join(self.traits) + " schema")
+        if self.may_decline:
+            qualifiers.append("may decline")
+        suffix = f" ({'; '.join(qualifiers)})" if qualifiers else ""
+        return f"{self.name}: {self.shape} — {self.theorem}, {self.complexity}{suffix}"
+
+
+_REGISTRY: dict[str, DeciderSpec] = {}
+_LOADED = False
+
+
+def register_decider(spec: DeciderSpec) -> DeciderSpec:
+    """Add ``spec`` to the registry (idempotent per name at import time)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.method != spec.method:
+        raise ValueError(f"decider {spec.name!r} already registered with another method")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def load() -> None:
+    """Import every built-in decider module so the registry is complete.
+
+    ``_LOADED`` flips only after every import succeeds, so a failing
+    decider import surfaces as the real :class:`ImportError` on every
+    call instead of being masked by an empty registry.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.sat import (  # noqa: F401  (imported for registration side effects)
+        bounded,
+        conjunctive,
+        disjunction_free,
+        downward,
+        exptime_types,
+        family,
+        nexptime,
+        no_dtd,
+        positive,
+        sibling,
+    )
+    _LOADED = True
+
+
+def get_decider(name: str) -> DeciderSpec:
+    load()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise FragmentError(f"unknown decider {name!r}; registered: {known}") from None
+
+
+def registry_size() -> int:
+    """Number of registered deciders (cheap staleness stamp for callers
+    that memoize derived views of the registry)."""
+    load()
+    return len(_REGISTRY)
+
+
+def all_deciders() -> tuple[DeciderSpec, ...]:
+    """Every registered decider, in routing (cost-rank) order."""
+    load()
+    return tuple(sorted(_REGISTRY.values(), key=lambda spec: (spec.cost_rank, spec.name)))
+
+
+def deciders(needs_dtd: bool) -> tuple[DeciderSpec, ...]:
+    """The routing chain for one setting (with or without a DTD)."""
+    return tuple(spec for spec in all_deciders() if spec.needs_dtd is needs_dtd)
+
+
+def routing_table() -> str:
+    """The dispatcher's result map, rendered from the registry.
+
+    One row per registered decider, in routing order; this is appended to
+    ``repro.sat.dispatch.__doc__`` at import so the documented table can
+    never drift from the code.
+    """
+    rows = []
+    for spec in deciders(needs_dtd=False):
+        rows.append((f"no DTD, {spec.shape}", f"{spec.theorem} [{spec.method}]"))
+    for spec in deciders(needs_dtd=True):
+        shape = spec.shape
+        if spec.traits:
+            shape += ", " + " ".join(trait.replace("_", "-") for trait in spec.traits) + " DTD"
+        rows.append((shape, f"{spec.theorem} [{spec.method}]"))
+    left = max(len(row[0]) for row in rows)
+    right = max(len(row[1]) for row in rows)
+    rule = "=" * left + "  " + "=" * right
+    lines = [rule, "query / DTD shape".ljust(left) + "  procedure", rule]
+    lines += [row[0].ljust(left) + "  " + row[1] for row in rows]
+    lines.append(rule)
+    return "\n".join(lines)

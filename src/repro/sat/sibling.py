@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.dtd.model import DTD
 from repro.errors import FragmentError, UnsupportedQueryError
 from repro.regex.ops import cached_nfa, enumerate_words
+from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.generate import minimal_node, minimal_tree
 from repro.xmltree.model import Node, XMLTree
@@ -309,3 +310,15 @@ def word_bound(production) -> tuple:
     word search)."""
     nfa = cached_nfa(production)
     return tuple(range(nfa.state_count))
+
+
+SPEC = register_decider(DeciderSpec(
+    name="sibling",
+    method=METHOD,
+    fn=sat_sibling,
+    allowed=SIBLING.allowed,
+    shape="X(→,←)",
+    theorem="Thm 7.1",
+    complexity="PTIME",
+    cost_rank=20,
+))

@@ -99,7 +99,6 @@ def player_one_wins(system: TilingSystem, max_rows: int = 16) -> bool:
 def enumerate_plays(system: TilingSystem, max_rows: int = 4):
     """All complete corridors (sequences of rows from top to bottom) within
     ``max_rows`` rows — used to cross-check small instances in tests."""
-    n = system.width
 
     def extend(rows: tuple[tuple[str, ...], ...]):
         if rows[-1] == system.bottom and len(rows) > 1:

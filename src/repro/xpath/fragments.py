@@ -84,6 +84,17 @@ def features_of(query: Path | Qualifier) -> frozenset[Feature]:
     return frozenset(features)
 
 
+def feature_signature(features: frozenset[Feature]) -> str:
+    """A stable, compact key for an operator set.
+
+    Two queries with the same signature are routed identically by the
+    planner (:mod:`repro.sat.planner`), so the signature is the cache key
+    of a routing decision: ``plans`` are stored per
+    ``(feature_signature × schema fingerprint)``.
+    """
+    return ",".join(sorted(f.value for f in features)) or "()"
+
+
 @dataclass(frozen=True)
 class Fragment:
     """A named set of allowed operators."""

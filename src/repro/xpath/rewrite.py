@@ -13,15 +13,26 @@ Two directions, both from the paper:
   climb above the context node cannot be rewritten; the function reports
   this through :class:`UpwardRewriteResult.complete` (such a query is
   unsatisfiable at the root when the residue starts with ``↑``).
+
+Rewritings that participate in query *planning* are additionally wrapped
+as :class:`RewritePass` records in the :data:`PASSES` registry: a uniform
+``Path -> RewriteOutcome`` interface plus the declarative data the planner
+(:mod:`repro.sat.planner`) needs — when a pass fires (``trigger``), where
+it sits in the routing order (``rank``), and an upper bound on the
+operator set of its output (``output_bound``), which lets a plan be
+computed from a query's *pre-rewrite* feature signature alone.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import FragmentError
 from repro.xpath import ast
 from repro.xpath.ast import Path, Qualifier
+from repro.xpath.canonical import canonicalize
+from repro.xpath.fragments import CHILD_UP, Feature, Fragment
 
 
 def qualifiers_to_upward(path: Path) -> Path:
@@ -143,6 +154,92 @@ def upward_to_qualifiers(path: Path) -> UpwardRewriteResult:
     pieces.extend(stack)
     rewritten = ast.seq_of(*pieces) if pieces else ast.Empty()
     return UpwardRewriteResult(rewritten, complete=not prefix)
+
+
+# ---------------------------------------------------------------------------
+# Uniform pass interface for the query planner
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RewriteOutcome:
+    """Result of running one rewrite pass.
+
+    ``complete=False`` means the pass could not fully rewrite the query
+    and the residue is unsatisfiable at the root (today only
+    ``upward_to_qualifiers`` reports this).
+    """
+
+    path: Path
+    complete: bool = True
+
+
+@dataclass(frozen=True)
+class RewritePass:
+    """A named, planner-composable query rewriting.
+
+    ``trigger`` is the fragment whose queries the planner rewrites with
+    this pass (``None`` = unconditionally applicable, like
+    ``canonicalize``); ``rank`` orders the pass among the deciders'
+    ``cost_rank`` values; ``output_bound`` maps an input operator set to
+    an upper bound on the output's operator set, so routing after the
+    pass can be planned without running it.
+    """
+
+    name: str
+    description: str
+    run: Callable[[Path], RewriteOutcome]
+    trigger: Fragment | None = None
+    rank: int = 0
+    output_bound: Callable[[frozenset[Feature]], frozenset[Feature]] = field(
+        default=lambda features: features
+    )
+
+
+#: registry of planner-visible passes, keyed by name
+PASSES: dict[str, RewritePass] = {}
+
+
+def register_pass(rewrite_pass: RewritePass) -> RewritePass:
+    if rewrite_pass.name in PASSES:
+        raise ValueError(f"rewrite pass {rewrite_pass.name!r} already registered")
+    PASSES[rewrite_pass.name] = rewrite_pass
+    return rewrite_pass
+
+
+def get_pass(name: str) -> RewritePass:
+    try:
+        return PASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(PASSES)) or "(none)"
+        raise FragmentError(f"unknown rewrite pass {name!r}; registered: {known}") from None
+
+
+def _upward_bound(features: frozenset[Feature]) -> frozenset[Feature]:
+    """Consuming every ``↑`` into a qualifier removes ``↑`` and can only
+    add ``[]``; no other operator is introduced."""
+    if Feature.PARENT not in features:
+        return features
+    return (features - {Feature.PARENT}) | {Feature.QUALIFIER}
+
+
+CANONICALIZE_PASS = register_pass(RewritePass(
+    name="canonicalize",
+    description="normal form: flatten spines, sort/dedup ∪-∧-∨ operands, "
+                "merge nested filters, cancel double negation",
+    run=lambda path: RewriteOutcome(canonicalize(path)),
+))
+
+UPWARD_PASS = register_pass(RewritePass(
+    name="upward_to_qualifiers",
+    description="Thm 6.8(2): eliminate ↑ via p/η/↑ → p[η] "
+                "(incomplete when the query climbs above the root)",
+    run=lambda path: (lambda r: RewriteOutcome(r.path, r.complete))(
+        upward_to_qualifiers(path)
+    ),
+    trigger=CHILD_UP,
+    rank=25,
+    output_bound=_upward_bound,
+))
 
 
 def _flatten(path: Path) -> list[Path]:

@@ -19,7 +19,7 @@ from repro.xmltree import random_tree, tree
 from repro.xmltree.stream import open_position, stream_selected
 from repro.xpath import parse_query
 from repro.xpath import fragments as frag
-from repro.xpath.semantics import Evaluator, evaluate
+from repro.xpath.semantics import Evaluator
 from repro.xpath.fragments import Fragment
 
 

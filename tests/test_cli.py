@@ -79,6 +79,46 @@ class TestClassify:
         assert "label steps only" in capsys.readouterr().out
 
 
+class TestExplain:
+    def test_prints_plan_with_dtd(self, dtd_file, capsys):
+        code = main(["explain", "--dtd", dtd_file, "A[not(B)]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decider" in out
+        assert "exptime_types" in out
+        assert "Thm 5.3" in out
+        assert "EXPTIME" in out
+        assert "pool" in out
+
+    def test_prints_plan_without_dtd(self, capsys):
+        code = main(["explain", "A[B]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no_dtd" in out
+        assert "Thm 6.11(1)" in out
+        assert "inline" in out
+
+    def test_rewrites_listed(self, dtd_file, capsys):
+        assert main(["explain", "--dtd", dtd_file, "A/^/B"]) == 0
+        out = capsys.readouterr().out
+        assert "canonicalize" in out
+        assert "upward_to_qualifiers" in out
+
+    def test_json_plan_round_trips(self, dtd_file, capsys):
+        import json as json_module
+
+        from repro.sat import Plan
+
+        assert main(["explain", "--json", "--dtd", dtd_file, "A[not(B)]"]) == 0
+        record = json_module.loads(capsys.readouterr().out)
+        plan = Plan.from_dict(record)
+        assert plan.decider == "exptime_types"
+        assert plan.route == "pool"
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["explain", "A[["]) == 3
+
+
 DISJFREE_DTD_TEXT = """
 root r
 r -> A, B

@@ -23,7 +23,7 @@ from repro.engine import (
 from repro.engine.cache import NO_SCHEMA, CachedDecision
 from repro.errors import EngineError
 from repro.sat import decide
-from repro.workloads import batch_jobs, document_dtd, mid_size_dtd
+from repro.workloads import batch_jobs, document_dtd
 from repro.xpath import parse_query
 from repro.xpath import fragments as frag
 

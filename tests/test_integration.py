@@ -4,13 +4,11 @@ elimination, and end-to-end dispatch coherence."""
 
 from __future__ import annotations
 
-import random
 
-import pytest
 
 from repro.containment import brute_force_contains, contains
 from repro.dtd import normalize, parse_dtd, random_dtd, universal_dtds
-from repro.dtd.properties import is_normalized, is_nonrecursive
+from repro.dtd.properties import is_normalized
 from repro.dtd.transforms import eliminate_disjunction, eliminate_recursion_in_query
 from repro.sat import Bounds, decide, sat_bounded, sat_exptime_types
 from repro.workloads import random_query

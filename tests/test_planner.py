@@ -1,0 +1,308 @@
+"""Tests for the decider registry and query planner
+(:mod:`repro.sat.registry`, :mod:`repro.sat.planner`).
+
+The routing *behavior* is locked by ``tests/test_dispatch_routing.py``
+(which must pass unchanged); this file covers the planner's own
+contracts: plans reproduce the paper's result map declaratively, are
+serializable and explainable, are cached per (feature signature × schema
+fingerprint) so warm batch runs skip planning entirely, and the untested
+routing edges (incomplete upward rewrite, the types-fixpoint → bounded
+fallback, the lazy Prop 3.1 family) behave as documented.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sat.dispatch
+from repro.dtd import parse_dtd
+from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.sat import (
+    DEFAULT_PLANNER,
+    Plan,
+    Planner,
+    all_deciders,
+    bounded,
+    decide,
+    exptime_types,
+    get_decider,
+    nexptime,
+    routing_table,
+)
+from repro.sat.family import sat_universal_family
+from repro.sat.planner import execute_plan
+from repro.xpath import parse_query
+from repro.xpath.fragments import feature_signature, features_of
+from repro.xpath.rewrite import PASSES, upward_to_qualifiers
+
+GENERAL_DTD = """
+root r
+r  -> A, (B + C)
+A  -> D*
+B  -> eps
+C  -> A?
+D  -> eps
+A  @ a
+D  @ a
+"""
+
+DISJFREE_DTD = """
+root r
+r -> A, B
+A -> C*
+B -> eps
+C -> eps
+"""
+
+
+@pytest.fixture
+def registry():
+    registry = SchemaRegistry()
+    registry.register("general", GENERAL_DTD)
+    registry.register("disjfree", DISJFREE_DTD)
+    return registry
+
+
+# -- plan construction ----------------------------------------------------------
+
+# the paper's result map, planner-side: (query, schema, expected decider)
+PLAN_ROWS = [
+    ("A[B | C]", None, "no_dtd"),
+    ("A[@a = '1']", None, "conjunctive"),
+    ("A[not(B)]", None, "universal_family"),
+    ("A | **/B", "general", "downward"),
+    ("A/>/B", "general", "sibling"),
+    ("A[C]", "disjfree", "disjunction_free"),
+    ("A/^/B", "disjfree", "disjunction_free"),
+    ("A[not(B)]", "general", "exptime_types"),
+    ("A[not(@a = '1')]", "general", "nexptime"),
+    ("A[^*/. and @a = '1']/D", "general", "positive"),
+    ("A[not(>)]", "general", "bounded"),
+]
+
+
+class TestPlanConstruction:
+    @pytest.mark.parametrize("query_text, schema, expected", PLAN_ROWS)
+    def test_result_map(self, registry, query_text, schema, expected):
+        artifacts = registry.get(schema) if schema else None
+        plan = Planner().plan_query(parse_query(query_text), artifacts=artifacts)
+        assert plan.decider == expected
+        # the plan's method matches what decide() actually reports for
+        # rows without rewrites or fallback execution
+        assert plan.method == get_decider(expected).method
+
+    def test_ptime_plans_route_inline_heavy_plans_pool(self, registry):
+        planner = Planner()
+        general = registry.get("general")
+        assert planner.plan_query(parse_query("A | **/B"), artifacts=general).route == "inline"
+        assert planner.plan_query(parse_query("A[not(B)]"), artifacts=general).route == "pool"
+        assert planner.plan_query(parse_query("A[B]")).route == "inline"
+        assert planner.plan_query(parse_query("A[not(B)]")).route == "pool"
+
+    def test_upward_rewrite_recorded_in_plan(self, registry):
+        plan = Planner().plan_query(
+            parse_query("A/^/B"), artifacts=registry.get("general")
+        )
+        assert plan.rewrites == ("canonicalize", "upward_to_qualifiers")
+        # general DTD has disjunction: rewritten query goes to the fixpoint
+        assert plan.decider == "exptime_types"
+
+    def test_exptime_plan_carries_fallback_chain(self, registry):
+        plan = Planner().plan_query(
+            parse_query("**/A[not(B)]"), artifacts=registry.get("general")
+        )
+        assert plan.decider == "exptime_types"
+        # ↓* rules out the NEXPTIME fragment and ¬ rules out positive:
+        # declining must land on the bounded semi-decision
+        assert plan.fallbacks == ("bounded",)
+        plan = Planner().plan_query(
+            parse_query("A[not(B)]"), artifacts=registry.get("general")
+        )
+        assert plan.fallbacks == ("nexptime",)
+
+    def test_signature_is_the_cache_key(self, registry):
+        planner = Planner()
+        artifacts = registry.get("general")
+        first = planner.plan_query(parse_query("A/B[C]"), artifacts=artifacts)
+        second = planner.plan_query(parse_query("X[Y]/Z"), artifacts=artifacts)
+        assert first is second  # same feature signature, same schema
+        assert planner.invocations == 1
+        assert planner.cache_hits == 1
+        assert first.signature == feature_signature(features_of(parse_query("X[Y]/Z")))
+
+
+# -- serialization and explanation ----------------------------------------------
+
+class TestPlanArtifact:
+    def test_round_trips_through_dict(self, registry):
+        plan = Planner().plan_query(
+            parse_query("A/^/B"), artifacts=registry.get("disjfree")
+        )
+        assert Plan.from_dict(plan.to_dict()) == plan
+
+    def test_explain_names_rewrites_decider_theorem_complexity(self, registry):
+        plan = Planner().plan_query(
+            parse_query("A[not(B)]"), artifacts=registry.get("general")
+        )
+        text = plan.explain()
+        assert "canonicalize" in text
+        assert "exptime_types" in text
+        assert "Thm 5.3" in text
+        assert "EXPTIME" in text
+        assert "pool" in text
+
+    def test_dispatch_docstring_is_generated_from_registry(self):
+        doc = repro.sat.dispatch.__doc__
+        table = routing_table()
+        assert table in doc
+        for spec in all_deciders():
+            assert spec.method in doc
+            assert spec.theorem in doc
+
+    def test_registry_descriptors_expose_capabilities(self):
+        spec = get_decider("exptime_types")
+        assert spec.complexity == "EXPTIME"
+        assert spec.may_decline
+        assert spec.accepts(features_of(parse_query("A[not(B)]")))
+        assert not spec.accepts(features_of(parse_query("A[@a = '1']")))
+        disjfree = get_decider("disjunction_free")
+        assert disjfree.traits == ("disjunction_free",)
+
+
+# -- plan caching in the engine -------------------------------------------------
+
+class TestPlanCache:
+    def test_plans_live_on_the_schema_artifacts(self, registry):
+        planner = Planner()
+        artifacts = registry.get("general")
+        plan = planner.plan_query(parse_query("A[C]"), artifacts=artifacts)
+        assert artifacts.plan_cache[plan.signature] is plan
+        # a *different* planner instance reuses the same artifact cache
+        other = Planner()
+        assert other.plan_query(parse_query("A[C]"), artifacts=artifacts) is plan
+        assert other.invocations == 0
+        assert other.cache_hits == 1
+
+    def test_warm_engine_run_makes_zero_planner_invocations(self, registry):
+        jobs = [
+            ("A | **/B", "general"), ("A[C]", "general"), ("A[not(B)]", "general"),
+            ("A[C]", "disjfree"), ("A/>/B", "disjfree"),
+        ]
+        engine = BatchEngine(registry=registry)
+        cold = engine.run(jobs)
+        assert cold.stats.planner_invocations > 0
+
+        # fresh decision cache forces real routing again; plans must come
+        # from the per-schema cache without a single planner invocation
+        warm = BatchEngine(registry=registry, cache=DecisionCache()).run(jobs)
+        assert warm.stats.decide_calls == len(jobs)
+        assert warm.stats.planner_invocations == 0
+        assert warm.stats.plan_cache_hits == len(jobs)
+
+    def test_decision_cached_rerun_skips_routing_entirely(self, registry):
+        jobs = [("A[C]", "general"), ("A[C]", "disjfree")]
+        engine = BatchEngine(registry=registry)
+        engine.run(jobs)
+        warm = engine.run(jobs)
+        assert warm.stats.decide_calls == 0
+        assert warm.stats.planner_invocations == 0
+        assert warm.stats.plan_cache_hits == 0  # decision cache answered first
+
+    def test_registry_stats_count_cached_plans(self, registry):
+        BatchEngine(registry=registry).run([("A[C]", "general"), ("A", "disjfree")])
+        assert registry.stats()["plans"] >= 2
+
+
+# -- routing edges (satellite coverage) -----------------------------------------
+
+class TestUpwardRewriteIncomplete:
+    def test_residue_reported_incomplete(self):
+        result = upward_to_qualifiers(parse_query("^/A"))
+        assert not result.complete
+
+    def test_deep_climb_is_incomplete(self):
+        # two ↑ against one ↓: the second ↑ escapes the context node
+        result = upward_to_qualifiers(parse_query("A/^/^/B"))
+        assert not result.complete
+
+    def test_balanced_climb_is_complete(self):
+        result = upward_to_qualifiers(parse_query("A/B/^/^"))
+        assert result.complete
+        assert not features_of(result.path) - features_of(parse_query("A[B]"))
+
+    @pytest.mark.parametrize("query_text", ["^/A", "A/^/^/B"])
+    def test_dispatch_returns_unsat_under_any_dtd(self, query_text, registry):
+        for schema in ("general", "disjfree"):
+            result = decide(
+                parse_query(query_text), artifacts=registry.get(schema)
+            )
+            assert result.is_unsat
+            assert result.method == "dispatch"
+
+
+class TestExptimeFallback:
+    def _overflow_query(self):
+        # > max_facts distinct negated child facts: the types fixpoint
+        # declines (ReproError) and the plan's fallback chain takes over;
+        # ↓* keeps the query out of the NEXPTIME fragment and ¬ out of
+        # the positive one, so the fallback is the bounded engine
+        qualifiers = "".join(f"[not(B{i})]" for i in range(25))
+        return parse_query(f"**/A{qualifiers}")
+
+    def test_decider_declines_beyond_fact_cap(self, registry):
+        with pytest.raises(Exception) as excinfo:
+            exptime_types.sat_exptime_types(
+                self._overflow_query(), parse_dtd(GENERAL_DTD)
+            )
+        assert "max_facts" in str(excinfo.value)
+
+    def test_dispatch_falls_back_to_bounded(self, registry):
+        result = decide(self._overflow_query(), artifacts=registry.get("general"))
+        assert result.method == bounded.METHOD
+
+    def test_fallback_to_nexptime_without_recursion(self, registry):
+        qualifiers = "".join(f"[not(B{i})]" for i in range(25))
+        result = decide(
+            parse_query(f"A{qualifiers}"), artifacts=registry.get("general")
+        )
+        assert result.method == nexptime.METHOD
+
+
+class TestUniversalFamilyShortCircuit:
+    def test_stops_at_first_sat_member(self, monkeypatch):
+        calls = []
+        original = repro.sat.dispatch.decide
+
+        def counting(query, dtd=None, bounds=None, **kwargs):
+            calls.append(dtd.root if dtd is not None else None)
+            return original(query, dtd, bounds, **kwargs)
+
+        monkeypatch.setattr(repro.sat.dispatch, "decide", counting)
+        result = sat_universal_family(parse_query("A[not(B)]"))
+        assert result.is_sat
+        # family members: one universal DTD per label in {A, B, X}; the
+        # A-rooted member is satisfiable, so B and X are never decided
+        assert calls == ["A"]
+
+    def test_unsat_still_requires_every_member(self):
+        result = decide(parse_query("A[not(.)]"))
+        assert result.is_unsat
+        assert "universal DTD" in result.reason
+
+
+class TestExecutePlanDirectly:
+    def test_plan_is_reusable_across_queries_of_one_signature(self, registry):
+        artifacts = registry.get("disjfree")
+        plan = Planner().plan_query(parse_query("A[C]"), artifacts=artifacts)
+        for query_text, expected_sat in (("A[C]", True), ("B[C]", False)):
+            result = execute_plan(plan, parse_query(query_text), artifacts.dtd)
+            assert result.satisfiable is expected_sat
+
+    def test_registered_passes_include_the_pipeline(self):
+        assert {"canonicalize", "upward_to_qualifiers"} <= set(PASSES)
+
+    def test_default_planner_backs_plain_decide(self):
+        before = DEFAULT_PLANNER.invocations + DEFAULT_PLANNER.cache_hits
+        decide(parse_query("A[B]"))
+        after = DEFAULT_PLANNER.invocations + DEFAULT_PLANNER.cache_hits
+        assert after == before + 1

@@ -26,7 +26,7 @@ from repro.sat import decide, sat_exptime_types
 from repro.sat.nexptime import sat_nexptime
 from repro.solvers.dpll import cnf, dpll_satisfiable, random_3cnf
 from repro.xmltree.validate import conforms
-from repro.xpath.fragments import FRAGMENTS, Fragment, features_of
+from repro.xpath.fragments import features_of
 from repro.xpath.semantics import satisfies
 
 SMALL = cnf([[1, 2, 3], [-1, 2, -3], [1, -2, 3]])
@@ -82,11 +82,6 @@ class TestFragmentClaims:
     """Each encoding must actually live in the fragment it claims."""
 
     def test_fragments(self):
-        checks = {
-            enc.encode_child_qual: "X(child,qual)",
-            enc.encode_union_qual: "X(qual,union)",
-            enc.encode_child_up: "X(child,parent)",
-        }
         from repro.xpath import fragments as frag
 
         assert frag.CHILD_QUAL.contains(enc.encode_child_qual(SMALL).query)

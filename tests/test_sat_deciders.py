@@ -10,7 +10,6 @@ must agree with the EXPTIME types fixpoint.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

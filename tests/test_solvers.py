@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
@@ -21,7 +20,7 @@ from repro.solvers.machines import (
     stuck_machine,
     trivial_halt,
 )
-from repro.solvers.qbf import QBF, qbf_valid, random_q3sat
+from repro.solvers.qbf import QBF, qbf_valid
 from repro.solvers.tiling_game import TilingSystem, enumerate_plays, player_one_wins
 
 
