@@ -1,0 +1,177 @@
+"""Cost-based routing vs. static ``cost_rank`` order.
+
+Not a paper figure — this benchmark demonstrates (and guards) the
+planner's measured cost model (:mod:`repro.sat.costmodel`):
+
+* **tiny-schema negation workload** — for ``X(↓,[],¬)`` queries against a
+  tiny star-free DTD, the statically ranked chain runs the Theorem 5.3
+  types fixpoint (``exptime_types``) first, but the Theorem 5.5
+  small-model search answers the same questions measurably faster at this
+  schema size.  After a calibration pass feeds measured latencies into
+  the :class:`~repro.sat.costmodel.CostModel` and the engine retunes, the
+  cost-ordered chain must beat the static order on total decide time
+  (asserted with margin);
+* **verdict preservation** — both orders must return identical verdicts
+  on the full workload (the metamorphic contract of chain reordering).
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI) shrinks the workload so
+the whole file runs in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from benchmarks.conftest import format_table
+from repro.dtd import parse_dtd
+from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.sat import CostModel, Planner, calibrate
+from repro.workloads.queries import random_query
+from repro.xpath import fragments as frag
+from repro.xpath.fragments import feature_signature, features_of
+from repro.xpath.parser import parse_query
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+N_QUERIES = 120 if QUICK else 400
+N_CALIBRATION = 6 if QUICK else 12
+
+TINY_DTD = """
+root r
+r -> A, (B + C)
+A -> D?
+B -> eps
+C -> eps
+D -> eps
+"""
+
+
+def _workload(rng) -> list[str]:
+    """Distinct negation queries (duplicates would hide decide time
+    behind the decision cache)."""
+    labels = ["r", "A", "B", "C", "D"]
+    seen: set[str] = set()
+    queries: list[str] = []
+    while len(queries) < N_QUERIES:
+        query = str(random_query(rng, frag.CHILD_QUAL_NEG, labels, max_depth=2))
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+def _run(engine: BatchEngine, jobs) -> tuple[float, list[bool | None], object]:
+    start = time.perf_counter()
+    outcome = engine.run(jobs)
+    elapsed = time.perf_counter() - start
+    assert outcome.stats.errors == 0
+    return elapsed, [result.satisfiable for result in outcome.results], outcome.stats
+
+
+def test_cost_based_routing_beats_static_on_tiny_schemas(report):
+    rng = random.Random(20250730)
+    queries = _workload(rng)
+    jobs = [(query, "tiny") for query in queries]
+
+    static_registry = SchemaRegistry()
+    static_registry.register("tiny", parse_dtd(TINY_DTD))
+    static_engine = BatchEngine(
+        registry=static_registry, cache=DecisionCache(capacity=8192)
+    )
+    static_elapsed, static_verdicts, static_stats = _run(static_engine, jobs)
+    static_plan = static_registry.get("tiny").plan_cache["neg,qual"]
+
+    # calibration: group the workload by feature signature and measure
+    # every chain member on the first few queries of each signature, then
+    # plan the same workload against the measured model
+    model = CostModel(min_samples=3)
+    cost_registry = SchemaRegistry()
+    cost_registry.register("tiny", parse_dtd(TINY_DTD))
+    by_signature: dict[str, list] = {}
+    for query_text in queries:
+        query = parse_query(query_text)
+        by_signature.setdefault(
+            feature_signature(features_of(query)), []
+        ).append(query)
+    planner = Planner()
+    for sample in by_signature.values():
+        plan = planner.plan_query(sample[0], dtd=cost_registry.get("tiny").dtd)
+        calibrate(
+            model, plan, sample[:N_CALIBRATION], cost_registry.get("tiny").dtd
+        )
+    cost_engine = BatchEngine(
+        registry=cost_registry, cache=DecisionCache(capacity=8192),
+        planner=Planner(cost_model=model),
+    )
+    cost_elapsed, cost_verdicts, cost_stats = _run(cost_engine, jobs)
+    cost_plan = cost_registry.get("tiny").plan_cache["neg,qual"]
+
+    # the model must actually have changed the routing decision...
+    assert static_plan.decider == "exptime_types"
+    assert cost_plan.decider != static_plan.decider
+    assert set((cost_plan.decider,) + cost_plan.fallbacks) \
+        == set((static_plan.decider,) + static_plan.fallbacks)
+    # ...without changing a single verdict
+    assert cost_verdicts == static_verdicts
+    # and the measured order must win on wall time (10% margin: the gap
+    # on this workload is ~2x, so this does not flake)
+    assert cost_elapsed * 1.1 < static_elapsed, (
+        f"cost-based routing ({cost_elapsed * 1e3:.1f} ms) should beat "
+        f"static ranking ({static_elapsed * 1e3:.1f} ms)"
+    )
+
+    rows = [
+        [
+            "static cost_rank", static_plan.decider, static_stats.decide_calls,
+            f"{static_elapsed * 1e3:.1f} ms",
+            f"{len(jobs) / static_elapsed:,.0f}/s", "1.00x",
+        ],
+        [
+            "cost model", cost_plan.decider, cost_stats.decide_calls,
+            f"{cost_elapsed * 1e3:.1f} ms",
+            f"{len(jobs) / cost_elapsed:,.0f}/s",
+            f"{static_elapsed / cost_elapsed:.2f}x",
+        ],
+    ]
+    table = format_table(
+        ["ranking", "primary decider", "decide()", "wall", "throughput", "speedup"],
+        rows,
+    )
+    report(
+        "cost_model_tiny_schema",
+        table + f"\n({len(jobs)} distinct X(child,qual,neg) jobs, "
+        f"|D|={parse_dtd(TINY_DTD).size()}, "
+        f"{N_CALIBRATION} calibration queries)",
+    )
+
+
+def test_engine_retune_uses_own_measurements(report):
+    """The closed loop without an explicit calibration pass: the engine's
+    first run feeds its own cost model; after ``retune()`` the replanned
+    chain must still agree on every verdict."""
+    rng = random.Random(7)
+    queries = _workload(rng)[: N_QUERIES // 2]
+    jobs = [(query, "tiny") for query in queries]
+
+    registry = SchemaRegistry()
+    registry.register("tiny", parse_dtd(TINY_DTD))
+    engine = BatchEngine(registry=registry, cache=DecisionCache(capacity=8192))
+    first_elapsed, first_verdicts, _ = _run(engine, jobs)
+    before = registry.get("tiny").plan_cache["neg,qual"]
+
+    engine.retune()
+    engine.cache.clear()
+    second_elapsed, second_verdicts, _ = _run(engine, jobs)
+    after = registry.get("tiny").plan_cache["neg,qual"]
+
+    assert second_verdicts == first_verdicts
+    assert after.costs  # replanned against measurements
+    table = format_table(
+        ["pass", "primary decider", "wall"],
+        [
+            ["first (static)", before.decider, f"{first_elapsed * 1e3:.1f} ms"],
+            ["after retune", after.decider, f"{second_elapsed * 1e3:.1f} ms"],
+        ],
+    )
+    report("cost_model_retune", table)

@@ -37,18 +37,26 @@ Subcommands
 
         python -m repro batch jobs.jsonl \
             --schema catalog=catalog.dtd --schema docs=docs.dtd \
-            --out results.jsonl --workers 4 --repeat 2
+            --out results.jsonl --workers 4 --repeat 2 --state-dir state/
 
     Each input line is ``{"query": ..., "schema": ..., "id": ...}``
     (``schema`` and ``id`` optional); each output line is the structured
     per-job result.  ``--repeat`` re-runs the workload in the same
     process, so the second pass exercises the warm cache; per-pass
     ``decide()`` counts and cache stats are printed at the end.
+    ``--state-dir`` persists plan caches, per-plan telemetry, the cost
+    model, and the decision cache across processes: a rerun on a
+    previously-seen workload starts warm (zero plans built).
 
 ``stats``
     Aggregate a batch result file (verdicts, methods, routes, schemas)::
 
         python -m repro stats results.jsonl
+
+    ``--plans`` renders the persisted per-plan telemetry table (latency,
+    verdict mix, fallback rate) from a ``--state-dir``::
+
+        python -m repro stats --plans --state-dir state/
 """
 
 from __future__ import annotations
@@ -133,21 +141,49 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.engine.state import load_state
+    from repro.sat import Planner
+
     query = parse_query(args.query)
     features = features_of(query)
+    state = load_state(args.state_dir) if args.state_dir is not None else None
+    if state is not None:
+        for warning in state.warnings:
+            print(f"state: {warning}", file=sys.stderr)
+    planner = (
+        Planner(cost_model=state.cost_model)
+        if state is not None and state.cost_model is not None
+        else DEFAULT_PLANNER
+    )
     if args.dtd is not None:
         registry = SchemaRegistry()
+        if state is not None:
+            registry.adopt_plans(state.plans)
         name = os.path.splitext(os.path.basename(args.dtd))[0]
         artifacts = registry.register_file(name, args.dtd)
-        plan = DEFAULT_PLANNER.plan_for(features, artifacts=artifacts)
+        plan = planner.plan_for(features, artifacts=artifacts)
     else:
-        plan = DEFAULT_PLANNER.plan_for(features)
+        plan = planner.plan_for(features)
+    stats = (
+        state.telemetry.get(plan.telemetry_key)
+        if state is not None and state.telemetry is not None
+        else None
+    )
     if args.json:
-        print(json.dumps(plan.to_dict(), indent=2))
+        record = plan.to_dict()
+        if stats is not None:
+            record["telemetry"] = stats.to_dict()
+        print(json.dumps(record, indent=2))
         return 0
     print(f"query      : {args.query}")
     print(f"features   : {_render_features(features)}")
     print(plan.explain())
+    if stats is not None:
+        print(
+            f"telemetry  : {stats.count} runs, mean {stats.mean_ms:.3f}ms, "
+            f"p90 {stats.percentile_ms(0.9):.2f}ms, "
+            f"fallback rate {stats.fallback_rate:.1%}"
+        )
     return 0
 
 
@@ -176,7 +212,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         registry=registry,
         cache=DecisionCache(capacity=args.cache_size),
         workers=args.workers,
+        state_dir=args.state_dir,
     )
+    for warning in engine.state_warnings:
+        print(f"state: {warning}", file=sys.stderr)
+    if args.state_dir is not None:
+        print(
+            f"state: {engine.registry.persisted_plans} persisted plans, "
+            f"{engine.persisted_decisions_loaded} cached decisions loaded "
+            f"from {args.state_dir}"
+        )
     if args.jobs == "-":
         jobs = list(read_jobs(sys.stdin))
     else:
@@ -209,6 +254,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{counts['unknown']} unknown, {counts['error']} errors"
     )
     print(passes[-1].describe())
+    if args.state_dir is not None:
+        engine.save_state()
+        print(f"state: saved to {args.state_dir}")
     if args.stats_json is not None:
         with open(args.stats_json, "w") as handle:
             json.dump([stats.as_dict() for stats in passes], handle, indent=2)
@@ -217,6 +265,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.plans:
+        return _cmd_stats_plans(args)
+    if args.results is None:
+        raise EngineError("stats needs a results file (or --plans --state-dir DIR)")
+
     def bump(table: dict[str, int], key: str) -> None:
         table[key] = table.get(key, 0) + 1
 
@@ -250,6 +303,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     ):
         for key in sorted(table, key=lambda k: (-table[k], k)):
             print(f"{title:<8}: {table[key]:>6}  {key}")
+    return 0
+
+
+def _cmd_stats_plans(args: argparse.Namespace) -> int:
+    """The per-plan telemetry report backing ``repro stats --plans``."""
+    from repro.engine.state import load_state
+
+    if args.state_dir is None:
+        raise EngineError("stats --plans needs --state-dir DIR")
+    state = load_state(args.state_dir)
+    for warning in state.warnings:
+        print(f"state: {warning}", file=sys.stderr)
+    if state.telemetry is None or not len(state.telemetry):
+        print("no plan telemetry recorded")
+        return 0
+    print(state.telemetry.table())
+    if state.cost_model is not None and len(state.cost_model):
+        print(
+            f"cost model: {len(state.cost_model)} "
+            f"(signature x bucket x decider) cells, "
+            f"{state.cost_model.observations} observations"
+        )
     return 0
 
 
@@ -289,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the serialized plan instead of the human-readable form",
     )
+    explain.add_argument(
+        "--state-dir", metavar="DIR",
+        help="plan with the persisted cost model and show the plan's "
+             "accumulated telemetry from DIR",
+    )
     explain.set_defaults(func=_cmd_explain)
 
     batch = sub.add_parser(
@@ -323,10 +403,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", metavar="PATH",
         help="write per-pass engine stats as JSON",
     )
+    batch.add_argument(
+        "--state-dir", metavar="DIR",
+        help="load persisted plans/telemetry/cost-model/decisions from DIR "
+             "at startup and save back after the run (warm cross-process starts)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
-    stats = sub.add_parser("stats", help="aggregate a batch result file")
-    stats.add_argument("results", help="JSONL result file produced by 'batch --out'")
+    stats = sub.add_parser(
+        "stats", help="aggregate a batch result file or persisted plan telemetry"
+    )
+    stats.add_argument(
+        "results", nargs="?",
+        help="JSONL result file produced by 'batch --out'",
+    )
+    stats.add_argument(
+        "--plans", action="store_true",
+        help="print the per-plan latency/verdict/fallback table from --state-dir",
+    )
+    stats.add_argument(
+        "--state-dir", metavar="DIR",
+        help="state directory written by 'batch --state-dir'",
+    )
     stats.set_defaults(func=_cmd_stats)
     return parser
 

@@ -32,11 +32,13 @@ from repro.engine.jobs import (
     write_results_file,
 )
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_fingerprint
+from repro.engine.state import PersistedState, load_state, save_state
 
 __all__ = [
     "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult", "plan_route",
     "CachedDecision", "DecisionCache", "decision_key", "decision_key_for",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
+    "PersistedState", "load_state", "save_state",
     "read_jobs", "read_jobs_file", "write_jobs_file",
     "write_results", "write_results_file",
 ]

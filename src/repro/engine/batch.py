@@ -35,7 +35,9 @@ from repro.errors import EngineError, ReproError
 from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key_for
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
 from repro.sat.bounded import Bounds
-from repro.sat.planner import Plan, Planner, execute_plan
+from repro.sat.costmodel import CostModel, size_bucket
+from repro.sat.planner import ExecutionTrace, Plan, Planner, execute_plan
+from repro.sat.telemetry import PlanTelemetry, verdict_name
 from repro.xpath.ast import Path
 from repro.xpath.canonical import canonicalize
 from repro.xpath.fragments import features_of
@@ -128,10 +130,20 @@ class EngineStats:
     coalesced: int = 0
     planner_invocations: int = 0   # plans built during this run
     plan_cache_hits: int = 0       # routing resolved from a plan cache
+    # engine-lifetime totals, not per-run deltas: persisted state is
+    # adopted at engine construction / schema registration, before any
+    # run starts, so a per-run delta would always read 0
+    persisted_plans_loaded: int = 0
+    persisted_decisions_loaded: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
     cache: dict[str, Any] = field(default_factory=dict)
     registry: dict[str, Any] = field(default_factory=dict)
+    # per-plan telemetry summary — like the persisted_* fields this is an
+    # engine-lifetime snapshot (telemetry accumulates across runs and
+    # merges persisted state), not a per-run delta: counts reconcile with
+    # the sum of decide_calls over the engine's whole history
+    plans: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -144,10 +156,13 @@ class EngineStats:
             "coalesced": self.coalesced,
             "planner_invocations": self.planner_invocations,
             "plan_cache_hits": self.plan_cache_hits,
+            "persisted_plans_loaded": self.persisted_plans_loaded,
+            "persisted_decisions_loaded": self.persisted_decisions_loaded,
             "workers": self.workers,
             "elapsed_s": round(self.elapsed_s, 4),
             "cache": dict(self.cache),
             "registry": dict(self.registry),
+            "plans": dict(self.plans),
         }
 
     def describe(self) -> str:
@@ -157,7 +172,8 @@ class EngineStats:
             f"({self.inline_decides} inline, {self.pool_decides} pooled, "
             f"{self.workers} workers)",
             f"planner       : {self.planner_invocations} plans built, "
-            f"{self.plan_cache_hits} plan-cache hits",
+            f"{self.plan_cache_hits} plan-cache hits, "
+            f"{self.persisted_plans_loaded} persisted plans loaded",
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
             f"{self.cache.get('evictions', 0)} evictions "
@@ -208,12 +224,19 @@ def plan_route(query: Path, artifacts: SchemaArtifacts | None) -> str:
 _ROUTE_PLANNER = Planner()
 
 
-def _pool_decide(canonical: Path, dtd, bounds, plan: Plan) -> tuple[bool | None, str, str]:
-    """Process-pool entry point: returns the compact decision record
-    (witness trees stay in the worker; the plan and the pre-canonicalized
-    query ride along so the worker skips planning and canonicalization)."""
-    result = execute_plan(plan, canonical, dtd, bounds, pre_canonicalized=True)
-    return (result.satisfiable, result.method, result.reason)
+def _pool_decide(
+    canonical: Path, dtd, bounds, plan: Plan
+) -> tuple[bool | None, str, str, list[tuple[str, float, str]]]:
+    """Process-pool entry point: returns the compact decision record plus
+    the execution trace (witness trees stay in the worker; the plan and
+    the pre-canonicalized query ride along so the worker skips planning
+    and canonicalization; the trace rides back so the parent's telemetry
+    and cost model see pooled decisions too)."""
+    trace = ExecutionTrace()
+    result = execute_plan(
+        plan, canonical, dtd, bounds, pre_canonicalized=True, trace=trace
+    )
+    return (result.satisfiable, result.method, result.reason, trace.attempts)
 
 
 class BatchEngine:
@@ -228,14 +251,93 @@ class BatchEngine:
         workers: int = 1,
         bounds: Bounds | None = None,
         planner: Planner | None = None,
+        cost_model: CostModel | None = None,
+        telemetry: PlanTelemetry | None = None,
+        state_dir: str | None = None,
     ):
         if workers < 1:
             raise EngineError(f"workers must be positive, got {workers}")
         self.registry = registry if registry is not None else SchemaRegistry()
         self.cache = cache if cache is not None else DecisionCache()
-        self.planner = planner if planner is not None else Planner()
+        if planner is not None:
+            # a caller-supplied planner is never mutated: if it carries a
+            # cost model the engine feeds that one, otherwise the engine
+            # still measures (into its own model) but the planner keeps
+            # planning statically — attaching our model behind the
+            # caller's back would change routing process-wide (e.g. for
+            # DEFAULT_PLANNER)
+            if (
+                cost_model is not None
+                and planner.cost_model is not None
+                and planner.cost_model is not cost_model
+            ):
+                raise EngineError(
+                    "planner already carries a different cost model; pass "
+                    "one of cost_model= or planner=, not conflicting both"
+                )
+            self.planner = planner
+            self.cost_model = (
+                planner.cost_model if planner.cost_model is not None
+                else (cost_model if cost_model is not None else CostModel())
+            )
+        else:
+            self.cost_model = cost_model if cost_model is not None else CostModel()
+            self.planner = Planner(cost_model=self.cost_model)
+        self.telemetry = telemetry if telemetry is not None else PlanTelemetry()
         self.workers = workers
         self.bounds = bounds
+        self.persisted_decisions_loaded = 0
+        self.state_warnings: list[str] = []
+        self.state_dir = state_dir
+        if state_dir is not None:
+            self.load_state(state_dir)
+
+    # -- state persistence --------------------------------------------------
+    def load_state(self, state_dir: str) -> int:
+        """Warm this engine from a persisted state directory: plan caches
+        (applied now for registered schemas, at registration for later
+        ones), telemetry, cost-model measurements, and cached decisions.
+        Returns the number of plans available from persistence."""
+        from repro.engine.state import load_state
+
+        state = load_state(state_dir)
+        self.state_warnings.extend(state.warnings)
+        self.registry.adopt_plans(state.plans, names=state.plan_names)
+        if state.telemetry is not None:
+            self.telemetry.merge(state.telemetry)
+        if state.cost_model is not None:
+            self.cost_model.merge(state.cost_model)
+        if state.decisions:
+            self.persisted_decisions_loaded += self.cache.load_records(state.decisions)
+        return state.plan_count
+
+    def save_state(self, state_dir: str | None = None) -> str:
+        """Persist plan caches, telemetry, cost model, and the decision
+        cache next to batch results; returns the directory written."""
+        from repro.engine.state import save_state
+
+        target = state_dir if state_dir is not None else self.state_dir
+        if target is None:
+            raise EngineError("no state directory given (engine has no state_dir)")
+        save_state(
+            target,
+            registry=self.registry,
+            telemetry=self.telemetry,
+            cost_model=self.cost_model,
+            cache=self.cache,
+        )
+        return target
+
+    def retune(self) -> int:
+        """Drop every cached plan — including persisted plans waiting for
+        their schema's registration — so the next request replans against
+        the cost model's current measurements (verdicts cannot change —
+        only chain order and inline/pool routing).  Returns the number of
+        plans dropped."""
+        return (
+            self.planner.invalidate(*self.registry)
+            + self.registry.discard_pending_plans()
+        )
 
     # -- execution ----------------------------------------------------------
     def run(self, jobs: Iterable[Job | dict | tuple | str]) -> BatchReport:
@@ -246,8 +348,8 @@ class BatchEngine:
         planner_invocations_before = self.planner.invocations
         plan_hits_before = self.planner.cache_hits
         results: list[JobResult | None] = []
-        # key -> (future, indices of jobs awaiting it)
-        pending: dict[CacheKey, tuple[Future, list[int]]] = {}
+        # key -> (future, indices of jobs awaiting it, plan, artifacts)
+        pending: dict[CacheKey, tuple[Future, list[int], Plan, SchemaArtifacts | None]] = {}
         executor: ProcessPoolExecutor | None = None
 
         try:
@@ -303,7 +405,7 @@ class BatchEngine:
                     )
                     stats.decide_calls += 1
                     stats.pool_decides += 1
-                    pending[key] = (future, [index])
+                    pending[key] = (future, [index], plan, artifacts)
                     results[index] = self._result(
                         job, artifacts, CachedDecision(None, "pending"),
                         route="pool",
@@ -311,11 +413,12 @@ class BatchEngine:
                     continue
 
                 job_start = time.perf_counter()
+                trace = ExecutionTrace()
                 try:
                     outcome = execute_plan(
                         plan, canonical,
                         artifacts.dtd if artifacts else None, self.bounds,
-                        pre_canonicalized=True,
+                        pre_canonicalized=True, trace=trace,
                     )
                     decision = CachedDecision(
                         outcome.satisfiable, outcome.method, outcome.reason
@@ -324,14 +427,20 @@ class BatchEngine:
                     stats.errors += 1
                     stats.decide_calls += 1
                     stats.inline_decides += 1
+                    self._observe(plan, artifacts, trace, "error")
                     results[index] = self._error_result(raw, error)
                     continue
                 stats.decide_calls += 1
                 stats.inline_decides += 1
+                elapsed_ms = (time.perf_counter() - job_start) * 1e3
+                self._observe(
+                    plan, artifacts, trace,
+                    verdict_name(outcome.satisfiable),
+                )
                 self.cache.put(key, decision)
                 results[index] = self._result(
                     job, artifacts, decision, route="inline",
-                    elapsed_ms=(time.perf_counter() - job_start) * 1e3,
+                    elapsed_ms=elapsed_ms,
                 )
 
             self._drain(pending, results, stats)
@@ -342,22 +451,28 @@ class BatchEngine:
         stats.elapsed_s = time.perf_counter() - start
         stats.planner_invocations = self.planner.invocations - planner_invocations_before
         stats.plan_cache_hits = self.planner.cache_hits - plan_hits_before
+        stats.persisted_plans_loaded = self.registry.persisted_plans
+        stats.persisted_decisions_loaded = self.persisted_decisions_loaded
         stats.cache = self.cache.stats()
         stats.registry = self.registry.stats()
+        stats.plans = self.telemetry.summary()
         return BatchReport(results=[r for r in results if r is not None], stats=stats)
 
     # -- helpers ------------------------------------------------------------
     def _drain(self, pending, results, stats) -> None:
-        for key, (future, indices) in pending.items():
+        for key, (future, indices, plan, artifacts) in pending.items():
             try:
-                satisfiable, method, reason = future.result()
+                satisfiable, method, reason, attempts = future.result()
             except Exception as error:  # worker died or raised (e.g. BrokenProcessPool)
                 stats.errors += len(indices)
+                self.telemetry.record_failure(plan, len(indices))
                 for index in indices:
                     results[index].error = str(error)
                     results[index].method = "error"
                     results[index].route = "error"
                 continue
+            trace = ExecutionTrace(attempts=attempts)
+            self._observe(plan, artifacts, trace, verdict_name(satisfiable))
             decision = CachedDecision(satisfiable, method, reason)
             self.cache.put(key, decision)
             for position, index in enumerate(indices):
@@ -366,6 +481,39 @@ class BatchEngine:
                 result.method = method
                 result.reason = reason
                 result.cached = position > 0  # coalesced onto the first ask
+
+    def _observe(
+        self,
+        plan: Plan,
+        artifacts: SchemaArtifacts | None,
+        trace: ExecutionTrace,
+        verdict: str,
+    ) -> None:
+        """Feed one plan execution into per-plan telemetry and the cost
+        model.
+
+        The recorded latency is the decider-chain time from the trace —
+        the same definition on the inline and pooled paths, so one plan's
+        histogram never mixes wall time (with rewrite/fork/IPC overhead)
+        with pure decide time.  Only *conclusive* attempts (sat/unsat)
+        become cost-model samples: an `unknown` is cheap precisely
+        because the decider gave up, and counting it would promote
+        fast-but-useless semi-decision procedures to chain primary (they
+        would then run on every job only to fall through)."""
+        if verdict == "error":
+            # a failed execution has no meaningful decision latency — a
+            # ~0 ms sample would drag the histogram down (same rule as
+            # the pooled worker-death path)
+            self.telemetry.record_failure(plan)
+        else:
+            self.telemetry.record(
+                plan, trace.elapsed_ms, verdict,
+                decider=trace.decider, fallback=trace.fallback_used,
+            )
+        bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
+        for name, attempt_ms, outcome in trace.attempts:
+            if outcome in ("sat", "unsat"):
+                self.cost_model.observe(plan.signature, bucket, name, attempt_ms)
 
     def _result(
         self,

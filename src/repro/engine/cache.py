@@ -89,6 +89,42 @@ class DecisionCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def to_records(self) -> list:
+        """Serialize current entries (LRU order, oldest first) for the
+        engine's ``--state-dir`` persistence.  Counters are not part of
+        the record: a reloaded cache starts cold statistically but warm
+        in content."""
+        return [
+            [list(key), {
+                "satisfiable": decision.satisfiable,
+                "method": decision.method,
+                "reason": decision.reason,
+            }]
+            for key, decision in self._entries.items()
+        ]
+
+    def load_records(self, records) -> int:
+        """Insert persisted ``(key, decision)`` pairs (see
+        :meth:`to_records`); malformed entries are skipped.  Returns the
+        number of entries loaded."""
+        loaded = 0
+        for key, record in records:
+            if not (isinstance(key, (list, tuple)) and len(key) == 3):
+                continue
+            if not (isinstance(record, dict) and "method" in record):
+                continue
+            satisfiable = record.get("satisfiable")
+            if satisfiable is not None and not isinstance(satisfiable, bool):
+                continue
+            self.put(
+                (str(key[0]), str(key[1]), str(key[2])),
+                CachedDecision(
+                    satisfiable, str(record["method"]), str(record.get("reason", ""))
+                ),
+            )
+            loaded += 1
+        return loaded
+
     @property
     def hit_rate(self) -> float:
         lookups = self.hits + self.misses

@@ -81,6 +81,15 @@ class SchemaArtifacts:
         """Proposition 3.3 normal form ``N(D)`` (computed once, on demand)."""
         return normalize(self.dtd)
 
+    @cached_property
+    def cost_bucket(self) -> str:
+        """The cost model's schema-size bucket, computed once —
+        ``DTD.size()`` walks every production, too costly per decided
+        job."""
+        from repro.sat.costmodel import size_bucket
+
+        return size_bucket(self.dtd.size())
+
     @property
     def short_fingerprint(self) -> str:
         return self.fingerprint[:12]
@@ -100,8 +109,11 @@ class SchemaRegistry:
     def __init__(self) -> None:
         self._by_name: dict[str, SchemaArtifacts] = {}
         self._by_fingerprint: dict[str, SchemaArtifacts] = {}
-        self.builds = 0       # artifact pipelines actually run
-        self.dedup_hits = 0   # registrations resolved to an existing record
+        self._pending_plans: dict[str, dict[str, Plan]] = {}
+        self._pending_names: dict[str, str] = {}
+        self.builds = 0            # artifact pipelines actually run
+        self.dedup_hits = 0        # registrations resolved to an existing record
+        self.persisted_plans = 0   # plans adopted from a persisted state dir
 
     # -- registration -------------------------------------------------------
     def register(self, name: str, schema: DTD | str) -> SchemaArtifacts:
@@ -115,10 +127,69 @@ class SchemaRegistry:
             artifacts = SchemaArtifacts(name=name, fingerprint=fingerprint, dtd=dtd)
             self._by_fingerprint[fingerprint] = artifacts
             self.builds += 1
+            self._apply_pending_plans(artifacts)
         else:
             self.dedup_hits += 1
         self._by_name[name] = artifacts
         return artifacts
+
+    # -- persisted plans ----------------------------------------------------
+    def adopt_plans(
+        self,
+        plans_by_fingerprint: dict[str, dict[str, Plan]],
+        names: dict[str, str] | None = None,
+    ) -> int:
+        """Warm plan caches from persisted state (``--state-dir``): plans
+        for already-registered schemas are applied immediately, the rest
+        wait for their schema's registration.  Existing cache entries win
+        (they were planned against the live cost model).  Returns the
+        number of plans applied right away."""
+        applied = 0
+        for fingerprint, per_schema in plans_by_fingerprint.items():
+            pending = self._pending_plans.setdefault(fingerprint, {})
+            pending.update(per_schema)
+            if names and fingerprint in names:
+                self._pending_names[fingerprint] = names[fingerprint]
+            artifacts = self._by_fingerprint.get(fingerprint)
+            if artifacts is not None:
+                applied += self._apply_pending_plans(artifacts)
+        return applied
+
+    def discard_pending_plans(self) -> int:
+        """Drop adopted-but-unapplied persisted plans (used by
+        ``BatchEngine.retune``: a schema registered afterwards must be
+        replanned against current measurements, not handed a stale
+        persisted plan).  Returns the number of plans discarded."""
+        dropped = sum(len(per_schema) for per_schema in self._pending_plans.values())
+        self._pending_plans.clear()
+        self._pending_names.clear()
+        return dropped
+
+    def pending_plan_records(self) -> dict[str, tuple[str, dict[str, Plan]]]:
+        """Adopted plans whose schema was never registered this run, as
+        ``fingerprint -> (last known name, plans)``.  State persistence
+        writes these back so alternating workloads sharing one state dir
+        do not erase each other's warm plans."""
+        return {
+            fingerprint: (
+                self._pending_names.get(fingerprint, "(unregistered)"),
+                dict(per_schema),
+            )
+            for fingerprint, per_schema in self._pending_plans.items()
+            if per_schema
+        }
+
+    def _apply_pending_plans(self, artifacts: SchemaArtifacts) -> int:
+        pending = self._pending_plans.pop(artifacts.fingerprint, None)
+        if not pending:
+            return 0
+        applied = 0
+        for signature, plan in pending.items():
+            if signature not in artifacts.plan_cache:
+                artifacts.plan_cache[signature] = plan
+                applied += 1
+        self.persisted_plans += applied
+        return applied
 
     def register_file(self, name: str, path: str) -> SchemaArtifacts:
         with open(path) as handle:
@@ -157,4 +228,5 @@ class SchemaRegistry:
                 len(artifacts.plan_cache)
                 for artifacts in self._by_fingerprint.values()
             ),
+            "persisted_plans": self.persisted_plans,
         }

@@ -1,0 +1,194 @@
+"""Engine state persistence: warm starts across processes.
+
+A long-lived checker accumulates three kinds of routing knowledge that
+died with the process before this module existed:
+
+* **per-schema plan caches** — the planner's routing decisions, keyed by
+  feature signature on each :class:`~repro.engine.registry.SchemaArtifacts`;
+* **per-plan telemetry** — the latency/verdict/fallback table
+  (:class:`~repro.sat.telemetry.PlanTelemetry`);
+* **the cost model** — measured per-(signature × size-bucket) decider
+  latency (:class:`~repro.sat.costmodel.CostModel`);
+* **the decision cache** — verdicts keyed on canonical form × schema
+  fingerprint (bounded; only current entries are persisted).
+
+``save_state``/``load_state`` serialize them into a ``--state-dir``
+alongside batch results, so a cold process that has seen the workload
+before builds **zero** plans and re-decides nothing the cache still
+covers.  Loading is forgiving: a missing directory is empty state, and a
+corrupt file is skipped with a warning rather than failing the run —
+state is an optimization, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sat.costmodel import CostModel
+from repro.sat.planner import Plan
+from repro.sat.telemetry import PlanTelemetry
+
+#: bump when the on-disk layout changes; mismatched files are skipped
+STATE_VERSION = 1
+
+PLANS_FILE = "plans.json"
+TELEMETRY_FILE = "telemetry.json"
+COST_MODEL_FILE = "cost_model.json"
+DECISIONS_FILE = "decisions.json"
+
+
+@dataclass
+class PersistedState:
+    """Everything ``load_state`` recovered from a state directory."""
+
+    plans: dict[str, dict[str, Plan]] = field(default_factory=dict)  # fingerprint -> sig -> Plan
+    plan_names: dict[str, str] = field(default_factory=dict)         # fingerprint -> schema name
+    telemetry: PlanTelemetry | None = None
+    cost_model: CostModel | None = None
+    decisions: list[tuple[tuple[str, str, str], dict[str, Any]]] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def plan_count(self) -> int:
+        return sum(len(per_schema) for per_schema in self.plans.values())
+
+
+def _read_json(path: str, warnings: list[str]) -> dict[str, Any] | None:
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as error:
+        warnings.append(f"{os.path.basename(path)}: unreadable ({error}); ignored")
+        return None
+    if not isinstance(record, dict):
+        warnings.append(f"{os.path.basename(path)}: not a JSON object; ignored")
+        return None
+    if record.get("version") != STATE_VERSION:
+        warnings.append(
+            f"{os.path.basename(path)}: version {record.get('version')!r} "
+            f"!= {STATE_VERSION}; ignored"
+        )
+        return None
+    return record
+
+
+def load_state(state_dir: str) -> PersistedState:
+    """Load persisted engine state from ``state_dir`` (missing pieces and
+    corrupt files degrade to empty state, recorded in ``warnings``)."""
+    state = PersistedState()
+    if not os.path.isdir(state_dir):
+        return state
+
+    record = _read_json(os.path.join(state_dir, PLANS_FILE), state.warnings)
+    if record is not None:
+        schemas = record.get("schemas")
+        if isinstance(schemas, dict):
+            for fingerprint, entry in schemas.items():
+                plans = entry.get("plans") if isinstance(entry, dict) else None
+                if not isinstance(plans, dict):
+                    continue
+                per_schema: dict[str, Plan] = {}
+                for signature, plan_record in plans.items():
+                    try:
+                        per_schema[signature] = Plan.from_dict(plan_record)
+                    except (KeyError, TypeError, ValueError) as error:
+                        state.warnings.append(
+                            f"{PLANS_FILE}: plan {fingerprint[:12]}/{signature}: "
+                            f"{error}; skipped"
+                        )
+                if per_schema:
+                    state.plans[fingerprint] = per_schema
+                    name = entry.get("name") if isinstance(entry, dict) else None
+                    if isinstance(name, str):
+                        state.plan_names[fingerprint] = name
+
+    record = _read_json(os.path.join(state_dir, TELEMETRY_FILE), state.warnings)
+    if record is not None:
+        try:
+            state.telemetry = PlanTelemetry.from_dict(record)
+        except (ValueError, TypeError) as error:
+            state.warnings.append(f"{TELEMETRY_FILE}: corrupt payload ({error}); ignored")
+
+    record = _read_json(os.path.join(state_dir, COST_MODEL_FILE), state.warnings)
+    if record is not None:
+        try:
+            state.cost_model = CostModel.from_dict(record)
+        except (ValueError, TypeError) as error:
+            state.warnings.append(f"{COST_MODEL_FILE}: corrupt payload ({error}); ignored")
+
+    record = _read_json(os.path.join(state_dir, DECISIONS_FILE), state.warnings)
+    if record is not None:
+        entries = record.get("entries")
+        if isinstance(entries, list):
+            for item in entries:
+                if not (
+                    isinstance(item, list) and len(item) == 2
+                    and isinstance(item[0], list) and len(item[0]) == 3
+                    and isinstance(item[1], dict)
+                ):
+                    continue
+                key = (str(item[0][0]), str(item[0][1]), str(item[0][2]))
+                state.decisions.append((key, item[1]))
+    return state
+
+
+def save_state(
+    state_dir: str,
+    *,
+    registry=None,
+    telemetry: PlanTelemetry | None = None,
+    cost_model: CostModel | None = None,
+    cache=None,
+) -> None:
+    """Serialize the given engine components into ``state_dir`` (created
+    if missing).  Pieces passed as ``None`` are left untouched on disk."""
+    os.makedirs(state_dir, exist_ok=True)
+
+    def write(name: str, payload: dict[str, Any]) -> None:
+        payload = {"version": STATE_VERSION, **payload}
+        path = os.path.join(state_dir, name)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    if registry is not None:
+        schemas: dict[str, Any] = {}
+        for artifacts in registry:
+            if not artifacts.plan_cache:
+                continue
+            schemas[artifacts.fingerprint] = {
+                "name": artifacts.name,
+                "plans": {
+                    signature: plan.to_dict()
+                    for signature, plan in sorted(artifacts.plan_cache.items())
+                },
+            }
+        # plans adopted for schemas this run never registered are written
+        # back untouched, so workloads sharing a state dir do not erase
+        # each other's warm plans
+        pending = getattr(registry, "pending_plan_records", None)
+        if pending is not None:
+            for fingerprint, (name, per_schema) in pending().items():
+                if fingerprint in schemas:
+                    continue
+                schemas[fingerprint] = {
+                    "name": name,
+                    "plans": {
+                        signature: plan.to_dict()
+                        for signature, plan in sorted(per_schema.items())
+                    },
+                }
+        write(PLANS_FILE, {"schemas": schemas})
+    if telemetry is not None:
+        write(TELEMETRY_FILE, telemetry.to_dict())
+    if cost_model is not None:
+        write(COST_MODEL_FILE, cost_model.to_dict())
+    if cache is not None:
+        write(DECISIONS_FILE, {"entries": cache.to_records()})

@@ -35,13 +35,16 @@ from repro.sat.exptime_types import sat_exptime_types
 from repro.sat.positive import sat_positive
 from repro.sat.bounded import Bounds, sat_bounded, iter_conforming_trees
 from repro.sat.family import sat_universal_family
+from repro.sat.costmodel import CostModel, calibrate, size_bucket
 from repro.sat.planner import (
     DEFAULT_PLANNER,
+    ExecutionTrace,
     Plan,
     Planner,
     build_plan,
     execute_plan,
 )
+from repro.sat.telemetry import PlanStats, PlanTelemetry
 from repro.sat.dispatch import decide
 
 __all__ = [
@@ -62,7 +65,13 @@ __all__ = [
     "sat_bounded",
     "iter_conforming_trees",
     "DEFAULT_PLANNER",
+    "CostModel",
+    "calibrate",
+    "size_bucket",
+    "ExecutionTrace",
     "Plan",
+    "PlanStats",
+    "PlanTelemetry",
     "Planner",
     "build_plan",
     "execute_plan",

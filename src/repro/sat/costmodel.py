@@ -1,0 +1,207 @@
+"""Measured cost model for plan choice.
+
+``DeciderSpec.cost_rank`` is a static guess: it encodes the paper's
+complexity hierarchy (PTIME before EXPTIME before semi-decision) but
+knows nothing about constants.  On a tiny star-free DTD the bounded
+enumerator answers a negation query in a fraction of the types-fixpoint's
+time; on a large starred schema it is hopeless.  The :class:`CostModel`
+captures that: it accumulates measured per-decider latency keyed by
+``(feature signature × schema-size bucket)`` and, once a decider has
+enough samples in a bucket, its *measured mean* replaces the static rank
+when the planner orders a plan's decider chain.
+
+The blend is deliberately conservative:
+
+* a decider with ``>= min_samples`` observations in the bucket costs its
+  measured mean milliseconds;
+* an unmeasured decider costs ``UNMEASURED_BASE_MS + cost_rank`` — far
+  above any plausible measurement, so unmeasured deciders keep their
+  static order among themselves and **never** outrank a measured one.
+
+Reordering is verdict-preserving: the planner only permutes the chain the
+static scan produced (never drops members), and plan execution treats an
+``unknown`` from a non-final chain member as a decline, so a promoted
+semi-decision procedure that fails to conclude falls through to the
+decider the static order would have chosen (see
+:func:`repro.sat.planner.execute_plan`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+
+#: cost assigned to unmeasured deciders, keeping them behind any measured
+#: latency while preserving static rank order among themselves
+UNMEASURED_BASE_MS = 10.0**6
+
+#: upper edges of the schema-size buckets (``DTD.size()``); "l" is overflow
+SIZE_BUCKET_EDGES: tuple[tuple[int, str], ...] = (
+    (10, "xs"), (30, "s"), (100, "m"),
+)
+
+#: bucket tag used when planning without a DTD
+NO_SCHEMA_BUCKET = "none"
+
+#: a measured primary at or under this mean latency runs inline even when
+#: its complexity class would normally route it to the process pool —
+#: forking a worker costs more than the decision itself
+INLINE_THRESHOLD_MS = 5.0
+
+
+def size_bucket(schema_size: int | None) -> str:
+    """Bucket tag for a schema of ``schema_size`` (``DTD.size()``)."""
+    if schema_size is None:
+        return NO_SCHEMA_BUCKET
+    for edge, tag in SIZE_BUCKET_EDGES:
+        if schema_size <= edge:
+            return tag
+    return "l"
+
+
+@dataclass
+class CostEntry:
+    """Accumulated latency observations of one (signature, bucket, decider)."""
+
+    count: int = 0
+    total_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+class CostModel:
+    """Measured per-(signature × size-bucket) decider latency.
+
+    ``observe`` is fed by the batch engine from plan-execution telemetry
+    and by :func:`calibrate`; ``effective_cost`` is consulted by
+    :func:`repro.sat.planner.build_plan` when ordering a decider chain.
+    """
+
+    def __init__(self, min_samples: int = 3):
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be positive, got {min_samples}")
+        self.min_samples = min_samples
+        self._entries: dict[tuple[str, str, str], CostEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def observations(self) -> int:
+        return sum(entry.count for entry in self._entries.values())
+
+    def observe(
+        self, signature: str, bucket: str, decider: str, elapsed_ms: float
+    ) -> None:
+        key = (signature, bucket, decider)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = CostEntry()
+        entry.count += 1
+        entry.total_ms += elapsed_ms
+
+    def measured(self, signature: str, bucket: str, decider: str) -> CostEntry | None:
+        return self._entries.get((signature, bucket, decider))
+
+    def effective_cost(self, spec, signature: str, bucket: str) -> float:
+        """The cost the planner sorts a chain by: measured mean latency
+        when the decider has enough samples in this (signature, bucket),
+        the static-rank prior otherwise."""
+        entry = self._entries.get((signature, bucket, spec.name))
+        if entry is not None and entry.count >= self.min_samples:
+            return entry.mean_ms
+        return UNMEASURED_BASE_MS + spec.cost_rank
+
+    def is_measured(self, spec, signature: str, bucket: str) -> bool:
+        entry = self._entries.get((signature, bucket, spec.name))
+        return entry is not None and entry.count >= self.min_samples
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "min_samples": self.min_samples,
+            "entries": [
+                [signature, bucket, decider, entry.count, round(entry.total_ms, 4)]
+                for (signature, bucket, decider), entry in sorted(self._entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "CostModel":
+        """Rebuild from :meth:`to_dict` output.  Persisted state may be
+        hand-edited or corrupt: an invalid ``min_samples`` falls back to
+        the default and malformed entries are skipped."""
+        try:
+            min_samples = max(1, int(record.get("min_samples", 3)))
+        except (ValueError, TypeError):
+            min_samples = 3
+        model = cls(min_samples=min_samples)
+        entries = record.get("entries")
+        if not isinstance(entries, list):
+            return model
+        for item in entries:
+            if not (isinstance(item, list) and len(item) == 5):
+                continue
+            signature, bucket, decider, count, total_ms = item
+            try:
+                entry = CostEntry(count=int(count), total_ms=float(total_ms))
+            except (ValueError, TypeError):
+                continue
+            model._entries[(str(signature), str(bucket), str(decider))] = entry
+        return model
+
+    def merge(self, other: "CostModel") -> None:
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                self._entries[key] = CostEntry(entry.count, entry.total_ms)
+            else:
+                mine.count += entry.count
+                mine.total_ms += entry.total_ms
+
+
+def calibrate(
+    cost_model: CostModel,
+    plan,
+    queries: Iterable,
+    dtd=None,
+    bounds=None,
+    schema_size: int | None = None,
+) -> int:
+    """Measure **every** member of ``plan``'s decider chain on the sample
+    ``queries`` and feed the timings into ``cost_model``.
+
+    Normal operation only ever times the chain member that answers, so a
+    fallback that would win on this workload never gets measured; an
+    explicit calibration pass closes that gap.  Queries should be
+    representative of the plan's feature signature (they are executed
+    as-is, so pass canonical forms for exactness).  Returns the number of
+    observations recorded; deciders that decline a sample **or answer
+    ``unknown``** are skipped — an inconclusive run is cheap because the
+    decider gave up, and counting it would promote procedures that cannot
+    actually answer the workload.
+    """
+    from repro.sat.registry import get_decider
+
+    bucket = size_bucket(
+        schema_size if schema_size is not None else (dtd.size() if dtd else None)
+    )
+    recorded = 0
+    for name in (plan.decider,) + plan.fallbacks:
+        spec = get_decider(name)
+        for query in queries:
+            start = time.perf_counter()
+            try:
+                result = spec.call(query, dtd, bounds)
+            except ReproError:
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            if result.satisfiable is None:
+                continue
+            cost_model.observe(plan.signature, bucket, name, elapsed_ms)
+            recorded += 1
+    return recorded

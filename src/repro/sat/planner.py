@@ -22,12 +22,14 @@ concrete query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.dtd.model import DTD
 from repro.dtd import properties as dtd_properties
 from repro.errors import ReproError
+from repro.sat.costmodel import INLINE_THRESHOLD_MS, CostModel, size_bucket
 from repro.sat.registry import DeciderSpec, deciders, get_decider, registry_size
 from repro.sat.result import SatResult
 from repro.xpath.ast import Path
@@ -56,10 +58,22 @@ class Plan:
     fallbacks: tuple[str, ...] = ()  # tried in order if the primary declines
     route: str = "inline"            # "inline" (PTIME) | "pool" (heavy)
     notes: tuple[str, ...] = ()
+    #: cost-model view of the chain at plan time: (decider, effective ms),
+    #: sorted by cost; empty when the plan was built with static ranking
+    costs: tuple[tuple[str, float], ...] = ()
 
     @property
     def spec(self) -> DeciderSpec:
         return get_decider(self.decider)
+
+    @property
+    def telemetry_key(self) -> str:
+        """The stable aggregation key of this routing decision: two plans
+        share a telemetry row iff they route identically (same schema
+        class, rewrites, and decider chain) — the cost annotation does
+        not split rows."""
+        chain = "+".join((self.decider,) + self.fallbacks)
+        return f"{self.schema or '-'}|{self.signature}|{chain}"
 
     @property
     def method(self) -> str:
@@ -74,7 +88,7 @@ class Plan:
         return self.spec.complexity
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        record = {
             "signature": self.signature,
             "schema": self.schema,
             "rewrites": list(self.rewrites),
@@ -83,6 +97,9 @@ class Plan:
             "route": self.route,
             "notes": list(self.notes),
         }
+        if self.costs:
+            record["costs"] = [[name, cost] for name, cost in self.costs]
+        return record
 
     @classmethod
     def from_dict(cls, record: dict[str, Any]) -> "Plan":
@@ -94,6 +111,10 @@ class Plan:
             fallbacks=tuple(record.get("fallbacks", ())),
             route=record.get("route", "inline"),
             notes=tuple(record.get("notes", ())),
+            costs=tuple(
+                (str(name), float(cost))
+                for name, cost in record.get("costs", ())
+            ),
         )
 
     def explain(self) -> str:
@@ -116,6 +137,14 @@ class Plan:
         else:
             lines.append("  fallbacks  : (none)")
         lines.append(f"  route      : {self.route}")
+        if self.costs:
+            from repro.sat.costmodel import UNMEASURED_BASE_MS
+
+            parts = [
+                f"{name} {'unmeasured' if cost >= UNMEASURED_BASE_MS else f'{cost:.3f}ms'}"
+                for name, cost in self.costs
+            ]
+            lines.append(f"  costs      : {', '.join(parts)}")
         for note in self.notes:
             lines.append(f"  note       : {note}")
         return "\n".join(lines)
@@ -166,6 +195,8 @@ def build_plan(
     has_dtd: bool,
     traits: TraitCheck,
     schema: str | None = None,
+    cost_model: CostModel | None = None,
+    schema_size: int | None = None,
 ) -> Plan:
     """Construct the plan for a feature set against one schema class.
 
@@ -180,6 +211,13 @@ def build_plan(
     ``traits`` is consulted lazily — only when a trait-gated decider's
     operator set actually matches — so planning a downward query never
     pays for a disjunction-freeness check.
+
+    With a ``cost_model``, the statically scanned chain is re-ordered by
+    measured latency for this (signature × schema-size bucket): the
+    cheapest member becomes the primary and the rest stay as fallbacks.
+    The chain members never change — only their order — and execution
+    treats ``unknown``/declines from non-final members as fall-through,
+    so cost-based ordering cannot change verdicts.
     """
     signature = feature_signature(features)
     notes: list[str] = []
@@ -222,15 +260,84 @@ def build_plan(
             f"no registered decider accepts X({signature}) "
             f"({'with' if has_dtd else 'without'} a DTD)"
         )
+
+    chain = [primary.name] + fallbacks
+    costs: tuple[tuple[str, float], ...] = ()
+    if cost_model is not None:
+        bucket = size_bucket(schema_size)
+        by_cost = sorted(
+            (round(cost_model.effective_cost(get_decider(name), signature, bucket), 3),
+             position, name)
+            for position, name in enumerate(chain)
+        )
+        ordered = [name for _cost, _position, name in by_cost]
+        costs = tuple((name, cost) for cost, _position, name in by_cost)
+        if ordered != chain:
+            winner = cost_model.measured(signature, bucket, ordered[0])
+            notes.append(
+                f"cost model ({bucket} schemas): {ordered[0]} promoted "
+                f"(measured {winner.mean_ms:.3f}ms mean over {winner.count} runs)"
+            )
+            chain = ordered
+        primary = get_decider(chain[0])
+
+    route = "inline" if primary.complexity == "PTIME" else "pool"
+    if (
+        cost_model is not None
+        and route == "pool"
+        and cost_model.is_measured(primary, signature, size_bucket(schema_size))
+        and costs
+        and costs[0][1] <= INLINE_THRESHOLD_MS
+    ):
+        # measured cheaper than fork overhead: keep it in-process
+        route = "inline"
+        notes.append(
+            f"cost model: {primary.name} measured under "
+            f"{INLINE_THRESHOLD_MS:.0f}ms, routed inline"
+        )
+
     return Plan(
         signature=signature,
         schema=schema,
         rewrites=tuple(rewrites),
-        decider=primary.name,
-        fallbacks=tuple(fallbacks),
-        route="inline" if primary.complexity == "PTIME" else "pool",
+        decider=chain[0],
+        fallbacks=tuple(chain[1:]),
+        route=route,
         notes=tuple(notes),
+        costs=costs,
     )
+
+
+@dataclass
+class ExecutionTrace:
+    """What actually happened when a plan ran: every chain member tried,
+    its latency, and its outcome (``sat``/``unsat``/``unknown``,
+    ``declined`` for a fallback request, ``failed`` for a hard error
+    from a member that may not decline).  Feeds per-plan telemetry and
+    the cost model."""
+
+    attempts: list[tuple[str, float, str]] = field(default_factory=list)
+
+    def add(self, decider: str, elapsed_ms: float, outcome: str) -> None:
+        self.attempts.append((decider, elapsed_ms, outcome))
+
+    @property
+    def decider(self) -> str | None:
+        """The chain member whose answer was returned (``None`` when the
+        plan itself answered, e.g. an above-root rewrite)."""
+        for name, _elapsed, outcome in reversed(self.attempts):
+            if outcome not in ("declined", "failed"):
+                return name
+        return None
+
+    @property
+    def fallback_used(self) -> bool:
+        """Did execution move past the primary (decline or fall-through)?"""
+        return len(self.attempts) > 1
+
+    @property
+    def elapsed_ms(self) -> float:
+        return sum(elapsed for _name, elapsed, _outcome in self.attempts)
 
 
 def execute_plan(
@@ -240,13 +347,23 @@ def execute_plan(
     bounds=None,
     *,
     pre_canonicalized: bool = False,
+    trace: ExecutionTrace | None = None,
 ) -> SatResult:
     """Run ``plan`` against a concrete query: apply its rewrite passes in
     order, then the decider chain.
 
+    Chain semantics keep any permutation verdict-equivalent: a member that
+    declines (raises :class:`ReproError`) or returns ``unknown`` while
+    later members remain falls through to the next; an ``unknown`` is
+    returned only when no later member concludes.  This is what makes
+    cost-model promotion of a semi-decision procedure sound — if the
+    promoted decider cannot conclude, the statically ranked decider still
+    gets the question.
+
     ``pre_canonicalized`` skips the plan's ``canonicalize`` pass for
     callers that already hold the canonical form (the batch engine
-    computes it for the decision-cache key).
+    computes it for the decision-cache key).  ``trace``, when given, is
+    filled with the per-member latencies and outcomes.
     """
     for name in plan.rewrites:
         if pre_canonicalized and name == "canonicalize":
@@ -258,13 +375,40 @@ def execute_plan(
             )
         query = outcome.path
     chain = (plan.decider,) + plan.fallbacks
+    last_unknown: SatResult | None = None
     for position, name in enumerate(chain):
         spec = get_decider(name)
+        is_last = position + 1 == len(chain)
+        start = time.perf_counter()
         try:
-            return spec.call(query, dtd, bounds)
+            result = spec.call(query, dtd, bounds)
         except ReproError:
-            if not (spec.may_decline and position + 1 < len(chain)):
-                raise
+            if trace is not None:
+                trace.add(
+                    name, (time.perf_counter() - start) * 1e3,
+                    "declined" if spec.may_decline else "failed",
+                )
+            if spec.may_decline:
+                if not is_last:
+                    continue
+                if last_unknown is not None:
+                    return last_unknown
+            # a genuine failure (or a decline with nothing to fall back
+            # to and no earlier unknown) must surface, never be masked
+            # as a verdict the engine would cache
+            raise
+        if trace is not None:
+            trace.add(
+                name,
+                (time.perf_counter() - start) * 1e3,
+                {True: "sat", False: "unsat", None: "unknown"}[result.satisfiable],
+            )
+        if result.satisfiable is None and not is_last:
+            last_unknown = result
+            continue
+        if result.satisfiable is None and last_unknown is not None:
+            return last_unknown
+        return result
     raise AssertionError("unreachable: decider chain exhausted")
 
 
@@ -281,8 +425,9 @@ class Planner:
     amortize even that.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cost_model: CostModel | None = None) -> None:
         self._no_dtd_cache: dict[str, Plan] = {}
+        self.cost_model = cost_model
         self.invocations = 0  # plans actually built
         self.cache_hits = 0   # plans served from a plan cache
 
@@ -302,11 +447,14 @@ class Planner:
                     self.cache_hits += 1
                     return plan
             self.invocations += 1
+            schema_dtd = getattr(artifacts, "dtd", None)
             plan = build_plan(
                 features,
                 has_dtd=True,
                 traits=lambda name: _artifact_trait(artifacts, name),
                 schema=getattr(artifacts, "short_fingerprint", None),
+                cost_model=self.cost_model,
+                schema_size=schema_dtd.size() if schema_dtd is not None else None,
             )
             if cache is not None:
                 cache[signature] = plan
@@ -318,6 +466,8 @@ class Planner:
                 has_dtd=True,
                 traits=lambda name: _TRAIT_PREDICATES[name](dtd),
                 schema="(unregistered)",
+                cost_model=self.cost_model,
+                schema_size=dtd.size(),
             )
         signature = feature_signature(features)
         plan = self._no_dtd_cache.get(signature)
@@ -325,12 +475,29 @@ class Planner:
             self.cache_hits += 1
             return plan
         self.invocations += 1
-        plan = build_plan(features, has_dtd=False, traits=lambda name: False)
+        plan = build_plan(
+            features, has_dtd=False, traits=lambda name: False,
+            cost_model=self.cost_model,
+        )
         self._no_dtd_cache[signature] = plan
         return plan
 
     def plan_query(self, query: Path, *, artifacts=None, dtd: DTD | None = None) -> Plan:
         return self.plan_for(features_of(query), artifacts=artifacts, dtd=dtd)
+
+    def invalidate(self, *artifact_records) -> int:
+        """Drop cached plans so the next request replans against the
+        current cost-model measurements.  Clears the given artifact
+        records' plan caches (and always this planner's no-DTD cache);
+        returns the number of plans dropped."""
+        dropped = len(self._no_dtd_cache)
+        self._no_dtd_cache.clear()
+        for artifacts in artifact_records:
+            cache = getattr(artifacts, "plan_cache", None)
+            if cache is not None:
+                dropped += len(cache)
+                cache.clear()
+        return dropped
 
     def stats(self) -> dict[str, int]:
         return {

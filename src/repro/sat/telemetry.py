@@ -1,0 +1,271 @@
+"""Per-plan execution telemetry.
+
+A :class:`~repro.sat.planner.Plan` is pure data and hashable, which makes
+it a natural aggregation key: every execution of the same routing
+decision lands in one :class:`PlanStats` accumulator — decision latency
+(count/total plus fixed log-scale buckets for p50-style estimates),
+verdict mix, which chain member actually answered, and how often the
+primary had to fall back.  :class:`PlanTelemetry` holds the per-plan
+table, merges across engines/processes, serializes for the engine's
+``--state-dir`` persistence, and renders the ``repro stats --plans``
+report.
+
+The measured latencies feed the planner's cost model
+(:mod:`repro.sat.costmodel`), closing the loop: static ``cost_rank`` is
+only the prior, observed behaviour decides routing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: upper edges (ms) of the latency histogram; one overflow bucket follows
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+VERDICT_NAMES = {True: "sat", False: "unsat", None: "unknown"}
+
+
+def verdict_name(satisfiable: bool | None) -> str:
+    return VERDICT_NAMES[satisfiable]
+
+
+@dataclass
+class PlanStats:
+    """Accumulated observations of one plan's executions."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    buckets: list[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS_MS) + 1)
+    )
+    verdicts: dict[str, int] = field(
+        default_factory=lambda: {"sat": 0, "unsat": 0, "unknown": 0, "error": 0}
+    )
+    deciders: dict[str, int] = field(default_factory=dict)  # answering decider
+    fallbacks: int = 0  # executions answered by a non-primary chain member
+
+    def record(
+        self,
+        elapsed_ms: float,
+        verdict: str,
+        decider: str | None = None,
+        fallback: bool = False,
+    ) -> None:
+        self.count += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+        self.buckets[bisect_left(LATENCY_BUCKETS_MS, elapsed_ms)] += 1
+        self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+        if decider is not None:
+            self.deciders[decider] = self.deciders.get(decider, 0) + 1
+        if fallback:
+            self.fallbacks += 1
+
+    def record_failure(self, jobs: int = 1) -> None:
+        """Count jobs whose execution never produced a measurement (e.g.
+        a pool worker died).  Only the verdict mix moves — a crash has no
+        meaningful latency, and a zero-ms sample would drag the mean and
+        percentiles down."""
+        self.verdicts["error"] = self.verdicts.get("error", 0) + jobs
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.count if self.count else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """Histogram estimate of the ``q``-quantile latency (upper bucket
+        edge; the overflow bucket reports the observed maximum)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(LATENCY_BUCKETS_MS):
+                    return LATENCY_BUCKETS_MS[index]
+                return self.max_ms
+        return self.max_ms
+
+    def merge(self, other: "PlanStats") -> None:
+        self.count += other.count
+        self.total_ms += other.total_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+        for name, value in other.verdicts.items():
+            self.verdicts[name] = self.verdicts.get(name, 0) + value
+        for name, value in other.deciders.items():
+            self.deciders[name] = self.deciders.get(name, 0) + value
+        self.fallbacks += other.fallbacks
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "buckets": list(self.buckets),
+            "verdicts": dict(self.verdicts),
+            "deciders": dict(self.deciders),
+            "fallbacks": self.fallbacks,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "PlanStats":
+        stats = cls(
+            count=int(record.get("count", 0)),
+            total_ms=float(record.get("total_ms", 0.0)),
+            max_ms=float(record.get("max_ms", 0.0)),
+            fallbacks=int(record.get("fallbacks", 0)),
+        )
+        buckets = record.get("buckets")
+        if isinstance(buckets, list) and len(buckets) == len(stats.buckets):
+            stats.buckets = [int(value) for value in buckets]
+        verdicts = record.get("verdicts")
+        if isinstance(verdicts, dict):
+            for name, value in verdicts.items():
+                stats.verdicts[name] = int(value)
+        deciders = record.get("deciders")
+        if isinstance(deciders, dict):
+            stats.deciders = {name: int(value) for name, value in deciders.items()}
+        return stats
+
+
+class PlanTelemetry:
+    """Per-plan stats table keyed by :attr:`Plan.telemetry_key`.
+
+    The plan's serialized form rides along with its stats so a persisted
+    table can be rendered (and fed back into the cost model) without the
+    original :class:`Plan` objects.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, PlanStats] = {}
+        self._plans: dict[str, dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._stats
+
+    def get(self, key: str) -> PlanStats | None:
+        return self._stats.get(key)
+
+    def plan_record(self, key: str) -> dict[str, Any] | None:
+        return self._plans.get(key)
+
+    def items(self) -> Iterable[tuple[str, PlanStats]]:
+        return self._stats.items()
+
+    def record(
+        self,
+        plan,
+        elapsed_ms: float,
+        verdict: str,
+        decider: str | None = None,
+        fallback: bool = False,
+    ) -> None:
+        key = plan.telemetry_key
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = PlanStats()
+            self._plans[key] = plan.to_dict()
+        stats.record(elapsed_ms, verdict, decider=decider, fallback=fallback)
+
+    def record_failure(self, plan, jobs: int = 1) -> None:
+        key = plan.telemetry_key
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = PlanStats()
+            self._plans[key] = plan.to_dict()
+        stats.record_failure(jobs)
+
+    def merge(self, other: "PlanTelemetry") -> None:
+        for key, stats in other.items():
+            mine = self._stats.get(key)
+            if mine is None:
+                self._stats[key] = PlanStats.from_dict(stats.to_dict())
+                record = other.plan_record(key)
+                if record is not None:
+                    self._plans[key] = dict(record)
+            else:
+                mine.merge(stats)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plans": {
+                key: {"plan": self._plans.get(key), "stats": stats.to_dict()}
+                for key, stats in sorted(self._stats.items())
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "PlanTelemetry":
+        """Rebuild from :meth:`to_dict` output; rows whose stats payload
+        does not parse (hand-edited or corrupt state files) are skipped."""
+        telemetry = cls()
+        plans = record.get("plans")
+        if not isinstance(plans, dict):
+            return telemetry
+        for key, entry in plans.items():
+            if not isinstance(entry, dict):
+                continue
+            stats = entry.get("stats")
+            if not isinstance(stats, dict):
+                continue
+            try:
+                telemetry._stats[key] = PlanStats.from_dict(stats)
+            except (ValueError, TypeError):
+                continue
+            plan_record = entry.get("plan")
+            if isinstance(plan_record, dict):
+                telemetry._plans[key] = plan_record
+        return telemetry
+
+    def summary(self) -> dict[str, Any]:
+        """Compact per-plan rows for ``EngineStats.as_dict`` and JSON
+        consumers (one entry per plan, no histograms)."""
+        rows = {}
+        for key, stats in sorted(self._stats.items()):
+            rows[key] = {
+                "count": stats.count,
+                "mean_ms": round(stats.mean_ms, 4),
+                "p50_ms": round(stats.percentile_ms(0.5), 4),
+                "p90_ms": round(stats.percentile_ms(0.9), 4),
+                "verdicts": {k: v for k, v in stats.verdicts.items() if v},
+                "fallback_rate": round(stats.fallback_rate, 4),
+            }
+        return rows
+
+    def table(self) -> str:
+        """The ``repro stats --plans`` report: one row per plan."""
+        if not self._stats:
+            return "no plan telemetry recorded"
+        header = (
+            f"{'plan':<44} {'n':>6} {'mean_ms':>8} {'p50_ms':>7} {'p90_ms':>7} "
+            f"{'sat':>5} {'unsat':>6} {'unk':>4} {'err':>4} {'fb%':>5}"
+        )
+        lines = [header, "-" * len(header)]
+        ordered = sorted(
+            self._stats.items(), key=lambda item: -item[1].total_ms
+        )
+        for key, stats in ordered:
+            lines.append(
+                f"{key:<44} {stats.count:>6} {stats.mean_ms:>8.3f} "
+                f"{stats.percentile_ms(0.5):>7.2f} {stats.percentile_ms(0.9):>7.2f} "
+                f"{stats.verdicts.get('sat', 0):>5} {stats.verdicts.get('unsat', 0):>6} "
+                f"{stats.verdicts.get('unknown', 0):>4} {stats.verdicts.get('error', 0):>4} "
+                f"{stats.fallback_rate * 100:>4.1f}%"
+            )
+        return "\n".join(lines)

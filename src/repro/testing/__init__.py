@@ -1,0 +1,18 @@
+"""Self-validation harnesses: machinery for checking the library against
+itself (brute-force oracles, differential cross-checks)."""
+
+from repro.testing.oracle import (
+    CrossCheck,
+    OracleBounds,
+    cross_check,
+    find_witness,
+    iter_small_trees,
+)
+
+__all__ = [
+    "CrossCheck",
+    "OracleBounds",
+    "cross_check",
+    "find_witness",
+    "iter_small_trees",
+]

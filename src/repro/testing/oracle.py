@@ -1,0 +1,253 @@
+"""Brute-force differential oracle.
+
+The deciders in :mod:`repro.sat` implement the paper's theorems; this
+module implements *none* of them.  It enumerates small DTD-conforming
+trees directly from the grammar (:func:`iter_small_trees`), evaluates
+the query on each with the reference semantics
+(:func:`repro.xpath.semantics.evaluate` via ``satisfies``), and declares
+satisfiability by exhibition: a query is SAT iff some enumerated tree
+models it.  Every enumerated tree is re-checked with
+:func:`repro.xmltree.validate.conforms`, so an enumeration bug cannot
+silently bias the oracle toward SAT.
+
+:func:`cross_check` runs the oracle against **every** registered decider
+that accepts a ``(query, DTD)`` case — plus the full ``decide()``
+dispatch path — and reports disagreements:
+
+* decider ``SAT``  but no tree within the oracle bound models the query;
+* decider ``UNSAT`` but the oracle exhibits a witness;
+* decider ``SAT`` whose claimed witness fails to conform or to satisfy
+  the (original, un-rewritten) query.
+
+``unknown`` verdicts and declines are recorded but are not
+disagreements.  The oracle is bounded, so the first check is only valid
+when the bound covers the minimal witness; use DTD/query corpora small
+enough for the bound (the test suite's are).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator
+
+from repro.dtd.model import DTD
+from repro.dtd.properties import classify
+from repro.errors import ReproError
+from repro.regex.ops import enumerate_words
+from repro.sat.registry import all_deciders
+from repro.xmltree.model import Node, XMLTree
+from repro.xmltree.validate import conforms
+from repro.xpath.ast import Path, constants_mentioned
+from repro.xpath.canonical import canonicalize
+from repro.xpath.fragments import features_of, uses_data
+from repro.xpath.semantics import satisfies
+
+
+@dataclass(frozen=True)
+class OracleBounds:
+    """Enumeration bounds: depth of the tree, children-word length,
+    node count, number of trees, and (for data queries) the attribute
+    value pool and assignment cap."""
+
+    max_depth: int = 4
+    max_width: int = 3
+    max_nodes: int = 14
+    max_trees: int = 60_000
+    words_per_type: int = 16
+    value_pool: int = 2
+    max_assignments: int = 256
+
+
+Shape = tuple  # (label, (child shapes...))
+
+
+def _shape_size(shape: Shape) -> int:
+    label, children = shape
+    return 1 + sum(_shape_size(child) for child in children)
+
+
+def _enumerate_shapes(dtd: DTD, bounds: OracleBounds):
+    """All conforming tree shapes rooted at each element type, memoized
+    per (type, depth).  Deliberately the simplest possible recursion:
+    a shape of depth ``d`` is a children word of the type's content model
+    with a shape of depth ``d - 1`` for every letter."""
+
+    @lru_cache(maxsize=None)
+    def words(label: str) -> tuple[tuple[str, ...], ...]:
+        return tuple(
+            itertools.islice(
+                enumerate_words(dtd.production(label), bounds.max_width),
+                bounds.words_per_type,
+            )
+        )
+
+    @lru_cache(maxsize=None)
+    def shapes(label: str, depth: int) -> tuple[Shape, ...]:
+        out: list[Shape] = []
+        for word in words(label):
+            if not word:
+                out.append((label, ()))
+                continue
+            if depth == 0:
+                continue
+            child_options = [shapes(child, depth - 1) for child in word]
+            for combo in itertools.product(*child_options):
+                shape = (label, combo)
+                if _shape_size(shape) <= bounds.max_nodes:
+                    out.append(shape)
+        return tuple(out)
+
+    return shapes(dtd.root, bounds.max_depth)
+
+
+def _materialize(shape: Shape, dtd: DTD, fill: str = "0") -> XMLTree:
+    def build(part: Shape) -> Node:
+        label, children = part
+        node = Node(label=label)
+        for attr in sorted(dtd.attrs_of(label)):
+            node.attrs[attr] = fill
+        for child in children:
+            node.append(build(child))
+        return node
+
+    return XMLTree(build(shape))
+
+
+def iter_small_trees(dtd: DTD, bounds: OracleBounds | None = None) -> Iterator[XMLTree]:
+    """Enumerate DTD-conforming trees within ``bounds``.  Every yielded
+    tree has been re-validated with :func:`conforms` — a non-conforming
+    enumeration is a bug and raises immediately."""
+    bounds = bounds or OracleBounds()
+    dtd.require_terminating()
+    produced = 0
+    for shape in _enumerate_shapes(dtd, bounds):
+        if produced >= bounds.max_trees:
+            return
+        tree = _materialize(shape, dtd)
+        if not conforms(tree, dtd):
+            raise AssertionError(
+                f"oracle enumeration produced a non-conforming tree for "
+                f"{dtd.root!r}: {tree.root.pretty()}"
+            )
+        produced += 1
+        yield tree
+
+
+def _assignments(
+    tree: XMLTree, pool: list[str], cap: int
+) -> Iterator[XMLTree]:
+    """Yield the tree once per attribute-value assignment (in place)."""
+    slots = [
+        (node, attr) for node in tree.nodes() for attr in sorted(node.attrs)
+    ]
+    if not slots:
+        yield tree
+        return
+    produced = 0
+    for combo in itertools.product(pool, repeat=len(slots)):
+        for (node, attr), value in zip(slots, combo):
+            node.attrs[attr] = value
+        produced += 1
+        yield tree
+        if produced >= cap:
+            return
+
+
+def find_witness(
+    query: Path, dtd: DTD, bounds: OracleBounds | None = None
+) -> XMLTree | None:
+    """The oracle's verdict by exhibition: a conforming tree within
+    ``bounds`` that models ``query``, or ``None`` if there is none."""
+    bounds = bounds or OracleBounds()
+    needs_data = uses_data(query)
+    pool = sorted(constants_mentioned(query)) + [
+        f"#o{i}" for i in range(1, bounds.value_pool + 1)
+    ]
+    for tree in iter_small_trees(dtd, bounds):
+        if not needs_data:
+            if satisfies(tree, query):
+                return tree
+            continue
+        for assigned in _assignments(tree, pool, bounds.max_assignments):
+            if satisfies(assigned, query):
+                return assigned
+    return None
+
+
+@dataclass
+class CrossCheck:
+    """Outcome of one differential case."""
+
+    query: str
+    verdicts: dict[str, bool | None] = field(default_factory=dict)
+    skipped: list[str] = field(default_factory=list)  # declined / not applicable
+    disagreements: list[str] = field(default_factory=list)
+    oracle_sat: bool = False
+
+    @property
+    def checked(self) -> int:
+        """Definitive decider verdicts actually compared to the oracle."""
+        return sum(1 for verdict in self.verdicts.values() if verdict is not None)
+
+
+def cross_check(
+    query: Path, dtd: DTD, bounds: OracleBounds | None = None
+) -> CrossCheck:
+    """Run every applicable registered decider (and the planner-routed
+    ``decide()``) on ``(query, dtd)`` and compare each verdict against
+    the brute-force oracle."""
+    from repro.sat.dispatch import decide
+
+    bounds = bounds or OracleBounds()
+    report = CrossCheck(query=str(query))
+    witness = find_witness(query, dtd, bounds)
+    report.oracle_sat = witness is not None
+
+    canonical = canonicalize(query)
+    features = features_of(canonical)
+    traits = classify(dtd)
+
+    candidates: list[tuple[str, object]] = [("decide()", None)]
+    for spec in all_deciders():
+        if not spec.needs_dtd:
+            continue
+        if not spec.accepts(features):
+            continue
+        if spec.traits and not all(traits.get(name, False) for name in spec.traits):
+            continue
+        candidates.append((spec.name, spec))
+
+    for name, spec in candidates:
+        try:
+            if spec is None:
+                result = decide(query, dtd)
+            else:
+                result = spec.call(canonical, dtd, None)
+        except ReproError:
+            report.skipped.append(name)
+            continue
+        report.verdicts[name] = result.satisfiable
+        if result.satisfiable is True:
+            claimed = result.witness
+            if claimed is not None:
+                if not conforms(claimed, dtd):
+                    report.disagreements.append(
+                        f"{name}: SAT witness does not conform to the DTD"
+                    )
+                elif not satisfies(claimed, query):
+                    report.disagreements.append(
+                        f"{name}: SAT witness does not satisfy the query"
+                    )
+            if witness is None:
+                report.disagreements.append(
+                    f"{name}: SAT but the oracle finds no witness within bounds"
+                )
+        elif result.satisfiable is False:
+            if witness is not None:
+                report.disagreements.append(
+                    f"{name}: UNSAT but the oracle exhibits a witness:\n"
+                    f"{witness.root.pretty()}"
+                )
+    return report

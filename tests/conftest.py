@@ -1,12 +1,23 @@
-"""Shared fixtures: the DTDs the paper uses as running examples."""
+"""Shared fixtures: the DTDs the paper uses as running examples, plus
+the hypothesis profiles (the ``ci`` profile pins the differential-oracle
+suite to a deterministic, deadline-free run; select it with
+``HYPOTHESIS_PROFILE=ci``)."""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.dtd import parse_dtd
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -245,3 +245,117 @@ class TestBatch:
     def test_missing_jobs_file_exits_3(self, capsys):
         code = main(["batch", "/nonexistent.jsonl"])
         assert code == 3
+
+
+class TestStateDir:
+    def test_warm_start_across_processes(self, schema_dir, jobs_file, tmp_path, capsys):
+        """Acceptance: batch run with --state-dir, then a new engine (fresh
+        process in production, fresh registry here) on the same corpus
+        builds 0 plans and loads >= 1 persisted plan."""
+        import json
+
+        state_dir = str(tmp_path / "state")
+        cold_stats = str(tmp_path / "cold.json")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir, "--stats-json", cold_stats,
+        ])
+        assert code == 0
+        assert "state: saved" in capsys.readouterr().out
+
+        warm_stats = str(tmp_path / "warm.json")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir, "--stats-json", warm_stats,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "persisted plans" in out
+        with open(cold_stats) as handle:
+            (cold,) = json.load(handle)
+        with open(warm_stats) as handle:
+            (warm,) = json.load(handle)
+        assert cold["planner_invocations"] > 0
+        assert warm["planner_invocations"] == 0
+        assert warm["persisted_plans_loaded"] >= 1
+        assert warm["decide_calls"] == 0  # decisions persisted too
+
+    def test_stats_plans_prints_latency_verdict_table(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        state_dir = str(tmp_path / "state")
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--plans", "--state-dir", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "mean_ms" in out and "p50_ms" in out and "fb%" in out
+        assert "sat" in out and "unsat" in out
+        assert "cost model:" in out
+
+    def test_empty_state_dir_is_fine(self, schema_dir, jobs_file, tmp_path, capsys):
+        state_dir = tmp_path / "empty"
+        state_dir.mkdir()
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", str(state_dir),
+        ])
+        assert code == 0
+        assert "0 persisted plans" in capsys.readouterr().out
+
+    def test_corrupt_state_dir_warns_and_continues(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        state_dir = tmp_path / "corrupt"
+        state_dir.mkdir()
+        (state_dir / "plans.json").write_text("not json at all {")
+        (state_dir / "telemetry.json").write_text('{"version": 42}')
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", str(state_dir),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "unreadable" in captured.err
+        assert "version" in captured.err
+        # the corrupt files were replaced by a fresh save
+        assert main(["stats", "--plans", "--state-dir", str(state_dir)]) == 0
+        assert "mean_ms" in capsys.readouterr().out
+
+    def test_stats_plans_without_state_dir_exits_3(self, capsys):
+        assert main(["stats", "--plans"]) == 3
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_stats_without_results_or_plans_exits_3(self, capsys):
+        assert main(["stats"]) == 3
+        assert "results" in capsys.readouterr().err
+
+    def test_stats_plans_empty_state_dir_reports_nothing(self, tmp_path, capsys):
+        state_dir = tmp_path / "void"
+        state_dir.mkdir()
+        assert main(["stats", "--plans", "--state-dir", str(state_dir)]) == 0
+        assert "no plan telemetry" in capsys.readouterr().out
+
+    def test_explain_surfaces_persisted_telemetry(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        import json as json_module
+        import os
+
+        state_dir = str(tmp_path / "state")
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir,
+        ]) == 0
+        capsys.readouterr()
+        dtd_path = os.path.join(schema_dir, "main.dtd")
+        assert main([
+            "explain", "--json", "--dtd", dtd_path,
+            "--state-dir", state_dir, ".[B and C]",
+        ]) == 0
+        record = json_module.loads(capsys.readouterr().out)
+        assert record["decider"] == "exptime_types"
+        assert record["telemetry"]["count"] >= 1
+        assert "verdicts" in record["telemetry"]

@@ -1,0 +1,200 @@
+"""Differential oracle harness: every registered decider against the
+brute-force witness-enumeration oracle (`repro.testing.oracle`).
+
+The oracle never runs a theorem — it enumerates small DTD-conforming
+trees straight from the grammar and evaluates the query with the
+reference semantics.  Any definitive decider verdict that contradicts it
+(SAT with no small witness, UNSAT with an exhibited witness, or a SAT
+witness that fails to validate) is a bug in a decider, a rewrite pass,
+the planner, or the oracle itself.
+
+The bulk test sweeps a fixed seeded corpus of >= 300 random
+(query x DTD) cases drawn from ``workloads.queries`` over a grid of
+small schemas; the hypothesis tests explore beyond it (deterministic in
+CI via the ``ci`` profile registered in ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import parse_dtd
+from repro.testing import OracleBounds, cross_check, find_witness, iter_small_trees
+from repro.workloads.queries import random_query
+from repro.xmltree.validate import conforms
+from repro.xpath import fragments as frag
+from repro.xpath import parse_query
+
+THREESAT_DTD = parse_dtd(
+    """
+    root r
+    r  -> X1, X2
+    X1 -> T + F
+    X2 -> T + F
+    T  -> eps
+    F  -> eps
+    """
+)
+
+CHOICE_DTD = parse_dtd(
+    """
+    root r
+    r -> A, (B + C)
+    A -> eps
+    B -> eps
+    C -> eps
+    """
+)
+
+STAR_DTD = parse_dtd(
+    """
+    root r
+    r -> A, B
+    A -> C*
+    B -> eps
+    C -> eps
+    """
+)
+
+ATTR_DTD = parse_dtd(
+    """
+    root r
+    r -> A, B?
+    A -> eps
+    B -> eps
+    A @ a, b
+    B @ a
+    """
+)
+
+RECURSIVE_DTD = parse_dtd(
+    """
+    root r
+    r -> C
+    C -> (C, R1) + eps
+    R1 -> X + eps
+    X -> eps
+    """
+)
+
+#: (dtd, label pool) grid the corpus draws schemas from
+SCHEMAS = [
+    (THREESAT_DTD, ["r", "X1", "X2", "T", "F"]),
+    (CHOICE_DTD, ["r", "A", "B", "C"]),
+    (STAR_DTD, ["r", "A", "B", "C"]),
+    (ATTR_DTD, ["r", "A", "B"]),
+    (RECURSIVE_DTD, ["r", "C", "R1", "X"]),
+]
+
+#: fragments the corpus draws queries from — together they exercise every
+#: DTD decider in the registry (downward, sibling, disjunction-free,
+#: positive, exptime_types, nexptime, bounded)
+FRAGMENTS = [
+    frag.DOWNWARD,
+    frag.CHILD_QUAL,
+    frag.DOWNWARD_QUAL,
+    frag.CHILD_QUAL_NEG,
+    frag.REC_NEG_DOWN_UNION,
+    frag.SIBLING_QUAL,
+    frag.POSITIVE,
+]
+
+#: generous relative to the corpus: depth-2 queries over <= 5-type DTDs
+BOUNDS = OracleBounds(max_depth=4, max_width=3, max_nodes=12)
+
+CASES_REQUIRED = 300
+
+
+def _corpus():
+    """The fixed differential corpus: a deterministic seeded sweep of
+    (fragment x schema) pairs, >= CASES_REQUIRED cases."""
+    rng = random.Random(20250730)
+    cases = []
+    per_pair = 1 + CASES_REQUIRED // (len(FRAGMENTS) * len(SCHEMAS))
+    for fragment in FRAGMENTS:
+        for dtd, labels in SCHEMAS:
+            for _ in range(per_pair):
+                query = random_query(rng, fragment, labels, max_depth=2)
+                cases.append((query, dtd))
+    return cases
+
+
+class TestOracleEnumeration:
+    def test_every_enumerated_tree_conforms(self):
+        for dtd, _labels in SCHEMAS:
+            trees = list(iter_small_trees(dtd, BOUNDS))
+            assert trees, f"no trees enumerated for root {dtd.root!r}"
+            assert all(conforms(tree, dtd) for tree in trees)
+
+    def test_star_dtd_enumerates_repetitions(self):
+        widths = {
+            len([n for n in tree.nodes() if n.label == "C"])
+            for tree in iter_small_trees(STAR_DTD, BOUNDS)
+        }
+        assert {0, 1, 2, 3} <= widths
+
+    def test_find_witness_exhibits_and_respects_unsat(self):
+        assert find_witness(parse_query("B"), CHOICE_DTD, BOUNDS) is not None
+        assert find_witness(parse_query(".[B and C]"), CHOICE_DTD, BOUNDS) is None
+
+    def test_data_assignments_enumerated(self):
+        witness = find_witness(
+            parse_query("A[@a != '0']"), ATTR_DTD, BOUNDS
+        )
+        assert witness is not None
+        node = witness.find("A")
+        assert node is not None and node.attrs["a"] != "0"
+
+
+class TestDifferentialCorpus:
+    def test_corpus_is_large_enough(self):
+        assert len(_corpus()) >= CASES_REQUIRED
+
+    @pytest.mark.parametrize(
+        "chunk", range(10),
+        ids=lambda index: f"chunk{index}",
+    )
+    def test_no_decider_disagrees_with_oracle(self, chunk):
+        cases = _corpus()
+        disagreements = []
+        checked = 0
+        for query, dtd in cases[chunk::10]:
+            report = cross_check(query, dtd, BOUNDS)
+            checked += report.checked
+            for message in report.disagreements:
+                disagreements.append(f"{report.query} (root {dtd.root}): {message}")
+        assert not disagreements, "\n".join(disagreements)
+        assert checked > 0
+
+
+class TestDifferentialHypothesis:
+    """Property form: hypothesis drives the seeds and the fragment/schema
+    choice, reaching corners the fixed corpus missed."""
+
+    @settings(max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        fragment_index=st.integers(min_value=0, max_value=len(FRAGMENTS) - 1),
+        schema_index=st.integers(min_value=0, max_value=len(SCHEMAS) - 1),
+    )
+    def test_random_case_agrees(self, seed, fragment_index, schema_index):
+        dtd, labels = SCHEMAS[schema_index]
+        query = random_query(
+            random.Random(seed), FRAGMENTS[fragment_index], labels, max_depth=2
+        )
+        report = cross_check(query, dtd, BOUNDS)
+        assert not report.disagreements, "\n".join(report.disagreements)
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_data_queries_agree(self, seed):
+        query = random_query(
+            random.Random(seed), frag.UP_DATA_NEG, ["r", "A", "B"],
+            attrs=["a", "b"], max_depth=2,
+        )
+        report = cross_check(query, ATTR_DTD, BOUNDS)
+        assert not report.disagreements, "\n".join(report.disagreements)

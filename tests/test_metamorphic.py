@@ -1,0 +1,376 @@
+"""Metamorphic guarantees of the planner feedback loop.
+
+Telemetry, cost-based routing, and plan-cache persistence are
+*performance* features: none of them may change a single verdict.  The
+tests here decide one corpus three ways — static ranking, cost-based
+ranking after calibration, and a cold engine warmed from a persisted
+state directory — and require bit-identical verdicts, plus unit coverage
+of the telemetry aggregator and the state serialization round trip.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import parse_dtd
+from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.engine.state import load_state, save_state
+from repro.sat import CostModel, Plan, PlanTelemetry, Planner, calibrate
+from repro.sat.costmodel import size_bucket
+from repro.sat.telemetry import PlanStats
+from repro.workloads import batch_jobs
+from repro.xpath import fragments as frag
+from repro.xpath import parse_query
+
+TINY_DTD = """
+root r
+r -> A, (B + C)
+A -> eps
+B -> eps
+C -> eps
+"""
+
+DOC_DTD = """
+root doc
+doc -> title, para*
+title -> eps
+para -> text?
+text -> eps
+"""
+
+
+def _schemas():
+    return {"tiny": parse_dtd(TINY_DTD), "doc": parse_dtd(DOC_DTD)}
+
+
+def _corpus(n_jobs=120):
+    return batch_jobs(
+        random.Random(42), _schemas(), n_jobs=n_jobs,
+        fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL, frag.CHILD_QUAL_NEG),
+        max_depth=2, duplicate_rate=0.3,
+    )
+
+
+def _registry():
+    registry = SchemaRegistry()
+    for name, dtd in _schemas().items():
+        registry.register(name, dtd)
+    return registry
+
+
+def _verdicts(report):
+    return [(result.id, result.satisfiable) for result in report.results]
+
+
+class TestMetamorphicVerdicts:
+    def test_cost_based_ranking_never_changes_verdicts(self):
+        jobs = _corpus()
+        static_engine = BatchEngine(registry=_registry())
+        baseline = _verdicts(static_engine.run(jobs))
+
+        # train a cost model on the negation plans of both schemas, then
+        # decide the same corpus with cost-based ranking
+        model = CostModel(min_samples=1)
+        calibration = [
+            parse_query(text)
+            for text in ("A[not(B)]", "B[not(C)]", ".[not(A)]")
+        ]
+        registry = _registry()
+        for name in ("tiny", "doc"):
+            artifacts = registry.get(name)
+            plan = Planner().plan_query(calibration[0], artifacts=artifacts)
+            queries = (
+                calibration if name == "tiny"
+                else [parse_query("title[not(para)]")]
+            )
+            calibrate(model, plan, queries, artifacts.dtd)
+        cost_engine = BatchEngine(
+            registry=registry, planner=Planner(cost_model=model)
+        )
+        assert _verdicts(cost_engine.run(jobs)) == baseline
+
+    def test_retune_never_changes_verdicts(self):
+        jobs = _corpus(80)
+        engine = BatchEngine(registry=_registry())
+        baseline = _verdicts(engine.run(jobs))
+        # second pass replans against the measurements the first pass fed
+        # into the engine's own cost model
+        dropped = engine.retune()
+        assert dropped >= 1
+        engine.cache.clear()
+        assert _verdicts(engine.run(jobs)) == baseline
+
+    def test_persisted_state_reload_never_changes_verdicts(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        jobs = _corpus(80)
+        warm_engine = BatchEngine(registry=_registry(), state_dir=state_dir)
+        baseline = _verdicts(warm_engine.run(jobs))
+        warm_engine.save_state()
+
+        cold_engine = BatchEngine(registry=_registry(), state_dir=state_dir)
+        report = cold_engine.run(jobs)
+        assert _verdicts(report) == baseline
+        # the cold process planned nothing and re-decided nothing
+        assert report.stats.planner_invocations == 0
+        assert report.stats.persisted_plans_loaded >= 1
+        assert report.stats.decide_calls == 0
+
+    def test_persisted_plans_apply_to_schemas_registered_later(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        engine = BatchEngine(registry=_registry(), state_dir=state_dir)
+        engine.run(_corpus(40))
+        engine.save_state()
+
+        # cold engine loads state BEFORE any schema is registered
+        cold = BatchEngine(state_dir=state_dir)
+        for name, dtd in _schemas().items():
+            cold.registry.register(name, dtd)
+        report = cold.run(_corpus(40))
+        assert report.stats.planner_invocations == 0
+        assert report.stats.persisted_plans_loaded >= 1
+
+
+class TestEngineTelemetry:
+    def test_run_populates_per_plan_stats(self):
+        engine = BatchEngine(registry=_registry())
+        report = engine.run(_corpus(60))
+        assert len(engine.telemetry) >= 1
+        summary = report.stats.plans
+        assert summary
+        total = sum(row["count"] for row in summary.values())
+        # cache hits and coalesced jobs do not execute a plan
+        assert total == report.stats.decide_calls
+        for row in summary.values():
+            assert row["mean_ms"] >= 0.0
+            assert sum(row["verdicts"].values()) == row["count"]
+
+    def test_pooled_executions_feed_telemetry(self):
+        registry = _registry()
+        engine = BatchEngine(registry=registry, workers=2)
+        report = engine.run([
+            ("A[not(B)]", "tiny"), ("B[not(C)]", "tiny"), (".[B and C]", "tiny"),
+        ])
+        assert report.stats.pool_decides >= 1
+        pooled_rows = [
+            stats for key, stats in engine.telemetry.items()
+            if "neg" in key or "qual" in key
+        ]
+        assert pooled_rows
+        assert sum(stats.count for stats in pooled_rows) >= 1
+
+    def test_plan_stats_percentiles_and_merge(self):
+        stats = PlanStats()
+        for elapsed in (0.04, 0.2, 0.2, 4.0):
+            stats.record(elapsed, "sat", decider="downward")
+        assert stats.count == 4
+        assert stats.percentile_ms(0.5) == pytest.approx(0.25)
+        assert stats.percentile_ms(1.0) == pytest.approx(5.0)
+        other = PlanStats()
+        other.record(3000.0, "unknown", decider="bounded", fallback=True)
+        stats.merge(other)
+        assert stats.count == 5
+        assert stats.verdicts["unknown"] == 1
+        assert stats.fallbacks == 1
+        assert stats.percentile_ms(1.0) == pytest.approx(3000.0)  # overflow = max
+        rebuilt = PlanStats.from_dict(stats.to_dict())
+        assert rebuilt.to_dict() == stats.to_dict()
+
+    def test_telemetry_round_trip_and_table(self):
+        engine = BatchEngine(registry=_registry())
+        engine.run(_corpus(40))
+        rebuilt = PlanTelemetry.from_dict(engine.telemetry.to_dict())
+        assert rebuilt.to_dict() == engine.telemetry.to_dict()
+        table = engine.telemetry.table()
+        assert "mean_ms" in table and "fb%" in table
+
+
+class TestStatePersistence:
+    def test_state_round_trip(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        engine = BatchEngine(registry=_registry())
+        engine.run(_corpus(40))
+        save_state(
+            state_dir,
+            registry=engine.registry,
+            telemetry=engine.telemetry,
+            cost_model=engine.cost_model,
+            cache=engine.cache,
+        )
+        state = load_state(state_dir)
+        assert not state.warnings
+        assert state.plan_count == sum(
+            len(artifacts.plan_cache) for artifacts in engine.registry
+        )
+        assert state.telemetry is not None
+        assert state.telemetry.to_dict() == engine.telemetry.to_dict()
+        assert state.cost_model is not None
+        assert state.cost_model.to_dict() == engine.cost_model.to_dict()
+        assert len(state.decisions) == len(engine.cache)
+
+    def test_missing_dir_is_empty_state(self, tmp_path):
+        state = load_state(str(tmp_path / "nonexistent"))
+        assert state.plan_count == 0
+        assert state.telemetry is None
+        assert not state.warnings
+
+    def test_corrupt_files_degrade_with_warnings(self, tmp_path):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "plans.json").write_text("{ this is not json")
+        (state_dir / "telemetry.json").write_text('["a list, not an object"]')
+        (state_dir / "cost_model.json").write_text('{"version": 99}')
+        state = load_state(str(state_dir))
+        assert state.plan_count == 0
+        assert state.telemetry is None
+        assert state.cost_model is None
+        assert len(state.warnings) == 3
+        # a corrupt state dir must not break the engine
+        engine = BatchEngine(registry=_registry(), state_dir=str(state_dir))
+        report = engine.run(_corpus(20))
+        assert report.stats.errors == 0
+
+    def test_cost_model_round_trip_and_merge(self):
+        model = CostModel(min_samples=2)
+        bucket = size_bucket(8)
+        model.observe("neg,qual", bucket, "bounded", 0.5)
+        model.observe("neg,qual", bucket, "bounded", 1.5)
+        rebuilt = CostModel.from_dict(model.to_dict())
+        assert rebuilt.to_dict() == model.to_dict()
+        entry = rebuilt.measured("neg,qual", bucket, "bounded")
+        assert entry is not None and entry.mean_ms == pytest.approx(1.0)
+        other = CostModel()
+        other.observe("neg,qual", bucket, "bounded", 4.0)
+        rebuilt.merge(other)
+        merged = rebuilt.measured("neg,qual", bucket, "bounded")
+        assert merged is not None and merged.count == 3
+        assert merged.mean_ms == pytest.approx(2.0)
+
+    def test_decision_cache_records_round_trip(self):
+        engine = BatchEngine(registry=_registry())
+        engine.run(_corpus(30))
+        records = engine.cache.to_records()
+        fresh = DecisionCache()
+        assert fresh.load_records(records) == len(engine.cache)
+        assert fresh.to_records() == records
+        # malformed entries are skipped, not fatal
+        assert fresh.load_records([[["k", "s", "-"], {"bogus": 1}]]) == 0
+
+
+class TestCostModelHygiene:
+    """Regressions for cost-model poisoning: inconclusive runs must never
+    become latency samples, or a fast-but-useless semi-decision procedure
+    gets promoted to primary and every job pays for it twice."""
+
+    def test_unknown_attempts_are_not_cost_samples(self):
+        from repro.sat.planner import ExecutionTrace
+
+        engine = BatchEngine(registry=_registry())
+        plan = engine.planner.plan_query(
+            parse_query("A[not(B)]"), artifacts=engine.registry.get("tiny")
+        )
+        trace = ExecutionTrace()
+        trace.add("bounded", 0.01, "unknown")       # gave up fast
+        trace.add("exptime_types", 2.0, "unsat")    # actually answered
+        engine._observe(plan, engine.registry.get("tiny"), trace, "unsat")
+        bucket = size_bucket(engine.registry.get("tiny").dtd.size())
+        assert engine.cost_model.measured(plan.signature, bucket, "bounded") is None
+        entry = engine.cost_model.measured(plan.signature, bucket, "exptime_types")
+        assert entry is not None and entry.count == 1
+
+    def test_calibrate_skips_inconclusive_deciders(self):
+        from repro.sat.bounded import Bounds
+        from repro.sat.planner import Plan
+
+        dtd = _schemas()["doc"]  # starred: bounded answers unknown on UNSAT
+        plan = Plan(
+            signature="neg,qual", schema=None, rewrites=("canonicalize",),
+            decider="bounded", fallbacks=(),
+        )
+        model = CostModel(min_samples=1)
+        recorded = calibrate(
+            model, plan,
+            [parse_query(".[title and not(title)]")], dtd,
+            bounds=Bounds(max_depth=1, max_trees=4),
+        )
+        assert recorded == 0
+        assert model.measured("neg,qual", size_bucket(dtd.size()), "bounded") is None
+
+
+class TestStateDirSharing:
+    def test_alternating_workloads_keep_each_others_plans(self, tmp_path):
+        """A run that registers only schema B must not erase schema A's
+        persisted plans from a shared state dir."""
+        state_dir = str(tmp_path / "state")
+        schemas = _schemas()
+
+        first = BatchEngine(state_dir=state_dir)
+        first.registry.register("tiny", schemas["tiny"])
+        first.run([("A[not(B)]", "tiny"), ("B | C", "tiny")])
+        tiny_plans = sum(len(a.plan_cache) for a in first.registry)
+        assert tiny_plans >= 1
+        first.save_state()
+
+        second = BatchEngine(state_dir=state_dir)
+        second.registry.register("doc", schemas["doc"])
+        second.run([("title", "doc")])
+        second.save_state()
+
+        third = BatchEngine(state_dir=state_dir)
+        third.registry.register("tiny", schemas["tiny"])
+        report = third.run([("A[not(B)]", "tiny"), ("B | C", "tiny")])
+        assert report.stats.planner_invocations == 0
+        assert report.stats.persisted_plans_loaded >= tiny_plans
+
+    def test_retune_discards_pending_persisted_plans(self, tmp_path):
+        """A schema registered after retune() must be replanned, not
+        handed a stale persisted plan."""
+        state_dir = str(tmp_path / "state")
+        first = BatchEngine(state_dir=state_dir)
+        first.registry.register("tiny", _schemas()["tiny"])
+        first.run([("A[not(B)]", "tiny")])
+        first.save_state()
+
+        second = BatchEngine(state_dir=state_dir)  # tiny not yet registered
+        assert second.retune() >= 1
+        second.cache.clear()  # the persisted decisions would answer first
+        second.registry.register("tiny", _schemas()["tiny"])
+        report = second.run([("A[not(B)]", "tiny")])
+        assert report.stats.planner_invocations == 1
+        assert report.stats.persisted_plans_loaded == 0
+
+    def test_inline_errors_do_not_skew_latency_histogram(self):
+        engine = BatchEngine(registry=_registry())
+        engine.run([("A[not(B)]", "tiny")])
+        (key,) = [k for k, _ in engine.telemetry.items()]
+        before = engine.telemetry.get(key).count
+        engine.telemetry.record_failure(
+            Plan.from_dict(engine.telemetry.plan_record(key))
+        )
+        stats = engine.telemetry.get(key)
+        assert stats.count == before            # no latency sample added
+        assert stats.verdicts["error"] == 1     # but the failure is counted
+
+    def test_payload_corruption_degrades_with_warnings(self, tmp_path):
+        """Corruption below the top level (valid JSON, bogus values) must
+        degrade to a cold start too, never crash the run."""
+        import json
+
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "cost_model.json").write_text(
+            json.dumps({"version": 1, "min_samples": 0,
+                        "entries": [["s", "b", "d", "xx", "yy"]]})
+        )
+        (state_dir / "telemetry.json").write_text(
+            json.dumps({"version": 1, "plans": {
+                "k": {"plan": None, "stats": {"count": "zzz"}}}})
+        )
+        state = load_state(str(state_dir))
+        assert state.cost_model is not None       # clamped + bad entry skipped
+        assert len(state.cost_model) == 0
+        assert state.telemetry is not None and len(state.telemetry) == 0
+        engine = BatchEngine(registry=_registry(), state_dir=str(state_dir))
+        report = engine.run([("A[not(B)]", "tiny")])
+        assert report.stats.errors == 0

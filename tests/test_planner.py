@@ -13,26 +13,33 @@ fallback, the lazy Prop 3.1 family) behave as documented.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.sat.dispatch
 from repro.dtd import parse_dtd
 from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
 from repro.sat import (
     DEFAULT_PLANNER,
+    CostModel,
+    ExecutionTrace,
     Plan,
     Planner,
     all_deciders,
     bounded,
+    build_plan,
+    calibrate,
     decide,
     exptime_types,
     get_decider,
     nexptime,
     routing_table,
+    size_bucket,
 )
 from repro.sat.family import sat_universal_family
 from repro.sat.planner import execute_plan
 from repro.xpath import parse_query
-from repro.xpath.fragments import feature_signature, features_of
+from repro.xpath.fragments import Feature, feature_signature, features_of
 from repro.xpath.rewrite import PASSES, upward_to_qualifiers
 
 GENERAL_DTD = """
@@ -306,3 +313,231 @@ class TestExecutePlanDirectly:
         decide(parse_query("A[B]"))
         after = DEFAULT_PLANNER.invocations + DEFAULT_PLANNER.cache_hits
         assert after == before + 1
+
+
+# -- plan round-trip and cost-based choice --------------------------------------
+
+class TestPlanRoundTrip:
+    """Property: ``Plan.to_dict`` -> ``Plan.from_dict`` is the identity —
+    same routing (decider, fallbacks, rewrites, route) and the same
+    telemetry aggregation key."""
+
+    @settings(max_examples=60)
+    @given(
+        feature_bits=st.integers(min_value=0, max_value=2 ** len(Feature) - 1),
+        has_dtd=st.booleans(),
+    )
+    def test_round_trip_from_random_feature_sets(self, feature_bits, has_dtd):
+        members = sorted(Feature, key=lambda f: f.value)
+        features = frozenset(
+            feature for index, feature in enumerate(members)
+            if feature_bits >> index & 1
+        )
+        plan = build_plan(
+            features, has_dtd=has_dtd, traits=lambda name: False,
+            schema="abc123def456" if has_dtd else None,
+        )
+        rebuilt = Plan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert rebuilt.telemetry_key == plan.telemetry_key
+        assert (rebuilt.decider, rebuilt.fallbacks, rebuilt.rewrites, rebuilt.route) \
+            == (plan.decider, plan.fallbacks, plan.rewrites, plan.route)
+
+    @settings(max_examples=30)
+    @given(feature_bits=st.integers(min_value=0, max_value=2 ** len(Feature) - 1))
+    def test_round_trip_survives_json_and_cost_annotations(self, feature_bits):
+        import json
+
+        members = sorted(Feature, key=lambda f: f.value)
+        features = frozenset(
+            feature for index, feature in enumerate(members)
+            if feature_bits >> index & 1
+        )
+        model = CostModel(min_samples=1)
+        plan = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            schema="abc123def456", cost_model=model, schema_size=12,
+        )
+        assert plan.costs  # the model annotates every chain member
+        rebuilt = Plan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+        assert rebuilt.telemetry_key == plan.telemetry_key
+
+    def test_telemetry_key_ignores_cost_annotations(self):
+        features = features_of(parse_query("A[not(B)]"))
+        bare = build_plan(features, has_dtd=True, traits=lambda name: False)
+        annotated = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=CostModel(), schema_size=12,
+        )
+        assert bare.telemetry_key == annotated.telemetry_key
+
+
+class TestCostBasedChoice:
+    def _neg_features(self):
+        return features_of(parse_query("A[not(B)]"))
+
+    def test_unmeasured_model_keeps_static_order(self):
+        features = self._neg_features()
+        static = build_plan(features, has_dtd=True, traits=lambda name: False)
+        costed = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=CostModel(), schema_size=12,
+        )
+        assert costed.decider == static.decider
+        assert costed.fallbacks == static.fallbacks
+        assert costed.route == static.route
+
+    def test_measured_fallback_gets_promoted(self):
+        features = self._neg_features()
+        static = build_plan(features, has_dtd=True, traits=lambda name: False)
+        assert static.decider == "exptime_types"
+        assert "nexptime" in static.fallbacks
+        model = CostModel(min_samples=3)
+        bucket = size_bucket(12)
+        for _ in range(3):
+            model.observe(static.signature, bucket, "nexptime", 0.1)
+            model.observe(static.signature, bucket, "exptime_types", 5.0)
+        promoted = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=model, schema_size=12,
+        )
+        assert promoted.decider == "nexptime"
+        assert promoted.fallbacks == ("exptime_types",)
+        assert any("promoted" in note for note in promoted.notes)
+        # chain members never change, only their order
+        assert set((promoted.decider,) + promoted.fallbacks) \
+            == set((static.decider,) + static.fallbacks)
+
+    def test_measured_cheap_primary_routes_inline(self):
+        features = self._neg_features()
+        model = CostModel(min_samples=1)
+        bucket = size_bucket(12)
+        model.observe("neg,qual", bucket, "exptime_types", 0.2)
+        plan = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=model, schema_size=12,
+        )
+        assert plan.decider == "exptime_types"
+        assert plan.route == "inline"
+
+    def test_slow_measurement_never_outranks_by_accident(self):
+        features = self._neg_features()
+        model = CostModel(min_samples=1)
+        bucket = size_bucket(500)
+        model.observe("neg,qual", bucket, "nexptime", 9000.0)
+        model.observe("neg,qual", bucket, "exptime_types", 3.0)
+        plan = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=model, schema_size=500,
+        )
+        assert plan.decider == "exptime_types"
+
+    def test_size_buckets_are_independent(self):
+        features = self._neg_features()
+        model = CostModel(min_samples=1)
+        model.observe("neg,qual", size_bucket(8), "nexptime", 0.05)
+        model.observe("neg,qual", size_bucket(8), "exptime_types", 4.0)
+        tiny = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=model, schema_size=8,
+        )
+        large = build_plan(
+            features, has_dtd=True, traits=lambda name: False,
+            cost_model=model, schema_size=500,
+        )
+        assert tiny.decider == "nexptime"
+        assert large.decider == "exptime_types"
+
+
+class TestExecutionTraceAndFallThrough:
+    def test_trace_records_single_answer(self, registry):
+        artifacts = registry.get("general")
+        plan = Planner().plan_query(parse_query("A[not(B)]"), artifacts=artifacts)
+        trace = ExecutionTrace()
+        result = execute_plan(plan, parse_query("A[not(B)]"), artifacts.dtd, trace=trace)
+        assert result.is_sat
+        assert trace.decider == plan.decider
+        assert not trace.fallback_used
+        assert trace.elapsed_ms > 0
+
+    def test_promoted_semi_decision_falls_through_on_unknown(self):
+        """An `unknown` from a non-final chain member must not become the
+        answer while a definitive member remains — the guarantee that
+        makes cost-based promotion verdict-preserving."""
+        dtd = parse_dtd(GENERAL_DTD)
+        query = parse_query("A[not(B)]")
+        static = build_plan(
+            features_of(query), has_dtd=True, traits=lambda name: False
+        )
+        # force a semi-decision procedure first, as an aggressive cost
+        # model would on a bucket where it measured fast; `bounded` honours
+        # the caller's search bounds, so tight bounds make it answer
+        # `unknown` while the definitive members ignore them
+        chain = (static.decider,) + static.fallbacks
+        reordered = Plan(
+            signature=static.signature,
+            schema=static.schema,
+            rewrites=static.rewrites,
+            decider="bounded",
+            fallbacks=tuple(name for name in chain if name != "bounded"),
+            route="pool",
+        )
+        trace = ExecutionTrace()
+        from repro.sat.bounded import Bounds
+
+        result = execute_plan(
+            reordered, query, dtd, Bounds(max_depth=0, max_trees=1), trace=trace
+        )
+        outcomes = [outcome for _name, _ms, outcome in trace.attempts]
+        assert outcomes[0] == "unknown"
+        assert result.satisfiable is True  # exptime_types still answers
+        assert trace.fallback_used
+        assert trace.decider == "exptime_types"
+
+    def test_static_and_promoted_chains_agree_on_verdicts(self, registry):
+        artifacts = registry.get("general")
+        queries = [
+            "A[not(B)]", "B[not(C)]", ".[not(A)]", "A[not(D)]",
+            ".[A and not(B)]", ".[not(B) and not(C)]",
+        ]
+        static_planner = Planner()
+        model = CostModel(min_samples=1)
+        plan = static_planner.plan_query(
+            parse_query(queries[0]), artifacts=artifacts
+        )
+        calibrate(
+            model, plan, [parse_query(q) for q in queries[:3]], artifacts.dtd
+        )
+        cost_planner = Planner(cost_model=model)
+        for text in queries:
+            query = parse_query(text)
+            static_plan = build_plan(
+                features_of(query), has_dtd=True,
+                traits=lambda name: False, schema=artifacts.short_fingerprint,
+            )
+            cost_plan = cost_planner.plan_for(
+                features_of(query),
+                dtd=artifacts.dtd,
+            )
+            static_result = execute_plan(static_plan, query, artifacts.dtd)
+            cost_result = execute_plan(cost_plan, query, artifacts.dtd)
+            assert static_result.satisfiable == cost_result.satisfiable, text
+
+
+class TestPlannerInvalidate:
+    def test_invalidate_forces_replan_under_new_measurements(self, registry):
+        artifacts = registry.get("general")
+        model = CostModel(min_samples=1)
+        planner = Planner(cost_model=model)
+        query = parse_query("A[not(B)]")
+        first = planner.plan_query(query, artifacts=artifacts)
+        assert first.decider == "exptime_types"
+        bucket = size_bucket(artifacts.dtd.size())
+        model.observe(first.signature, bucket, "nexptime", 0.05)
+        model.observe(first.signature, bucket, "exptime_types", 8.0)
+        # cached plan still served until invalidated
+        assert planner.plan_query(query, artifacts=artifacts).decider == "exptime_types"
+        dropped = planner.invalidate(artifacts)
+        assert dropped >= 1
+        assert planner.plan_query(query, artifacts=artifacts).decider == "nexptime"
