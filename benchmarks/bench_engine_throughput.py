@@ -7,9 +7,12 @@ Not a paper figure — this benchmark guards the batch engine
   traffic shape) is run twice in one process; the warm pass must hit the
   decision cache instead of re-running ``decide()`` (the acceptance bar
   is ≥ 10× fewer ``decide()`` invocations, asserted here);
-* **serial vs. parallel** — a heavy-fragment workload (EXPTIME types
-  fixpoint) is run with 1 worker (inline) and with a process pool;
-  wall-clock per configuration is reported.
+* **serial vs. parallel vs. grouped** — a heavy-fragment workload
+  (EXPTIME types fixpoint) is run with 1 worker (inline), with an
+  ungrouped process pool, and with the plan-grouped scheduler on the
+  same pool; wall-clock per configuration is reported and grouped
+  verdicts must match ungrouped ones (see ``bench_plan_groups.py`` for
+  the dedicated grouped-throughput demonstration).
 
 Quick mode (``REPRO_BENCH_QUICK=1``, used by CI) shrinks the workload so
 the whole file runs in seconds.
@@ -102,11 +105,19 @@ def test_serial_vs_parallel(report, rng):
     registry = _heavy_registry(rng)
     jobs = _heavy_jobs(rng, registry, N_HEAVY)
 
+    # serial (inline), then each pool size without and with plan grouping
+    configurations = [(1, False)]
+    for workers in POOL_WORKERS:
+        configurations.append((workers, False))
+        configurations.append((workers, True))
+
     rows = []
     serial_elapsed = None
-    for workers in (1,) + POOL_WORKERS:
+    verdicts_by_mode: dict[tuple[int, bool], list] = {}
+    for workers, grouped in configurations:
         engine = BatchEngine(
-            registry=registry, cache=DecisionCache(capacity=8192), workers=workers
+            registry=registry, cache=DecisionCache(capacity=8192),
+            workers=workers, group_by_plan=grouped,
         )
         start = time.perf_counter()
         outcome = engine.run(jobs)
@@ -114,17 +125,29 @@ def test_serial_vs_parallel(report, rng):
         if workers == 1:
             serial_elapsed = elapsed
         assert outcome.stats.errors == 0
+        verdicts_by_mode[(workers, grouped)] = [
+            result.satisfiable for result in outcome.results
+        ]
         speedup = serial_elapsed / elapsed if elapsed else float("inf")
         rows.append([
-            workers, outcome.stats.jobs, outcome.stats.decide_calls,
-            outcome.stats.pool_decides, f"{elapsed * 1e3:.1f} ms",
+            workers, "yes" if grouped else "no", outcome.stats.jobs,
+            outcome.stats.decide_calls, outcome.stats.pool_decides,
+            outcome.stats.plan_groups, f"{elapsed * 1e3:.1f} ms",
             f"{speedup:.2f}x",
         ])
+    # grouping is a scheduling change only: identical verdicts everywhere
+    baseline = verdicts_by_mode[(1, False)]
+    assert all(verdicts == baseline for verdicts in verdicts_by_mode.values())
     table = format_table(
-        ["workers", "jobs", "decide()", "pooled", "wall", "vs serial"], rows
+        ["workers", "grouped", "jobs", "decide()", "pooled", "groups",
+         "wall", "vs serial"],
+        rows,
     )
     report(
         "engine_throughput_workers",
         table + f"\nhost cpus: {os.cpu_count()} (pool speedup needs > 1 core; "
-        "on 1 core the fork/pickle overhead shows as a slowdown)",
+        "on 1 core the fork/pickle overhead shows as a slowdown; this "
+        "workload's long-tail queries form mostly single-job groups — "
+        "bench_plan_groups.py demonstrates the grouped win on clustered "
+        "traffic)",
     )

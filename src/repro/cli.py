@@ -33,11 +33,18 @@ Subcommands
 ``batch``
     Decide a JSONL workload of ``(query, schema)`` jobs with the batch
     engine (schema-artifact reuse, plan-cached routing, canonical-form
-    decision cache, process pool for heavy fragments)::
+    decision cache, plan-grouped process pool for heavy fragments)::
 
         python -m repro batch jobs.jsonl \
             --schema catalog=catalog.dtd --schema docs=docs.dtd \
             --out results.jsonl --workers 4 --repeat 2 --state-dir state/
+
+    Heavy jobs are grouped by plan × schema and each group runs as one
+    worker task with shared per-plan setup; ``--no-group-by-plan``
+    restores per-job dispatch and ``--group-chunk-size N`` bounds the
+    jobs per dispatched group.  ``--decision-cap`` / ``--telemetry-max-age``
+    control state-dir hygiene (persisted decisions per schema, telemetry
+    row aging).
 
     Each input line is ``{"query": ..., "schema": ..., "id": ...}``
     (``schema`` and ``id`` optional); each output line is the structured
@@ -213,6 +220,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=DecisionCache(capacity=args.cache_size),
         workers=args.workers,
         state_dir=args.state_dir,
+        group_by_plan=args.group_by_plan,
+        group_chunk_size=args.group_chunk_size,
+        decision_cap_per_schema=args.decision_cap,
+        telemetry_max_age_days=args.telemetry_max_age,
     )
     for warning in engine.state_warnings:
         print(f"state: {warning}", file=sys.stderr)
@@ -390,6 +401,27 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--workers", type=int, default=1,
         help="process-pool size for heavy (EXPTIME/NEXPTIME) jobs (default 1: inline)",
+    )
+    batch.add_argument(
+        "--group-by-plan", action=argparse.BooleanOptionalAction, default=None,
+        help="group pooled jobs by plan and dispatch each group as one "
+             "worker task with shared per-plan setup (default: on, or the "
+             "state dir's persisted setting)",
+    )
+    batch.add_argument(
+        "--group-chunk-size", type=int, default=None, metavar="N",
+        help="max jobs dispatched per plan-group chunk (default 16, or "
+             "the state dir's persisted setting)",
+    )
+    batch.add_argument(
+        "--decision-cap", type=int, default=None, metavar="N",
+        help="max persisted decision-cache entries per schema when saving "
+             "--state-dir (default 512)",
+    )
+    batch.add_argument(
+        "--telemetry-max-age", type=float, default=None, metavar="DAYS",
+        help="age out persisted telemetry rows not seen for DAYS when "
+             "saving --state-dir (default 30)",
     )
     batch.add_argument(
         "--cache-size", type=int, default=4096,

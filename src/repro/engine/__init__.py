@@ -21,6 +21,7 @@ from repro.engine.batch import (
     EngineStats,
     Job,
     JobResult,
+    PlanGroup,
     plan_route,
 )
 from repro.engine.cache import CachedDecision, DecisionCache, decision_key, decision_key_for
@@ -35,7 +36,8 @@ from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_finger
 from repro.engine.state import PersistedState, load_state, save_state
 
 __all__ = [
-    "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult", "plan_route",
+    "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult",
+    "PlanGroup", "plan_route",
     "CachedDecision", "DecisionCache", "decision_key", "decision_key_for",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
     "PersistedState", "load_state", "save_state",

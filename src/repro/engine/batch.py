@@ -18,7 +18,18 @@ workload:
 4. **parallel heavy jobs** — jobs whose plan routes to the heavy
    EXPTIME/NEXPTIME/bounded procedures (``plan.route == "pool"``) run on a
    ``concurrent.futures`` process pool, while PTIME plans are decided
-   inline (forking a worker would cost more than the decision).
+   inline (forking a worker would cost more than the decision);
+5. **plan-grouped scheduling** — pooled jobs are partitioned by
+   ``Plan.telemetry_key`` × schema fingerprint into :class:`PlanGroup`
+   chunks and each chunk is dispatched as **one** worker task: the chunk
+   pickles the DTD and plan once instead of per job, and the decider
+   chain's ``prepare`` hooks (:class:`repro.sat.planner.PlanContexts`)
+   run once per chunk, so N groupmates share per-plan setup (the types
+   fixpoint's automata, the bounded engine's schema classification and
+   word tables) that ungrouped dispatch rebuilds N times.  Disable with
+   ``group_by_plan=False`` (``--no-group-by-plan``); grouping is a pure
+   scheduling change — verdicts, cache contents, and telemetry verdict
+   mixes are identical either way (see ``tests/test_metamorphic.py``).
 
 Identical in-flight questions are coalesced: within one batch, a question
 is decided at most once no matter how many jobs ask it.
@@ -36,7 +47,13 @@ from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
 from repro.sat.bounded import Bounds
 from repro.sat.costmodel import CostModel, size_bucket
-from repro.sat.planner import ExecutionTrace, Plan, Planner, execute_plan
+from repro.sat.planner import (
+    ExecutionTrace,
+    Plan,
+    PlanContexts,
+    Planner,
+    execute_plan,
+)
 from repro.sat.telemetry import PlanTelemetry, verdict_name
 from repro.xpath.ast import Path
 from repro.xpath.canonical import canonicalize
@@ -130,6 +147,15 @@ class EngineStats:
     coalesced: int = 0
     planner_invocations: int = 0   # plans built during this run
     plan_cache_hits: int = 0       # routing resolved from a plan cache
+    # plan-grouped scheduling (this run): chunks dispatched, unique jobs
+    # executed inside a chunk, jobs that reused a groupmate's prepare()
+    # context, and chunks whose *primary* prepare() failed (they fell
+    # back to ungrouped per-job execution but still ran as one task)
+    plan_groups: int = 0
+    grouped_jobs: int = 0
+    setup_reuse: int = 0
+    prepare_fallbacks: int = 0
+    group_sizes: list[int] = field(default_factory=list)
     # engine-lifetime totals, not per-run deltas: persisted state is
     # adopted at engine construction / schema registration, before any
     # run starts, so a per-run delta would always read 0
@@ -145,6 +171,15 @@ class EngineStats:
     # the sum of decide_calls over the engine's whole history
     plans: dict[str, Any] = field(default_factory=dict)
 
+    def jobs_per_group(self, q: float) -> int:
+        """The ``q``-quantile of jobs per dispatched group chunk (0 when
+        nothing was grouped this run)."""
+        if not self.group_sizes:
+            return 0
+        ordered = sorted(self.group_sizes)
+        index = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[index]
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "jobs": self.jobs,
@@ -156,6 +191,12 @@ class EngineStats:
             "coalesced": self.coalesced,
             "planner_invocations": self.planner_invocations,
             "plan_cache_hits": self.plan_cache_hits,
+            "plan_groups": self.plan_groups,
+            "grouped_jobs": self.grouped_jobs,
+            "setup_reuse": self.setup_reuse,
+            "prepare_fallbacks": self.prepare_fallbacks,
+            "jobs_per_group_p50": self.jobs_per_group(0.5),
+            "jobs_per_group_p90": self.jobs_per_group(0.9),
             "persisted_plans_loaded": self.persisted_plans_loaded,
             "persisted_decisions_loaded": self.persisted_decisions_loaded,
             "workers": self.workers,
@@ -174,6 +215,11 @@ class EngineStats:
             f"planner       : {self.planner_invocations} plans built, "
             f"{self.plan_cache_hits} plan-cache hits, "
             f"{self.persisted_plans_loaded} persisted plans loaded",
+            f"plan groups   : {self.plan_groups} dispatched, "
+            f"{self.grouped_jobs} jobs grouped, {self.setup_reuse} setup reuses, "
+            f"{self.prepare_fallbacks} prepare fallbacks "
+            f"(p50 {self.jobs_per_group(0.5)}, p90 {self.jobs_per_group(0.9)} "
+            f"jobs/group)",
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
             f"{self.cache.get('evictions', 0)} evictions "
@@ -239,10 +285,93 @@ def _pool_decide(
     return (result.satisfiable, result.method, result.reason, trace.attempts)
 
 
+#: one group outcome per question: (satisfiable, method, reason,
+#: error-or-None, trace attempts)
+GroupOutcome = tuple[bool | None, str, str, str | None, list[tuple[str, float, str]]]
+
+
+def _decide_group(
+    canonicals: list[Path], dtd, bounds, plan: Plan
+) -> tuple[list[GroupOutcome], bool, str | None]:
+    """Decide one :class:`PlanGroup` chunk — shared by the process-pool
+    entry point and the inline (``workers == 1``) grouped path.
+
+    Each chain member's ``prepare`` hook runs **once per chunk**, lazily
+    on the member's first execution (:class:`PlanContexts`), so a chunk
+    whose primary answers everything never pays for fallback setup.  A
+    ``prepare`` that raises degrades that decider to ungrouped per-job
+    execution instead of failing anything, and *any* exception from one
+    question becomes that question's error without poisoning groupmates
+    (mirroring how ungrouped pool futures fail per question).  Returns
+    ``(outcomes, shared_setup, prepare_error)``.
+    """
+    contexts = PlanContexts(plan, dtd)
+    # build the primary's context eagerly: every question runs it, and a
+    # failing prepare should be visible even if the first question errors.
+    # shared_setup is pinned here — a fallback context built mid-chunk
+    # must not retroactively count earlier questions as setup reuses
+    contexts.get(plan.decider)
+    shared_setup = contexts.built > 0
+    outcomes: list[GroupOutcome] = []
+    for canonical in canonicals:
+        trace = ExecutionTrace()
+        try:
+            result = execute_plan(
+                plan, canonical, dtd, bounds,
+                pre_canonicalized=True, trace=trace,
+                contexts=contexts,
+            )
+            outcomes.append(
+                (result.satisfiable, result.method, result.reason, None,
+                 trace.attempts)
+            )
+        except Exception as error:
+            outcomes.append((None, "error", "", str(error), trace.attempts))
+    return outcomes, shared_setup, contexts.prepare_error
+
+
+@dataclass
+class _GroupEntry:
+    """One unique question queued in a plan group: its decision-cache
+    key, pre-canonicalized query, and every job index awaiting it (the
+    first asked; the rest coalesced onto it)."""
+
+    key: CacheKey
+    canonical: Path
+    indices: list[int]
+
+
+@dataclass
+class PlanGroup:
+    """Pooled jobs sharing one routing decision (``Plan.telemetry_key``)
+    against one schema — the scheduler's unit of shared per-plan setup.
+
+    ``dispatched`` marks how many leading entries were already submitted
+    as full chunks during the job scan (keeping the pool busy while the
+    scan continues); only the tail past it awaits post-scan dispatch.
+    """
+
+    plan: Plan
+    artifacts: SchemaArtifacts | None
+    entries: list[_GroupEntry] = field(default_factory=list)
+    dispatched: int = 0
+
+
+#: scheduler tunable defaults (overridden by constructor arguments, then
+#: by a state dir's persisted ``scheduler.json``, in that order)
+DEFAULT_GROUP_CHUNK_SIZE = 16
+DEFAULT_DECISION_CAP_PER_SCHEMA = 512
+DEFAULT_TELEMETRY_MAX_AGE_DAYS = 30.0
+
+
 class BatchEngine:
     """Execute batches of ``(query, schema_ref)`` jobs with schema-artifact
-    reuse, plan-cached routing, decision caching, and a process pool for
-    heavy fragments."""
+    reuse, plan-cached routing, decision caching, and a plan-grouped
+    process pool for heavy fragments."""
+
+    #: worker-pool constructor; a seam for tests that simulate worker
+    #: crashes without burning real fork time
+    _executor_factory = ProcessPoolExecutor
 
     def __init__(
         self,
@@ -254,9 +383,53 @@ class BatchEngine:
         cost_model: CostModel | None = None,
         telemetry: PlanTelemetry | None = None,
         state_dir: str | None = None,
+        group_by_plan: bool | None = None,
+        group_chunk_size: int | None = None,
+        decision_cap_per_schema: int | None = None,
+        telemetry_max_age_days: float | None = None,
     ):
         if workers < 1:
             raise EngineError(f"workers must be positive, got {workers}")
+        if group_chunk_size is not None and group_chunk_size < 1:
+            raise EngineError(
+                f"group_chunk_size must be positive, got {group_chunk_size}"
+            )
+        if decision_cap_per_schema is not None and decision_cap_per_schema < 1:
+            raise EngineError(
+                f"decision_cap_per_schema must be positive, "
+                f"got {decision_cap_per_schema}"
+            )
+        if telemetry_max_age_days is not None and telemetry_max_age_days <= 0:
+            raise EngineError(
+                f"telemetry_max_age_days must be positive, "
+                f"got {telemetry_max_age_days}"
+            )
+        # scheduler tunables: explicit constructor arguments always win;
+        # ones left None take the state dir's persisted values (if any),
+        # then the defaults
+        self._explicit_tunables = {
+            name
+            for name, value in (
+                ("group_by_plan", group_by_plan),
+                ("group_chunk_size", group_chunk_size),
+                ("decision_cap_per_schema", decision_cap_per_schema),
+                ("telemetry_max_age_days", telemetry_max_age_days),
+            )
+            if value is not None
+        }
+        self.group_by_plan = group_by_plan if group_by_plan is not None else True
+        self.group_chunk_size = (
+            group_chunk_size if group_chunk_size is not None
+            else DEFAULT_GROUP_CHUNK_SIZE
+        )
+        self.decision_cap_per_schema = (
+            decision_cap_per_schema if decision_cap_per_schema is not None
+            else DEFAULT_DECISION_CAP_PER_SCHEMA
+        )
+        self.telemetry_max_age_days = (
+            telemetry_max_age_days if telemetry_max_age_days is not None
+            else DEFAULT_TELEMETRY_MAX_AGE_DAYS
+        )
         self.registry = registry if registry is not None else SchemaRegistry()
         self.cache = cache if cache is not None else DecisionCache()
         if planner is not None:
@@ -296,8 +469,9 @@ class BatchEngine:
     def load_state(self, state_dir: str) -> int:
         """Warm this engine from a persisted state directory: plan caches
         (applied now for registered schemas, at registration for later
-        ones), telemetry, cost-model measurements, and cached decisions.
-        Returns the number of plans available from persistence."""
+        ones), telemetry, cost-model measurements, cached decisions, and
+        scheduler tunables (which fill every tunable the constructor left
+        unset).  Returns the number of plans available from persistence."""
         from repro.engine.state import load_state
 
         state = load_state(state_dir)
@@ -309,11 +483,20 @@ class BatchEngine:
             self.cost_model.merge(state.cost_model)
         if state.decisions:
             self.persisted_decisions_loaded += self.cache.load_records(state.decisions)
+        for name in (
+            "group_by_plan", "group_chunk_size",
+            "decision_cap_per_schema", "telemetry_max_age_days",
+        ):
+            if name in state.scheduler and name not in self._explicit_tunables:
+                setattr(self, name, state.scheduler[name])
         return state.plan_count
 
     def save_state(self, state_dir: str | None = None) -> str:
-        """Persist plan caches, telemetry, cost model, and the decision
-        cache next to batch results; returns the directory written."""
+        """Persist plan caches, telemetry, cost model, the decision cache,
+        and the scheduler tunables next to batch results; returns the
+        directory written.  State-dir hygiene applies on the way out:
+        cached decisions are capped per schema and telemetry rows not
+        seen within ``telemetry_max_age_days`` are aged out."""
         from repro.engine.state import save_state
 
         target = state_dir if state_dir is not None else self.state_dir
@@ -325,6 +508,14 @@ class BatchEngine:
             telemetry=self.telemetry,
             cost_model=self.cost_model,
             cache=self.cache,
+            scheduler={
+                "group_by_plan": self.group_by_plan,
+                "group_chunk_size": self.group_chunk_size,
+                "decision_cap_per_schema": self.decision_cap_per_schema,
+                "telemetry_max_age_days": self.telemetry_max_age_days,
+            },
+            decision_cap_per_schema=self.decision_cap_per_schema,
+            telemetry_max_age_days=self.telemetry_max_age_days,
         )
         return target
 
@@ -350,6 +541,14 @@ class BatchEngine:
         results: list[JobResult | None] = []
         # key -> (future, indices of jobs awaiting it, plan, artifacts)
         pending: dict[CacheKey, tuple[Future, list[int], Plan, SchemaArtifacts | None]] = {}
+        # plan-grouped scheduling: (schema fingerprint, telemetry key) ->
+        # group of queued pooled jobs, plus the key -> entry map that
+        # coalesces duplicates queued into a group
+        groups: dict[tuple[str | None, str], PlanGroup] = {}
+        grouped_keys: dict[CacheKey, _GroupEntry] = {}
+        # full chunks submitted eagerly during the scan, drained with the
+        # post-scan tails: (group, chunk entries, future)
+        group_futures: list[tuple[PlanGroup, list[_GroupEntry], Future]] = []
         executor: ProcessPoolExecutor | None = None
 
         try:
@@ -386,6 +585,14 @@ class BatchEngine:
                         job, artifacts, cached, route="cache", cached=True
                     )
                     continue
+                if key in grouped_keys:
+                    stats.coalesced += 1
+                    grouped_keys[key].indices.append(index)
+                    results[index] = self._result(
+                        job, artifacts,
+                        CachedDecision(None, "pending"), route="pool",
+                    )
+                    continue
                 if key in pending:
                     stats.coalesced += 1
                     pending[key][1].append(index)
@@ -396,9 +603,56 @@ class BatchEngine:
                     continue
 
                 plan = self.planner.plan_for(features_of(query), artifacts=artifacts)
+                if plan.route == "pool" and self.group_by_plan:
+                    # queue for plan-grouped dispatch after the scan; the
+                    # group pays worker setup (prepare hooks, DTD pickle)
+                    # once for all its jobs
+                    group_key = (
+                        artifacts.fingerprint if artifacts else None,
+                        plan.telemetry_key,
+                    )
+                    group = groups.get(group_key)
+                    if group is None:
+                        group = groups[group_key] = PlanGroup(
+                            plan=plan, artifacts=artifacts
+                        )
+                    entry = _GroupEntry(key=key, canonical=canonical, indices=[index])
+                    group.entries.append(entry)
+                    grouped_keys[key] = entry
+                    results[index] = self._result(
+                        job, artifacts, CachedDecision(None, "pending"),
+                        route="pool",
+                    )
+                    # a full chunk goes to the pool immediately so workers
+                    # overlap with the rest of the scan (later duplicates
+                    # still coalesce: the entries stay live until drain)
+                    if (
+                        self.workers > 1
+                        and len(group.entries) - group.dispatched
+                        >= self.group_chunk_size
+                    ):
+                        if executor is None:
+                            executor = self._executor_factory(
+                                max_workers=self.workers
+                            )
+                        chunk = group.entries[
+                            group.dispatched:
+                            group.dispatched + self.group_chunk_size
+                        ]
+                        group.dispatched += len(chunk)
+                        group_futures.append((
+                            group, chunk,
+                            executor.submit(
+                                _decide_group,
+                                [e.canonical for e in chunk],
+                                artifacts.dtd if artifacts else None,
+                                self.bounds, group.plan,
+                            ),
+                        ))
+                    continue
                 if plan.route == "pool" and self.workers > 1:
                     if executor is None:
-                        executor = ProcessPoolExecutor(max_workers=self.workers)
+                        executor = self._executor_factory(max_workers=self.workers)
                     future = executor.submit(
                         _pool_decide, canonical,
                         artifacts.dtd if artifacts else None, self.bounds, plan,
@@ -444,6 +698,18 @@ class BatchEngine:
                 )
 
             self._drain(pending, results, stats)
+            # the executor stays owned by this frame: creating it here
+            # (not inside the helper) keeps the finally below responsible
+            # for shutdown even if dispatch raises mid-submit
+            if (
+                executor is None and self.workers > 1
+                and any(
+                    len(group.entries) > group.dispatched
+                    for group in groups.values()
+                )
+            ):
+                executor = self._executor_factory(max_workers=self.workers)
+            self._dispatch_groups(groups, group_futures, results, stats, executor)
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -459,6 +725,132 @@ class BatchEngine:
         return BatchReport(results=[r for r in results if r is not None], stats=stats)
 
     # -- helpers ------------------------------------------------------------
+    def _dispatch_groups(
+        self,
+        groups: dict[tuple[str | None, str], PlanGroup],
+        group_futures: list[tuple[PlanGroup, list[_GroupEntry], Future]],
+        results: list[JobResult | None],
+        stats: EngineStats,
+        executor: ProcessPoolExecutor | None,
+    ) -> None:
+        """Dispatch every group's remaining tail in chunks of
+        ``group_chunk_size`` — one worker task per chunk on ``executor``
+        when given (the caller owns its lifecycle), inline otherwise —
+        then absorb the outcomes of all chunks, including the full ones
+        the scan already submitted (``group_futures``)."""
+        tails: list[tuple[PlanGroup, list[_GroupEntry]]] = []
+        for group in groups.values():
+            for start in range(
+                group.dispatched, len(group.entries), self.group_chunk_size
+            ):
+                tails.append(
+                    (group, group.entries[start:start + self.group_chunk_size])
+                )
+        if executor is not None:
+            submitted = list(group_futures)
+            for group, chunk in tails:
+                dtd = group.artifacts.dtd if group.artifacts else None
+                future = executor.submit(
+                    _decide_group,
+                    [entry.canonical for entry in chunk],
+                    dtd, self.bounds, group.plan,
+                )
+                submitted.append((group, chunk, future))
+            for group, chunk, future in submitted:
+                stats.decide_calls += len(chunk)
+                stats.pool_decides += len(chunk)
+                try:
+                    outcomes, shared_setup, prepare_error = future.result()
+                except Exception as error:  # worker died (BrokenProcessPool, ...)
+                    jobs_hit = sum(len(entry.indices) for entry in chunk)
+                    stats.errors += jobs_hit
+                    self.telemetry.record_failure(group.plan, jobs_hit)
+                    for entry in chunk:
+                        for index in entry.indices:
+                            result = results[index]
+                            result.error = str(error)
+                            result.method = "error"
+                            result.route = "error"
+                    continue
+                self._absorb_group(
+                    group, chunk, outcomes, shared_setup, prepare_error,
+                    results, stats, route="pool",
+                )
+        else:
+            assert not group_futures  # eager submission implies a pool
+            for group, chunk in tails:
+                dtd = group.artifacts.dtd if group.artifacts else None
+                stats.decide_calls += len(chunk)
+                stats.inline_decides += len(chunk)
+                outcomes, shared_setup, prepare_error = _decide_group(
+                    [entry.canonical for entry in chunk],
+                    dtd, self.bounds, group.plan,
+                )
+                self._absorb_group(
+                    group, chunk, outcomes, shared_setup, prepare_error,
+                    results, stats, route="inline",
+                )
+
+    def _absorb_group(
+        self,
+        group: PlanGroup,
+        chunk: list[_GroupEntry],
+        outcomes: list[GroupOutcome],
+        shared_setup: bool,
+        prepare_error: str | None,
+        results: list[JobResult | None],
+        stats: EngineStats,
+        route: str,
+    ) -> None:
+        """Fold one chunk's outcomes into results, the decision cache,
+        telemetry, and the cost model."""
+        plan, artifacts = group.plan, group.artifacts
+        stats.plan_groups += 1
+        stats.group_sizes.append(len(chunk))
+        # only a failed *primary* prepare means the chunk ran ungrouped;
+        # a fallback hook failing mid-chunk leaves the shared setup intact
+        if prepare_error is not None and not shared_setup:
+            stats.prepare_fallbacks += 1
+        executed = 0
+        for entry, outcome in zip(chunk, outcomes):
+            satisfiable, method, reason, error, attempts = outcome
+            trace = ExecutionTrace(
+                attempts=attempts,
+                group_size=len(chunk),
+                group_lead=executed == 0,
+                shared_setup=shared_setup,
+            )
+            if error is not None:
+                # one question failing must not poison its groupmates;
+                # every job awaiting it gets the per-job error
+                stats.errors += len(entry.indices)
+                self._observe(plan, artifacts, trace, "error")
+                if len(entry.indices) > 1:
+                    self.telemetry.record_failure(plan, len(entry.indices) - 1)
+                for index in entry.indices:
+                    result = results[index]
+                    result.error = error
+                    result.method = "error"
+                    result.route = "error"
+                continue
+            # errored entries are excluded so EngineStats and the per-plan
+            # telemetry rows report the same grouped-job/reuse counts
+            stats.grouped_jobs += 1
+            if shared_setup and executed > 0:
+                stats.setup_reuse += 1
+            executed += 1
+            self._observe(plan, artifacts, trace, verdict_name(satisfiable))
+            decision = CachedDecision(satisfiable, method, reason)
+            self.cache.put(entry.key, decision)
+            for ask_position, index in enumerate(entry.indices):
+                result = results[index]
+                result.satisfiable = satisfiable
+                result.method = method
+                result.reason = reason
+                result.route = route
+                result.cached = ask_position > 0  # coalesced onto the first ask
+                result.elapsed_ms = trace.elapsed_ms if ask_position == 0 else 0.0
+
     def _drain(self, pending, results, stats) -> None:
         for key, (future, indices, plan, artifacts) in pending.items():
             try:
@@ -509,6 +901,8 @@ class BatchEngine:
             self.telemetry.record(
                 plan, trace.elapsed_ms, verdict,
                 decider=trace.decider, fallback=trace.fallback_used,
+                group_size=trace.group_size, group_lead=trace.group_lead,
+                shared_setup=trace.shared_setup,
             )
         bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
         for name, attempt_ms, outcome in trace.attempts:

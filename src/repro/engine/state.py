@@ -10,7 +10,10 @@ died with the process before this module existed:
 * **the cost model** — measured per-(signature × size-bucket) decider
   latency (:class:`~repro.sat.costmodel.CostModel`);
 * **the decision cache** — verdicts keyed on canonical form × schema
-  fingerprint (bounded; only current entries are persisted).
+  fingerprint (bounded; only current entries are persisted);
+* **scheduler tunables** — the plan-grouped scheduler's settings
+  (``group_by_plan``, ``group_chunk_size``) plus the hygiene knobs, so a
+  tuned deployment keeps its configuration across processes.
 
 ``save_state``/``load_state`` serialize them into a ``--state-dir``
 alongside batch results, so a cold process that has seen the workload
@@ -18,6 +21,14 @@ before builds **zero** plans and re-decides nothing the cache still
 covers.  Loading is forgiving: a missing directory is empty state, and a
 corrupt file is skipped with a warning rather than failing the run —
 state is an optimization, never a correctness requirement.
+
+**Hygiene.**  Without bounds the files grow with the workload: every
+distinct question ever decided stays in ``decisions.json`` and every
+plan ever executed keeps a telemetry row.  ``save_state`` therefore caps
+persisted decisions **per schema** (newest entries win) and ages out
+telemetry rows whose newest observation is older than
+``telemetry_max_age_days`` — both tunable, both purely size/freshness
+trims that can cost warm-start coverage but never correctness.
 """
 
 from __future__ import annotations
@@ -38,6 +49,42 @@ PLANS_FILE = "plans.json"
 TELEMETRY_FILE = "telemetry.json"
 COST_MODEL_FILE = "cost_model.json"
 DECISIONS_FILE = "decisions.json"
+SCHEDULER_FILE = "scheduler.json"
+
+#: scheduler tunables accepted from a persisted ``scheduler.json``:
+#: name -> validator returning the coerced value or raising
+_SCHEDULER_TUNABLES = {
+    "group_by_plan": lambda value: _strict_bool(value),
+    "group_chunk_size": lambda value: _positive_int(value),
+    "decision_cap_per_schema": lambda value: _positive_int(value),
+    "telemetry_max_age_days": lambda value: _positive_float(value),
+}
+
+
+def _strict_bool(value) -> bool:
+    # no coercion: "false" (a string) silently becoming True would flip
+    # the scheduler behind the operator's back
+    if not isinstance(value, bool):
+        raise ValueError(f"must be true or false, got {value!r}")
+    return value
+
+
+def _positive_int(value) -> int:
+    if isinstance(value, bool):  # bool is an int: true would become 1
+        raise ValueError(f"must be a number, got {value!r}")
+    coerced = int(value)
+    if coerced < 1:
+        raise ValueError(f"must be positive, got {value!r}")
+    return coerced
+
+
+def _positive_float(value) -> float:
+    if isinstance(value, bool):
+        raise ValueError(f"must be a number, got {value!r}")
+    coerced = float(value)
+    if coerced <= 0:
+        raise ValueError(f"must be positive, got {value!r}")
+    return coerced
 
 
 @dataclass
@@ -49,6 +96,7 @@ class PersistedState:
     telemetry: PlanTelemetry | None = None
     cost_model: CostModel | None = None
     decisions: list[tuple[tuple[str, str, str], dict[str, Any]]] = field(default_factory=list)
+    scheduler: dict[str, Any] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
 
     @property
@@ -134,7 +182,40 @@ def load_state(state_dir: str) -> PersistedState:
                     continue
                 key = (str(item[0][0]), str(item[0][1]), str(item[0][2]))
                 state.decisions.append((key, item[1]))
+
+    record = _read_json(os.path.join(state_dir, SCHEDULER_FILE), state.warnings)
+    if record is not None:
+        for name, validate in _SCHEDULER_TUNABLES.items():
+            if name not in record:
+                continue
+            try:
+                state.scheduler[name] = validate(record[name])
+            except (ValueError, TypeError) as error:
+                state.warnings.append(
+                    f"{SCHEDULER_FILE}: {name}: {error}; ignored"
+                )
     return state
+
+
+def cap_decision_records(records: list, cap: int) -> list:
+    """State-dir hygiene: keep at most ``cap`` persisted decisions per
+    schema fingerprint.  ``records`` is :meth:`DecisionCache.to_records`
+    output (LRU order, oldest first); the newest entries per schema win
+    and the surviving records keep their relative order, so a reloaded
+    cache preserves recency."""
+    if cap < 1:
+        raise ValueError(f"decision cap must be positive, got {cap}")
+    kept: list = []
+    per_schema: dict[str, int] = {}
+    for item in reversed(records):
+        fingerprint = str(item[0][1])
+        seen = per_schema.get(fingerprint, 0)
+        if seen >= cap:
+            continue
+        per_schema[fingerprint] = seen + 1
+        kept.append(item)
+    kept.reverse()
+    return kept
 
 
 def save_state(
@@ -144,9 +225,16 @@ def save_state(
     telemetry: PlanTelemetry | None = None,
     cost_model: CostModel | None = None,
     cache=None,
+    scheduler: dict[str, Any] | None = None,
+    decision_cap_per_schema: int | None = None,
+    telemetry_max_age_days: float | None = None,
 ) -> None:
     """Serialize the given engine components into ``state_dir`` (created
-    if missing).  Pieces passed as ``None`` are left untouched on disk."""
+    if missing).  Pieces passed as ``None`` are left untouched on disk.
+
+    ``decision_cap_per_schema`` and ``telemetry_max_age_days`` apply the
+    hygiene trims (see the module docstring) to what is *written*; the
+    in-memory cache and telemetry are never mutated."""
     os.makedirs(state_dir, exist_ok=True)
 
     def write(name: str, payload: dict[str, Any]) -> None:
@@ -187,8 +275,19 @@ def save_state(
                 }
         write(PLANS_FILE, {"schemas": schemas})
     if telemetry is not None:
-        write(TELEMETRY_FILE, telemetry.to_dict())
+        if telemetry_max_age_days is not None:
+            # prune a rebuilt copy so the live engine keeps its rows
+            aged = PlanTelemetry.from_dict(telemetry.to_dict())
+            aged.prune(telemetry_max_age_days * 86400.0)
+            write(TELEMETRY_FILE, aged.to_dict())
+        else:
+            write(TELEMETRY_FILE, telemetry.to_dict())
     if cost_model is not None:
         write(COST_MODEL_FILE, cost_model.to_dict())
     if cache is not None:
-        write(DECISIONS_FILE, {"entries": cache.to_records()})
+        records = cache.to_records()
+        if decision_cap_per_schema is not None:
+            records = cap_decision_records(records, decision_cap_per_schema)
+        write(DECISIONS_FILE, {"entries": records})
+    if scheduler is not None:
+        write(SCHEDULER_FILE, dict(scheduler))

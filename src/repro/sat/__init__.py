@@ -40,6 +40,7 @@ from repro.sat.planner import (
     DEFAULT_PLANNER,
     ExecutionTrace,
     Plan,
+    PlanContexts,
     Planner,
     build_plan,
     execute_plan,
@@ -70,6 +71,7 @@ __all__ = [
     "size_bucket",
     "ExecutionTrace",
     "Plan",
+    "PlanContexts",
     "PlanStats",
     "PlanTelemetry",
     "Planner",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.dtd.model import DTD
 from repro.dtd.properties import is_no_star, is_nonrecursive, max_document_depth
@@ -41,6 +41,60 @@ from repro.xpath.semantics import satisfies
 METHOD = "bounded-model"
 
 Shape = tuple  # (label, (child_shape, ...))
+
+
+@dataclass
+class BoundedContext:
+    """Schema-only precomputation shared across queries (the decider's
+    ``prepare`` hook for the plan-grouped batch scheduler).
+
+    Everything here is a pure function of the DTD: the classification
+    predicates and word-length analysis that :func:`_exhaustive` re-runs
+    per call, plus a memo of content-model word enumerations that
+    :func:`_shapes` otherwise regenerates per node expansion.  Sharing a
+    context across a group of jobs changes no verdict — only how often
+    the same schema walk is repeated.
+    """
+
+    nonrecursive: bool
+    no_star: bool
+    doc_depth: int | None                    # None when recursive
+    longest_word: int | None                 # None when starred
+    words_memo: dict[tuple[str, int, int], tuple[tuple[str, ...], ...]] = field(
+        default_factory=dict
+    )
+
+    def words(self, dtd: DTD, label: str, max_width: int,
+              cap: int) -> tuple[tuple[str, ...], ...]:
+        """The first ``cap + 1`` children words of ``label``'s content
+        model (one extra so callers can detect truncation), memoized per
+        (label, width, cap)."""
+        key = (label, max_width, cap)
+        words = self.words_memo.get(key)
+        if words is None:
+            words = tuple(
+                itertools.islice(
+                    enumerate_words(dtd.production(label), max_width), cap + 1
+                )
+            )
+            self.words_memo[key] = words
+        return words
+
+
+def prepare_bounded(dtd: DTD) -> BoundedContext:
+    """Build the shared per-schema context for :func:`sat_bounded` (and,
+    through it, the Theorem 5.5 small-model decider)."""
+    dtd.require_terminating()
+    nonrecursive = is_nonrecursive(dtd)
+    no_star = is_no_star(dtd)
+    return BoundedContext(
+        nonrecursive=nonrecursive,
+        no_star=no_star,
+        doc_depth=max_document_depth(dtd) if nonrecursive else None,
+        longest_word=max(
+            (_max_word_length(dtd, name) for name in dtd.element_types), default=0
+        ) if no_star else None,
+    )
 
 
 @dataclass(frozen=True)
@@ -88,7 +142,8 @@ class _SearchState:
 
 
 def _shapes(dtd: DTD, label: str, depth_left: int, nodes_left: int,
-            bounds: Bounds, state: _SearchState) -> Iterator[tuple[Shape, int]]:
+            bounds: Bounds, state: _SearchState,
+            context: BoundedContext | None = None) -> Iterator[tuple[Shape, int]]:
     """Yield ``(shape, node_count)`` for conforming subtrees rooted at
     ``label`` within the remaining budgets."""
     if nodes_left <= 0:
@@ -105,8 +160,13 @@ def _shapes(dtd: DTD, label: str, depth_left: int, nodes_left: int,
         else:
             state.truncate("depth budget")
         return
+    words: Iterable[tuple[str, ...]] = (
+        context.words(dtd, label, bounds.max_width, bounds.words_per_node)
+        if context is not None
+        else enumerate_words(production, bounds.max_width)
+    )
     word_count = 0
-    for word in enumerate_words(production, bounds.max_width):
+    for word in words:
         word_count += 1
         if word_count > bounds.words_per_node:
             state.truncate("words-per-node budget")
@@ -115,21 +175,22 @@ def _shapes(dtd: DTD, label: str, depth_left: int, nodes_left: int,
             state.truncate("node budget")
             continue
         yield from _expand_word(
-            dtd, label, word, depth_left, nodes_left, bounds, state
+            dtd, label, word, depth_left, nodes_left, bounds, state, context
         )
     # words longer than max_width are accounted for by the exhaustiveness
     # analysis (star-free width bound), not per-node notes.
 
 
 def _expand_word(dtd: DTD, label: str, word: tuple[str, ...], depth_left: int,
-                 nodes_left: int, bounds: Bounds, state: _SearchState
+                 nodes_left: int, bounds: Bounds, state: _SearchState,
+                 context: BoundedContext | None = None
                  ) -> Iterator[tuple[Shape, int]]:
     def rec(index: int, budget: int) -> Iterator[tuple[tuple[Shape, ...], int]]:
         if index == len(word):
             yield (), 0
             return
         for child_shape, child_nodes in _shapes(
-            dtd, word[index], depth_left - 1, budget, bounds, state
+            dtd, word[index], depth_left - 1, budget, bounds, state, context
         ):
             for rest, rest_nodes in rec(index + 1, budget - child_nodes):
                 yield (child_shape,) + rest, child_nodes + rest_nodes
@@ -174,14 +235,15 @@ def _mark_frontier(node: Node) -> None:
 
 
 def iter_conforming_trees(dtd: DTD, bounds: Bounds | None = None,
-                          state: _SearchState | None = None) -> Iterator[XMLTree]:
+                          state: _SearchState | None = None,
+                          context: BoundedContext | None = None) -> Iterator[XMLTree]:
     """Enumerate conforming trees within ``bounds`` (smallest first within
     each recursion level).  Attribute values are all ``"0"``; callers doing
     data-value reasoning enumerate assignments separately."""
     bounds = bounds or Bounds()
     state = state or _SearchState()
     dtd.require_terminating()
-    for shape, _count in _shapes(dtd, dtd.root, bounds.max_depth, bounds.max_nodes, bounds, state):
+    for shape, _count in _shapes(dtd, dtd.root, bounds.max_depth, bounds.max_nodes, bounds, state, context):
         state.trees_seen += 1
         if state.trees_seen > bounds.max_trees:
             state.truncate("tree budget")
@@ -217,8 +279,15 @@ def _assignments(tree: XMLTree, pool: list[str], cap: int) -> Iterator[bool]:
             return
 
 
-def sat_bounded(query: Path, dtd: DTD, bounds: Bounds | None = None) -> SatResult:
-    """Search for a model of ``(query, dtd)`` within ``bounds``."""
+def sat_bounded(query: Path, dtd: DTD, bounds: Bounds | None = None,
+                context: BoundedContext | None = None) -> SatResult:
+    """Search for a model of ``(query, dtd)`` within ``bounds``.
+
+    ``context``, when given, is the shared per-schema precomputation from
+    :func:`prepare_bounded` — the plan-grouped scheduler builds it once
+    per group of jobs so the schema classification and word enumeration
+    are not repeated per query.  It never changes a verdict.
+    """
     bounds = bounds or Bounds()
     state = _SearchState()
     needs_data = uses_data(query)
@@ -228,7 +297,7 @@ def sat_bounded(query: Path, dtd: DTD, bounds: Bounds | None = None) -> SatResul
         pool = ["#v1"]
     assignment_capped = False
 
-    for tree in iter_conforming_trees(dtd, bounds, state):
+    for tree in iter_conforming_trees(dtd, bounds, state, context):
         if not needs_data:
             if satisfies(tree, query):
                 return SatResult(
@@ -246,7 +315,9 @@ def sat_bounded(query: Path, dtd: DTD, bounds: Bounds | None = None) -> SatResul
                     stats={"trees": state.trees_seen},
                 )
 
-    exhaustive, why = _exhaustive(dtd, bounds, state, needs_data, assignment_capped, pool)
+    exhaustive, why = _exhaustive(
+        dtd, bounds, state, needs_data, assignment_capped, pool, context
+    )
     stats = {"trees": state.trees_seen, "truncations": sorted(state.notes)}
     if exhaustive:
         return SatResult(False, METHOD, reason=why, stats=stats)
@@ -258,7 +329,8 @@ def sat_bounded(query: Path, dtd: DTD, bounds: Bounds | None = None) -> SatResul
 
 
 def _exhaustive(dtd: DTD, bounds: Bounds, state: _SearchState,
-                needs_data: bool, assignment_capped: bool, pool: list[str]
+                needs_data: bool, assignment_capped: bool, pool: list[str],
+                context: BoundedContext | None = None
                 ) -> tuple[bool, str]:
     """Was the bounded enumeration provably the whole model space?"""
     if state.truncated:
@@ -270,18 +342,29 @@ def _exhaustive(dtd: DTD, bounds: Bounds, state: _SearchState,
         if not bounds.frontier_sound:
             return False, "frontier completion without a soundness guarantee"
     else:
-        if not is_nonrecursive(dtd):
+        nonrecursive = (
+            context.nonrecursive if context is not None else is_nonrecursive(dtd)
+        )
+        if not nonrecursive:
             return False, "recursive DTD: unbounded depth"
-        depth = max_document_depth(dtd)
+        depth = (
+            context.doc_depth if context is not None and context.doc_depth is not None
+            else max_document_depth(dtd)
+        )
         if depth > bounds.max_depth:
             return False, f"DTD depth {depth} exceeds bound {bounds.max_depth}"
     # width coverage: either the caller vouches for the width bound
     # (width_sound, e.g. |D|+|p| of Theorem 5.5) or words are provably short
     if not bounds.width_sound:
-        if not is_no_star(dtd):
+        no_star = context.no_star if context is not None else is_no_star(dtd)
+        if not no_star:
             return False, "Kleene star: unbounded width"
-        longest = max(
-            (_max_word_length(dtd, name) for name in dtd.element_types), default=0
+        longest = (
+            context.longest_word
+            if context is not None and context.longest_word is not None
+            else max(
+                (_max_word_length(dtd, name) for name in dtd.element_types), default=0
+            )
         )
         if longest > bounds.max_width:
             return False, f"children words up to {longest} exceed bound {bounds.max_width}"
@@ -334,4 +417,6 @@ SPEC = register_decider(DeciderSpec(
     complexity="semi-decision",
     cost_rank=90,
     accepts_bounds=True,
+    prepare=prepare_bounded,
+    accepts_context=True,
 ))

@@ -274,16 +274,41 @@ class _Evaluator:
         return False
 
 
+# -- shared per-schema setup ----------------------------------------------------
+
+@dataclass(frozen=True)
+class TypesContext:
+    """Schema-only precomputation shared across a plan group's queries
+    (the decider's ``prepare`` hook): the termination check, the sorted
+    element-type order the fixpoint sweeps, and the per-type Glushkov
+    automata the reachability step walks."""
+
+    labels: tuple[str, ...]
+    nfas: dict[str, object]
+
+
+def prepare_types(dtd: DTD) -> TypesContext:
+    dtd.require_terminating()
+    labels = tuple(sorted(dtd.element_types))
+    return TypesContext(
+        labels=labels,
+        nfas={label: cached_nfa(dtd.production(label)) for label in labels},
+    )
+
+
 # -- the fixpoint ---------------------------------------------------------------
 
 def sat_exptime_types(
-    query: Path, dtd: DTD, max_facts: int = 22
+    query: Path, dtd: DTD, max_facts: int = 22,
+    context: TypesContext | None = None,
 ) -> SatResult:
     """Decide ``(query, dtd)`` for ``query ∈ X(↓,↓*,∪,[],¬)``.
 
     ``max_facts`` caps the fact-bitmask width (the 2^facts reachability is
     the EXPTIME step); a :class:`ReproError` asks callers to fall back to
-    the bounded engine beyond it.
+    the bounded engine beyond it.  ``context`` is the shared per-schema
+    setup from :func:`prepare_types` (plan-grouped scheduling); it never
+    changes a verdict.
     """
     used = features_of(query)
     if not used <= SPEC.allowed:
@@ -291,7 +316,8 @@ def sat_exptime_types(
             f"sat_exptime_types requires X(child,dos,union,qual,neg); query uses "
             f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
-    dtd.require_terminating()
+    if context is None:
+        context = prepare_types(dtd)
 
     closure = _Closure()
     seed = ast.PathExists(query)
@@ -303,7 +329,7 @@ def sat_exptime_types(
         )
 
     fact_count = len(closure.facts)
-    types_by_label: dict[str, list[NodeType]] = {name: [] for name in dtd.element_types}
+    types_by_label: dict[str, list[NodeType]] = {name: [] for name in context.labels}
     type_set: set[NodeType] = set()
     realization: dict[NodeType, tuple[NodeType, ...]] = {}
     contribution_cache: dict[NodeType, int] = {}
@@ -340,7 +366,7 @@ def sat_exptime_types(
     def achievable(label: str) -> list[tuple[int, tuple[NodeType, ...]]]:
         """All achievable (fact bitmask, witnessing word of child types)
         for the content model of ``label``, given current types."""
-        nfa = cached_nfa(dtd.production(label))
+        nfa = context.nfas[label]
         start = (0, 0)
         parents: dict[tuple[int, int], tuple[tuple[int, int], NodeType]] = {}
         seen = {start}
@@ -371,7 +397,7 @@ def sat_exptime_types(
     while changed:
         changed = False
         rounds += 1
-        for label in sorted(dtd.element_types):
+        for label in context.labels:
             for bits, word in achievable(label):
                 node_type = derive(label, bits)
                 if node_type not in type_set:
@@ -415,4 +441,6 @@ SPEC = register_decider(DeciderSpec(
     complexity="EXPTIME",
     cost_rank=40,
     may_decline=True,  # raises ReproError beyond max_facts: fall back
+    prepare=prepare_types,
+    accepts_context=True,
 ))

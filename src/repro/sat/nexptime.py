@@ -20,9 +20,11 @@ result is honestly ``unknown``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.dtd.model import DTD
 from repro.errors import FragmentError
-from repro.sat.bounded import Bounds, sat_bounded
+from repro.sat.bounded import Bounds, BoundedContext, prepare_bounded, sat_bounded
 from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xpath import ast
@@ -56,8 +58,24 @@ def lookahead_depth(node: Path | Qualifier) -> int:
     return 0  # ε, label tests
 
 
+@dataclass
+class NexptimeContext:
+    """Schema-only precomputation shared across a plan group's queries:
+    ``|D|`` (the paper's width bound re-walks every production) plus the
+    inner bounded-engine context."""
+
+    size: int
+    bounded: BoundedContext
+
+
+def prepare_nexptime(dtd: DTD) -> NexptimeContext:
+    """The decider's ``prepare`` hook for the plan-grouped scheduler."""
+    return NexptimeContext(size=dtd.size(), bounded=prepare_bounded(dtd))
+
+
 def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
-                 assignment_cap: int = 4096) -> SatResult:
+                 assignment_cap: int = 4096,
+                 context: NexptimeContext | None = None) -> SatResult:
     """Decide ``(query, dtd)`` for ``query ∈ X(↓,∪,[],=,¬)`` by small-model
     search (Theorem 5.5 bounds)."""
     used = features_of(query)
@@ -68,7 +86,8 @@ def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
         )
     dtd.require_terminating()
     depth = lookahead_depth(query)
-    paper_width = dtd.size() + query.size()
+    schema_size = context.size if context is not None else dtd.size()
+    paper_width = schema_size + query.size()
     width = min(paper_width, width_cap)
     bounds = Bounds(
         max_depth=depth,
@@ -81,10 +100,13 @@ def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
         frontier_sound=True,       # depth = exact lookahead of the query
         width_sound=width >= paper_width,
     )
-    inner = sat_bounded(query, dtd, bounds)
+    inner = sat_bounded(
+        query, dtd, bounds,
+        context=context.bounded if context is not None else None,
+    )
     reason = inner.reason
     if inner.satisfiable is None and "width" not in reason:
-        reason += f" (paper width bound |D|+|p| = {dtd.size() + query.size()})"
+        reason += f" (paper width bound |D|+|p| = {paper_width})"
     return SatResult(
         inner.satisfiable, METHOD, witness=inner.witness, reason=reason,
         stats=inner.stats,
@@ -100,4 +122,6 @@ SPEC = register_decider(DeciderSpec(
     theorem="Thm 5.5",
     complexity="NEXPTIME",
     cost_rank=50,
+    prepare=prepare_nexptime,
+    accepts_context=True,
 ))

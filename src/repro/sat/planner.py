@@ -314,9 +314,20 @@ class ExecutionTrace:
     its latency, and its outcome (``sat``/``unsat``/``unknown``,
     ``declined`` for a fallback request, ``failed`` for a hard error
     from a member that may not decline).  Feeds per-plan telemetry and
-    the cost model."""
+    the cost model.
+
+    When the plan-grouped scheduler ran this execution as part of a
+    :class:`~repro.engine.batch.PlanGroup` chunk, ``group_size`` is the
+    chunk's job count (0 = ungrouped), ``group_lead`` marks the chunk's
+    first execution (so per-plan group counters tick once per chunk), and
+    ``shared_setup`` records whether the chain's ``prepare`` contexts
+    were available (a ``False`` means ``prepare`` failed and the chunk
+    fell back to ungrouped per-job execution)."""
 
     attempts: list[tuple[str, float, str]] = field(default_factory=list)
+    group_size: int = 0
+    group_lead: bool = False
+    shared_setup: bool = False
 
     def add(self, decider: str, elapsed_ms: float, outcome: str) -> None:
         self.attempts.append((decider, elapsed_ms, outcome))
@@ -340,6 +351,61 @@ class ExecutionTrace:
         return sum(elapsed for _name, elapsed, _outcome in self.attempts)
 
 
+class PlanContexts:
+    """Lazily built, memoized decider contexts for one plan × schema —
+    the shared-setup half of plan-grouped scheduling.
+
+    A group chunk shares one instance: each decider's ``prepare`` runs
+    the first time that decider actually executes — so a chain whose
+    primary answers every question never pays for the fallbacks' setup —
+    and the built context is reused by every later question in the
+    chunk.  A ``prepare`` that raises marks its decider context-less
+    (per-job setup, i.e. ungrouped behavior) instead of failing
+    execution; the first error message is kept for reporting.
+    """
+
+    def __init__(self, plan: Plan, dtd: DTD | None):
+        self._plan = plan
+        self._dtd = dtd
+        self._contexts: dict[str, Any] = {}
+        self._unavailable: set[str] = set()
+        self.prepare_error: str | None = None
+
+    def __bool__(self) -> bool:
+        # always consulted by execute_plan (laziness happens inside get)
+        return self._dtd is not None
+
+    @property
+    def built(self) -> int:
+        """Number of contexts actually constructed so far."""
+        return len(self._contexts)
+
+    def get(self, name: str) -> Any:
+        context = self._contexts.get(name)
+        if context is not None:
+            return context
+        if name in self._unavailable or self._dtd is None:
+            return None
+        spec = get_decider(name)
+        if spec.prepare is None or not spec.accepts_context:
+            self._unavailable.add(name)
+            return None
+        try:
+            context = spec.prepare(self._dtd)
+        except Exception as error:  # degrade to per-job setup, never fail
+            self._unavailable.add(name)
+            if self.prepare_error is None:
+                self.prepare_error = f"{type(error).__name__}: {error}"
+            return None
+        if context is None:
+            # a hook may legitimately produce nothing; remember that so
+            # it is not re-run for every question in the chunk
+            self._unavailable.add(name)
+            return None
+        self._contexts[name] = context
+        return context
+
+
 def execute_plan(
     plan: Plan,
     query: Path,
@@ -348,6 +414,7 @@ def execute_plan(
     *,
     pre_canonicalized: bool = False,
     trace: ExecutionTrace | None = None,
+    contexts: "dict[str, Any] | PlanContexts | None" = None,
 ) -> SatResult:
     """Run ``plan`` against a concrete query: apply its rewrite passes in
     order, then the decider chain.
@@ -363,7 +430,9 @@ def execute_plan(
     ``pre_canonicalized`` skips the plan's ``canonicalize`` pass for
     callers that already hold the canonical form (the batch engine
     computes it for the decision-cache key).  ``trace``, when given, is
-    filled with the per-member latencies and outcomes.
+    filled with the per-member latencies and outcomes.  ``contexts`` maps
+    decider names to the shared per-schema setup (a plain dict or a lazy
+    :class:`PlanContexts`); each member is looked up via ``.get``.
     """
     for name in plan.rewrites:
         if pre_canonicalized and name == "canonicalize":
@@ -381,7 +450,10 @@ def execute_plan(
         is_last = position + 1 == len(chain)
         start = time.perf_counter()
         try:
-            result = spec.call(query, dtd, bounds)
+            result = spec.call(
+                query, dtd, bounds,
+                context=contexts.get(name) if contexts else None,
+            )
         except ReproError:
             if trace is not None:
                 trace.add(

@@ -72,6 +72,17 @@ class DeciderSpec:
         The procedure may raise :class:`~repro.errors.ReproError` to ask
         for a fallback (e.g. the types fixpoint beyond its fact cap); the
         planner then records a fallback chain.
+    prepare:
+        Optional shared-setup hook ``prepare(dtd) -> context``: everything
+        the procedure can precompute from the schema alone (classification
+        predicates, Glushkov automata, content-model word tables).  The
+        plan-grouped batch scheduler calls it **once per group** of jobs
+        that share a plan and schema, then hands the context to every
+        ``call`` in the group — N jobs pay setup once instead of N times.
+        A context is a pure cache: it must never change a verdict.
+    accepts_context:
+        The decision function takes a ``context=`` keyword carrying the
+        object ``prepare`` returned.
     """
 
     name: str
@@ -86,16 +97,20 @@ class DeciderSpec:
     accepts_bounds: bool = False
     traits: tuple[str, ...] = ()
     may_decline: bool = False
+    prepare: Callable | None = None
+    accepts_context: bool = False
 
     def accepts(self, features: frozenset[Feature]) -> bool:
         return features <= self.allowed
 
-    def call(self, query, dtd=None, bounds=None):
+    def call(self, query, dtd=None, bounds=None, context=None):
         args = [query]
         if self.needs_dtd:
             args.append(dtd)
         if self.accepts_bounds:
             args.append(bounds)
+        if self.accepts_context and context is not None:
+            return self.fn(*args, context=context)
         return self.fn(*args)
 
     def describe(self) -> str:

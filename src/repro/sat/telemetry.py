@@ -17,6 +17,7 @@ only the prior, observed behaviour decides routing.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -49,6 +50,15 @@ class PlanStats:
     )
     deciders: dict[str, int] = field(default_factory=dict)  # answering decider
     fallbacks: int = 0  # executions answered by a non-primary chain member
+    # plan-grouped scheduling: chunks this plan was dispatched in, jobs
+    # executed inside a chunk, and jobs that reused a groupmate's
+    # prepare() context instead of paying per-plan setup themselves
+    groups: int = 0
+    grouped_jobs: int = 0
+    setup_reuse: int = 0
+    # unix timestamp of the newest observation; 0.0 = unknown (legacy
+    # rows).  State persistence ages rows out by this stamp.
+    last_seen: float = 0.0
 
     def record(
         self,
@@ -56,6 +66,9 @@ class PlanStats:
         verdict: str,
         decider: str | None = None,
         fallback: bool = False,
+        group_size: int = 0,
+        group_lead: bool = False,
+        shared_setup: bool = False,
     ) -> None:
         self.count += 1
         self.total_ms += elapsed_ms
@@ -66,6 +79,13 @@ class PlanStats:
             self.deciders[decider] = self.deciders.get(decider, 0) + 1
         if fallback:
             self.fallbacks += 1
+        if group_size:
+            self.grouped_jobs += 1
+            if group_lead:
+                self.groups += 1
+            elif shared_setup:
+                self.setup_reuse += 1
+        self.last_seen = time.time()
 
     def record_failure(self, jobs: int = 1) -> None:
         """Count jobs whose execution never produced a measurement (e.g.
@@ -73,6 +93,7 @@ class PlanStats:
         meaningful latency, and a zero-ms sample would drag the mean and
         percentiles down."""
         self.verdicts["error"] = self.verdicts.get("error", 0) + jobs
+        self.last_seen = time.time()
 
     @property
     def mean_ms(self) -> float:
@@ -108,6 +129,10 @@ class PlanStats:
         for name, value in other.deciders.items():
             self.deciders[name] = self.deciders.get(name, 0) + value
         self.fallbacks += other.fallbacks
+        self.groups += other.groups
+        self.grouped_jobs += other.grouped_jobs
+        self.setup_reuse += other.setup_reuse
+        self.last_seen = max(self.last_seen, other.last_seen)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -118,6 +143,10 @@ class PlanStats:
             "verdicts": dict(self.verdicts),
             "deciders": dict(self.deciders),
             "fallbacks": self.fallbacks,
+            "groups": self.groups,
+            "grouped_jobs": self.grouped_jobs,
+            "setup_reuse": self.setup_reuse,
+            "last_seen": round(self.last_seen, 3),
         }
 
     @classmethod
@@ -127,6 +156,10 @@ class PlanStats:
             total_ms=float(record.get("total_ms", 0.0)),
             max_ms=float(record.get("max_ms", 0.0)),
             fallbacks=int(record.get("fallbacks", 0)),
+            groups=int(record.get("groups", 0)),
+            grouped_jobs=int(record.get("grouped_jobs", 0)),
+            setup_reuse=int(record.get("setup_reuse", 0)),
+            last_seen=float(record.get("last_seen", 0.0)),
         )
         buckets = record.get("buckets")
         if isinstance(buckets, list) and len(buckets) == len(stats.buckets):
@@ -175,13 +208,20 @@ class PlanTelemetry:
         verdict: str,
         decider: str | None = None,
         fallback: bool = False,
+        group_size: int = 0,
+        group_lead: bool = False,
+        shared_setup: bool = False,
     ) -> None:
         key = plan.telemetry_key
         stats = self._stats.get(key)
         if stats is None:
             stats = self._stats[key] = PlanStats()
             self._plans[key] = plan.to_dict()
-        stats.record(elapsed_ms, verdict, decider=decider, fallback=fallback)
+        stats.record(
+            elapsed_ms, verdict, decider=decider, fallback=fallback,
+            group_size=group_size, group_lead=group_lead,
+            shared_setup=shared_setup,
+        )
 
     def record_failure(self, plan, jobs: int = 1) -> None:
         key = plan.telemetry_key
@@ -209,6 +249,24 @@ class PlanTelemetry:
                 for key, stats in sorted(self._stats.items())
             }
         }
+
+    def prune(self, max_age_s: float, now: float | None = None) -> int:
+        """Drop rows whose newest observation is older than ``max_age_s``
+        (state-dir hygiene: telemetry for workloads that stopped arriving
+        should not accumulate forever).  Rows without a ``last_seen``
+        stamp (legacy persisted state) are kept.  Returns the number of
+        rows removed."""
+        if max_age_s < 0:
+            raise ValueError(f"max_age_s must be non-negative, got {max_age_s}")
+        cutoff = (now if now is not None else time.time()) - max_age_s
+        stale = [
+            key for key, stats in self._stats.items()
+            if stats.last_seen > 0.0 and stats.last_seen < cutoff
+        ]
+        for key in stale:
+            del self._stats[key]
+            self._plans.pop(key, None)
+        return len(stale)
 
     @classmethod
     def from_dict(cls, record: dict[str, Any]) -> "PlanTelemetry":
@@ -238,7 +296,7 @@ class PlanTelemetry:
         consumers (one entry per plan, no histograms)."""
         rows = {}
         for key, stats in sorted(self._stats.items()):
-            rows[key] = {
+            row = {
                 "count": stats.count,
                 "mean_ms": round(stats.mean_ms, 4),
                 "p50_ms": round(stats.percentile_ms(0.5), 4),
@@ -246,6 +304,11 @@ class PlanTelemetry:
                 "verdicts": {k: v for k, v in stats.verdicts.items() if v},
                 "fallback_rate": round(stats.fallback_rate, 4),
             }
+            if stats.groups:
+                row["groups"] = stats.groups
+                row["grouped_jobs"] = stats.grouped_jobs
+                row["setup_reuse"] = stats.setup_reuse
+            rows[key] = row
         return rows
 
     def table(self) -> str:
@@ -254,7 +317,8 @@ class PlanTelemetry:
             return "no plan telemetry recorded"
         header = (
             f"{'plan':<44} {'n':>6} {'mean_ms':>8} {'p50_ms':>7} {'p90_ms':>7} "
-            f"{'sat':>5} {'unsat':>6} {'unk':>4} {'err':>4} {'fb%':>5}"
+            f"{'sat':>5} {'unsat':>6} {'unk':>4} {'err':>4} {'fb%':>5} "
+            f"{'grp':>4} {'reuse':>5}"
         )
         lines = [header, "-" * len(header)]
         ordered = sorted(
@@ -266,6 +330,7 @@ class PlanTelemetry:
                 f"{stats.percentile_ms(0.5):>7.2f} {stats.percentile_ms(0.9):>7.2f} "
                 f"{stats.verdicts.get('sat', 0):>5} {stats.verdicts.get('unsat', 0):>6} "
                 f"{stats.verdicts.get('unknown', 0):>4} {stats.verdicts.get('error', 0):>4} "
-                f"{stats.fallback_rate * 100:>4.1f}%"
+                f"{stats.fallback_rate * 100:>4.1f}% "
+                f"{stats.groups:>4} {stats.setup_reuse:>5}"
             )
         return "\n".join(lines)

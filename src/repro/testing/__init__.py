@@ -2,17 +2,29 @@
 itself (brute-force oracles, differential cross-checks)."""
 
 from repro.testing.oracle import (
+    CORPUS_FRAGMENTS,
     CrossCheck,
+    MinimizedDisagreement,
     OracleBounds,
+    build_corpus,
+    corpus_schemas,
     cross_check,
     find_witness,
     iter_small_trees,
+    minimize_disagreement,
+    regression_snippet,
 )
 
 __all__ = [
+    "CORPUS_FRAGMENTS",
     "CrossCheck",
+    "MinimizedDisagreement",
     "OracleBounds",
+    "build_corpus",
+    "corpus_schemas",
     "cross_check",
     "find_witness",
     "iter_small_trees",
+    "minimize_disagreement",
+    "regression_snippet",
 ]

@@ -23,25 +23,55 @@ dispatch path — and reports disagreements:
 disagreements.  The oracle is bounded, so the first check is only valid
 when the bound covers the minimal witness; use DTD/query corpora small
 enough for the bound (the test suite's are).
+
+As a **fuzz target** the module also ships its own corpus generation
+(:func:`build_corpus` over :func:`corpus_schemas` — a schema grid
+including recursive DTDs and a fragment mix including sibling axes and
+sibling+data queries), a disagreement **minimizer**
+(:func:`minimize_disagreement` greedily shrinks a failing (DTD, query)
+pair while the disagreement persists), and a regression-test emitter
+(:func:`regression_snippet` renders the minimal pair as a ready-to-paste
+pytest function).
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
 from repro.dtd.properties import classify
 from repro.errors import ReproError
+from repro.regex.ast import Epsilon
 from repro.regex.ops import enumerate_words
 from repro.sat.registry import all_deciders
 from repro.xmltree.model import Node, XMLTree
 from repro.xmltree.validate import conforms
-from repro.xpath.ast import Path, constants_mentioned
+from repro.xpath import ast as xpast
+from repro.xpath.ast import Path, Qualifier, constants_mentioned
 from repro.xpath.canonical import canonicalize
-from repro.xpath.fragments import features_of, uses_data
+from repro.xpath.fragments import (
+    Feature,
+    Fragment,
+    features_of,
+    uses_data,
+)
+from repro.xpath.fragments import (
+    CHILD_QUAL,
+    CHILD_QUAL_NEG,
+    DATA_NEG_DOWN,
+    DOWNWARD,
+    DOWNWARD_QUAL,
+    POSITIVE,
+    REC_NEG_DOWN_UNION,
+    SIBLING_QUAL,
+    SIBLING_QUAL_NEG,
+    UP_DATA_NEG,
+)
 from repro.xpath.semantics import satisfies
 
 
@@ -251,3 +281,359 @@ def cross_check(
                     f"{witness.root.pretty()}"
                 )
     return report
+
+
+# -- fuzz-target corpus ---------------------------------------------------------
+
+#: sibling-axis queries with data-value tests — a mix no single paper
+#: fragment names but the bounded engine must still answer consistently
+SIBLING_DATA = Fragment(
+    "X(→,[],=,¬)",
+    frozenset({
+        Feature.RIGHT_SIB, Feature.QUALIFIER, Feature.DATA,
+        Feature.NEGATION, Feature.LABEL_TEST,
+    }),
+)
+
+#: the fuzz corpus's fragment mix: every DTD decider in the registry gets
+#: exercised, including the sibling and sibling+data corners
+CORPUS_FRAGMENTS: tuple[Fragment, ...] = (
+    DOWNWARD,
+    CHILD_QUAL,
+    DOWNWARD_QUAL,
+    CHILD_QUAL_NEG,
+    REC_NEG_DOWN_UNION,
+    POSITIVE,
+    SIBLING_QUAL,
+    SIBLING_QUAL_NEG,
+    SIBLING_DATA,
+    UP_DATA_NEG,
+    DATA_NEG_DOWN,
+)
+
+_CORPUS_DTDS: tuple[str, ...] = (
+    # 3SAT skeleton (disjunction, fixed arity)
+    """
+    root r
+    r  -> X1, X2
+    X1 -> T + F
+    X2 -> T + F
+    T  -> eps
+    F  -> eps
+    """,
+    # choice + sequence
+    """
+    root r
+    r -> A, (B + C)
+    A -> eps
+    B -> eps
+    C -> eps
+    """,
+    # Kleene star (unbounded width)
+    """
+    root r
+    r -> A, B
+    A -> C*
+    B -> eps
+    C -> eps
+    """,
+    # attributes for data queries
+    """
+    root r
+    r -> A, B?
+    A -> eps
+    B -> eps
+    A @ a, b
+    B @ a
+    """,
+    # linear recursion
+    """
+    root r
+    r -> C
+    C -> (C, R1) + eps
+    R1 -> X + eps
+    X -> eps
+    """,
+    # branching recursion: two self-referencing types
+    """
+    root r
+    r -> N
+    N -> (L, N) + (N, R) + eps
+    L -> eps
+    R -> eps
+    """,
+    # recursion with attributes and siblings under one parent
+    """
+    root r
+    r -> S, S?
+    S -> (A, S) + eps
+    A -> eps
+    A @ a
+    S @ a
+    """,
+)
+
+
+def corpus_schemas() -> list[tuple[DTD, list[str], list[str]]]:
+    """The fuzz corpus's schema grid as ``(dtd, labels, attrs)`` rows —
+    small enough for the oracle bound, together covering disjunction,
+    stars, attributes, and (branching) recursion."""
+    rows = []
+    for source in _CORPUS_DTDS:
+        dtd = parse_dtd(source)
+        labels = sorted(dtd.element_types)
+        attrs = sorted(dtd.attribute_names) or ["a"]
+        rows.append((dtd, labels, attrs))
+    return rows
+
+
+def build_corpus(
+    seed: int,
+    n_cases: int,
+    fragments: tuple[Fragment, ...] = CORPUS_FRAGMENTS,
+    schemas: list[tuple[DTD, list[str], list[str]]] | None = None,
+    max_depth: int = 2,
+) -> list[tuple[Path, DTD]]:
+    """Draw a deterministic ``(query, DTD)`` fuzz corpus: the (fragment ×
+    schema) grid is swept round-robin with seeded random queries until
+    ``n_cases`` cases exist, so every decider and every schema class gets
+    proportional coverage at any corpus size."""
+    from repro.workloads.queries import random_query
+
+    rng = random.Random(seed)
+    grid = schemas if schemas is not None else corpus_schemas()
+    pairs = [
+        (fragment, dtd, labels, attrs)
+        for fragment in fragments
+        for dtd, labels, attrs in grid
+    ]
+    cases: list[tuple[Path, DTD]] = []
+    while len(cases) < n_cases:
+        for fragment, dtd, labels, attrs in pairs:
+            if len(cases) >= n_cases:
+                break
+            query = random_query(
+                rng, fragment, labels, attrs=attrs, max_depth=max_depth
+            )
+            cases.append((query, dtd))
+    return cases
+
+
+# -- disagreement minimization --------------------------------------------------
+
+def _path_shrinks(path: Path) -> Iterator[Path]:
+    """Structurally smaller variants of ``path`` (one shrink per yield).
+    Shrinking needs no semantic preservation — any smaller query that
+    still disagrees is a better regression case."""
+    if isinstance(path, xpast.Union):
+        yield path.left
+        yield path.right
+        for left in _path_shrinks(path.left):
+            yield xpast.Union(left, path.right)
+        for right in _path_shrinks(path.right):
+            yield xpast.Union(path.left, right)
+    elif isinstance(path, xpast.Seq):
+        yield path.left
+        yield path.right
+        for left in _path_shrinks(path.left):
+            yield xpast.Seq(left, path.right)
+        for right in _path_shrinks(path.right):
+            yield xpast.Seq(path.left, right)
+    elif isinstance(path, xpast.Filter):
+        yield path.path
+        for qualifier in _qualifier_shrinks(path.qualifier):
+            yield xpast.Filter(path.path, qualifier)
+        for inner in _path_shrinks(path.path):
+            yield xpast.Filter(inner, path.qualifier)
+
+
+def _qualifier_shrinks(qualifier: Qualifier) -> Iterator[Qualifier]:
+    if isinstance(qualifier, (xpast.And, xpast.Or)):
+        yield qualifier.left
+        yield qualifier.right
+        connective = type(qualifier)
+        for left in _qualifier_shrinks(qualifier.left):
+            yield connective(left, qualifier.right)
+        for right in _qualifier_shrinks(qualifier.right):
+            yield connective(qualifier.left, right)
+    elif isinstance(qualifier, xpast.Not):
+        yield qualifier.inner
+        for inner in _qualifier_shrinks(qualifier.inner):
+            yield xpast.Not(inner)
+    elif isinstance(qualifier, xpast.PathExists):
+        for path in _path_shrinks(qualifier.path):
+            yield xpast.PathExists(path)
+    elif isinstance(qualifier, xpast.AttrConstCmp):
+        yield xpast.PathExists(qualifier.path)
+    elif isinstance(qualifier, xpast.AttrAttrCmp):
+        yield xpast.PathExists(qualifier.left_path)
+        yield xpast.PathExists(qualifier.right_path)
+
+
+def _dtd_shrinks(dtd: DTD) -> Iterator[DTD]:
+    """Smaller DTDs: drop an (unreferenced) element type, flatten a
+    production to ``eps``, or drop an attribute.  Candidates that fail
+    DTD well-formedness (e.g. dropping a type some production still
+    mentions) are skipped here."""
+    def build(**kwargs) -> DTD | None:
+        try:
+            return DTD(**kwargs)
+        except ReproError:
+            return None
+
+    candidates: list[DTD | None] = []
+    for name in sorted(dtd.element_types - {dtd.root}):
+        keep = dtd.element_types - {name}
+        candidates.append(build(
+            root=dtd.root,
+            productions={k: v for k, v in dtd.productions.items() if k in keep},
+            attributes={k: v for k, v in dtd.attributes.items() if k in keep},
+        ))
+    for name in sorted(dtd.element_types):
+        if not isinstance(dtd.production(name), Epsilon):
+            candidates.append(build(
+                root=dtd.root,
+                productions={**dtd.productions, name: Epsilon()},
+                attributes=dtd.attributes,
+            ))
+    for name in sorted(dtd.attributes):
+        for attr in sorted(dtd.attrs_of(name)):
+            remaining = {
+                element: frozenset(a for a in attrs if (element, a) != (name, attr))
+                for element, attrs in dtd.attributes.items()
+            }
+            candidates.append(build(
+                root=dtd.root,
+                productions=dtd.productions,
+                attributes={k: v for k, v in remaining.items() if v},
+            ))
+    for candidate in candidates:
+        if candidate is not None:
+            yield candidate
+
+
+@dataclass
+class MinimizedDisagreement:
+    """Outcome of :func:`minimize_disagreement`: the shrunken failing
+    pair plus the sizes it started from."""
+
+    query: Path
+    dtd: DTD
+    original_query_size: int
+    original_dtd_size: int
+
+    @property
+    def query_size(self) -> int:
+        return self.query.size()
+
+    @property
+    def dtd_size(self) -> int:
+        return self.dtd.size()
+
+
+def minimize_disagreement(
+    query: Path,
+    dtd: DTD,
+    bounds: OracleBounds | None = None,
+    disagrees: Callable[[Path, DTD], bool] | None = None,
+    max_steps: int = 200,
+) -> MinimizedDisagreement:
+    """Greedily shrink a disagreeing ``(query, dtd)`` pair while the
+    disagreement persists, so a fuzz failure lands as a minimal, readable
+    regression case.
+
+    ``disagrees`` defaults to "``cross_check`` reports a disagreement";
+    tests (and other harnesses, e.g. one diffing two engine
+    configurations) can inject their own predicate.  A candidate on which
+    the predicate *raises* is treated as not disagreeing — shrinking must
+    never trade a verdict bug for a crash elsewhere.  Raises
+    :class:`ValueError` when the input pair does not disagree.
+    """
+    if disagrees is None:
+        check_bounds = bounds
+
+        def disagrees(candidate_query: Path, candidate_dtd: DTD) -> bool:
+            return bool(
+                cross_check(candidate_query, candidate_dtd, check_bounds).disagreements
+            )
+
+    def holds(candidate_query: Path, candidate_dtd: DTD) -> bool:
+        try:
+            return bool(disagrees(candidate_query, candidate_dtd))
+        except Exception:
+            return False
+
+    if not holds(query, dtd):
+        raise ValueError("minimize_disagreement needs a disagreeing input pair")
+
+    result = MinimizedDisagreement(
+        query=query, dtd=dtd,
+        original_query_size=query.size(), original_dtd_size=dtd.size(),
+    )
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _path_shrinks(result.query):
+            steps += 1
+            if candidate.size() < result.query.size() and holds(candidate, result.dtd):
+                result.query = candidate
+                progress = True
+                break
+            if steps >= max_steps:
+                break
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _dtd_shrinks(result.dtd):
+            steps += 1
+            try:
+                smaller = candidate.size() < result.dtd.size()
+            except KeyError:
+                continue
+            if smaller and holds(result.query, candidate):
+                result.dtd = candidate
+                progress = True
+                break
+            if steps >= max_steps:
+                break
+    return result
+
+
+def regression_snippet(
+    query: Path, dtd: DTD, bounds: OracleBounds | None = None
+) -> str:
+    """Render a minimal disagreement as a ready-to-paste pytest function
+    (drop it into ``tests/test_differential_oracle.py``)."""
+    bounds_args = ""
+    if bounds is not None:
+        defaults = OracleBounds()
+        overrides = [
+            f"{name}={getattr(bounds, name)}"
+            for name in (
+                "max_depth", "max_width", "max_nodes", "max_trees",
+                "words_per_type", "value_pool", "max_assignments",
+            )
+            if getattr(bounds, name) != getattr(defaults, name)
+        ]
+        bounds_args = ", ".join(overrides)
+    import hashlib
+
+    digest = hashlib.sha256(
+        (str(query) + "\n" + dtd.describe()).encode("utf-8")
+    ).hexdigest()
+    tag = int(digest[:8], 16)
+    dtd_block = "\n".join(f"        {line}" for line in dtd.describe().splitlines())
+    return (
+        f"def test_oracle_regression_{tag}():\n"
+        f'    """Minimized fuzz disagreement (auto-generated)."""\n'
+        f"    dtd = parse_dtd(\n"
+        f'        """\n'
+        f"{dtd_block}\n"
+        f'        """\n'
+        f"    )\n"
+        f"    report = cross_check(\n"
+        f"        parse_query({str(query)!r}), dtd, OracleBounds({bounds_args})\n"
+        f"    )\n"
+        f'    assert not report.disagreements, "\\n".join(report.disagreements)\n'
+    )

@@ -16,6 +16,7 @@ CI via the ``ci`` profile registered in ``conftest.py``).
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -23,7 +24,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dtd import parse_dtd
-from repro.testing import OracleBounds, cross_check, find_witness, iter_small_trees
+from repro.engine import BatchEngine, Job, SchemaRegistry, schema_fingerprint
+from repro.testing import (
+    OracleBounds,
+    build_corpus,
+    corpus_schemas,
+    cross_check,
+    find_witness,
+    iter_small_trees,
+    minimize_disagreement,
+    regression_snippet,
+)
 from repro.workloads.queries import random_query
 from repro.xmltree.validate import conforms
 from repro.xpath import fragments as frag
@@ -169,6 +180,161 @@ class TestDifferentialCorpus:
                 disagreements.append(f"{report.query} (root {dtd.root}): {message}")
         assert not disagreements, "\n".join(disagreements)
         assert checked > 0
+
+
+#: enlarged fuzz corpus size: >= 500 in tier-1 (the acceptance bar); the
+#: scheduled extended-fuzz CI job raises it via REPRO_FUZZ_CASES
+ENLARGED_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "520"))
+
+#: wider than the base BOUNDS: the enlarged corpus includes branching
+#: recursion and data-over-recursion schemas whose minimal witnesses can
+#: need more siblings/assignments than the 300-case corpus's
+ENLARGED_BOUNDS = OracleBounds(
+    max_depth=4, max_width=4, max_nodes=14, max_assignments=2048
+)
+
+
+class TestEnlargedCorpusThroughGroupedScheduler:
+    """The ROADMAP's fuzz target: the enlarged corpus (recursive DTDs,
+    sibling and sibling+data mixes) decided by the plan-grouped batch
+    scheduler, every definitive verdict checked against the brute-force
+    oracle."""
+
+    def test_corpus_shape(self):
+        cases = build_corpus(seed=20250730, n_cases=ENLARGED_CASES)
+        assert len(cases) >= 500
+        from repro.dtd.properties import is_nonrecursive
+        from repro.xpath.fragments import uses_data, uses_sibling
+
+        recursive = sum(1 for _q, dtd in cases if not is_nonrecursive(dtd))
+        sibling_data = sum(
+            1 for query, _dtd in cases
+            if uses_sibling(query) and uses_data(query)
+        )
+        assert recursive >= 100          # recursive DTDs are a real share
+        assert sibling_data >= 10        # the sibling+data mix is present
+
+    def test_grouped_scheduler_agrees_with_oracle(self):
+        cases = build_corpus(seed=20250730, n_cases=ENLARGED_CASES)
+        registry = SchemaRegistry()
+        names: dict[str, str] = {}
+        for _query, dtd in cases:
+            fingerprint = schema_fingerprint(dtd)
+            if fingerprint not in names:
+                names[fingerprint] = f"s{len(names)}"
+                registry.register(names[fingerprint], dtd)
+        jobs = [
+            Job(str(query), names[schema_fingerprint(dtd)], id=f"case-{index}")
+            for index, (query, dtd) in enumerate(cases)
+        ]
+        engine = BatchEngine(registry=registry, group_by_plan=True)
+        report = engine.run(jobs)
+        assert report.stats.errors == 0
+        assert report.stats.plan_groups >= 1
+        assert report.stats.setup_reuse >= 1
+
+        definitive = sum(
+            1 for result in report.results if result.satisfiable is not None
+        )
+        assert definitive * 2 >= len(cases), (
+            "the corpus must mostly produce definitive verdicts for the "
+            f"oracle gate to mean anything ({definitive}/{len(cases)})"
+        )
+
+        disagreements = []
+        for (query, dtd), result in zip(cases, report.results):
+            if result.satisfiable is None:
+                continue  # unknown within bounds: honest, not a disagreement
+            oracle_sat = find_witness(query, dtd, ENLARGED_BOUNDS) is not None
+            if result.satisfiable != oracle_sat:
+
+                def disagrees(candidate_query, candidate_dtd):
+                    report = cross_check(
+                        candidate_query, candidate_dtd, ENLARGED_BOUNDS
+                    )
+                    return bool(report.checked and report.disagreements)
+
+                minimal = minimize_disagreement(
+                    query, dtd, ENLARGED_BOUNDS, disagrees=disagrees,
+                ) if disagrees(query, dtd) else None
+                rendered = (
+                    regression_snippet(minimal.query, minimal.dtd, ENLARGED_BOUNDS)
+                    if minimal is not None
+                    else f"{result.id}: {query} vs schema {dtd.root}"
+                )
+                disagreements.append(
+                    f"{result.id}: engine={result.satisfiable} "
+                    f"oracle={oracle_sat} [{result.method}]\n{rendered}"
+                )
+        assert not disagreements, "\n".join(disagreements)
+
+
+class TestMinimizer:
+    """The disagreement minimizer itself, driven by injected predicates
+    (the suite has no real disagreement to shrink — that is the point)."""
+
+    DTD = parse_dtd(
+        """
+        root r
+        r -> A, (B + C)
+        A -> eps
+        B -> eps
+        C -> eps
+        A @ a
+        """
+    )
+
+    def test_shrinks_query_and_dtd_while_predicate_holds(self):
+        query = parse_query("A[not(B) and C]/B | A/C")
+
+        def predicate(candidate_query, candidate_dtd):
+            return (
+                "B" in str(candidate_query)
+                and "B" in candidate_dtd.element_types
+            )
+
+        minimal = minimize_disagreement(query, self.DTD, disagrees=predicate)
+        assert minimal.query_size < minimal.original_query_size
+        assert minimal.dtd_size < minimal.original_dtd_size
+        assert predicate(minimal.query, minimal.dtd)
+
+    def test_rejects_non_disagreeing_input(self):
+        with pytest.raises(ValueError, match="disagreeing"):
+            minimize_disagreement(
+                parse_query("A"), self.DTD, disagrees=lambda q, d: False
+            )
+
+    def test_predicate_exceptions_treated_as_not_disagreeing(self):
+        query = parse_query("A[B]/C")
+
+        def fragile(candidate_query, candidate_dtd):
+            if "C" not in str(candidate_query):
+                raise RuntimeError("crashed on the shrunken candidate")
+            return True
+
+        minimal = minimize_disagreement(query, self.DTD, disagrees=fragile)
+        assert "C" in str(minimal.query)  # never shrank into the crash
+
+    def test_regression_snippet_is_executable(self):
+        snippet = regression_snippet(
+            parse_query("A[B]"), self.DTD, OracleBounds(max_depth=3)
+        )
+        assert snippet.startswith("def test_oracle_regression_")
+        namespace = {
+            "parse_dtd": parse_dtd, "parse_query": parse_query,
+            "cross_check": cross_check, "OracleBounds": OracleBounds,
+        }
+        exec(snippet, namespace)  # noqa: S102 - the emitted test must run
+        test_fn = next(v for k, v in namespace.items() if k.startswith("test_"))
+        test_fn()  # A[B] genuinely agrees, so the emitted test passes
+
+    def test_corpus_schemas_cover_the_grid(self):
+        rows = corpus_schemas()
+        assert len(rows) >= 6
+        from repro.dtd.properties import is_nonrecursive
+
+        assert any(not is_nonrecursive(dtd) for dtd, _l, _a in rows)
+        assert any(dtd.attribute_names for dtd, _l, _a in rows)
 
 
 class TestDifferentialHypothesis:

@@ -211,6 +211,8 @@ class TestBatchEngine:
         }
 
     def test_variants_share_cache_within_a_run(self, registry):
+        # heavy (pool-route) variants coalesce into one plan-group entry;
+        # either way the question is decided exactly once
         engine = BatchEngine(registry=registry)
         report = engine.run([
             Job("X1[T and F]", "threesat"),
@@ -218,9 +220,22 @@ class TestBatchEngine:
             Job("X1[T and F] | X1[T and F]", "threesat"),
         ])
         assert report.stats.decide_calls == 1
-        assert report.stats.cache_hits == 2
+        assert report.stats.cache_hits + report.stats.coalesced == 2
         assert [r.satisfiable for r in report.results] == [False, False, False]
-        assert report.results[1].route == "cache"
+        assert report.results[1].cached is True
+
+    def test_variants_share_cache_across_runs(self, registry):
+        # the decision cache still absorbs variants once the group's
+        # verdict has landed: a second run re-decides nothing
+        engine = BatchEngine(registry=registry)
+        engine.run([Job("X1[T and F]", "threesat")])
+        report = engine.run([
+            Job("X1[F and T]", "threesat"),
+            Job("X1[T and F] | X1[T and F]", "threesat"),
+        ])
+        assert report.stats.decide_calls == 0
+        assert report.stats.cache_hits == 2
+        assert report.results[0].route == "cache"
 
     def test_warm_rerun_skips_decide(self, registry):
         engine = BatchEngine(registry=registry)
@@ -322,6 +337,229 @@ class TestBatchEngine:
         assert cold.stats.decide_calls > 0
         assert warm.stats.decide_calls * 10 <= cold.stats.decide_calls
         assert warm.stats.errors == 0
+
+
+# -- the plan-grouped scheduler --------------------------------------------------
+
+class _CrashFirstExecutor:
+    """Executor stand-in whose first submitted task 'dies' (its future
+    raises); later tasks run the worker function in-process.  Simulates a
+    pool-worker crash mid-run without burning real fork time."""
+
+    def __init__(self, max_workers=None):
+        self.calls = 0
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures import Future
+
+        self.calls += 1
+        future = Future()
+        if self.calls == 1:
+            future.set_exception(RuntimeError("worker died mid-group"))
+        else:
+            future.set_result(fn(*args, **kwargs))
+        return future
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+class TestGroupedScheduler:
+    HEAVY = ["A[not(C)]", "A[not(B)]", ".[not(A)]", "B[not(A)]", "C[not(B)]"]
+
+    def _engine(self, registry, **kwargs):
+        return BatchEngine(registry=registry, **kwargs)
+
+    def test_rejects_nonpositive_chunk_size(self, registry):
+        with pytest.raises(EngineError, match="group_chunk_size"):
+            BatchEngine(registry=registry, group_chunk_size=0)
+
+    @pytest.mark.parametrize("n_jobs,chunk,expected_groups", [
+        (1, 4, 1),        # single-job group
+        (4, 4, 1),        # exactly chunk-size
+        (5, 4, 2),        # chunk-size + 1 spills into a second chunk
+    ])
+    def test_chunk_size_boundaries(self, registry, n_jobs, chunk, expected_groups):
+        jobs = [Job(query, "disjfree") for query in self.HEAVY[:n_jobs]]
+        engine = self._engine(registry, group_chunk_size=chunk)
+        report = engine.run(jobs)
+        assert report.stats.errors == 0
+        assert report.stats.plan_groups == expected_groups
+        assert report.stats.grouped_jobs == n_jobs
+        assert sum(report.stats.group_sizes) == n_jobs
+        # same questions, ungrouped: identical verdicts
+        ungrouped = self._engine(registry, group_by_plan=False).run(jobs)
+        assert [r.satisfiable for r in report.results] == [
+            r.satisfiable for r in ungrouped.results
+        ]
+
+    def test_empty_batch_forms_no_groups(self, registry):
+        report = self._engine(registry).run([])
+        assert report.stats.plan_groups == 0
+        assert report.stats.group_sizes == []
+
+    def test_worker_crash_surfaces_per_job_error_without_poisoning(self, registry):
+        # two plan groups (different schemas); the first dispatched
+        # chunk's worker dies, the second chunk still answers
+        jobs = [
+            Job("A[not(C)]", "disjfree", id="doomed-1"),
+            Job("A[not(B)]", "disjfree", id="doomed-2"),
+            Job("X1[not(T)]", "threesat", id="fine"),
+        ]
+        engine = self._engine(registry, workers=2)
+        engine._executor_factory = _CrashFirstExecutor
+        report = engine.run(jobs)
+        by_id = {result.id: result for result in report.results}
+        crashed = [r for r in report.results if r.error is not None]
+        answered = [r for r in report.results if r.error is None]
+        assert len(crashed) == 2 and len(answered) == 1
+        assert all("worker died" in r.error for r in crashed)
+        assert all(r.route == "error" for r in crashed)
+        assert by_id["fine"].satisfiable is True
+        assert report.stats.errors == 2
+
+    def test_prepare_failure_falls_back_to_ungrouped(self, registry, monkeypatch):
+        import dataclasses
+
+        from repro.sat import registry as sat_registry
+
+        spec = sat_registry.get_decider("exptime_types")
+
+        def boom(dtd):
+            raise RuntimeError("prepare exploded")
+
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "exptime_types",
+            dataclasses.replace(spec, prepare=boom),
+        )
+        jobs = [Job(query, "disjfree") for query in self.HEAVY[:3]]
+        engine = self._engine(registry)
+        report = engine.run(jobs)
+        # the group still ran (as one task, per-job setup) and answered
+        assert report.stats.errors == 0
+        assert report.stats.prepare_fallbacks == 1
+        assert report.stats.plan_groups == 1
+        assert report.stats.setup_reuse == 0
+        ungrouped = self._engine(registry, group_by_plan=False).run(jobs)
+        assert [r.satisfiable for r in report.results] == [
+            r.satisfiable for r in ungrouped.results
+        ]
+
+    def test_unexpected_exception_does_not_poison_groupmates(
+        self, registry, monkeypatch
+    ):
+        # a NON-ReproError from one question (a latent decider bug, the
+        # exact thing the fuzz target hunts) must fail only that job —
+        # mirroring how ungrouped pool futures fail per question
+        import dataclasses
+
+        from repro.sat import registry as sat_registry
+
+        spec = sat_registry.get_decider("exptime_types")
+        original = spec.fn
+
+        def flaky(query, dtd, max_facts=22, context=None):
+            if "C" in str(query):
+                raise RuntimeError("latent decider bug")
+            return original(query, dtd, max_facts, context=context)
+
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "exptime_types",
+            dataclasses.replace(spec, fn=flaky),
+        )
+        report = self._engine(registry).run([
+            Job("A[not(C)]", "disjfree", id="doomed"),
+            Job("A[not(B)]", "disjfree", id="fine"),
+        ])
+        assert report.stats.errors == 1
+        assert "latent decider bug" in report.results[0].error
+        assert report.results[1].error is None
+        assert report.results[1].satisfiable is not None
+
+    def test_none_returning_prepare_runs_once_per_chunk(self, registry, monkeypatch):
+        # a hook that legitimately yields no context must not be re-run
+        # for every question in the chunk
+        import dataclasses
+
+        from repro.sat import registry as sat_registry
+
+        calls = []
+        spec = sat_registry.get_decider("exptime_types")
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "exptime_types",
+            dataclasses.replace(spec, prepare=lambda dtd: calls.append(1)),
+        )
+        report = self._engine(registry).run(
+            [Job(query, "disjfree") for query in self.HEAVY[:3]]
+        )
+        assert report.stats.errors == 0
+        assert report.stats.plan_groups == 1
+        assert len(calls) == 1
+        # no context existed, so nothing counts as shared or fallen back
+        assert report.stats.setup_reuse == 0
+        assert report.stats.prepare_fallbacks == 0
+
+    def test_fallback_prepare_failure_keeps_primary_context(self, registry, monkeypatch):
+        # a broken *fallback* hook marks only that decider context-less;
+        # the primary's shared context (and the memo of the failure) stay
+        import dataclasses
+
+        from repro.sat import registry as sat_registry
+        from repro.sat.planner import PlanContexts
+
+        calls = []
+
+        def boom(dtd):
+            calls.append(1)
+            raise RuntimeError("fallback prepare exploded")
+
+        spec = sat_registry.get_decider("bounded")
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "bounded",
+            dataclasses.replace(spec, prepare=boom),
+        )
+        artifacts = registry.get("disjfree")
+        engine = self._engine(registry)
+        plan = engine.planner.plan_query(
+            parse_query("A[not(C)]"), artifacts=artifacts
+        )
+        contexts = PlanContexts(plan, artifacts.dtd)
+        assert contexts.get("exptime_types") is not None
+        assert contexts.built == 1
+        assert contexts.get("bounded") is None
+        assert contexts.get("bounded") is None      # failure memoized,
+        assert len(calls) == 1                      # not retried per job
+        assert "fallback prepare exploded" in contexts.prepare_error
+        assert contexts.built == 1                  # primary context kept
+
+    def test_job_error_does_not_poison_groupmates(self, registry):
+        # force one groupmate to fail *inside* the chunk by driving the
+        # types fixpoint past a tiny fact cap with no fallback: easier to
+        # emulate via an unknown-schema error job plus healthy mates —
+        # the error job never reaches the group, mates answer normally
+        jobs = [
+            Job("A[not(C)]", "disjfree"),
+            Job("A[not(B)]", "nonexistent-schema"),
+            Job("A[not(B)]", "disjfree"),
+        ]
+        report = self._engine(registry).run(jobs)
+        assert report.stats.errors == 1
+        assert report.results[1].error is not None
+        assert report.results[0].satisfiable is not None
+        assert report.results[2].satisfiable is not None
+
+    def test_coalesced_duplicates_inside_a_group(self, registry):
+        jobs = [
+            Job("A[not(C)]", "disjfree"),
+            Job("A[not(C)]", "disjfree"),
+            Job("A[not(C)] | A[not(C)]", "disjfree"),
+        ]
+        report = self._engine(registry).run(jobs)
+        assert report.stats.decide_calls == 1
+        assert report.stats.coalesced == 2
+        assert report.stats.grouped_jobs == 1
+        assert len({r.satisfiable for r in report.results}) == 1
+        assert report.results[1].cached is True
 
 
 # -- JSONL round trips -----------------------------------------------------------

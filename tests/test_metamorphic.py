@@ -1,10 +1,12 @@
 """Metamorphic guarantees of the planner feedback loop.
 
-Telemetry, cost-based routing, and plan-cache persistence are
-*performance* features: none of them may change a single verdict.  The
-tests here decide one corpus three ways — static ranking, cost-based
-ranking after calibration, and a cold engine warmed from a persisted
-state directory — and require bit-identical verdicts, plus unit coverage
+Telemetry, cost-based routing, plan-cache persistence, and plan-grouped
+scheduling are *performance* features: none of them may change a single
+verdict.  The tests here decide one corpus several ways — static
+ranking, cost-based ranking after calibration, a cold engine warmed from
+a persisted state directory, and the plan-grouped scheduler on/off — and
+require bit-identical verdicts (for grouping also bit-identical
+decision-cache contents and telemetry verdict mixes), plus unit coverage
 of the telemetry aggregator and the state serialization round trip.
 """
 
@@ -132,6 +134,109 @@ class TestMetamorphicVerdicts:
         assert report.stats.persisted_plans_loaded >= 1
 
 
+def _cache_records(engine):
+    """Decision-cache contents, order-insensitively: grouping defers
+    heavy decisions to group drain, so insertion (LRU) order may differ
+    while the entry set must not."""
+    return sorted(map(repr, engine.cache.to_records()))
+
+
+def _verdict_mixes(engine):
+    """Per-plan telemetry verdict mixes (plan key -> verdict counts)."""
+    return {
+        key: dict(stats.verdicts) for key, stats in engine.telemetry.items()
+    }
+
+
+class TestGroupedScheduling:
+    """Plan-grouped dispatch is a scheduling change only: verdicts,
+    decision-cache contents, and telemetry verdict mixes must be
+    bit-identical with ``group_by_plan`` on and off."""
+
+    def _mixed_corpus(self, n_jobs=120):
+        # inline (PTIME downward) and pooled (negation) plans, plus
+        # no-DTD jobs — the full routing mix the scheduler partitions
+        return batch_jobs(
+            random.Random(1307), _schemas(), n_jobs=n_jobs,
+            fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL, frag.CHILD_QUAL_NEG),
+            max_depth=2, duplicate_rate=0.3, no_dtd_rate=0.2,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_grouped_matches_ungrouped(self, workers):
+        jobs = self._mixed_corpus()
+        grouped = BatchEngine(
+            registry=_registry(), workers=workers, group_by_plan=True
+        )
+        ungrouped = BatchEngine(
+            registry=_registry(), workers=workers, group_by_plan=False
+        )
+        grouped_report = grouped.run(jobs)
+        ungrouped_report = ungrouped.run(jobs)
+        assert _verdicts(grouped_report) == _verdicts(ungrouped_report)
+        assert _cache_records(grouped) == _cache_records(ungrouped)
+        assert _verdict_mixes(grouped) == _verdict_mixes(ungrouped)
+        assert grouped_report.stats.errors == ungrouped_report.stats.errors == 0
+        assert grouped_report.stats.plan_groups >= 1
+        assert grouped_report.stats.grouped_jobs >= 2
+        assert ungrouped_report.stats.plan_groups == 0
+
+    def test_grouped_matches_ungrouped_with_chunking(self):
+        jobs = self._mixed_corpus(80)
+        grouped = BatchEngine(
+            registry=_registry(), group_by_plan=True, group_chunk_size=3
+        )
+        ungrouped = BatchEngine(registry=_registry(), group_by_plan=False)
+        grouped_report = grouped.run(jobs)
+        assert _verdicts(grouped_report) == _verdicts(ungrouped.run(jobs))
+        assert _cache_records(grouped) == _cache_records(ungrouped)
+        assert _verdict_mixes(grouped) == _verdict_mixes(ungrouped)
+        # chunking shows in the group-size distribution
+        assert max(grouped_report.stats.group_sizes) <= 3
+
+    def test_single_job_groups(self):
+        # every heavy question distinct per schema fragment shape: each
+        # group holds one job, pays its own setup, reuses nothing
+        jobs = [("A[not(B)]", "tiny"), ("title[not(para)]", "doc")]
+        grouped = BatchEngine(registry=_registry(), group_by_plan=True)
+        ungrouped = BatchEngine(registry=_registry(), group_by_plan=False)
+        grouped_report = grouped.run(jobs)
+        assert _verdicts(grouped_report) == _verdicts(ungrouped.run(jobs))
+        assert _cache_records(grouped) == _cache_records(ungrouped)
+        assert grouped_report.stats.plan_groups == 2
+        assert grouped_report.stats.grouped_jobs == 2
+        assert grouped_report.stats.setup_reuse == 0
+        assert grouped_report.stats.jobs_per_group(0.5) == 1
+
+    def test_grouped_setup_reuse_counted(self):
+        # many jobs, one plan, one schema: a single group chunk pays
+        # setup once and every groupmate after the lead reuses it
+        jobs = [(f"A[not({label})]", "tiny") for label in ("A", "B", "C")]
+        engine = BatchEngine(registry=_registry(), group_by_plan=True)
+        report = engine.run(jobs)
+        assert report.stats.plan_groups == 1
+        assert report.stats.grouped_jobs == 3
+        assert report.stats.setup_reuse == 2
+        (stats,) = [
+            stats for key, stats in engine.telemetry.items() if "neg" in key
+        ]
+        assert stats.groups == 1
+        assert stats.grouped_jobs == 3
+        assert stats.setup_reuse == 2
+
+    def test_grouped_pool_matches_inline_grouped(self):
+        jobs = self._mixed_corpus(60)
+        pooled = BatchEngine(registry=_registry(), workers=2, group_by_plan=True)
+        inline = BatchEngine(registry=_registry(), workers=1, group_by_plan=True)
+        pooled_report = pooled.run(jobs)
+        inline_report = inline.run(jobs)
+        assert _verdicts(pooled_report) == _verdicts(inline_report)
+        assert _cache_records(pooled) == _cache_records(inline)
+        assert _verdict_mixes(pooled) == _verdict_mixes(inline)
+        assert pooled_report.stats.pool_decides >= 1
+        assert inline_report.stats.pool_decides == 0
+
+
 class TestEngineTelemetry:
     def test_run_populates_per_plan_stats(self):
         engine = BatchEngine(registry=_registry())
@@ -256,6 +361,135 @@ class TestStatePersistence:
         assert fresh.to_records() == records
         # malformed entries are skipped, not fatal
         assert fresh.load_records([[["k", "s", "-"], {"bogus": 1}]]) == 0
+
+
+class TestStateDirHygiene:
+    """Persisted state must stay bounded: decisions are capped per
+    schema, telemetry rows age out — and the trimmed state still
+    warm-starts correctly."""
+
+    def test_cap_decision_records_keeps_newest_per_schema(self):
+        from repro.engine.state import cap_decision_records
+
+        records = [
+            [[f"q{i}", "schemaA", "-"], {"satisfiable": True, "method": "m"}]
+            for i in range(5)
+        ] + [
+            [[f"q{i}", "schemaB", "-"], {"satisfiable": False, "method": "m"}]
+            for i in range(2)
+        ]
+        capped = cap_decision_records(records, 3)
+        schema_a = [item for item in capped if item[0][1] == "schemaA"]
+        schema_b = [item for item in capped if item[0][1] == "schemaB"]
+        assert len(schema_a) == 3 and len(schema_b) == 2
+        # newest (highest index = most recently used) survive, in order
+        assert [item[0][0] for item in schema_a] == ["q2", "q3", "q4"]
+        with pytest.raises(ValueError):
+            cap_decision_records(records, 0)
+
+    def test_capped_state_still_warm_starts(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        jobs = _corpus(80)
+        engine = BatchEngine(
+            registry=_registry(), state_dir=state_dir,
+            decision_cap_per_schema=5,
+        )
+        engine.run(jobs)
+        assert len(engine.cache) > 10   # the cap only applies on save
+        engine.save_state()
+
+        state = load_state(state_dir)
+        per_schema = {}
+        for (key, _record) in state.decisions:
+            per_schema[key[1]] = per_schema.get(key[1], 0) + 1
+        assert per_schema and all(count <= 5 for count in per_schema.values())
+
+        # a cold engine on the capped state still warm-starts: plans all
+        # persisted (plans are never capped), decisions partially; the
+        # rerun re-decides only what the cap dropped, with identical
+        # verdicts
+        baseline = _verdicts(engine.run(jobs))
+        cold = BatchEngine(registry=_registry(), state_dir=state_dir)
+        report = cold.run(jobs)
+        assert _verdicts(report) == baseline
+        assert report.stats.planner_invocations == 0
+        assert cold.persisted_decisions_loaded == sum(per_schema.values())
+        assert report.stats.cache_hits >= cold.persisted_decisions_loaded
+
+    def test_telemetry_rows_age_out_on_save(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        engine = BatchEngine(
+            registry=_registry(), state_dir=state_dir,
+            telemetry_max_age_days=7.0,
+        )
+        engine.run(_corpus(40))
+        # backdate one row beyond the age limit
+        keys = [key for key, _stats in engine.telemetry.items()]
+        stale_key = keys[0]
+        engine.telemetry.get(stale_key).last_seen -= 8 * 86400.0
+        engine.save_state()
+        state = load_state(state_dir)
+        assert state.telemetry is not None
+        assert stale_key not in state.telemetry
+        for key in keys[1:]:
+            assert key in state.telemetry
+        # the live engine keeps all rows (hygiene trims the file only)
+        assert stale_key in engine.telemetry
+
+    def test_prune_keeps_legacy_rows_without_stamp(self):
+        from repro.sat.telemetry import PlanStats
+
+        telemetry = PlanTelemetry.from_dict({
+            "plans": {
+                "legacy|row": {"plan": None, "stats": {"count": 3}},
+                "fresh|row": {"plan": None, "stats": PlanStats().to_dict()},
+            }
+        })
+        assert telemetry.get("legacy|row").last_seen == 0.0
+        removed = telemetry.prune(max_age_s=1.0)
+        assert removed == 0       # no stamp and a fresh stamp both survive
+        with pytest.raises(ValueError):
+            telemetry.prune(max_age_s=-1.0)
+
+    def test_scheduler_tunables_round_trip(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        engine = BatchEngine(
+            registry=_registry(), state_dir=state_dir,
+            group_by_plan=False, group_chunk_size=7,
+            decision_cap_per_schema=64, telemetry_max_age_days=3.0,
+        )
+        engine.run(_corpus(20))
+        engine.save_state()
+        state = load_state(state_dir)
+        assert state.scheduler == {
+            "group_by_plan": False, "group_chunk_size": 7,
+            "decision_cap_per_schema": 64, "telemetry_max_age_days": 3.0,
+        }
+        reloaded = BatchEngine(registry=_registry(), state_dir=state_dir)
+        assert reloaded.group_by_plan is False
+        assert reloaded.group_chunk_size == 7
+        # explicit constructor settings beat persisted ones
+        explicit = BatchEngine(
+            registry=_registry(), state_dir=state_dir, group_by_plan=True
+        )
+        assert explicit.group_by_plan is True
+        assert explicit.group_chunk_size == 7
+
+    def test_corrupt_scheduler_values_degrade_with_warnings(self, tmp_path):
+        import json
+
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "scheduler.json").write_text(json.dumps({
+            "version": 1, "group_chunk_size": -4,
+            "telemetry_max_age_days": "soon", "group_by_plan": True,
+        }))
+        state = load_state(str(state_dir))
+        assert state.scheduler == {"group_by_plan": True}
+        assert len(state.warnings) == 2
+        engine = BatchEngine(registry=_registry(), state_dir=str(state_dir))
+        assert engine.group_chunk_size == 16   # default, bad value ignored
+        assert engine.run(_corpus(10)).stats.errors == 0
 
 
 class TestCostModelHygiene:
