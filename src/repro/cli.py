@@ -42,9 +42,13 @@ Subcommands
     Heavy jobs are grouped by plan × schema and each group runs as one
     worker task with shared per-plan setup; ``--no-group-by-plan``
     restores per-job dispatch and ``--group-chunk-size N`` bounds the
-    jobs per dispatched group.  ``--decision-cap`` / ``--telemetry-max-age``
-    control state-dir hygiene (persisted decisions per schema, telemetry
-    row aging).
+    jobs per dispatched group.  Chunks route to **persistent worker
+    lanes** by schema-fingerprint affinity, so a lane keeps each
+    schema's DTD and prepared contexts warm across chunks;
+    ``--no-affinity`` restores stateless pooling and
+    ``--lane-queue-depth N`` tunes the spill-over threshold.
+    ``--decision-cap`` / ``--telemetry-max-age`` control state-dir
+    hygiene (persisted decisions per schema, telemetry row aging).
 
     Each input line is ``{"query": ..., "schema": ..., "id": ...}``
     (``schema`` and ``id`` optional); each output line is the structured
@@ -224,6 +228,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         group_chunk_size=args.group_chunk_size,
         decision_cap_per_schema=args.decision_cap,
         telemetry_max_age_days=args.telemetry_max_age,
+        affinity=args.affinity,
+        lane_queue_depth=args.lane_queue_depth,
     )
     for warning in engine.state_warnings:
         print(f"state: {warning}", file=sys.stderr)
@@ -334,7 +340,7 @@ def _cmd_stats_plans(args: argparse.Namespace) -> int:
         print(
             f"cost model: {len(state.cost_model)} "
             f"(signature x bucket x decider) cells, "
-            f"{state.cost_model.observations} observations"
+            f"{state.cost_model.observations:g} observations"
         )
     return 0
 
@@ -412,6 +418,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--group-chunk-size", type=int, default=None, metavar="N",
         help="max jobs dispatched per plan-group chunk (default 16, or "
              "the state dir's persisted setting)",
+    )
+    batch.add_argument(
+        "--affinity", action=argparse.BooleanOptionalAction, default=None,
+        help="route plan-group chunks to persistent worker lanes by "
+             "schema-fingerprint affinity, so lane runtimes keep schemas "
+             "and prepared contexts warm across chunks (default: on, or "
+             "the state dir's persisted setting; --no-affinity restores "
+             "stateless pooling)",
+    )
+    batch.add_argument(
+        "--lane-queue-depth", type=int, default=None, metavar="N",
+        help="in-flight chunks a preferred lane may hold before a chunk "
+             "spills to the least-loaded lane (default 4, or the state "
+             "dir's persisted setting)",
     )
     batch.add_argument(
         "--decision-cap", type=int, default=None, metavar="N",

@@ -11,6 +11,11 @@ package amortizes their setup across production-scale workloads:
 * :mod:`repro.engine.batch` — :class:`BatchEngine` runs ``(query,
   schema_ref)`` job streams, inline for PTIME fragments and on a process
   pool for EXPTIME/NEXPTIME ones;
+* :mod:`repro.engine.executors` — the execution layer: an
+  :class:`Executor` abstraction over :class:`InlineExecutor` and
+  :class:`PersistentPoolExecutor`, whose long-lived worker lanes cache
+  schemas and prepared contexts (:class:`WorkerRuntime`) across chunks
+  with schema-fingerprint affinity routing;
 * :mod:`repro.engine.jobs` — JSONL serialization driving ``python -m
   repro batch``.
 """
@@ -25,6 +30,15 @@ from repro.engine.batch import (
     plan_route,
 )
 from repro.engine.cache import CachedDecision, DecisionCache, decision_key, decision_key_for
+from repro.engine.executors import (
+    ChunkOutcome,
+    ChunkTask,
+    Executor,
+    ExecutorStats,
+    InlineExecutor,
+    PersistentPoolExecutor,
+    WorkerRuntime,
+)
 from repro.engine.jobs import (
     read_jobs,
     read_jobs_file,
@@ -39,6 +53,8 @@ __all__ = [
     "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult",
     "PlanGroup", "plan_route",
     "CachedDecision", "DecisionCache", "decision_key", "decision_key_for",
+    "ChunkOutcome", "ChunkTask", "Executor", "ExecutorStats",
+    "InlineExecutor", "PersistentPoolExecutor", "WorkerRuntime",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
     "PersistedState", "load_state", "save_state",
     "read_jobs", "read_jobs_file", "write_jobs_file",

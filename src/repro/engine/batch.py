@@ -29,7 +29,21 @@ workload:
    word tables) that ungrouped dispatch rebuilds N times.  Disable with
    ``group_by_plan=False`` (``--no-group-by-plan``); grouping is a pure
    scheduling change — verdicts, cache contents, and telemetry verdict
-   mixes are identical either way (see ``tests/test_metamorphic.py``).
+   mixes are identical either way (see ``tests/test_metamorphic.py``);
+6. **persistent worker runtimes with schema affinity** — every chunk
+   runs on the :class:`~repro.engine.executors.Executor` abstraction:
+   inline chunks on an engine-lifetime
+   :class:`~repro.engine.executors.InlineExecutor`, pooled ones on a
+   :class:`~repro.engine.executors.PersistentPoolExecutor` of long-lived
+   worker *lanes* whose :class:`~repro.engine.executors.WorkerRuntime`
+   caches DTDs and prepared contexts by schema fingerprint **across
+   chunks**.  Chunks route to lanes by schema-fingerprint affinity (a
+   consistent hash, spilling over when the preferred lane's queue is
+   deep), the DTD ships to a lane only on first touch, and a dead lane
+   is respawned cold with its in-flight chunks retried once.  Disable
+   with ``affinity=False`` (``--no-affinity``) for PR-4-style stateless
+   pooling; affinity is a pure scheduling change too — same
+   bit-identical guarantees as grouping.
 
 Identical in-flight questions are coalesced: within one batch, a question
 is decided at most once no matter how many jobs ask it.
@@ -38,23 +52,31 @@ is decided at most once no matter how many jobs ask it.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import EngineError, ReproError
 from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key_for
+from repro.engine.executors import (
+    DEFAULT_LANE_QUEUE_DEPTH,
+    ChunkOutcome,
+    ChunkTask,
+    Executor,
+    InlineExecutor,
+    PersistentPoolExecutor,
+)
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
 from repro.sat.bounded import Bounds
 from repro.sat.costmodel import CostModel, size_bucket
 from repro.sat.planner import (
     ExecutionTrace,
     Plan,
-    PlanContexts,
     Planner,
     execute_plan,
 )
+from repro.sat.registry import get_decider
 from repro.sat.telemetry import PlanTelemetry, verdict_name
+from repro.xpath.rewrite import get_pass
 from repro.xpath.ast import Path
 from repro.xpath.canonical import canonicalize
 from repro.xpath.fragments import features_of
@@ -156,6 +178,25 @@ class EngineStats:
     setup_reuse: int = 0
     prepare_fallbacks: int = 0
     group_sizes: list[int] = field(default_factory=list)
+    # executor layer (this run): lanes in the pool (0 = no pool was
+    # needed), whether schema-affinity scheduling was on, DTDs actually
+    # pickled to a lane (first touch; stateless mode ships per chunk),
+    # chunks that found their prepare() contexts warm in a persistent
+    # worker runtime, chunks that spilled off their preferred lane,
+    # lanes respawned after a worker death, and in-flight chunks retried
+    # on a respawned lane.  A retried chunk reports its group counters
+    # exactly once — grouped_jobs/setup_reuse never double-count a
+    # retry (see tests/test_engine.py::TestWorkerDeathRecovery).
+    lanes: int = 0
+    affinity: bool = True
+    dtd_ships: int = 0
+    runtime_context_hits: int = 0
+    affinity_spills: int = 0
+    lane_respawns: int = 0
+    chunk_retries: int = 0
+    # cost-model epsilon-exploration probes run this pass (timing a
+    # fallback chain member the normal path would never measure)
+    explore_probes: int = 0
     # engine-lifetime totals, not per-run deltas: persisted state is
     # adopted at engine construction / schema registration, before any
     # run starts, so a per-run delta would always read 0
@@ -197,6 +238,14 @@ class EngineStats:
             "prepare_fallbacks": self.prepare_fallbacks,
             "jobs_per_group_p50": self.jobs_per_group(0.5),
             "jobs_per_group_p90": self.jobs_per_group(0.9),
+            "lanes": self.lanes,
+            "affinity": self.affinity,
+            "dtd_ships": self.dtd_ships,
+            "runtime_context_hits": self.runtime_context_hits,
+            "affinity_spills": self.affinity_spills,
+            "lane_respawns": self.lane_respawns,
+            "chunk_retries": self.chunk_retries,
+            "explore_probes": self.explore_probes,
             "persisted_plans_loaded": self.persisted_plans_loaded,
             "persisted_decisions_loaded": self.persisted_decisions_loaded,
             "workers": self.workers,
@@ -214,12 +263,19 @@ class EngineStats:
             f"{self.workers} workers)",
             f"planner       : {self.planner_invocations} plans built, "
             f"{self.plan_cache_hits} plan-cache hits, "
-            f"{self.persisted_plans_loaded} persisted plans loaded",
+            f"{self.persisted_plans_loaded} persisted plans loaded, "
+            f"{self.explore_probes} explore probes",
             f"plan groups   : {self.plan_groups} dispatched, "
             f"{self.grouped_jobs} jobs grouped, {self.setup_reuse} setup reuses, "
             f"{self.prepare_fallbacks} prepare fallbacks "
             f"(p50 {self.jobs_per_group(0.5)}, p90 {self.jobs_per_group(0.9)} "
             f"jobs/group)",
+            f"executor      : {self.lanes} lanes "
+            f"(affinity {'on' if self.affinity else 'off'}), "
+            f"{self.dtd_ships} DTD ships, "
+            f"{self.runtime_context_hits} runtime-context hits, "
+            f"{self.affinity_spills} spills, {self.lane_respawns} respawns, "
+            f"{self.chunk_retries} chunk retries",
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
             f"{self.cache.get('evictions', 0)} evictions "
@@ -270,66 +326,6 @@ def plan_route(query: Path, artifacts: SchemaArtifacts | None) -> str:
 _ROUTE_PLANNER = Planner()
 
 
-def _pool_decide(
-    canonical: Path, dtd, bounds, plan: Plan
-) -> tuple[bool | None, str, str, list[tuple[str, float, str]]]:
-    """Process-pool entry point: returns the compact decision record plus
-    the execution trace (witness trees stay in the worker; the plan and
-    the pre-canonicalized query ride along so the worker skips planning
-    and canonicalization; the trace rides back so the parent's telemetry
-    and cost model see pooled decisions too)."""
-    trace = ExecutionTrace()
-    result = execute_plan(
-        plan, canonical, dtd, bounds, pre_canonicalized=True, trace=trace
-    )
-    return (result.satisfiable, result.method, result.reason, trace.attempts)
-
-
-#: one group outcome per question: (satisfiable, method, reason,
-#: error-or-None, trace attempts)
-GroupOutcome = tuple[bool | None, str, str, str | None, list[tuple[str, float, str]]]
-
-
-def _decide_group(
-    canonicals: list[Path], dtd, bounds, plan: Plan
-) -> tuple[list[GroupOutcome], bool, str | None]:
-    """Decide one :class:`PlanGroup` chunk — shared by the process-pool
-    entry point and the inline (``workers == 1``) grouped path.
-
-    Each chain member's ``prepare`` hook runs **once per chunk**, lazily
-    on the member's first execution (:class:`PlanContexts`), so a chunk
-    whose primary answers everything never pays for fallback setup.  A
-    ``prepare`` that raises degrades that decider to ungrouped per-job
-    execution instead of failing anything, and *any* exception from one
-    question becomes that question's error without poisoning groupmates
-    (mirroring how ungrouped pool futures fail per question).  Returns
-    ``(outcomes, shared_setup, prepare_error)``.
-    """
-    contexts = PlanContexts(plan, dtd)
-    # build the primary's context eagerly: every question runs it, and a
-    # failing prepare should be visible even if the first question errors.
-    # shared_setup is pinned here — a fallback context built mid-chunk
-    # must not retroactively count earlier questions as setup reuses
-    contexts.get(plan.decider)
-    shared_setup = contexts.built > 0
-    outcomes: list[GroupOutcome] = []
-    for canonical in canonicals:
-        trace = ExecutionTrace()
-        try:
-            result = execute_plan(
-                plan, canonical, dtd, bounds,
-                pre_canonicalized=True, trace=trace,
-                contexts=contexts,
-            )
-            outcomes.append(
-                (result.satisfiable, result.method, result.reason, None,
-                 trace.attempts)
-            )
-        except Exception as error:
-            outcomes.append((None, "error", "", str(error), trace.attempts))
-    return outcomes, shared_setup, contexts.prepare_error
-
-
 @dataclass
 class _GroupEntry:
     """One unique question queued in a plan group: its decision-cache
@@ -362,16 +358,19 @@ class PlanGroup:
 DEFAULT_GROUP_CHUNK_SIZE = 16
 DEFAULT_DECISION_CAP_PER_SCHEMA = 512
 DEFAULT_TELEMETRY_MAX_AGE_DAYS = 30.0
+DEFAULT_AFFINITY = True
 
 
 class BatchEngine:
     """Execute batches of ``(query, schema_ref)`` jobs with schema-artifact
     reuse, plan-cached routing, decision caching, and a plan-grouped
-    process pool for heavy fragments."""
+    process pool of persistent, schema-affine worker lanes for heavy
+    fragments."""
 
-    #: worker-pool constructor; a seam for tests that simulate worker
-    #: crashes without burning real fork time
-    _executor_factory = ProcessPoolExecutor
+    #: pool-executor constructor (``factory(workers, affinity=...,
+    #: lane_queue_depth=...) -> Executor``); a seam for tests that
+    #: simulate lane crashes without burning real fork time
+    _executor_factory = PersistentPoolExecutor
 
     def __init__(
         self,
@@ -387,12 +386,18 @@ class BatchEngine:
         group_chunk_size: int | None = None,
         decision_cap_per_schema: int | None = None,
         telemetry_max_age_days: float | None = None,
+        affinity: bool | None = None,
+        lane_queue_depth: int | None = None,
     ):
         if workers < 1:
             raise EngineError(f"workers must be positive, got {workers}")
         if group_chunk_size is not None and group_chunk_size < 1:
             raise EngineError(
                 f"group_chunk_size must be positive, got {group_chunk_size}"
+            )
+        if lane_queue_depth is not None and lane_queue_depth < 1:
+            raise EngineError(
+                f"lane_queue_depth must be positive, got {lane_queue_depth}"
             )
         if decision_cap_per_schema is not None and decision_cap_per_schema < 1:
             raise EngineError(
@@ -414,6 +419,8 @@ class BatchEngine:
                 ("group_chunk_size", group_chunk_size),
                 ("decision_cap_per_schema", decision_cap_per_schema),
                 ("telemetry_max_age_days", telemetry_max_age_days),
+                ("affinity", affinity),
+                ("lane_queue_depth", lane_queue_depth),
             )
             if value is not None
         }
@@ -421,6 +428,11 @@ class BatchEngine:
         self.group_chunk_size = (
             group_chunk_size if group_chunk_size is not None
             else DEFAULT_GROUP_CHUNK_SIZE
+        )
+        self.affinity = affinity if affinity is not None else DEFAULT_AFFINITY
+        self.lane_queue_depth = (
+            lane_queue_depth if lane_queue_depth is not None
+            else DEFAULT_LANE_QUEUE_DEPTH
         )
         self.decision_cap_per_schema = (
             decision_cap_per_schema if decision_cap_per_schema is not None
@@ -462,6 +474,11 @@ class BatchEngine:
         self.persisted_decisions_loaded = 0
         self.state_warnings: list[str] = []
         self.state_dir = state_dir
+        # the single-worker executor is engine-lifetime: its WorkerRuntime
+        # keeps prepared contexts warm across run() calls (created lazily
+        # so a pooled engine never allocates it)
+        self._inline_executor: InlineExecutor | None = None
+        self._next_task_id = 0
         if state_dir is not None:
             self.load_state(state_dir)
 
@@ -486,6 +503,7 @@ class BatchEngine:
         for name in (
             "group_by_plan", "group_chunk_size",
             "decision_cap_per_schema", "telemetry_max_age_days",
+            "affinity", "lane_queue_depth",
         ):
             if name in state.scheduler and name not in self._explicit_tunables:
                 setattr(self, name, state.scheduler[name])
@@ -513,43 +531,92 @@ class BatchEngine:
                 "group_chunk_size": self.group_chunk_size,
                 "decision_cap_per_schema": self.decision_cap_per_schema,
                 "telemetry_max_age_days": self.telemetry_max_age_days,
+                "affinity": self.affinity,
+                "lane_queue_depth": self.lane_queue_depth,
             },
             decision_cap_per_schema=self.decision_cap_per_schema,
             telemetry_max_age_days=self.telemetry_max_age_days,
         )
         return target
 
-    def retune(self) -> int:
+    def retune(self, decay: float | None = None) -> int:
         """Drop every cached plan — including persisted plans waiting for
         their schema's registration — so the next request replans against
         the cost model's current measurements (verdicts cannot change —
-        only chain order and inline/pool routing).  Returns the number of
-        plans dropped."""
+        only chain order and inline/pool routing).  With ``decay``, the
+        cost model's cells are first scaled down by that factor
+        (:meth:`~repro.sat.costmodel.CostModel.decay`), so stale
+        measurements lose their grip on routing at the same moment.
+        Returns the number of plans dropped."""
+        if decay is not None:
+            self.cost_model.decay(decay)
         return (
             self.planner.invalidate(*self.registry)
             + self.registry.discard_pending_plans()
         )
 
     # -- execution ----------------------------------------------------------
+    def _inline(self) -> InlineExecutor:
+        """The engine-lifetime single-worker executor.  Its runtime caches
+        survive across :meth:`run` calls; it is recreated only when the
+        affinity flag changed since it was built (e.g. a persisted
+        tunable arriving after first use)."""
+        if (
+            self._inline_executor is None
+            or self._inline_executor.affinity != self.affinity
+        ):
+            self._inline_executor = InlineExecutor(affinity=self.affinity)
+        return self._inline_executor
+
+    def _make_pool(self) -> Executor:
+        return self._executor_factory(
+            self.workers,
+            affinity=self.affinity,
+            lane_queue_depth=self.lane_queue_depth,
+        )
+
+    def _take_task_id(self) -> int:
+        self._next_task_id += 1
+        return self._next_task_id
+
     def run(self, jobs: Iterable[Job | dict | tuple | str]) -> BatchReport:
         """Decide every job; returns per-job results (input order) and
         aggregate stats for this run."""
         start = time.perf_counter()
-        stats = EngineStats(workers=self.workers)
+        stats = EngineStats(workers=self.workers, affinity=self.affinity)
         planner_invocations_before = self.planner.invocations
         plan_hits_before = self.planner.cache_hits
         results: list[JobResult | None] = []
-        # key -> (future, indices of jobs awaiting it, plan, artifacts)
-        pending: dict[CacheKey, tuple[Future, list[int], Plan, SchemaArtifacts | None]] = {}
+        # ungrouped pooled coalescing: key -> the task's bookkeeping
+        # record (its index list grows as duplicates coalesce)
+        pending: dict[CacheKey, tuple] = {}
         # plan-grouped scheduling: (schema fingerprint, telemetry key) ->
         # group of queued pooled jobs, plus the key -> entry map that
         # coalesces duplicates queued into a group
         groups: dict[tuple[str | None, str], PlanGroup] = {}
         grouped_keys: dict[CacheKey, _GroupEntry] = {}
-        # full chunks submitted eagerly during the scan, drained with the
-        # post-scan tails: (group, chunk entries, future)
-        group_futures: list[tuple[PlanGroup, list[_GroupEntry], Future]] = []
-        executor: ProcessPoolExecutor | None = None
+        # every chunk handed to an executor, by task id:
+        # ("chunk", group, entries) |
+        # ("single", key, indices, plan, artifacts, canonical)
+        submitted: dict[int, tuple] = {}
+        pool: Executor | None = None
+
+        def submit_chunk(executor: Executor, group: PlanGroup,
+                         chunk: list[_GroupEntry]) -> None:
+            task_id = self._take_task_id()
+            submitted[task_id] = ("chunk", group, chunk)
+            executor.submit(
+                ChunkTask(
+                    task_id=task_id,
+                    fingerprint=(
+                        group.artifacts.fingerprint if group.artifacts else None
+                    ),
+                    canonicals=tuple(entry.canonical for entry in chunk),
+                    plan=group.plan,
+                    bounds=self.bounds,
+                ),
+                group.artifacts.dtd if group.artifacts else None,
+            )
 
         try:
             for index, raw in enumerate(jobs):
@@ -595,7 +662,7 @@ class BatchEngine:
                     continue
                 if key in pending:
                     stats.coalesced += 1
-                    pending[key][1].append(index)
+                    pending[key][2].append(index)
                     results[index] = self._result(
                         job, artifacts,
                         CachedDecision(None, "pending"), route="pool",
@@ -623,7 +690,7 @@ class BatchEngine:
                         job, artifacts, CachedDecision(None, "pending"),
                         route="pool",
                     )
-                    # a full chunk goes to the pool immediately so workers
+                    # a full chunk goes to the pool immediately so lanes
                     # overlap with the rest of the scan (later duplicates
                     # still coalesce: the entries stay live until drain)
                     if (
@@ -631,35 +698,35 @@ class BatchEngine:
                         and len(group.entries) - group.dispatched
                         >= self.group_chunk_size
                     ):
-                        if executor is None:
-                            executor = self._executor_factory(
-                                max_workers=self.workers
-                            )
+                        if pool is None:
+                            pool = self._make_pool()
                         chunk = group.entries[
                             group.dispatched:
                             group.dispatched + self.group_chunk_size
                         ]
                         group.dispatched += len(chunk)
-                        group_futures.append((
-                            group, chunk,
-                            executor.submit(
-                                _decide_group,
-                                [e.canonical for e in chunk],
-                                artifacts.dtd if artifacts else None,
-                                self.bounds, group.plan,
-                            ),
-                        ))
+                        submit_chunk(pool, group, chunk)
                     continue
                 if plan.route == "pool" and self.workers > 1:
-                    if executor is None:
-                        executor = self._executor_factory(max_workers=self.workers)
-                    future = executor.submit(
-                        _pool_decide, canonical,
-                        artifacts.dtd if artifacts else None, self.bounds, plan,
+                    if pool is None:
+                        pool = self._make_pool()
+                    task_id = self._take_task_id()
+                    record = ("single", key, [index], plan, artifacts, canonical)
+                    submitted[task_id] = record
+                    pending[key] = record
+                    pool.submit(
+                        ChunkTask(
+                            task_id=task_id,
+                            fingerprint=(
+                                artifacts.fingerprint if artifacts else None
+                            ),
+                            canonicals=(canonical,),
+                            plan=plan,
+                            bounds=self.bounds,
+                            grouped=False,
+                        ),
+                        artifacts.dtd if artifacts else None,
                     )
-                    stats.decide_calls += 1
-                    stats.pool_decides += 1
-                    pending[key] = (future, [index], plan, artifacts)
                     results[index] = self._result(
                         job, artifacts, CachedDecision(None, "pending"),
                         route="pool",
@@ -696,23 +763,54 @@ class BatchEngine:
                     job, artifacts, decision, route="inline",
                     elapsed_ms=elapsed_ms,
                 )
+                self._explore(stats, plan, canonical, artifacts, trace)
 
-            self._drain(pending, results, stats)
-            # the executor stays owned by this frame: creating it here
-            # (not inside the helper) keeps the finally below responsible
-            # for shutdown even if dispatch raises mid-submit
-            if (
-                executor is None and self.workers > 1
-                and any(
-                    len(group.entries) > group.dispatched
-                    for group in groups.values()
+            # group tails: one chunk per worker task on the pool, or on
+            # the engine-lifetime inline executor when workers == 1 (its
+            # persistent runtime reuses contexts across chunks either way)
+            has_tails = any(
+                len(group.entries) > group.dispatched
+                for group in groups.values()
+            )
+            if has_tails:
+                if self.workers > 1:
+                    if pool is None:
+                        pool = self._make_pool()
+                    tail_executor: Executor = pool
+                else:
+                    tail_executor = self._inline()
+                for group in groups.values():
+                    for chunk_start in range(
+                        group.dispatched, len(group.entries),
+                        self.group_chunk_size,
+                    ):
+                        submit_chunk(
+                            tail_executor, group,
+                            group.entries[
+                                chunk_start:chunk_start + self.group_chunk_size
+                            ],
+                        )
+            # the pool stays owned by this frame: the finally below is
+            # responsible for shutdown even if absorption raises
+            if pool is not None:
+                self._absorb_all(
+                    pool.drain(), submitted, results, stats, route="pool"
                 )
-            ):
-                executor = self._executor_factory(max_workers=self.workers)
-            self._dispatch_groups(groups, group_futures, results, stats, executor)
+                pool_stats = pool.stats()
+                stats.lanes = pool_stats.lanes
+                stats.lane_respawns = pool_stats.lane_respawns
+            if self._inline_executor is not None:
+                self._absorb_all(
+                    self._inline_executor.drain(), submitted, results, stats,
+                    route="inline",
+                )
         finally:
-            if executor is not None:
-                executor.shutdown()
+            if pool is not None:
+                pool.close()
+            if self._inline_executor is not None:
+                # chunks queued for a run that aborted must not leak into
+                # the next (a no-op on clean exits: drain emptied the queue)
+                self._inline_executor.cancel_pending()
 
         stats.elapsed_s = time.perf_counter() - start
         stats.planner_invocations = self.planner.invocations - planner_invocations_before
@@ -725,79 +823,72 @@ class BatchEngine:
         return BatchReport(results=[r for r in results if r is not None], stats=stats)
 
     # -- helpers ------------------------------------------------------------
-    def _dispatch_groups(
+    def _absorb_all(
         self,
-        groups: dict[tuple[str | None, str], PlanGroup],
-        group_futures: list[tuple[PlanGroup, list[_GroupEntry], Future]],
+        outcomes: Iterable[tuple[ChunkTask, ChunkOutcome]],
+        submitted: dict[int, tuple],
         results: list[JobResult | None],
         stats: EngineStats,
-        executor: ProcessPoolExecutor | None,
+        route: str,
     ) -> None:
-        """Dispatch every group's remaining tail in chunks of
-        ``group_chunk_size`` — one worker task per chunk on ``executor``
-        when given (the caller owns its lifecycle), inline otherwise —
-        then absorb the outcomes of all chunks, including the full ones
-        the scan already submitted (``group_futures``)."""
-        tails: list[tuple[PlanGroup, list[_GroupEntry]]] = []
-        for group in groups.values():
-            for start in range(
-                group.dispatched, len(group.entries), self.group_chunk_size
-            ):
-                tails.append(
-                    (group, group.entries[start:start + self.group_chunk_size])
-                )
-        if executor is not None:
-            submitted = list(group_futures)
-            for group, chunk in tails:
-                dtd = group.artifacts.dtd if group.artifacts else None
-                future = executor.submit(
-                    _decide_group,
-                    [entry.canonical for entry in chunk],
-                    dtd, self.bounds, group.plan,
-                )
-                submitted.append((group, chunk, future))
-            for group, chunk, future in submitted:
+        """Fold every drained ``(task, outcome)`` pair into results and
+        counters.  Each task is absorbed **exactly once**: the bookkeeping
+        record is popped on arrival, so a duplicate outcome (a retry
+        racing its first attempt) can never double-report group counters
+        — ``grouped_jobs``/``setup_reuse`` stay reconciled with the
+        per-plan telemetry rows even across lane deaths."""
+        for task, outcome in outcomes:
+            record = submitted.pop(task.task_id, None)
+            if record is None:
+                continue
+            if outcome.dtd_shipped:
+                stats.dtd_ships += 1
+            if outcome.runtime_hit:
+                stats.runtime_context_hits += 1
+            if outcome.spilled:
+                stats.affinity_spills += 1
+            if outcome.retried:
+                stats.chunk_retries += 1
+            if record[0] == "chunk":
+                _, group, chunk = record
                 stats.decide_calls += len(chunk)
-                stats.pool_decides += len(chunk)
-                try:
-                    outcomes, shared_setup, prepare_error = future.result()
-                except Exception as error:  # worker died (BrokenProcessPool, ...)
+                if route == "pool":
+                    stats.pool_decides += len(chunk)
+                else:
+                    stats.inline_decides += len(chunk)
+                if outcome.error is not None:
+                    # the whole chunk failed (its lane died and the one
+                    # retry died too): per-job errors, nothing cached
                     jobs_hit = sum(len(entry.indices) for entry in chunk)
                     stats.errors += jobs_hit
                     self.telemetry.record_failure(group.plan, jobs_hit)
                     for entry in chunk:
                         for index in entry.indices:
                             result = results[index]
-                            result.error = str(error)
+                            result.error = outcome.error
                             result.method = "error"
                             result.route = "error"
                     continue
                 self._absorb_group(
-                    group, chunk, outcomes, shared_setup, prepare_error,
-                    results, stats, route="pool",
+                    group, chunk, outcome, results, stats, route=route
                 )
-        else:
-            assert not group_futures  # eager submission implies a pool
-            for group, chunk in tails:
-                dtd = group.artifacts.dtd if group.artifacts else None
-                stats.decide_calls += len(chunk)
-                stats.inline_decides += len(chunk)
-                outcomes, shared_setup, prepare_error = _decide_group(
-                    [entry.canonical for entry in chunk],
-                    dtd, self.bounds, group.plan,
-                )
-                self._absorb_group(
-                    group, chunk, outcomes, shared_setup, prepare_error,
-                    results, stats, route="inline",
+            else:
+                _, key, indices, plan, artifacts, canonical = record
+                stats.decide_calls += 1
+                if route == "pool":
+                    stats.pool_decides += 1
+                else:
+                    stats.inline_decides += 1
+                self._absorb_single(
+                    key, indices, plan, artifacts, canonical, outcome,
+                    results, stats,
                 )
 
     def _absorb_group(
         self,
         group: PlanGroup,
         chunk: list[_GroupEntry],
-        outcomes: list[GroupOutcome],
-        shared_setup: bool,
-        prepare_error: str | None,
+        outcome: ChunkOutcome,
         results: list[JobResult | None],
         stats: EngineStats,
         route: str,
@@ -805,20 +896,22 @@ class BatchEngine:
         """Fold one chunk's outcomes into results, the decision cache,
         telemetry, and the cost model."""
         plan, artifacts = group.plan, group.artifacts
+        shared_setup = outcome.shared_setup
         stats.plan_groups += 1
         stats.group_sizes.append(len(chunk))
         # only a failed *primary* prepare means the chunk ran ungrouped;
         # a fallback hook failing mid-chunk leaves the shared setup intact
-        if prepare_error is not None and not shared_setup:
+        if outcome.prepare_error is not None and not shared_setup:
             stats.prepare_fallbacks += 1
         executed = 0
-        for entry, outcome in zip(chunk, outcomes):
-            satisfiable, method, reason, error, attempts = outcome
+        for entry, question_outcome in zip(chunk, outcome.outcomes):
+            satisfiable, method, reason, error, attempts = question_outcome
             trace = ExecutionTrace(
                 attempts=attempts,
                 group_size=len(chunk),
                 group_lead=executed == 0,
                 shared_setup=shared_setup,
+                runtime_hit=outcome.runtime_hit,
             )
             if error is not None:
                 # one question failing must not poison its groupmates;
@@ -840,6 +933,7 @@ class BatchEngine:
                 stats.setup_reuse += 1
             executed += 1
             self._observe(plan, artifacts, trace, verdict_name(satisfiable))
+            self._explore(stats, plan, entry.canonical, artifacts, trace)
             decision = CachedDecision(satisfiable, method, reason)
             self.cache.put(entry.key, decision)
             for ask_position, index in enumerate(entry.indices):
@@ -851,28 +945,44 @@ class BatchEngine:
                 result.cached = ask_position > 0  # coalesced onto the first ask
                 result.elapsed_ms = trace.elapsed_ms if ask_position == 0 else 0.0
 
-    def _drain(self, pending, results, stats) -> None:
-        for key, (future, indices, plan, artifacts) in pending.items():
-            try:
-                satisfiable, method, reason, attempts = future.result()
-            except Exception as error:  # worker died or raised (e.g. BrokenProcessPool)
-                stats.errors += len(indices)
-                self.telemetry.record_failure(plan, len(indices))
-                for index in indices:
-                    results[index].error = str(error)
-                    results[index].method = "error"
-                    results[index].route = "error"
-                continue
-            trace = ExecutionTrace(attempts=attempts)
-            self._observe(plan, artifacts, trace, verdict_name(satisfiable))
-            decision = CachedDecision(satisfiable, method, reason)
-            self.cache.put(key, decision)
-            for position, index in enumerate(indices):
-                result = results[index]
-                result.satisfiable = satisfiable
-                result.method = method
-                result.reason = reason
-                result.cached = position > 0  # coalesced onto the first ask
+    def _absorb_single(
+        self,
+        key: CacheKey,
+        indices: list[int],
+        plan: Plan,
+        artifacts: SchemaArtifacts | None,
+        canonical: Path,
+        outcome: ChunkOutcome,
+        results: list[JobResult | None],
+        stats: EngineStats,
+    ) -> None:
+        """Fold one ungrouped pooled question back in (the
+        ``--no-group-by-plan`` path: no group counters, no shared setup)."""
+        if outcome.error is not None:
+            satisfiable, method, reason, error, attempts = (
+                None, "error", "", outcome.error, [],
+            )
+        else:
+            satisfiable, method, reason, error, attempts = outcome.outcomes[0]
+        if error is not None:
+            stats.errors += len(indices)
+            self.telemetry.record_failure(plan, len(indices))
+            for index in indices:
+                results[index].error = error
+                results[index].method = "error"
+                results[index].route = "error"
+            return
+        trace = ExecutionTrace(attempts=attempts)
+        self._observe(plan, artifacts, trace, verdict_name(satisfiable))
+        self._explore(stats, plan, canonical, artifacts, trace)
+        decision = CachedDecision(satisfiable, method, reason)
+        self.cache.put(key, decision)
+        for position, index in enumerate(indices):
+            result = results[index]
+            result.satisfiable = satisfiable
+            result.method = method
+            result.reason = reason
+            result.cached = position > 0  # coalesced onto the first ask
 
     def _observe(
         self,
@@ -902,12 +1012,72 @@ class BatchEngine:
                 plan, trace.elapsed_ms, verdict,
                 decider=trace.decider, fallback=trace.fallback_used,
                 group_size=trace.group_size, group_lead=trace.group_lead,
-                shared_setup=trace.shared_setup,
+                shared_setup=trace.shared_setup, runtime_hit=trace.runtime_hit,
             )
         bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
         for name, attempt_ms, outcome in trace.attempts:
             if outcome in ("sat", "unsat"):
                 self.cost_model.observe(plan.signature, bucket, name, attempt_ms)
+
+    def _explore(
+        self,
+        stats: EngineStats,
+        plan: Plan,
+        canonical: Path,
+        artifacts: SchemaArtifacts | None,
+        trace: ExecutionTrace,
+    ) -> None:
+        """Cost-model epsilon-exploration: normal operation only times
+        the chain member that answers, so a fallback that would win
+        stays unmeasured until someone calls ``calibrate()``.  With
+        ``CostModel(explore_every=N)`` every N-th decision of a
+        (signature × bucket) re-times the *stalest* chain member on the
+        question just answered.  The probe runs in the engine's own
+        process (after inline decides and while absorbing pooled
+        outcomes) and its verdict is discarded — the job's answer is
+        already committed — so exploration can never change a verdict,
+        and the hygiene rule still applies: inconclusive probes record
+        nothing."""
+        chain = (plan.decider,) + plan.fallbacks
+        if len(chain) < 2 or not self.cost_model.explore_every:
+            return
+        bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
+        conclusive = {
+            name for name, _ms, outcome in trace.attempts
+            if outcome in ("sat", "unsat")
+        }
+        probe = self.cost_model.exploration_candidate(
+            plan.signature, bucket, chain, exclude=conclusive
+        )
+        if probe is None:
+            return
+        stats.explore_probes += 1
+        # the probe must see exactly what execute_plan hands the chain:
+        # the plan's rewrite passes applied (canonicalize already was) —
+        # otherwise a rewrite-bearing plan's probe times a query shape
+        # the decider never receives, or just declines it
+        probe_query = canonical
+        for pass_name in plan.rewrites:
+            if pass_name == "canonicalize":
+                continue
+            rewritten = get_pass(pass_name).run(probe_query)
+            if not rewritten.complete:
+                return
+            probe_query = rewritten.path
+        spec = get_decider(probe)
+        dtd = artifacts.dtd if artifacts else None
+        probe_start = time.perf_counter()
+        try:
+            result = spec.call(probe_query, dtd, self.bounds)
+        except Exception:
+            # a decline (or a latent bug in a decider the plan never
+            # needed) must not fail a job whose answer is already in
+            return
+        if result.satisfiable is not None:
+            self.cost_model.observe(
+                plan.signature, bucket, probe,
+                (time.perf_counter() - probe_start) * 1e3,
+            )
 
     def _result(
         self,

@@ -12,7 +12,8 @@ died with the process before this module existed:
 * **the decision cache** — verdicts keyed on canonical form × schema
   fingerprint (bounded; only current entries are persisted);
 * **scheduler tunables** — the plan-grouped scheduler's settings
-  (``group_by_plan``, ``group_chunk_size``) plus the hygiene knobs, so a
+  (``group_by_plan``, ``group_chunk_size``), the executor layer's
+  (``affinity``, ``lane_queue_depth``) plus the hygiene knobs, so a
   tuned deployment keeps its configuration across processes.
 
 ``save_state``/``load_state`` serialize them into a ``--state-dir``
@@ -58,6 +59,8 @@ _SCHEDULER_TUNABLES = {
     "group_chunk_size": lambda value: _positive_int(value),
     "decision_cap_per_schema": lambda value: _positive_int(value),
     "telemetry_max_age_days": lambda value: _positive_float(value),
+    "affinity": lambda value: _strict_bool(value),
+    "lane_queue_depth": lambda value: _positive_int(value),
 }
 
 

@@ -64,10 +64,17 @@ def size_bucket(schema_size: int | None) -> str:
 
 @dataclass
 class CostEntry:
-    """Accumulated latency observations of one (signature, bucket, decider)."""
+    """Accumulated latency observations of one (signature, bucket, decider).
 
-    count: int = 0
+    ``count`` is a float so :meth:`CostModel.decay` can scale a cell's
+    weight without shifting its mean; ``last_tick`` is the model-wide
+    observation sequence number of the cell's newest sample — the
+    staleness stamp epsilon-exploration uses to pick which chain member
+    to re-measure."""
+
+    count: float = 0.0
     total_ms: float = 0.0
+    last_tick: int = 0
 
     @property
     def mean_ms(self) -> float:
@@ -80,19 +87,38 @@ class CostModel:
     ``observe`` is fed by the batch engine from plan-execution telemetry
     and by :func:`calibrate`; ``effective_cost`` is consulted by
     :func:`repro.sat.planner.build_plan` when ordering a decider chain.
+
+    **Freshness.**  Normal operation only times the chain member that
+    answers, so measurements go stale in two ways: a fallback that would
+    win is never measured, and an old measurement outlives the workload
+    that produced it.  ``explore_every=N`` turns on epsilon-exploration —
+    every N-th decision of a (signature × bucket) nominates the stalest
+    chain member for an extra timing probe (the batch engine runs it
+    inline, discarding the verdict) — and :meth:`decay` scales every
+    cell's weight down so cells that stop being refreshed eventually
+    drop below ``min_samples`` and become unmeasured again.  Neither can
+    change verdicts: chain reordering is verdict-preserving by
+    construction and probe results are discarded.
     """
 
-    def __init__(self, min_samples: int = 3):
+    def __init__(self, min_samples: int = 3, explore_every: int = 0):
         if min_samples < 1:
             raise ValueError(f"min_samples must be positive, got {min_samples}")
+        if explore_every < 0:
+            raise ValueError(
+                f"explore_every must be non-negative, got {explore_every}"
+            )
         self.min_samples = min_samples
+        self.explore_every = explore_every
         self._entries: dict[tuple[str, str, str], CostEntry] = {}
+        self._tick = 0
+        self._explore_clock: dict[tuple[str, str], int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
-    def observations(self) -> int:
+    def observations(self) -> float:
         return sum(entry.count for entry in self._entries.values())
 
     def observe(
@@ -104,6 +130,57 @@ class CostModel:
             entry = self._entries[key] = CostEntry()
         entry.count += 1
         entry.total_ms += elapsed_ms
+        self._tick += 1
+        entry.last_tick = self._tick
+
+    def exploration_candidate(
+        self,
+        signature: str,
+        bucket: str,
+        chain: tuple[str, ...],
+        exclude: "frozenset[str] | set[str]" = frozenset(),
+    ) -> str | None:
+        """Epsilon-exploration pacing: advance this (signature, bucket)'s
+        clock and, on every ``explore_every``-th call, nominate the
+        **stalest** chain member not in ``exclude`` (members the current
+        execution already measured) for a timing probe.  Unmeasured
+        members are maximally stale, so each fallback gets measured
+        before anything is re-measured.  Returns ``None`` off-beat, when
+        exploration is off, or when nothing is left to probe."""
+        if self.explore_every <= 0 or len(chain) < 2:
+            return None
+        clock_key = (signature, bucket)
+        clock = self._explore_clock.get(clock_key, 0) + 1
+        self._explore_clock[clock_key] = clock
+        if clock % self.explore_every:
+            return None
+        candidates = [name for name in chain if name not in exclude]
+        if not candidates:
+            return None
+
+        def staleness(name: str) -> tuple[int, int]:
+            entry = self._entries.get((signature, bucket, name))
+            return (entry.last_tick if entry else 0, chain.index(name))
+
+        return min(candidates, key=staleness)
+
+    def decay(self, factor: float = 0.5) -> int:
+        """Scale every cell's weight by ``factor`` (preserving its mean);
+        cells whose count decays below one observation are dropped
+        entirely.  Returns the number of cells dropped.  A decayed cell
+        below ``min_samples`` stops driving chain order until fresh
+        measurements arrive — stale knowledge ages out instead of ruling
+        forever."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"decay factor must be in (0, 1), got {factor}")
+        dropped = 0
+        for key, entry in list(self._entries.items()):
+            entry.count *= factor
+            entry.total_ms *= factor
+            if entry.count < 1.0:
+                del self._entries[key]
+                dropped += 1
+        return dropped
 
     def measured(self, signature: str, bucket: str, decider: str) -> CostEntry | None:
         return self._entries.get((signature, bucket, decider))
@@ -125,7 +202,8 @@ class CostModel:
         return {
             "min_samples": self.min_samples,
             "entries": [
-                [signature, bucket, decider, entry.count, round(entry.total_ms, 4)]
+                [signature, bucket, decider, round(entry.count, 4),
+                 round(entry.total_ms, 4), entry.last_tick]
                 for (signature, bucket, decider), entry in sorted(self._entries.items())
             ],
         }
@@ -134,7 +212,9 @@ class CostModel:
     def from_dict(cls, record: dict[str, Any]) -> "CostModel":
         """Rebuild from :meth:`to_dict` output.  Persisted state may be
         hand-edited or corrupt: an invalid ``min_samples`` falls back to
-        the default and malformed entries are skipped."""
+        the default and malformed entries are skipped.  Legacy 5-element
+        entries (written before staleness ticks existed) load with
+        ``last_tick=0``, i.e. maximally stale."""
         try:
             min_samples = max(1, int(record.get("min_samples", 3)))
         except (ValueError, TypeError):
@@ -144,24 +224,32 @@ class CostModel:
         if not isinstance(entries, list):
             return model
         for item in entries:
-            if not (isinstance(item, list) and len(item) == 5):
+            if not (isinstance(item, list) and len(item) in (5, 6)):
                 continue
-            signature, bucket, decider, count, total_ms = item
+            signature, bucket, decider, count, total_ms = item[:5]
             try:
-                entry = CostEntry(count=int(count), total_ms=float(total_ms))
+                entry = CostEntry(
+                    count=float(count), total_ms=float(total_ms),
+                    last_tick=int(item[5]) if len(item) == 6 else 0,
+                )
             except (ValueError, TypeError):
                 continue
             model._entries[(str(signature), str(bucket), str(decider))] = entry
+            model._tick = max(model._tick, entry.last_tick)
         return model
 
     def merge(self, other: "CostModel") -> None:
         for key, entry in other._entries.items():
             mine = self._entries.get(key)
             if mine is None:
-                self._entries[key] = CostEntry(entry.count, entry.total_ms)
+                self._entries[key] = CostEntry(
+                    entry.count, entry.total_ms, entry.last_tick
+                )
             else:
                 mine.count += entry.count
                 mine.total_ms += entry.total_ms
+                mine.last_tick = max(mine.last_tick, entry.last_tick)
+        self._tick = max(self._tick, other._tick)
 
 
 def calibrate(

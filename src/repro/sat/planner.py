@@ -276,7 +276,7 @@ def build_plan(
             winner = cost_model.measured(signature, bucket, ordered[0])
             notes.append(
                 f"cost model ({bucket} schemas): {ordered[0]} promoted "
-                f"(measured {winner.mean_ms:.3f}ms mean over {winner.count} runs)"
+                f"(measured {winner.mean_ms:.3f}ms mean over {winner.count:g} runs)"
             )
             chain = ordered
         primary = get_decider(chain[0])
@@ -322,12 +322,16 @@ class ExecutionTrace:
     first execution (so per-plan group counters tick once per chunk), and
     ``shared_setup`` records whether the chain's ``prepare`` contexts
     were available (a ``False`` means ``prepare`` failed and the chunk
-    fell back to ungrouped per-job execution)."""
+    fell back to ungrouped per-job execution).  ``runtime_hit`` marks a
+    chunk that found its contexts already prepared in a persistent
+    worker runtime (schema-affinity scheduling) instead of building
+    them itself."""
 
     attempts: list[tuple[str, float, str]] = field(default_factory=list)
     group_size: int = 0
     group_lead: bool = False
     shared_setup: bool = False
+    runtime_hit: bool = False
 
     def add(self, decider: str, elapsed_ms: float, outcome: str) -> None:
         self.attempts.append((decider, elapsed_ms, outcome))
@@ -362,6 +366,13 @@ class PlanContexts:
     chunk.  A ``prepare`` that raises marks its decider context-less
     (per-job setup, i.e. ungrouped behavior) instead of failing
     execution; the first error message is kept for reporting.
+
+    An instance may also outlive one chunk: the executor layer's
+    :class:`~repro.engine.executors.WorkerRuntime` keeps PlanContexts
+    keyed by (schema fingerprint × plan) across chunks, so the next
+    chunk of the same schema starts with ``built > 0`` and pays no
+    setup at all.  ``hits`` counts ``get`` calls served from the memo
+    (within and across chunks).
     """
 
     def __init__(self, plan: Plan, dtd: DTD | None):
@@ -370,6 +381,7 @@ class PlanContexts:
         self._contexts: dict[str, Any] = {}
         self._unavailable: set[str] = set()
         self.prepare_error: str | None = None
+        self.hits = 0
 
     def __bool__(self) -> bool:
         # always consulted by execute_plan (laziness happens inside get)
@@ -383,6 +395,7 @@ class PlanContexts:
     def get(self, name: str) -> Any:
         context = self._contexts.get(name)
         if context is not None:
+            self.hits += 1
             return context
         if name in self._unavailable or self._dtd is None:
             return None

@@ -56,6 +56,10 @@ class PlanStats:
     groups: int = 0
     grouped_jobs: int = 0
     setup_reuse: int = 0
+    # schema-affinity scheduling: chunks that found this plan's prepare()
+    # contexts already warm in a persistent worker runtime (so even the
+    # chunk's lead paid no setup)
+    runtime_hits: int = 0
     # unix timestamp of the newest observation; 0.0 = unknown (legacy
     # rows).  State persistence ages rows out by this stamp.
     last_seen: float = 0.0
@@ -69,6 +73,7 @@ class PlanStats:
         group_size: int = 0,
         group_lead: bool = False,
         shared_setup: bool = False,
+        runtime_hit: bool = False,
     ) -> None:
         self.count += 1
         self.total_ms += elapsed_ms
@@ -83,6 +88,8 @@ class PlanStats:
             self.grouped_jobs += 1
             if group_lead:
                 self.groups += 1
+                if runtime_hit:
+                    self.runtime_hits += 1
             elif shared_setup:
                 self.setup_reuse += 1
         self.last_seen = time.time()
@@ -132,6 +139,7 @@ class PlanStats:
         self.groups += other.groups
         self.grouped_jobs += other.grouped_jobs
         self.setup_reuse += other.setup_reuse
+        self.runtime_hits += other.runtime_hits
         self.last_seen = max(self.last_seen, other.last_seen)
 
     def to_dict(self) -> dict[str, Any]:
@@ -146,6 +154,7 @@ class PlanStats:
             "groups": self.groups,
             "grouped_jobs": self.grouped_jobs,
             "setup_reuse": self.setup_reuse,
+            "runtime_hits": self.runtime_hits,
             "last_seen": round(self.last_seen, 3),
         }
 
@@ -159,6 +168,7 @@ class PlanStats:
             groups=int(record.get("groups", 0)),
             grouped_jobs=int(record.get("grouped_jobs", 0)),
             setup_reuse=int(record.get("setup_reuse", 0)),
+            runtime_hits=int(record.get("runtime_hits", 0)),
             last_seen=float(record.get("last_seen", 0.0)),
         )
         buckets = record.get("buckets")
@@ -211,6 +221,7 @@ class PlanTelemetry:
         group_size: int = 0,
         group_lead: bool = False,
         shared_setup: bool = False,
+        runtime_hit: bool = False,
     ) -> None:
         key = plan.telemetry_key
         stats = self._stats.get(key)
@@ -220,7 +231,7 @@ class PlanTelemetry:
         stats.record(
             elapsed_ms, verdict, decider=decider, fallback=fallback,
             group_size=group_size, group_lead=group_lead,
-            shared_setup=shared_setup,
+            shared_setup=shared_setup, runtime_hit=runtime_hit,
         )
 
     def record_failure(self, plan, jobs: int = 1) -> None:
@@ -308,6 +319,7 @@ class PlanTelemetry:
                 row["groups"] = stats.groups
                 row["grouped_jobs"] = stats.grouped_jobs
                 row["setup_reuse"] = stats.setup_reuse
+                row["runtime_hits"] = stats.runtime_hits
             rows[key] = row
         return rows
 
@@ -318,7 +330,7 @@ class PlanTelemetry:
         header = (
             f"{'plan':<44} {'n':>6} {'mean_ms':>8} {'p50_ms':>7} {'p90_ms':>7} "
             f"{'sat':>5} {'unsat':>6} {'unk':>4} {'err':>4} {'fb%':>5} "
-            f"{'grp':>4} {'reuse':>5}"
+            f"{'grp':>4} {'reuse':>5} {'rthit':>5}"
         )
         lines = [header, "-" * len(header)]
         ordered = sorted(
@@ -331,6 +343,6 @@ class PlanTelemetry:
                 f"{stats.verdicts.get('sat', 0):>5} {stats.verdicts.get('unsat', 0):>6} "
                 f"{stats.verdicts.get('unknown', 0):>4} {stats.verdicts.get('error', 0):>4} "
                 f"{stats.fallback_rate * 100:>4.1f}% "
-                f"{stats.groups:>4} {stats.setup_reuse:>5}"
+                f"{stats.groups:>4} {stats.setup_reuse:>5} {stats.runtime_hits:>5}"
             )
         return "\n".join(lines)

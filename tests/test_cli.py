@@ -237,6 +237,39 @@ class TestBatch:
         assert cold["decide_calls"] > 0
         assert warm["decide_calls"] * 10 <= cold["decide_calls"]
 
+    def test_affinity_flags_reach_engine_and_persist(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        from repro.engine.state import load_state
+
+        state_dir = str(tmp_path / "state")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir,
+            "--no-affinity", "--lane-queue-depth", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "affinity off" in out
+        state = load_state(state_dir)
+        assert state.scheduler["affinity"] is False
+        assert state.scheduler["lane_queue_depth"] == 2
+        # a rerun without the flags picks up the persisted setting
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir,
+        ])
+        assert code == 0
+        assert "affinity off" in capsys.readouterr().out
+
+    def test_bad_lane_queue_depth_exits_3(self, schema_dir, jobs_file, capsys):
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--lane-queue-depth", "0",
+        ])
+        assert code == 3
+        assert "lane_queue_depth" in capsys.readouterr().err
+
     def test_bad_schema_spec_exits_3(self, jobs_file, capsys):
         code = main(["batch", jobs_file, "--schema", "no-equals-sign"])
         assert code == 3

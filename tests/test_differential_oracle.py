@@ -186,6 +186,11 @@ class TestDifferentialCorpus:
 #: scheduled extended-fuzz CI job raises it via REPRO_FUZZ_CASES
 ENLARGED_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "520"))
 
+#: pool size for the fuzz engine: tier-1 keeps the single-process inline
+#: executor; the nightly job sets REPRO_FUZZ_WORKERS=2 so the corpus also
+#: exercises real affinity lanes (fork, DTD shipping, runtime caches)
+FUZZ_WORKERS = int(os.environ.get("REPRO_FUZZ_WORKERS", "1"))
+
 #: wider than the base BOUNDS: the enlarged corpus includes branching
 #: recursion and data-over-recursion schemas whose minimal witnesses can
 #: need more siblings/assignments than the 300-case corpus's
@@ -227,7 +232,10 @@ class TestEnlargedCorpusThroughGroupedScheduler:
             Job(str(query), names[schema_fingerprint(dtd)], id=f"case-{index}")
             for index, (query, dtd) in enumerate(cases)
         ]
-        engine = BatchEngine(registry=registry, group_by_plan=True)
+        engine = BatchEngine(
+            registry=registry, group_by_plan=True, affinity=True,
+            workers=FUZZ_WORKERS,
+        )
         report = engine.run(jobs)
         assert report.stats.errors == 0
         assert report.stats.plan_groups >= 1

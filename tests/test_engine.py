@@ -342,25 +342,40 @@ class TestBatchEngine:
 # -- the plan-grouped scheduler --------------------------------------------------
 
 class _CrashFirstExecutor:
-    """Executor stand-in whose first submitted task 'dies' (its future
-    raises); later tasks run the worker function in-process.  Simulates a
-    pool-worker crash mid-run without burning real fork time."""
+    """Executor stand-in whose first submitted chunk comes back as a
+    whole-chunk failure — the shape a real lane death produces after its
+    one retry also died.  Later chunks run in-process on a
+    :class:`WorkerRuntime`.  Simulates a pool-worker crash mid-run
+    without burning real fork time."""
 
-    def __init__(self, max_workers=None):
+    def __init__(self, workers, affinity=True, lane_queue_depth=4):
+        from repro.engine.executors import ExecutorStats, WorkerRuntime
+
+        self.runtime = WorkerRuntime(caching=affinity)
+        self._stats = ExecutorStats(lanes=workers)
+        self._queue = []
         self.calls = 0
 
-    def submit(self, fn, *args, **kwargs):
-        from concurrent.futures import Future
-
+    def submit(self, task, dtd):
         self.calls += 1
-        future = Future()
-        if self.calls == 1:
-            future.set_exception(RuntimeError("worker died mid-group"))
-        else:
-            future.set_result(fn(*args, **kwargs))
-        return future
+        self._queue.append((task, dtd, self.calls == 1))
 
-    def shutdown(self, *args, **kwargs):
+    def drain(self):
+        from repro.engine.executors import ChunkOutcome
+
+        while self._queue:
+            task, dtd, crash = self._queue.pop(0)
+            if crash:
+                yield task, ChunkOutcome(
+                    retried=True, error="worker died mid-group"
+                )
+            else:
+                yield task, self.runtime.run_chunk(task, dtd)
+
+    def stats(self):
+        return self._stats
+
+    def close(self):
         pass
 
 
@@ -560,6 +575,134 @@ class TestGroupedScheduler:
         assert report.stats.grouped_jobs == 1
         assert len({r.satisfiable for r in report.results}) == 1
         assert report.results[1].cached is True
+
+
+class _DuplicatingExecutor:
+    """Executor stand-in that hands every chunk back TWICE — the first
+    time marked as a retry.  The engine must absorb each task exactly
+    once, or a retried chunk would double-report group counters."""
+
+    def __init__(self, workers, affinity=True, lane_queue_depth=4):
+        from repro.engine.executors import ExecutorStats, WorkerRuntime
+
+        self.runtime = WorkerRuntime(caching=affinity)
+        self._stats = ExecutorStats(lanes=workers)
+        self._queue = []
+
+    def submit(self, task, dtd):
+        self._queue.append((task, dtd))
+
+    def drain(self):
+        import dataclasses
+
+        while self._queue:
+            task, dtd = self._queue.pop(0)
+            outcome = self.runtime.run_chunk(task, dtd)
+            yield task, dataclasses.replace(outcome, retried=True)
+            yield task, outcome
+
+    def stats(self):
+        return self._stats
+
+    def close(self):
+        pass
+
+
+class TestWorkerDeathRecovery:
+    """The scheduler must survive a lane dying mid-chunk: respawn the
+    lane cold, retry the in-flight chunk once, lose no verdicts, and
+    report the retried chunk's group counters exactly once."""
+
+    HEAVY = ["A[not(C)]", "A[not(B)]", ".[not(A)]", "B[not(A)]", "C[not(B)]"]
+
+    def test_lane_death_one_retry_no_verdict_loss(
+        self, registry, tmp_path, monkeypatch
+    ):
+        # arm a decider that SIGKILLs its worker exactly once (the marker
+        # file is consumed before the kill, so the retry answers);
+        # fork-started lanes inherit the patched registry
+        import dataclasses
+        import os
+        import signal
+
+        from repro.sat import registry as sat_registry
+
+        marker = tmp_path / "kill-once"
+        marker.write_text("")
+        spec = sat_registry.get_decider("exptime_types")
+        original = spec.fn
+
+        def killer(query, dtd, max_facts=22, context=None):
+            if marker.exists():
+                marker.unlink()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(query, dtd, max_facts, context=context)
+
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "exptime_types",
+            dataclasses.replace(spec, fn=killer),
+        )
+        jobs = [Job(query, "disjfree") for query in self.HEAVY]
+        engine = BatchEngine(registry=registry, workers=2)
+        report = engine.run(jobs)
+        assert report.stats.errors == 0                 # no verdict loss
+        assert report.stats.chunk_retries == 1
+        assert report.stats.lane_respawns == 1
+        assert all(r.satisfiable is not None for r in report.results)
+        # the retried chunk reports group counters exactly once
+        assert report.stats.plan_groups == 1
+        assert report.stats.grouped_jobs == len(jobs)
+        assert report.stats.setup_reuse == len(jobs) - 1
+        baseline = BatchEngine(registry=registry, workers=1).run(jobs)
+        assert [r.satisfiable for r in report.results] == [
+            r.satisfiable for r in baseline.results
+        ]
+
+    def test_oracle_corpus_passes_with_affinity_on(self, registry):
+        # a broad heavy corpus through the affinity scheduler with real
+        # lanes: every verdict must match the single-process engine
+        jobs = [
+            Job(query, schema)
+            for schema in ("disjfree", "threesat")
+            for query in self.HEAVY + ["A[not(C)] | B[not(A)]"]
+            if not (schema == "threesat" and query.startswith("C"))
+        ]
+        affine = BatchEngine(
+            registry=registry, workers=2, affinity=True, group_chunk_size=2
+        )
+        report = affine.run(jobs)
+        assert report.stats.errors == 0
+        assert report.stats.runtime_context_hits >= 1   # >=2 chunks/schema
+        baseline = BatchEngine(registry=registry, workers=1).run(jobs)
+        assert [r.satisfiable for r in report.results] == [
+            r.satisfiable for r in baseline.results
+        ]
+
+    def test_duplicate_outcomes_never_double_report(self, registry):
+        jobs = [Job(query, "disjfree") for query in self.HEAVY[:3]]
+        engine = BatchEngine(registry=registry, workers=2)
+        engine._executor_factory = _DuplicatingExecutor
+        report = engine.run(jobs)
+        assert report.stats.errors == 0
+        # each chunk absorbed once despite being handed back twice
+        assert report.stats.plan_groups == 1
+        assert report.stats.grouped_jobs == 3
+        assert report.stats.setup_reuse == 2
+        assert report.stats.decide_calls == 3
+        assert report.stats.chunk_retries == 1
+        # the stats report reconciles: as_dict mirrors the deduplicated
+        # counters and describe renders the retry
+        record = report.stats.as_dict()
+        assert record["grouped_jobs"] == 3
+        assert record["chunk_retries"] == 1
+        assert "1 chunk retries" in report.stats.describe()
+        # telemetry rows agree with EngineStats (no retry inflation)
+        (stats,) = [
+            stats for key, stats in engine.telemetry.items() if "neg" in key
+        ]
+        assert stats.grouped_jobs == 3
+        assert stats.groups == 1
+        assert stats.setup_reuse == 2
 
 
 # -- JSONL round trips -----------------------------------------------------------

@@ -237,6 +237,75 @@ class TestGroupedScheduling:
         assert inline_report.stats.pool_decides == 0
 
 
+class TestAffinityScheduling:
+    """Schema-affinity scheduling (persistent worker runtimes) is a pure
+    scheduling change: verdicts, decision-cache contents, and telemetry
+    verdict mixes must be bit-identical with affinity on and off."""
+
+    def _repeated_schema_corpus(self):
+        # many heavy questions per schema with a small chunk size, so
+        # each (schema × plan) produces several chunks — the shape where
+        # runtime caching matters
+        labels = ("A", "B", "C")
+        jobs = [
+            (f"{left}[not({right})]", "tiny")
+            for left in labels for right in labels
+        ]
+        jobs += [("title[not(para)]", "doc"), ("para[not(text)]", "doc")]
+        return jobs
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_affinity_matches_stateless(self, workers):
+        jobs = self._repeated_schema_corpus()
+        affine = BatchEngine(
+            registry=_registry(), workers=workers,
+            affinity=True, group_chunk_size=3,
+        )
+        stateless = BatchEngine(
+            registry=_registry(), workers=workers,
+            affinity=False, group_chunk_size=3,
+        )
+        affine_report = affine.run(jobs)
+        stateless_report = stateless.run(jobs)
+        assert _verdicts(affine_report) == _verdicts(stateless_report)
+        assert _cache_records(affine) == _cache_records(stateless)
+        assert _verdict_mixes(affine) == _verdict_mixes(stateless)
+        assert affine_report.stats.errors == stateless_report.stats.errors == 0
+        # the warm runtime actually engaged (several chunks per schema)
+        assert affine_report.stats.runtime_context_hits >= 1
+        assert stateless_report.stats.runtime_context_hits == 0
+
+    def test_inline_runtime_persists_across_runs(self):
+        engine = BatchEngine(registry=_registry(), group_chunk_size=4)
+        first = engine.run([(f"A[not({x})]", "tiny") for x in ("A", "B")])
+        second = engine.run([(f"B[not({x})]", "tiny") for x in ("B", "C")])
+        assert first.stats.runtime_context_hits == 0
+        assert second.stats.runtime_context_hits == 1
+        # and the telemetry row records the runtime hit
+        (stats,) = [
+            stats for key, stats in engine.telemetry.items() if "neg" in key
+        ]
+        assert stats.runtime_hits == 1
+        assert stats.groups == 2
+
+    def test_affinity_tunables_round_trip(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        engine = BatchEngine(
+            registry=_registry(), state_dir=state_dir,
+            affinity=False, lane_queue_depth=9,
+        )
+        engine.run(_corpus(10))
+        engine.save_state()
+        reloaded = BatchEngine(registry=_registry(), state_dir=state_dir)
+        assert reloaded.affinity is False
+        assert reloaded.lane_queue_depth == 9
+        explicit = BatchEngine(
+            registry=_registry(), state_dir=state_dir, affinity=True
+        )
+        assert explicit.affinity is True
+        assert explicit.lane_queue_depth == 9
+
+
 class TestEngineTelemetry:
     def test_run_populates_per_plan_stats(self):
         engine = BatchEngine(registry=_registry())
@@ -464,6 +533,7 @@ class TestStateDirHygiene:
         assert state.scheduler == {
             "group_by_plan": False, "group_chunk_size": 7,
             "decision_cap_per_schema": 64, "telemetry_max_age_days": 3.0,
+            "affinity": True, "lane_queue_depth": 4,
         }
         reloaded = BatchEngine(registry=_registry(), state_dir=state_dir)
         assert reloaded.group_by_plan is False
@@ -530,6 +600,176 @@ class TestCostModelHygiene:
         )
         assert recorded == 0
         assert model.measured("neg,qual", size_bucket(dtd.size()), "bounded") is None
+
+
+class TestCostModelExploration:
+    """Epsilon-exploration and decay (ROADMAP: cost-model freshness).
+    Exploration probes are extra timings whose verdicts are discarded —
+    the same hygiene rules as everywhere else apply: inconclusive probes
+    record nothing, and neither feature can change a verdict."""
+
+    def test_exploration_off_by_default(self):
+        model = CostModel()
+        assert model.explore_every == 0
+        assert model.exploration_candidate("s", "m", ("a", "b")) is None
+
+    def test_exploration_paces_and_picks_stalest(self):
+        model = CostModel(min_samples=1, explore_every=2)
+        chain = ("primary", "fb1", "fb2")
+        # off-beat calls nominate nothing; on the beat, everything is
+        # unmeasured so static chain order breaks the tie
+        assert model.exploration_candidate("s", "m", chain) is None
+        assert model.exploration_candidate("s", "m", chain) == "primary"
+        model.observe("s", "m", "primary", 1.0)
+        assert model.exploration_candidate("s", "m", chain) is None
+        assert model.exploration_candidate("s", "m", chain) == "fb1"
+        model.observe("s", "m", "fb1", 1.0)
+        model.observe("s", "m", "fb2", 1.0)
+        # all measured: the oldest tick (primary) is stalest
+        assert model.exploration_candidate("s", "m", chain) is None
+        assert model.exploration_candidate("s", "m", chain) == "primary"
+
+    def test_excluded_members_are_not_probed(self):
+        model = CostModel(explore_every=1)
+        chain = ("primary", "fb1")
+        assert model.exploration_candidate(
+            "s", "m", chain, exclude={"primary"}
+        ) == "fb1"
+        assert model.exploration_candidate(
+            "s", "m", chain, exclude={"primary", "fb1"}
+        ) is None
+
+    def test_single_member_chains_never_explore(self):
+        model = CostModel(explore_every=1)
+        assert model.exploration_candidate("s", "m", ("only",)) is None
+
+    def test_rejects_negative_explore_every(self):
+        with pytest.raises(ValueError):
+            CostModel(explore_every=-1)
+
+    def test_engine_probe_measures_a_fallback(self):
+        # a fallback no normal execution would time gets measured by the
+        # engine's probe hook; verdicts match the unexplored engine
+        jobs = [(f"A[not({x})]", "tiny") for x in ("A", "B", "C")]
+        explored = BatchEngine(
+            registry=_registry(),
+            cost_model=CostModel(min_samples=1, explore_every=1),
+        )
+        baseline = BatchEngine(registry=_registry())
+        explored_report = explored.run(jobs)
+        assert _verdicts(explored_report) == _verdicts(baseline.run(jobs))
+        assert explored_report.stats.explore_probes >= 1
+        artifacts = explored.registry.get("tiny")
+        plan = explored.planner.plan_query(
+            parse_query("A[not(B)]"), artifacts=artifacts
+        )
+        fallback_cells = [
+            name for name in plan.fallbacks
+            if explored.cost_model.measured(
+                plan.signature, artifacts.cost_bucket, name
+            ) is not None
+        ]
+        assert fallback_cells, "no fallback was ever probed"
+
+    def test_inconclusive_probes_record_nothing(self, monkeypatch):
+        # hygiene: a probe that answers unknown must not become a latency
+        # sample (same rule as TestCostModelHygiene) — force the nexptime
+        # fallback to give up, then probe it on every decision
+        import dataclasses
+
+        from repro.sat import registry as sat_registry
+        from repro.sat.result import SatResult
+
+        spec = sat_registry.get_decider("nexptime")
+
+        def gives_up(query, dtd, width_cap=5, assignment_cap=4096,
+                     context=None):
+            return SatResult(None, spec.method, reason="gave up")
+
+        monkeypatch.setitem(
+            sat_registry._REGISTRY, "nexptime",
+            dataclasses.replace(spec, fn=gives_up),
+        )
+        model = CostModel(min_samples=1, explore_every=1)
+        engine = BatchEngine(registry=_registry(), cost_model=model)
+        report = engine.run([(f"A[not({x})]", "tiny") for x in ("A", "B", "C")])
+        assert report.stats.explore_probes >= 1
+        artifacts = engine.registry.get("tiny")
+        plan = engine.planner.plan_query(
+            parse_query("A[not(B)]"), artifacts=artifacts
+        )
+        assert "nexptime" in plan.fallbacks
+        assert model.measured(
+            plan.signature, artifacts.cost_bucket, "nexptime"
+        ) is None
+
+    def test_probe_applies_plan_rewrites(self):
+        # a rewrite-bearing plan (upward_to_qualifiers) must probe the
+        # REWRITTEN query — the unrewritten upward form would just make
+        # the probed decider decline and the cell would never refresh
+        model = CostModel(min_samples=1, explore_every=1)
+        engine = BatchEngine(registry=_registry(), cost_model=model)
+        artifacts = engine.registry.get("tiny")
+        plan = engine.planner.plan_query(
+            parse_query("A/^"), artifacts=artifacts
+        )
+        assert "upward_to_qualifiers" in plan.rewrites
+        assert plan.fallbacks                  # multi-member chain
+        report = engine.run([("A/^", "tiny"), ("A/^/B", "tiny")])
+        assert report.stats.errors == 0
+        assert report.stats.explore_probes >= 1
+        probed = [
+            name for name in plan.fallbacks
+            if model.measured(
+                plan.signature, artifacts.cost_bucket, name
+            ) is not None
+        ]
+        assert probed, "the rewrite-bearing plan's probe never concluded"
+
+    def test_decay_preserves_means_and_expires_cells(self):
+        model = CostModel(min_samples=2)
+        for elapsed in (1.0, 3.0, 2.0):
+            model.observe("s", "m", "d", elapsed)
+        entry = model.measured("s", "m", "d")
+        assert entry.count == 3 and entry.mean_ms == pytest.approx(2.0)
+        assert model.decay(0.5) == 0
+        entry = model.measured("s", "m", "d")
+        assert entry.count == pytest.approx(1.5)
+        assert entry.mean_ms == pytest.approx(2.0)   # mean preserved
+        assert not model.is_measured(
+            type("S", (), {"name": "d"})(), "s", "m"
+        )  # 1.5 < min_samples: unmeasured again
+        assert model.decay(0.5) == 1                 # 0.75 < 1: dropped
+        assert model.measured("s", "m", "d") is None
+
+    def test_decay_validates_factor(self):
+        model = CostModel()
+        for factor in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                model.decay(factor)
+
+    def test_retune_with_decay_never_changes_verdicts(self):
+        jobs = _corpus(40)
+        engine = BatchEngine(registry=_registry())
+        baseline = _verdicts(engine.run(jobs))
+        engine.retune(decay=0.5)
+        engine.cache.clear()
+        assert _verdicts(engine.run(jobs)) == baseline
+
+    def test_serialization_round_trips_ticks_and_legacy_entries(self):
+        model = CostModel(min_samples=1)
+        model.observe("s", "m", "d", 2.0)
+        rebuilt = CostModel.from_dict(model.to_dict())
+        assert rebuilt.to_dict() == model.to_dict()
+        assert rebuilt.measured("s", "m", "d").last_tick == 1
+        # legacy 5-element entries (pre-tick state files) still load
+        legacy = CostModel.from_dict({
+            "min_samples": 1,
+            "entries": [["s", "m", "d", 2, 4.0]],
+        })
+        entry = legacy.measured("s", "m", "d")
+        assert entry is not None and entry.count == 2.0
+        assert entry.last_tick == 0
 
 
 class TestStateDirSharing:
