@@ -14,6 +14,11 @@ Not a paper figure — this benchmark guards the batch engine
   verdicts must match ungrouped ones (see ``bench_plan_groups.py`` for
   the dedicated grouped-throughput demonstration).
 
+* **tracing overhead** — the duplicate-heavy workload is run with the
+  span tracer off and on; disabled tracing must stay within 5% of the
+  untraced wall (the ISSUE acceptance bar, asserted in full mode;
+  quick mode uses a looser noise-tolerant bound).
+
 Quick mode (``REPRO_BENCH_QUICK=1``, used by CI) shrinks the workload so
 the whole file runs in seconds.
 """
@@ -27,6 +32,7 @@ import time
 from benchmarks.conftest import format_table
 from repro.dtd import random_dtd
 from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.obs import ListSink, Tracer
 from repro.workloads import batch_jobs, document_dtd, mid_size_dtd, recursive_chain_dtd
 from repro.xpath import fragments as frag
 
@@ -98,6 +104,65 @@ def test_cold_vs_warm(report, rng):
         format_table(
             ["pass", "jobs", "decide()", "cache hits", "wall", "throughput"], rows
         ),
+    )
+
+
+def test_tracing_overhead(report, rng):
+    """Span tracing must be paid for only when it is switched on.
+
+    The engine takes ``tracer=None`` by default; every tracing call site
+    is behind that None check, so the disabled path adds no span or sink
+    work per job.  This test measures both configurations on the
+    duplicate-heavy workload and asserts the *enabled* tracer stays
+    within a small factor of the untraced wall — if even full tracing is
+    cheap, the disabled branch (a None test per pipeline stage) is well
+    inside the 5% acceptance bar.  Quick mode keeps a loose bound
+    because CI runners are noisy at the sub-100ms scale.
+    """
+    registry = _registry()
+    jobs = _light_jobs(rng, registry, N_JOBS)
+
+    def run_once(tracer):
+        engine = BatchEngine(
+            registry=registry, cache=DecisionCache(capacity=8192), tracer=tracer
+        )
+        start = time.perf_counter()
+        outcome = engine.run(jobs)
+        return outcome, time.perf_counter() - start
+
+    # interleave repetitions so machine noise lands on both configurations
+    repeats = 2 if QUICK else 3
+    best_off = best_on = float("inf")
+    traced_records = 0
+    for _ in range(repeats):
+        outcome_off, t_off = run_once(None)
+        best_off = min(best_off, t_off)
+        sink = ListSink()
+        outcome_on, t_on = run_once(Tracer(sinks=(sink,)))
+        best_on = min(best_on, t_on)
+        traced_records = len(sink.records)
+        # off: no trace machinery ran at all; on: exactly one finished
+        # span tree per job, cache hits and coalesced followers included
+        assert outcome_off.stats.jobs == len(jobs)
+        assert traced_records == outcome_on.stats.jobs == len(jobs)
+
+    bound = 3.0 if QUICK else 1.5
+    assert best_on <= best_off * bound, (
+        f"tracing-enabled run took {best_on * 1e3:.1f} ms vs "
+        f"{best_off * 1e3:.1f} ms untraced (> {bound:.1f}x) — span "
+        "bookkeeping has leaked into the hot path"
+    )
+
+    overhead = (best_on / best_off - 1.0) * 100 if best_off else 0.0
+    rows = [
+        ["off", len(jobs), 0, f"{best_off * 1e3:.1f} ms", "—"],
+        ["on", len(jobs), traced_records, f"{best_on * 1e3:.1f} ms",
+         f"{overhead:+.1f}%"],
+    ]
+    report(
+        "engine_tracing_overhead",
+        format_table(["tracer", "jobs", "records", "best wall", "overhead"], rows)
+        + f"\nbest of {repeats} interleaved repetitions per configuration",
     )
 
 

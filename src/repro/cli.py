@@ -65,9 +65,27 @@ Subcommands
         python -m repro stats results.jsonl
 
     ``--plans`` renders the persisted per-plan telemetry table (latency,
-    verdict mix, fallback rate) from a ``--state-dir``::
+    verdict mix, fallback rate) from a ``--state-dir``; ``--json``
+    switches either mode to machine-readable output (with ``--plans``
+    that is the full engine-stats snapshot, per-plan rows, and cost
+    model)::
 
         python -m repro stats --plans --state-dir state/
+        python -m repro stats --plans --state-dir state/ --json
+
+``trace``
+    Render a JSONL trace file written by ``batch --trace-out``: one
+    span tree per job, with per-chain-member attempt latencies, lane
+    IDs, and cache/coalescing provenance::
+
+        python -m repro trace traces.jsonl --slowest 5
+        python -m repro trace traces.jsonl --schema 9f3a --json
+
+Observability flags: the global ``--log-level`` routes engine warnings
+and lane lifecycle events through structured logging; ``batch
+--trace-out FILE`` records a span tree per job; ``--slow-ms`` /
+``--slow-log`` capture jobs over a latency threshold with their plan
+explanation (see the README's "Observability" section).
 """
 
 from __future__ import annotations
@@ -91,6 +109,14 @@ from repro.engine import (
     write_results_file,
 )
 from repro.errors import EngineError, ReproError
+from repro.obs import (
+    JsonlTraceSink,
+    SlowQueryLog,
+    Tracer,
+    read_trace_file,
+    render_trace_record,
+    setup_logging,
+)
 from repro.sat import DEFAULT_PLANNER, decide
 from repro.xpath import parse_query
 from repro.xpath.fragments import features_of
@@ -157,10 +183,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     query = parse_query(args.query)
     features = features_of(query)
+    # state-dir warnings reach stderr through repro.obs.log
     state = load_state(args.state_dir) if args.state_dir is not None else None
-    if state is not None:
-        for warning in state.warnings:
-            print(f"state: {warning}", file=sys.stderr)
     planner = (
         Planner(cost_model=state.cost_model)
         if state is not None and state.cost_model is not None
@@ -219,6 +243,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise EngineError(f"--repeat must be positive, got {args.repeat}")
     registry = _build_registry(args)
+    # observability: a tracer exists only when asked for — the engine's
+    # default-off tracing branches then cost nothing but a None check
+    tracer = None
+    slow_log = None
+    if args.slow_ms is not None or args.slow_log is not None:
+        slow_log = SlowQueryLog(
+            threshold_ms=args.slow_ms if args.slow_ms is not None else 250.0,
+            path=args.slow_log,
+        )
+    if args.trace_out is not None or slow_log is not None:
+        sinks = (
+            (JsonlTraceSink(args.trace_out),) if args.trace_out is not None
+            else ()
+        )
+        tracer = Tracer(sinks=sinks, slow_log=slow_log)
     engine = BatchEngine(
         registry=registry,
         cache=DecisionCache(capacity=args.cache_size),
@@ -230,9 +269,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         telemetry_max_age_days=args.telemetry_max_age,
         affinity=args.affinity,
         lane_queue_depth=args.lane_queue_depth,
+        tracer=tracer,
     )
-    for warning in engine.state_warnings:
-        print(f"state: {warning}", file=sys.stderr)
     if args.state_dir is not None:
         print(
             f"state: {engine.registry.persisted_plans} persisted plans, "
@@ -278,6 +316,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.stats_json, "w") as handle:
             json.dump([stats.as_dict() for stats in passes], handle, indent=2)
             handle.write("\n")
+    if tracer is not None:
+        tracer.close()
+        if args.trace_out is not None:
+            print(
+                f"traces        : {tracer.finished} recorded "
+                f"to {args.trace_out}"
+            )
+        if slow_log is not None:
+            threshold = args.slow_ms if args.slow_ms is not None else 250.0
+            print(
+                f"slow queries  : {slow_log.count} over {threshold:g}ms"
+                + (f" (logged to {args.slow_log})" if args.slow_log else "")
+            )
     return 0
 
 
@@ -313,6 +364,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             if record.get("cached"):
                 cached += 1
 
+    if args.json:
+        print(json.dumps({
+            "results": total,
+            "cached": cached,
+            "verdicts": verdicts,
+            "methods": methods,
+            "routes": routes,
+            "schemas": schemas,
+        }, indent=2))
+        return 0
     print(f"results : {total} ({cached} answered from cache)")
     for title, table in (
         ("verdict", verdicts), ("method", methods),
@@ -329,9 +390,30 @@ def _cmd_stats_plans(args: argparse.Namespace) -> int:
 
     if args.state_dir is None:
         raise EngineError("stats --plans needs --state-dir DIR")
+    # state-dir warnings reach stderr through repro.obs.log
     state = load_state(args.state_dir)
-    for warning in state.warnings:
-        print(f"state: {warning}", file=sys.stderr)
+    if args.json:
+        telemetry = state.telemetry
+        rows = telemetry.summary() if telemetry is not None else {}
+        payload = {
+            "engine": state.engine_stats,
+            "plans": {
+                key: {
+                    "plan": (
+                        telemetry.plan_record(key)
+                        if telemetry is not None else None
+                    ),
+                    **row,
+                }
+                for key, row in rows.items()
+            },
+            "cost_model": (
+                state.cost_model.to_dict()
+                if state.cost_model is not None else None
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     if state.telemetry is None or not len(state.telemetry):
         print("no plan telemetry recorded")
         return 0
@@ -345,11 +427,45 @@ def _cmd_stats_plans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render (or filter) a JSONL trace file from ``batch --trace-out``."""
+    if args.slowest is not None and args.slowest < 1:
+        raise EngineError(f"--slowest must be positive, got {args.slowest}")
+    records = read_trace_file(args.file)
+    total = len(records)
+    if args.schema is not None:
+        records = [
+            record for record in records
+            if record.get("schema") == args.schema
+            or (record.get("fingerprint") or "").startswith(args.schema)
+        ]
+    if args.slowest is not None:
+        records = sorted(
+            records,
+            key=lambda record: record.get("elapsed_ms", 0.0),
+            reverse=True,
+        )[:args.slowest]
+    if args.json:
+        for record in records:
+            print(json.dumps(record))
+        return 0
+    for record in records:
+        print(render_trace_record(record))
+    print(f"{len(records)} of {total} trace(s) shown")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="XPath satisfiability in the presence of DTDs "
                     "(Benedikt, Fan, Geerts; PODS 2005 / JACM 2008)",
+    )
+    parser.add_argument(
+        "--log-level", default="warning", metavar="LEVEL",
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="structured-log threshold on stderr (default: warning; "
+             "debug shows lane forks and state-dir adoption)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -460,6 +576,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="load persisted plans/telemetry/cost-model/decisions from DIR "
              "at startup and save back after the run (warm cross-process starts)",
     )
+    batch.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record one JSONL span tree per job (render with 'repro trace')",
+    )
+    batch.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query threshold: jobs at or over MS are kept with their "
+             "full span tree and plan explanation (default 250 when "
+             "--slow-log is given)",
+    )
+    batch.add_argument(
+        "--slow-log", metavar="PATH",
+        help="append slow-query records (span tree + plan explanation) "
+             "to PATH as JSONL",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     stats = sub.add_parser(
@@ -477,13 +608,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir", metavar="DIR",
         help="state directory written by 'batch --state-dir'",
     )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (with --plans: engine-stats "
+             "snapshot, per-plan rows, and cost model)",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL trace file from 'batch --trace-out'"
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument(
+        "--slowest", type=int, default=None, metavar="N",
+        help="show only the N slowest traces",
+    )
+    trace.add_argument(
+        "--schema", metavar="NAME_OR_FP",
+        help="keep only traces whose schema name matches, or whose "
+             "fingerprint starts with, NAME_OR_FP",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the filtered records as JSONL instead of rendering",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     try:
         return args.func(args)
     except ReproError as error:

@@ -66,6 +66,8 @@ from repro.engine.executors import (
     PersistentPoolExecutor,
 )
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import FAILED, JobTrace, Span, Tracer, attempt_spans
 from repro.sat.bounded import Bounds
 from repro.sat.costmodel import CostModel, size_bucket
 from repro.sat.planner import (
@@ -75,7 +77,7 @@ from repro.sat.planner import (
     execute_plan,
 )
 from repro.sat.registry import get_decider
-from repro.sat.telemetry import PlanTelemetry, verdict_name
+from repro.sat.telemetry import LATENCY_BUCKETS_MS, PlanTelemetry, verdict_name
 from repro.xpath.rewrite import get_pass
 from repro.xpath.ast import Path
 from repro.xpath.canonical import canonicalize
@@ -194,6 +196,15 @@ class EngineStats:
     affinity_spills: int = 0
     lane_respawns: int = 0
     chunk_retries: int = 0
+    # lane health (this run): per-chunk enqueue→absorb dwell (queue +
+    # IPC time, executor execution excluded), and per-lane gauges — the
+    # runtime context-cache occupancy and lifetime evictions reported by
+    # each lane's newest chunk, plus the deepest in-flight queue the
+    # lane reached
+    chunk_dwell_ms: list[float] = field(default_factory=list)
+    lane_contexts: dict[int, int] = field(default_factory=dict)
+    lane_evictions: dict[int, int] = field(default_factory=dict)
+    lane_peak_depth: dict[int, int] = field(default_factory=dict)
     # cost-model epsilon-exploration probes run this pass (timing a
     # fallback chain member the normal path would never measure)
     explore_probes: int = 0
@@ -221,6 +232,32 @@ class EngineStats:
         index = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
         return ordered[index]
 
+    def dwell_percentile(self, q: float) -> float:
+        """The ``q``-quantile of chunk enqueue→absorb dwell in ms (0.0
+        when no chunk was dispatched this run)."""
+        if not self.chunk_dwell_ms:
+            return 0.0
+        ordered = sorted(self.chunk_dwell_ms)
+        index = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[index]
+
+    def lane_health(self) -> dict[int, dict[str, int]]:
+        """Per-lane health gauges folded from chunk outcomes: runtime
+        context-cache occupancy, lifetime evictions, and queue-depth
+        peak."""
+        lane_ids = (
+            set(self.lane_contexts) | set(self.lane_evictions)
+            | set(self.lane_peak_depth)
+        )
+        return {
+            lane: {
+                "contexts": self.lane_contexts.get(lane, 0),
+                "evictions": self.lane_evictions.get(lane, 0),
+                "peak_depth": self.lane_peak_depth.get(lane, 0),
+            }
+            for lane in sorted(lane_ids)
+        }
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "jobs": self.jobs,
@@ -245,6 +282,11 @@ class EngineStats:
             "affinity_spills": self.affinity_spills,
             "lane_respawns": self.lane_respawns,
             "chunk_retries": self.chunk_retries,
+            "chunk_dwell_p50_ms": round(self.dwell_percentile(0.5), 4),
+            "chunk_dwell_p90_ms": round(self.dwell_percentile(0.9), 4),
+            "lane_health": {
+                str(lane): health for lane, health in self.lane_health().items()
+            },
             "explore_probes": self.explore_probes,
             "persisted_plans_loaded": self.persisted_plans_loaded,
             "persisted_decisions_loaded": self.persisted_decisions_loaded,
@@ -285,7 +327,76 @@ class EngineStats:
             f"{self.registry.get('dedup_hits', 0)} dedup hits",
             f"wall time     : {self.elapsed_s:.3f}s",
         ]
+        if self.chunk_dwell_ms:
+            lines.insert(
+                -1,
+                f"lane dwell    : p50 {self.dwell_percentile(0.5):.2f}ms, "
+                f"p90 {self.dwell_percentile(0.9):.2f}ms over "
+                f"{len(self.chunk_dwell_ms)} chunks",
+            )
         return "\n".join(lines)
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Register this run's counters, lane-health gauges, and the
+        chunk-dwell histogram into a unified metrics registry."""
+        for name, help_text in (
+            ("jobs", "jobs submitted"),
+            ("errors", "jobs that errored"),
+            ("decide_calls", "decision procedure invocations"),
+            ("inline_decides", "decisions executed in-process"),
+            ("pool_decides", "decisions executed on worker lanes"),
+            ("cache_hits", "jobs answered from the decision cache"),
+            ("coalesced", "duplicate in-flight questions coalesced"),
+            ("planner_invocations", "plans built"),
+            ("plan_cache_hits", "routings resolved from a plan cache"),
+            ("plan_groups", "plan-group chunks dispatched"),
+            ("grouped_jobs", "jobs executed inside a group chunk"),
+            ("setup_reuse", "jobs that reused a groupmate's prepare()"),
+            ("prepare_fallbacks", "chunks degraded to per-job setup"),
+            ("dtd_ships", "DTDs pickled to a lane"),
+            ("runtime_context_hits", "chunks served from a warm runtime"),
+            ("affinity_spills", "chunks spilled off their preferred lane"),
+            ("lane_respawns", "worker lanes respawned after death"),
+            ("chunk_retries", "in-flight chunks retried after lane death"),
+            ("explore_probes", "cost-model exploration probes"),
+        ):
+            registry.counter(f"repro_{name}_total", help_text).inc(
+                getattr(self, name)
+            )
+        registry.gauge("repro_workers", "configured worker count").set(self.workers)
+        registry.gauge("repro_lanes", "lanes in the pool this run").set(self.lanes)
+        registry.gauge(
+            "repro_affinity_enabled", "schema-affinity scheduling on"
+        ).set(1 if self.affinity else 0)
+        registry.gauge(
+            "repro_decision_cache_size", "decision-cache entries"
+        ).set(self.cache.get("size", 0))
+        registry.gauge(
+            "repro_decision_cache_evictions", "decision-cache lifetime evictions"
+        ).set(self.cache.get("evictions", 0))
+        registry.gauge(
+            "repro_schemas_registered", "schemas in the registry"
+        ).set(self.registry.get("schemas", 0))
+        dwell = registry.histogram(
+            "repro_chunk_dwell_ms", LATENCY_BUCKETS_MS,
+            "chunk enqueue-to-absorb dwell (ms)",
+        )
+        for dwell_ms in self.chunk_dwell_ms:
+            dwell.observe(dwell_ms)
+        for lane, health in self.lane_health().items():
+            labels = {"lane": str(lane)}
+            registry.gauge(
+                "repro_lane_context_cache_size",
+                "prepared contexts held by the lane runtime", labels,
+            ).set(health["contexts"])
+            registry.counter(
+                "repro_lane_context_evictions_total",
+                "contexts evicted by the lane runtime (lifetime)", labels,
+            ).inc(health["evictions"])
+            registry.gauge(
+                "repro_lane_queue_depth_peak",
+                "deepest in-flight queue the lane reached", labels,
+            ).set(health["peak_depth"])
 
 
 @dataclass
@@ -388,6 +499,7 @@ class BatchEngine:
         telemetry_max_age_days: float | None = None,
         affinity: bool | None = None,
         lane_queue_depth: int | None = None,
+        tracer: Tracer | None = None,
     ):
         if workers < 1:
             raise EngineError(f"workers must be positive, got {workers}")
@@ -474,6 +586,11 @@ class BatchEngine:
         self.persisted_decisions_loaded = 0
         self.state_warnings: list[str] = []
         self.state_dir = state_dir
+        # observability: tracer is None by default and every tracing
+        # branch is guarded on it, so the default-off path costs a
+        # handful of predictable `is not None` checks per job
+        self.tracer = tracer
+        self.last_stats: EngineStats | None = None
         # the single-worker executor is engine-lifetime: its WorkerRuntime
         # keeps prepared contexts warm across run() calls (created lazily
         # so a pooled engine never allocates it)
@@ -536,8 +653,29 @@ class BatchEngine:
             },
             decision_cap_per_schema=self.decision_cap_per_schema,
             telemetry_max_age_days=self.telemetry_max_age_days,
+            engine_stats=(
+                self.last_stats.as_dict() if self.last_stats is not None else None
+            ),
+            metrics_text=self.metrics_registry().render_prometheus(),
         )
         return target
+
+    def metrics_registry(self, stats: EngineStats | None = None) -> MetricsRegistry:
+        """One unified metrics registry over every stat silo the engine
+        holds: the given (or last run's) :class:`EngineStats`, the
+        per-plan telemetry table, the cost model, and — when a tracer is
+        attached — its trace counters.  Render with
+        :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` or
+        :meth:`~repro.obs.metrics.MetricsRegistry.as_dict`."""
+        registry = MetricsRegistry()
+        stats = stats if stats is not None else self.last_stats
+        if stats is not None:
+            stats.register_metrics(registry)
+        self.telemetry.register_metrics(registry)
+        self.cost_model.register_metrics(registry)
+        if self.tracer is not None:
+            self.tracer.register_metrics(registry)
+        return registry
 
     def retune(self, decay: float | None = None) -> int:
         """Drop every cached plan — including persisted plans waiting for
@@ -586,6 +724,10 @@ class BatchEngine:
         stats = EngineStats(workers=self.workers, affinity=self.affinity)
         planner_invocations_before = self.planner.invocations
         plan_hits_before = self.planner.cache_hits
+        tracer = self.tracer
+        # job index -> its in-flight trace; spans for pooled jobs are
+        # reassembled here at absorb time from lane-side outcomes
+        traces: dict[int, JobTrace] = {}
         results: list[JobResult | None] = []
         # ungrouped pooled coalescing: key -> the task's bookkeeping
         # record (its index list grows as duplicates coalesce)
@@ -595,16 +737,17 @@ class BatchEngine:
         # coalesces duplicates queued into a group
         groups: dict[tuple[str | None, str], PlanGroup] = {}
         grouped_keys: dict[CacheKey, _GroupEntry] = {}
-        # every chunk handed to an executor, by task id:
-        # ("chunk", group, entries) |
-        # ("single", key, indices, plan, artifacts, canonical)
+        # every chunk handed to an executor, by task id (last element is
+        # always the enqueue timestamp, for dwell measurement):
+        # ("chunk", group, entries, enqueued) |
+        # ("single", key, indices, plan, artifacts, canonical, enqueued)
         submitted: dict[int, tuple] = {}
         pool: Executor | None = None
 
         def submit_chunk(executor: Executor, group: PlanGroup,
                          chunk: list[_GroupEntry]) -> None:
             task_id = self._take_task_id()
-            submitted[task_id] = ("chunk", group, chunk)
+            submitted[task_id] = ("chunk", group, chunk, time.perf_counter())
             executor.submit(
                 ChunkTask(
                     task_id=task_id,
@@ -637,11 +780,37 @@ class BatchEngine:
                 except ReproError as error:
                     stats.errors += 1
                     results[index] = self._error_result(raw, error)
+                    if tracer is not None:
+                        failed = results[index]
+                        trace = tracer.begin(
+                            job_id=failed.id, query=failed.query,
+                            schema=failed.schema,
+                        )
+                        trace.span(
+                            "intake", status=FAILED,
+                            attrs={"error": str(error)},
+                        )
+                        tracer.finish(trace, verdict="error", route="error")
                     continue
 
+                trace = None
+                if tracer is not None:
+                    trace = tracer.begin(
+                        job_id=job.id if job.id is not None else job.query_text,
+                        query=job.query_text,
+                        schema=job.schema,
+                        fingerprint=artifacts.fingerprint if artifacts else None,
+                    )
+                    traces[index] = trace
+                    step_start = time.perf_counter()
                 # one canonicalization per job, shared by the cache key and
                 # the decision (execute_plan skips its canonicalize pass)
                 canonical = canonicalize(query)
+                if trace is not None:
+                    trace.span(
+                        "canonicalize",
+                        ms=(time.perf_counter() - step_start) * 1e3,
+                    )
                 key = decision_key_for(
                     canonical, artifacts.fingerprint if artifacts else None, self.bounds
                 )
@@ -651,6 +820,12 @@ class BatchEngine:
                     results[index] = self._result(
                         job, artifacts, cached, route="cache", cached=True
                     )
+                    if trace is not None:
+                        trace.span("cache", attrs={"hit": True})
+                        tracer.finish(
+                            trace, verdict=verdict_name(cached.satisfiable),
+                            route="cache",
+                        )
                     continue
                 if key in grouped_keys:
                     stats.coalesced += 1
@@ -659,6 +834,8 @@ class BatchEngine:
                         job, artifacts,
                         CachedDecision(None, "pending"), route="pool",
                     )
+                    # the trace finishes at absorb time, alongside its
+                    # leader, with a span naming the leader's trace
                     continue
                 if key in pending:
                     stats.coalesced += 1
@@ -669,7 +846,28 @@ class BatchEngine:
                     )
                     continue
 
+                if trace is not None:
+                    plan_hits_step = self.planner.cache_hits
+                    step_start = time.perf_counter()
                 plan = self.planner.plan_for(features_of(query), artifacts=artifacts)
+                if trace is not None:
+                    trace.span(
+                        "plan",
+                        ms=(time.perf_counter() - step_start) * 1e3,
+                        attrs={
+                            "signature": plan.signature,
+                            "decider": plan.decider,
+                            "cache_hit": self.planner.cache_hits > plan_hits_step,
+                        },
+                    )
+                    trace.span(
+                        "route",
+                        attrs={
+                            "route": plan.route,
+                            "grouped": plan.route == "pool" and self.group_by_plan,
+                            "workers": self.workers,
+                        },
+                    )
                 if plan.route == "pool" and self.group_by_plan:
                     # queue for plan-grouped dispatch after the scan; the
                     # group pays worker setup (prepare hooks, DTD pickle)
@@ -711,7 +909,10 @@ class BatchEngine:
                     if pool is None:
                         pool = self._make_pool()
                     task_id = self._take_task_id()
-                    record = ("single", key, [index], plan, artifacts, canonical)
+                    record = (
+                        "single", key, [index], plan, artifacts, canonical,
+                        time.perf_counter(),
+                    )
                     submitted[task_id] = record
                     pending[key] = record
                     pool.submit(
@@ -734,12 +935,12 @@ class BatchEngine:
                     continue
 
                 job_start = time.perf_counter()
-                trace = ExecutionTrace()
+                exec_trace = ExecutionTrace()
                 try:
                     outcome = execute_plan(
                         plan, canonical,
                         artifacts.dtd if artifacts else None, self.bounds,
-                        pre_canonicalized=True, trace=trace,
+                        pre_canonicalized=True, trace=exec_trace,
                     )
                     decision = CachedDecision(
                         outcome.satisfiable, outcome.method, outcome.reason
@@ -748,14 +949,25 @@ class BatchEngine:
                     stats.errors += 1
                     stats.decide_calls += 1
                     stats.inline_decides += 1
-                    self._observe(plan, artifacts, trace, "error")
+                    self._observe(plan, artifacts, exec_trace, "error")
                     results[index] = self._error_result(raw, error)
+                    if trace is not None:
+                        trace.span(
+                            "execute",
+                            ms=(time.perf_counter() - job_start) * 1e3,
+                            status=FAILED,
+                            attrs={"error": str(error)},
+                            children=attempt_spans(exec_trace.attempts),
+                        )
+                        tracer.finish(
+                            trace, verdict="error", route="error", plan=plan
+                        )
                     continue
                 stats.decide_calls += 1
                 stats.inline_decides += 1
                 elapsed_ms = (time.perf_counter() - job_start) * 1e3
                 self._observe(
-                    plan, artifacts, trace,
+                    plan, artifacts, exec_trace,
                     verdict_name(outcome.satisfiable),
                 )
                 self.cache.put(key, decision)
@@ -763,7 +975,16 @@ class BatchEngine:
                     job, artifacts, decision, route="inline",
                     elapsed_ms=elapsed_ms,
                 )
-                self._explore(stats, plan, canonical, artifacts, trace)
+                if trace is not None:
+                    trace.span(
+                        "execute", ms=elapsed_ms,
+                        children=attempt_spans(exec_trace.attempts),
+                    )
+                    tracer.finish(
+                        trace, verdict=verdict_name(outcome.satisfiable),
+                        route="inline", plan=plan,
+                    )
+                self._explore(stats, plan, canonical, artifacts, exec_trace)
 
             # group tails: one chunk per worker task on the pool, or on
             # the engine-lifetime inline executor when workers == 1 (its
@@ -794,16 +1015,25 @@ class BatchEngine:
             # responsible for shutdown even if absorption raises
             if pool is not None:
                 self._absorb_all(
-                    pool.drain(), submitted, results, stats, route="pool"
+                    pool.drain(), submitted, results, stats, route="pool",
+                    tracer=tracer, traces=traces,
                 )
                 pool_stats = pool.stats()
                 stats.lanes = pool_stats.lanes
                 stats.lane_respawns = pool_stats.lane_respawns
+                stats.lane_peak_depth = dict(pool_stats.lane_peak_depth)
             if self._inline_executor is not None:
                 self._absorb_all(
                     self._inline_executor.drain(), submitted, results, stats,
                     route="inline",
+                    tracer=tracer, traces=traces,
                 )
+            if tracer is not None:
+                # safety net: a trace a bug (or an absorbed-but-lost
+                # outcome) left open still emits exactly one record
+                for trace in traces.values():
+                    if not trace.finished:
+                        tracer.finish(trace, verdict="unknown", route="lost")
         finally:
             if pool is not None:
                 pool.close()
@@ -820,6 +1050,7 @@ class BatchEngine:
         stats.cache = self.cache.stats()
         stats.registry = self.registry.stats()
         stats.plans = self.telemetry.summary()
+        self.last_stats = stats
         return BatchReport(results=[r for r in results if r is not None], stats=stats)
 
     # -- helpers ------------------------------------------------------------
@@ -830,13 +1061,17 @@ class BatchEngine:
         results: list[JobResult | None],
         stats: EngineStats,
         route: str,
+        tracer: Tracer | None = None,
+        traces: dict[int, JobTrace] | None = None,
     ) -> None:
         """Fold every drained ``(task, outcome)`` pair into results and
         counters.  Each task is absorbed **exactly once**: the bookkeeping
         record is popped on arrival, so a duplicate outcome (a retry
         racing its first attempt) can never double-report group counters
         — ``grouped_jobs``/``setup_reuse`` stay reconciled with the
-        per-plan telemetry rows even across lane deaths."""
+        per-plan telemetry rows even across lane deaths.  The same pop
+        makes lane-side span reassembly exactly-once: a job's trace is
+        finished by the record's first (and only) absorption."""
         for task, outcome in outcomes:
             record = submitted.pop(task.task_id, None)
             if record is None:
@@ -849,8 +1084,18 @@ class BatchEngine:
                 stats.affinity_spills += 1
             if outcome.retried:
                 stats.chunk_retries += 1
+            # enqueue→absorb dwell: queue + IPC time, execution excluded
+            enqueued = record[-1]
+            dwell_ms = max(
+                0.0,
+                (time.perf_counter() - enqueued) * 1e3 - outcome.elapsed_ms,
+            )
+            stats.chunk_dwell_ms.append(dwell_ms)
+            if outcome.lane >= 0:
+                stats.lane_contexts[outcome.lane] = outcome.runtime_contexts
+                stats.lane_evictions[outcome.lane] = outcome.runtime_evictions
             if record[0] == "chunk":
-                _, group, chunk = record
+                _, group, chunk, _ = record
                 stats.decide_calls += len(chunk)
                 if route == "pool":
                     stats.pool_decides += len(chunk)
@@ -868,12 +1113,27 @@ class BatchEngine:
                             result.error = outcome.error
                             result.method = "error"
                             result.route = "error"
+                            if tracer is not None and traces is not None:
+                                trace = traces.get(index)
+                                if trace is not None:
+                                    trace.span(
+                                        "chunk", status=FAILED,
+                                        attrs=self._chunk_attrs(
+                                            outcome, dwell_ms, len(chunk),
+                                            error=outcome.error,
+                                        ),
+                                    )
+                                    tracer.finish(
+                                        trace, verdict="error",
+                                        route="error", plan=group.plan,
+                                    )
                     continue
                 self._absorb_group(
-                    group, chunk, outcome, results, stats, route=route
+                    group, chunk, outcome, results, stats, route=route,
+                    tracer=tracer, traces=traces, dwell_ms=dwell_ms,
                 )
             else:
-                _, key, indices, plan, artifacts, canonical = record
+                _, key, indices, plan, artifacts, canonical, _ = record
                 stats.decide_calls += 1
                 if route == "pool":
                     stats.pool_decides += 1
@@ -882,7 +1142,32 @@ class BatchEngine:
                 self._absorb_single(
                     key, indices, plan, artifacts, canonical, outcome,
                     results, stats,
+                    tracer=tracer, traces=traces, dwell_ms=dwell_ms,
                 )
+
+    @staticmethod
+    def _chunk_attrs(
+        outcome: ChunkOutcome,
+        dwell_ms: float,
+        group_size: int,
+        error: str | None = None,
+    ) -> dict[str, Any]:
+        """Span attributes shared by every job a chunk decided: which
+        lane ran it and how the executor layer treated it."""
+        attrs: dict[str, Any] = {
+            "lane": outcome.lane,
+            "dwell_ms": round(dwell_ms, 3),
+            "dtd_shipped": outcome.dtd_shipped,
+            "runtime_hit": outcome.runtime_hit,
+            "shared_setup": outcome.shared_setup,
+            "spilled": outcome.spilled,
+            "retried": outcome.retried,
+            "group_size": group_size,
+            "chunk_ms": round(outcome.elapsed_ms, 3),
+        }
+        if error is not None:
+            attrs["error"] = error
+        return attrs
 
     def _absorb_group(
         self,
@@ -892,9 +1177,17 @@ class BatchEngine:
         results: list[JobResult | None],
         stats: EngineStats,
         route: str,
+        tracer: Tracer | None = None,
+        traces: dict[int, JobTrace] | None = None,
+        dwell_ms: float = 0.0,
     ) -> None:
         """Fold one chunk's outcomes into results, the decision cache,
-        telemetry, and the cost model."""
+        telemetry, and the cost model.  When tracing, each leader job's
+        span tree is reassembled here from the lane-side outcome: a
+        ``chunk`` span (lane, dwell, DTD-ship/runtime-hit flags) whose
+        children are the shared ``prepare`` (first executed entry only)
+        and the job's per-chain-member attempts; coalesced followers get
+        a ``coalesced`` span naming their leader's trace."""
         plan, artifacts = group.plan, group.artifacts
         shared_setup = outcome.shared_setup
         stats.plan_groups += 1
@@ -904,6 +1197,7 @@ class BatchEngine:
         if outcome.prepare_error is not None and not shared_setup:
             stats.prepare_fallbacks += 1
         executed = 0
+        prepare_span_pending = True
         for entry, question_outcome in zip(chunk, outcome.outcomes):
             satisfiable, method, reason, error, attempts = question_outcome
             trace = ExecutionTrace(
@@ -913,6 +1207,60 @@ class BatchEngine:
                 shared_setup=shared_setup,
                 runtime_hit=outcome.runtime_hit,
             )
+            verdict = "error" if error is not None else verdict_name(satisfiable)
+            if tracer is not None and traces is not None:
+                leader = traces.get(entry.indices[0])
+                if leader is not None:
+                    children = []
+                    if prepare_span_pending:
+                        prepare_span_pending = False
+                        prepare_attrs = {"shared": shared_setup}
+                        if outcome.prepare_error is not None:
+                            prepare_attrs["error"] = outcome.prepare_error
+                        children.append(Span(
+                            name="prepare",
+                            ms=outcome.prepare_ms,
+                            status=(
+                                FAILED if outcome.prepare_error is not None
+                                else "ok"
+                            ),
+                            attrs=prepare_attrs,
+                        ))
+                    children.extend(attempt_spans(attempts))
+                    leader.span(
+                        "chunk",
+                        ms=trace.elapsed_ms,
+                        status=FAILED if error is not None else "ok",
+                        attrs=self._chunk_attrs(
+                            outcome, dwell_ms, len(chunk), error=error
+                        ),
+                        children=children,
+                    )
+                    tracer.finish(
+                        leader,
+                        verdict=verdict,
+                        route="error" if error is not None else route,
+                        plan=plan,
+                    )
+                for index in entry.indices[1:]:
+                    follower = traces.get(index)
+                    if follower is not None:
+                        follower.span(
+                            "coalesced",
+                            attrs={
+                                "leader": (
+                                    leader.trace_id if leader is not None
+                                    else None
+                                ),
+                                "lane": outcome.lane,
+                            },
+                        )
+                        tracer.finish(
+                            follower,
+                            verdict=verdict,
+                            route="error" if error is not None else route,
+                            plan=plan,
+                        )
             if error is not None:
                 # one question failing must not poison its groupmates;
                 # every job awaiting it gets the per-job error
@@ -955,6 +1303,9 @@ class BatchEngine:
         outcome: ChunkOutcome,
         results: list[JobResult | None],
         stats: EngineStats,
+        tracer: Tracer | None = None,
+        traces: dict[int, JobTrace] | None = None,
+        dwell_ms: float = 0.0,
     ) -> None:
         """Fold one ungrouped pooled question back in (the
         ``--no-group-by-plan`` path: no group counters, no shared setup)."""
@@ -964,6 +1315,39 @@ class BatchEngine:
             )
         else:
             satisfiable, method, reason, error, attempts = outcome.outcomes[0]
+        verdict = "error" if error is not None else verdict_name(satisfiable)
+        if tracer is not None and traces is not None:
+            leader = traces.get(indices[0])
+            if leader is not None:
+                leader.span(
+                    "chunk",
+                    ms=sum(ms for _, ms, _ in attempts),
+                    status=FAILED if error is not None else "ok",
+                    attrs=self._chunk_attrs(outcome, dwell_ms, 1, error=error),
+                    children=attempt_spans(attempts),
+                )
+                tracer.finish(
+                    leader, verdict=verdict,
+                    route="error" if error is not None else "pool",
+                    plan=plan,
+                )
+            for index in indices[1:]:
+                follower = traces.get(index)
+                if follower is not None:
+                    follower.span(
+                        "coalesced",
+                        attrs={
+                            "leader": (
+                                leader.trace_id if leader is not None else None
+                            ),
+                            "lane": outcome.lane,
+                        },
+                    )
+                    tracer.finish(
+                        follower, verdict=verdict,
+                        route="error" if error is not None else "pool",
+                        plan=plan,
+                    )
         if error is not None:
             stats.errors += len(indices)
             self.telemetry.record_failure(plan, len(indices))

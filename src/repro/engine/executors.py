@@ -38,13 +38,17 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Protocol, runtime_checkable
 
 from repro.errors import EngineError
+from repro.obs.log import get_logger
 from repro.sat.planner import ExecutionTrace, Plan, PlanContexts, execute_plan
+
+_LOG = get_logger("repro.engine.executors")
 
 #: one outcome per question in a chunk: (satisfiable, method, reason,
 #: error-or-None, trace attempts)
@@ -92,6 +96,14 @@ class ChunkOutcome:
     spilled: bool = False
     retried: bool = False
     error: str | None = None
+    # lane-side observability, reassembled into parent-side spans and
+    # lane-health gauges: wall time executing the chunk, wall time inside
+    # prepare() hooks during this chunk, and the runtime's context-cache
+    # occupancy / lifetime evictions after the chunk ran
+    elapsed_ms: float = 0.0
+    prepare_ms: float = 0.0
+    runtime_contexts: int = 0
+    runtime_evictions: int = 0
 
 
 @dataclass
@@ -106,6 +118,8 @@ class ExecutorStats:
     runtime_context_hits: int = 0
     lane_respawns: int = 0
     chunk_retries: int = 0
+    #: deepest in-flight queue each lane reached (lane-health gauge)
+    lane_peak_depth: dict[int, int] = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -210,7 +224,18 @@ class WorkerRuntime:
     def run_chunk(self, task: ChunkTask, dtd=None) -> ChunkOutcome:
         """Decide every question in ``task`` (the chunk semantics of the
         plan-grouped scheduler: shared lazy contexts, one question's
-        failure never poisons its groupmates)."""
+        failure never poisons its groupmates).  Every outcome carries
+        the lane-side observability fields — chunk wall time, prepare
+        time, and the runtime's context-cache health — so the parent can
+        reassemble spans and lane gauges without extra IPC."""
+        start = time.perf_counter()
+        outcome = self._run_chunk_inner(task, dtd)
+        outcome.elapsed_ms = (time.perf_counter() - start) * 1e3
+        outcome.runtime_contexts = len(self._contexts)
+        outcome.runtime_evictions = self.context_evictions
+        return outcome
+
+    def _run_chunk_inner(self, task: ChunkTask, dtd) -> ChunkOutcome:
         dtd = self.resolve_dtd(task.fingerprint, dtd)
         if task.fingerprint is not None and dtd is None:
             # the parent thought this lane had the schema but the runtime
@@ -225,6 +250,7 @@ class WorkerRuntime:
                 for canonical in task.canonicals
             ])
         contexts, runtime_hit = self._contexts_for(task, dtd)
+        prepare_ms_before = contexts.prepare_ms
         # build the primary's context eagerly: every question runs it, and
         # a failing prepare should be visible even if the first question
         # errors.  shared_setup is pinned here — a fallback context built
@@ -249,6 +275,7 @@ class WorkerRuntime:
             shared_setup=shared_setup,
             prepare_error=contexts.prepare_error,
             runtime_hit=runtime_hit and shared_setup,
+            prepare_ms=contexts.prepare_ms - prepare_ms_before,
         )
 
     def _run_question(self, task: ChunkTask, canonical, dtd, contexts) -> GroupOutcome:
@@ -379,6 +406,7 @@ class _Lane:
                 daemon=True,
             )
             self.process.start()
+            _LOG.debug("lane %d forked (pid %s)", self.lane_id, self.process.pid)
 
     def send(self, entry: _InFlight, ship_always: bool) -> None:
         self.ensure_started()
@@ -493,6 +521,8 @@ class PersistentPoolExecutor:
         entry = _InFlight(task=task, dtd=dtd, spilled=spilled)
         lane.send(entry, ship_always=not self.affinity)
         self._stats.dispatched += 1
+        if lane.depth > self._stats.lane_peak_depth.get(lane.lane_id, 0):
+            self._stats.lane_peak_depth[lane.lane_id] = lane.depth
         if spilled:
             self._stats.affinity_spills += 1
         if entry.dtd_shipped:
@@ -546,6 +576,10 @@ class PersistentPoolExecutor:
         happened to be queued behind it."""
         index = self._lanes.index(lane)
         orphans = list(lane.in_flight.values())
+        _LOG.warning(
+            "worker lane %d died with %d chunk(s) in flight; respawning",
+            lane.lane_id, len(orphans),
+        )
         lane.in_flight.clear()
         try:
             if lane.requests is not None:
@@ -563,6 +597,10 @@ class PersistentPoolExecutor:
         position = 0
         for entry in orphans:
             if entry.attempts >= 2:
+                _LOG.error(
+                    "chunk %d survived no lane (retried once, lane died "
+                    "again); failing its jobs", entry.task.task_id,
+                )
                 self._failed.append((entry.task, ChunkOutcome(
                     lane=index, retried=True, spilled=entry.spilled,
                     error="worker lane died twice (chunk retried once)",

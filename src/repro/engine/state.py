@@ -39,9 +39,12 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.log import get_logger
 from repro.sat.costmodel import CostModel
 from repro.sat.planner import Plan
 from repro.sat.telemetry import PlanTelemetry
+
+_LOG = get_logger("repro.engine.state")
 
 #: bump when the on-disk layout changes; mismatched files are skipped
 STATE_VERSION = 1
@@ -51,6 +54,21 @@ TELEMETRY_FILE = "telemetry.json"
 COST_MODEL_FILE = "cost_model.json"
 DECISIONS_FILE = "decisions.json"
 SCHEDULER_FILE = "scheduler.json"
+#: snapshot of the last run's EngineStats (machine consumers:
+#: ``repro stats --json --plans``)
+ENGINE_STATS_FILE = "engine_stats.json"
+#: Prometheus text-format snapshot of the unified metrics registry
+#: (not JSON and not version-wrapped: a textfile collector reads it raw)
+METRICS_FILE = "metrics.prom"
+
+
+def _warn(warnings: list[str], message: str) -> None:
+    """Record a degrade message both ways: the ``warnings`` list keeps
+    the API contract (callers can inspect what was skipped), and the
+    structured log makes it visible in a deployment's log stream."""
+    warnings.append(message)
+    _LOG.warning(message)
+
 
 #: scheduler tunables accepted from a persisted ``scheduler.json``:
 #: name -> validator returning the coerced value or raising
@@ -100,6 +118,8 @@ class PersistedState:
     cost_model: CostModel | None = None
     decisions: list[tuple[tuple[str, str, str], dict[str, Any]]] = field(default_factory=list)
     scheduler: dict[str, Any] = field(default_factory=dict)
+    #: the last persisted EngineStats.as_dict() snapshot, if any
+    engine_stats: dict[str, Any] | None = None
     warnings: list[str] = field(default_factory=list)
 
     @property
@@ -114,15 +134,16 @@ def _read_json(path: str, warnings: list[str]) -> dict[str, Any] | None:
         with open(path) as handle:
             record = json.load(handle)
     except (json.JSONDecodeError, OSError, UnicodeDecodeError) as error:
-        warnings.append(f"{os.path.basename(path)}: unreadable ({error}); ignored")
+        _warn(warnings, f"{os.path.basename(path)}: unreadable ({error}); ignored")
         return None
     if not isinstance(record, dict):
-        warnings.append(f"{os.path.basename(path)}: not a JSON object; ignored")
+        _warn(warnings, f"{os.path.basename(path)}: not a JSON object; ignored")
         return None
     if record.get("version") != STATE_VERSION:
-        warnings.append(
+        _warn(
+            warnings,
             f"{os.path.basename(path)}: version {record.get('version')!r} "
-            f"!= {STATE_VERSION}; ignored"
+            f"!= {STATE_VERSION}; ignored",
         )
         return None
     return record
@@ -148,9 +169,10 @@ def load_state(state_dir: str) -> PersistedState:
                     try:
                         per_schema[signature] = Plan.from_dict(plan_record)
                     except (KeyError, TypeError, ValueError) as error:
-                        state.warnings.append(
+                        _warn(
+                            state.warnings,
                             f"{PLANS_FILE}: plan {fingerprint[:12]}/{signature}: "
-                            f"{error}; skipped"
+                            f"{error}; skipped",
                         )
                 if per_schema:
                     state.plans[fingerprint] = per_schema
@@ -163,14 +185,20 @@ def load_state(state_dir: str) -> PersistedState:
         try:
             state.telemetry = PlanTelemetry.from_dict(record)
         except (ValueError, TypeError) as error:
-            state.warnings.append(f"{TELEMETRY_FILE}: corrupt payload ({error}); ignored")
+            _warn(
+                state.warnings,
+                f"{TELEMETRY_FILE}: corrupt payload ({error}); ignored",
+            )
 
     record = _read_json(os.path.join(state_dir, COST_MODEL_FILE), state.warnings)
     if record is not None:
         try:
             state.cost_model = CostModel.from_dict(record)
         except (ValueError, TypeError) as error:
-            state.warnings.append(f"{COST_MODEL_FILE}: corrupt payload ({error}); ignored")
+            _warn(
+                state.warnings,
+                f"{COST_MODEL_FILE}: corrupt payload ({error}); ignored",
+            )
 
     record = _read_json(os.path.join(state_dir, DECISIONS_FILE), state.warnings)
     if record is not None:
@@ -186,6 +214,12 @@ def load_state(state_dir: str) -> PersistedState:
                 key = (str(item[0][0]), str(item[0][1]), str(item[0][2]))
                 state.decisions.append((key, item[1]))
 
+    record = _read_json(os.path.join(state_dir, ENGINE_STATS_FILE), state.warnings)
+    if record is not None:
+        stats = record.get("stats")
+        if isinstance(stats, dict):
+            state.engine_stats = stats
+
     record = _read_json(os.path.join(state_dir, SCHEDULER_FILE), state.warnings)
     if record is not None:
         for name, validate in _SCHEDULER_TUNABLES.items():
@@ -194,8 +228,9 @@ def load_state(state_dir: str) -> PersistedState:
             try:
                 state.scheduler[name] = validate(record[name])
             except (ValueError, TypeError) as error:
-                state.warnings.append(
-                    f"{SCHEDULER_FILE}: {name}: {error}; ignored"
+                _warn(
+                    state.warnings,
+                    f"{SCHEDULER_FILE}: {name}: {error}; ignored",
                 )
     return state
 
@@ -231,13 +266,18 @@ def save_state(
     scheduler: dict[str, Any] | None = None,
     decision_cap_per_schema: int | None = None,
     telemetry_max_age_days: float | None = None,
+    engine_stats: dict[str, Any] | None = None,
+    metrics_text: str | None = None,
 ) -> None:
     """Serialize the given engine components into ``state_dir`` (created
     if missing).  Pieces passed as ``None`` are left untouched on disk.
 
     ``decision_cap_per_schema`` and ``telemetry_max_age_days`` apply the
     hygiene trims (see the module docstring) to what is *written*; the
-    in-memory cache and telemetry are never mutated."""
+    in-memory cache and telemetry are never mutated.  ``engine_stats``
+    (an ``EngineStats.as_dict()`` snapshot) and ``metrics_text`` (a
+    rendered Prometheus textfile) are observability exports riding along
+    with the state."""
     os.makedirs(state_dir, exist_ok=True)
 
     def write(name: str, payload: dict[str, Any]) -> None:
@@ -294,3 +334,11 @@ def save_state(
         write(DECISIONS_FILE, {"entries": records})
     if scheduler is not None:
         write(SCHEDULER_FILE, dict(scheduler))
+    if engine_stats is not None:
+        write(ENGINE_STATS_FILE, {"stats": dict(engine_stats)})
+    if metrics_text is not None:
+        path = os.path.join(state_dir, METRICS_FILE)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(metrics_text)
+        os.replace(tmp_path, path)

@@ -1,0 +1,40 @@
+"""Observability layer: span tracing, unified metrics, structured logs.
+
+``repro.obs`` is deliberately a leaf package — it imports nothing from
+:mod:`repro.engine` or :mod:`repro.sat`, so the engine can thread
+tracers and metric registries through every layer without import
+cycles.  See the README's "Observability" section for the trace
+anatomy and exporter formats.
+"""
+
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    JobTrace,
+    JsonlTraceSink,
+    ListSink,
+    Span,
+    Tracer,
+    attempt_spans,
+    read_trace_file,
+    render_trace_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JobTrace",
+    "JsonlTraceSink",
+    "ListSink",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "attempt_spans",
+    "get_logger",
+    "read_trace_file",
+    "render_trace_record",
+    "setup_logging",
+]

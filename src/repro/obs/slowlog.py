@@ -1,0 +1,78 @@
+"""Slow-query log: over-threshold jobs dumped with full context.
+
+"Why was job #4812 slow" needs more than a latency histogram: the
+answer lives in the job's span tree (which lane, how long in queue, did
+prepare run, which chain member burned the time) and in the plan that
+routed it.  :class:`SlowQueryLog` captures exactly that pair for every
+job whose wall latency crosses the threshold: the finished trace record
+plus the plan's serialized form and its ``repro explain`` text.
+
+Entries are kept in a bounded ring (newest win), optionally appended to
+a JSONL file, and each one emits a ``repro.slowlog`` warning through
+structured logging, so a deployment sees slow queries in its ordinary
+log stream without parsing trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+from repro.obs.log import get_logger
+
+_LOG = get_logger("repro.slowlog")
+
+DEFAULT_THRESHOLD_MS = 250.0
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryLog:
+    """Collect trace records of jobs slower than ``threshold_ms``."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_THRESHOLD_MS,
+        path: str | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError(
+                f"threshold_ms must be non-negative, got {threshold_ms}"
+            )
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self.count = 0
+        self._ring: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self._handle = open(path, "w") if path is not None else None
+
+    def offer(self, record: dict[str, Any], plan=None) -> bool:
+        """Consider one finished trace record; keeps it (and returns
+        True) iff its ``elapsed_ms`` meets the threshold."""
+        elapsed_ms = float(record.get("elapsed_ms", 0.0))
+        if elapsed_ms < self.threshold_ms:
+            return False
+        entry = dict(record)
+        if plan is not None:
+            entry["plan"] = plan.to_dict()
+            entry["explain"] = plan.explain()
+        self.count += 1
+        self._ring.append(entry)
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+        _LOG.warning(
+            "slow query %s (%.1fms >= %.1fms): %r via %s",
+            record.get("trace_id", "?"), elapsed_ms, self.threshold_ms,
+            record.get("query", ""), record.get("route", "?"),
+        )
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        return list(self._ring)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()

@@ -238,6 +238,25 @@ class CostModel:
             model._tick = max(model._tick, entry.last_tick)
         return model
 
+    def register_metrics(self, registry) -> None:
+        """Register the model's cells into a unified metrics registry:
+        one ``repro_cost_mean_ms`` gauge per (signature × bucket ×
+        decider) cell plus model-wide totals."""
+        registry.gauge(
+            "repro_cost_model_cells",
+            "(signature x bucket x decider) cells with measurements",
+        ).set(len(self._entries))
+        registry.gauge(
+            "repro_cost_model_observations",
+            "total accumulated observation weight",
+        ).set(round(self.observations, 4))
+        for (signature, bucket, decider), entry in sorted(self._entries.items()):
+            registry.gauge(
+                "repro_cost_mean_ms",
+                "measured mean decider latency (ms)",
+                {"signature": signature, "bucket": bucket, "decider": decider},
+            ).set(round(entry.mean_ms, 4))
+
     def merge(self, other: "CostModel") -> None:
         for key, entry in other._entries.items():
             mine = self._entries.get(key)

@@ -382,6 +382,10 @@ class PlanContexts:
         self._unavailable: set[str] = set()
         self.prepare_error: str | None = None
         self.hits = 0
+        #: accumulated wall time spent inside ``prepare`` hooks (ms);
+        #: the executor layer reports the per-chunk delta as the
+        #: chunk's ``prepare`` span
+        self.prepare_ms = 0.0
 
     def __bool__(self) -> bool:
         # always consulted by execute_plan (laziness happens inside get)
@@ -403,13 +407,16 @@ class PlanContexts:
         if spec.prepare is None or not spec.accepts_context:
             self._unavailable.add(name)
             return None
+        start = time.perf_counter()
         try:
             context = spec.prepare(self._dtd)
         except Exception as error:  # degrade to per-job setup, never fail
+            self.prepare_ms += (time.perf_counter() - start) * 1e3
             self._unavailable.add(name)
             if self.prepare_error is None:
                 self.prepare_error = f"{type(error).__name__}: {error}"
             return None
+        self.prepare_ms += (time.perf_counter() - start) * 1e3
         if context is None:
             # a hook may legitimately produce nothing; remember that so
             # it is not re-run for every question in the chunk

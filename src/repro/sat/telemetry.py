@@ -323,6 +323,38 @@ class PlanTelemetry:
             rows[key] = row
         return rows
 
+    def register_metrics(self, registry) -> None:
+        """Register every plan row into a unified metrics registry
+        (:class:`repro.obs.metrics.MetricsRegistry`): the latency
+        histogram maps bucket-for-bucket onto a Prometheus histogram
+        (same ``LATENCY_BUCKETS_MS`` edges), verdict counts become
+        labelled counters."""
+        for key, stats in sorted(self._stats.items()):
+            labels = {"plan": key}
+            registry.histogram(
+                "repro_plan_latency_ms", LATENCY_BUCKETS_MS,
+                "decision latency per plan (ms)", labels,
+            ).load(stats.buckets, stats.total_ms, stats.count)
+            for verdict, value in sorted(stats.verdicts.items()):
+                if value:
+                    registry.counter(
+                        "repro_plan_executions_total",
+                        "plan executions by verdict",
+                        {"plan": key, "verdict": verdict},
+                    ).inc(value)
+            if stats.fallbacks:
+                registry.counter(
+                    "repro_plan_fallbacks_total",
+                    "executions answered by a non-primary chain member",
+                    labels,
+                ).inc(stats.fallbacks)
+            if stats.runtime_hits:
+                registry.counter(
+                    "repro_plan_runtime_hits_total",
+                    "chunks served from a warm persistent-runtime context",
+                    labels,
+                ).inc(stats.runtime_hits)
+
     def table(self) -> str:
         """The ``repro stats --plans`` report: one row per plan."""
         if not self._stats:

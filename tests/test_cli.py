@@ -392,3 +392,115 @@ class TestStateDir:
         assert record["decider"] == "exptime_types"
         assert record["telemetry"]["count"] >= 1
         assert "verdicts" in record["telemetry"]
+
+
+class TestObservability:
+    def test_trace_out_and_trace_render(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        from repro.obs import read_trace_file
+
+        trace_path = str(tmp_path / "traces.jsonl")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--workers", "2", "--trace-out", trace_path,
+        ])
+        assert code == 0
+        assert "traces" in capsys.readouterr().out
+        records = read_trace_file(trace_path)
+        assert len(records) == 5          # one finished trace per job
+        assert len({r["trace_id"] for r in records}) == 5
+
+        assert main(["trace", trace_path, "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 of 5 trace(s) shown" in out
+        assert "trace " in out and "verdict=" in out
+        # the two shown are the slowest
+        shown_first = out.splitlines()[0]
+        slowest = max(records, key=lambda r: r["elapsed_ms"])
+        assert slowest["trace_id"] in shown_first
+
+    def test_trace_schema_filter_and_json(
+        self, schema_dir, jobs_file, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = str(tmp_path / "traces.jsonl")
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--trace-out", trace_path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", trace_path, "--schema", "disjfree", "--json"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        records = [json.loads(line) for line in lines]
+        assert records and all(r["schema"] == "disjfree" for r in records)
+
+    def test_trace_on_missing_file_exits_3(self, capsys):
+        assert main(["trace", "/nonexistent-traces.jsonl"]) == 3
+
+    def test_slow_log_flags(self, schema_dir, jobs_file, tmp_path, capsys):
+        import json
+
+        slow_path = str(tmp_path / "slow.jsonl")
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--slow-ms", "0", "--slow-log", slow_path,
+        ])
+        assert code == 0
+        assert "slow queries" in capsys.readouterr().out
+        with open(slow_path) as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        assert len(entries) == 5
+        # heavy jobs carry the routing explanation for postmortems
+        explained = [e for e in entries if "explain" in e]
+        assert explained and "decider" in explained[0]["plan"]
+
+    def test_stats_json_aggregation(self, schema_dir, jobs_file, tmp_path, capsys):
+        import json
+
+        results = str(tmp_path / "results.jsonl")
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir, "--out", results,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", results, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["results"] == 5
+        assert record["verdicts"]["sat"] >= 1
+        assert record["verdicts"]["unsat"] >= 1
+        assert "routes" in record and "schemas" in record
+
+    def test_stats_plans_json(self, schema_dir, jobs_file, tmp_path, capsys):
+        import json
+
+        state_dir = str(tmp_path / "state")
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", state_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--plans", "--state-dir", state_dir, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["engine"]["jobs"] == 5
+        assert record["plans"]
+        row = next(iter(record["plans"].values()))
+        assert "mean_ms" in row and "verdicts" in row
+        assert record["cost_model"]["entries"]
+
+    def test_log_level_debug_shows_engine_internals(
+        self, schema_dir, jobs_file, capsys
+    ):
+        code = main([
+            "--log-level", "debug", "batch", jobs_file,
+            "--schema-dir", schema_dir, "--workers", "2",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "DEBUG repro." in err
+
+    def test_default_log_level_is_quiet(self, schema_dir, jobs_file, capsys):
+        assert main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+        ]) == 0
+        assert "DEBUG" not in capsys.readouterr().err

@@ -191,6 +191,11 @@ ENLARGED_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "520"))
 #: exercises real affinity lanes (fork, DTD shipping, runtime caches)
 FUZZ_WORKERS = int(os.environ.get("REPRO_FUZZ_WORKERS", "1"))
 
+#: optional JSONL span-trace destination: the nightly job sets this so the
+#: fuzz run's full trace (one span tree per corpus case) is uploaded as a
+#: CI artifact and can be replayed with `repro trace`
+FUZZ_TRACE_OUT = os.environ.get("REPRO_FUZZ_TRACE_OUT")
+
 #: wider than the base BOUNDS: the enlarged corpus includes branching
 #: recursion and data-over-recursion schemas whose minimal witnesses can
 #: need more siblings/assignments than the 300-case corpus's
@@ -232,11 +237,19 @@ class TestEnlargedCorpusThroughGroupedScheduler:
             Job(str(query), names[schema_fingerprint(dtd)], id=f"case-{index}")
             for index, (query, dtd) in enumerate(cases)
         ]
+        tracer = None
+        if FUZZ_TRACE_OUT:
+            from repro.obs import JsonlTraceSink, Tracer
+
+            tracer = Tracer(sinks=(JsonlTraceSink(FUZZ_TRACE_OUT),))
         engine = BatchEngine(
             registry=registry, group_by_plan=True, affinity=True,
-            workers=FUZZ_WORKERS,
+            workers=FUZZ_WORKERS, tracer=tracer,
         )
         report = engine.run(jobs)
+        if tracer is not None:
+            tracer.close()
+            assert tracer.finished == len(jobs)
         assert report.stats.errors == 0
         assert report.stats.plan_groups >= 1
         assert report.stats.setup_reuse >= 1
