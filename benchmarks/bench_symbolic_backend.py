@@ -1,0 +1,126 @@
+"""S-backend — the integer-packed bitset kernels vs the object fixpoint.
+
+Regenerates: the wide-schema sweep motivating ``repro.sat.bits`` — the
+Thm 5.3 types fixpoint run by the frozenset/object decider and by the
+bitset decider on the same negation-heavy query mix, over schemas with
+64–256 element types.  Asserts, in full mode, that the bitset backend is
+at least ``SPEEDUP_BAR``x faster on the 128-type workload while returning
+bit-identical verdicts at every size.
+
+Besides the text table this harness writes
+``benchmarks/results/BENCH_symbolic.json`` so the perf trajectory is
+machine-readable.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI and the tier-1 smoke)
+shrinks the sweep to the 64-type workload and drops the speedup
+assertion — equivalence is still enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import format_table
+from repro.sat.bits import prepare_types_bits, sat_exptime_types_bits
+from repro.sat.exptime_types import prepare_types, sat_exptime_types
+from repro.workloads import wide_dtd
+from repro.xpath import parse_query
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+TYPE_COUNTS = (64,) if QUICK else (64, 128, 256)
+TIMING_RUNS = 1 if QUICK else 3
+#: the acceptance bar: bitset >= 2x object on the 128-type workload
+SPEEDUP_BAR = 2.0
+ASSERT_TYPES = 128
+
+#: negation-heavy mix — every query drives the residual-qualifier closure
+#: and the fixpoint across the full type population
+QUERIES = (
+    "**/T9[T28 and not(T29)]",
+    "**/*[not(T13) and not(T14)]",
+    "T1[not(T4/T13) and **/T16]",
+    "**/T5[not(T16 or T17)]/T18",
+    "**/*[T40 or not(T41)]",
+    "T2[**/T25 and not(**/T26)]",
+    "**/T10[not(T31)][not(T32)]",
+    "**/T21[not(**/T60)]",
+)
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _time_backend(decide, prepare, dtd, queries):
+    """Best-of-N wall time for the whole query mix, context built once
+    per run (mirrors how the engine amortises ``prepare()``)."""
+    verdicts = {}
+    best = float("inf")
+    for _ in range(TIMING_RUNS):
+        start = time.perf_counter()
+        context = prepare(dtd)
+        for text, query in queries:
+            verdicts[text] = decide(query, dtd, context=context).satisfiable
+        best = min(best, time.perf_counter() - start)
+    return best, verdicts
+
+
+def run_sweep(type_counts=TYPE_COUNTS):
+    """Sweep both backends; returns one row dict per schema size."""
+    entries = []
+    for types in type_counts:
+        dtd = wide_dtd(types)
+        queries = [(text, parse_query(text)) for text in QUERIES]
+        object_s, object_verdicts = _time_backend(
+            sat_exptime_types, prepare_types, dtd, queries
+        )
+        bitset_s, bitset_verdicts = _time_backend(
+            sat_exptime_types_bits, prepare_types_bits, dtd, queries
+        )
+        assert bitset_verdicts == object_verdicts, (
+            f"backend disagreement at {types} types: "
+            f"{bitset_verdicts} != {object_verdicts}"
+        )
+        entries.append({
+            "types": types,
+            "queries": len(queries),
+            "object_ms": round(object_s * 1000, 3),
+            "bitset_ms": round(bitset_s * 1000, 3),
+            "speedup": round(object_s / bitset_s, 2),
+            "sat": sum(1 for verdict in object_verdicts.values() if verdict),
+        })
+    return entries
+
+
+def test_symbolic_backend_sweep(report, benchmark):
+    entries = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{entry['types']} types", entry["queries"],
+            f"{entry['object_ms']:.1f} ms", f"{entry['bitset_ms']:.1f} ms",
+            f"{entry['speedup']:.2f}x", entry["sat"],
+        ]
+        for entry in entries
+    ]
+    report("symbolic_backend", format_table(
+        ["schema", "queries", "object", "bitset", "speedup", "sat"], rows,
+    ))
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    payload = {
+        "benchmark": "symbolic_backend",
+        "quick": QUICK,
+        "queries": list(QUERIES),
+        "speedup_bar": SPEEDUP_BAR,
+        "workloads": entries,
+    }
+    with open(os.path.join(_RESULTS_DIR, "BENCH_symbolic.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    if not QUICK:
+        by_types = {entry["types"]: entry for entry in entries}
+        assert by_types[ASSERT_TYPES]["speedup"] >= SPEEDUP_BAR, (
+            f"bitset backend only {by_types[ASSERT_TYPES]['speedup']}x faster "
+            f"at {ASSERT_TYPES} types (bar: {SPEEDUP_BAR}x)"
+        )

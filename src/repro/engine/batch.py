@@ -76,7 +76,7 @@ from repro.sat.planner import (
     Planner,
     execute_plan,
 )
-from repro.sat.registry import get_decider
+from repro.sat.registry import decider_backend, get_decider
 from repro.sat.telemetry import LATENCY_BUCKETS_MS, PlanTelemetry, verdict_name
 from repro.xpath.rewrite import get_pass
 from repro.xpath.ast import Path
@@ -208,6 +208,10 @@ class EngineStats:
     # cost-model epsilon-exploration probes run this pass (timing a
     # fallback chain member the normal path would never measure)
     explore_probes: int = 0
+    # answered decisions by the answering decider's kernel backend
+    # ("object" vs "bitset") — where a cost-model promotion of the
+    # packed kernels becomes visible at the engine level
+    backend_answers: dict[str, int] = field(default_factory=dict)
     # engine-lifetime totals, not per-run deltas: persisted state is
     # adopted at engine construction / schema registration, before any
     # run starts, so a per-run delta would always read 0
@@ -288,6 +292,7 @@ class EngineStats:
                 str(lane): health for lane, health in self.lane_health().items()
             },
             "explore_probes": self.explore_probes,
+            "backend_answers": dict(self.backend_answers),
             "persisted_plans_loaded": self.persisted_plans_loaded,
             "persisted_decisions_loaded": self.persisted_decisions_loaded,
             "workers": self.workers,
@@ -318,6 +323,12 @@ class EngineStats:
             f"{self.runtime_context_hits} runtime-context hits, "
             f"{self.affinity_spills} spills, {self.lane_respawns} respawns, "
             f"{self.chunk_retries} chunk retries",
+            f"backends      : " + (
+                ", ".join(
+                    f"{backend} {count}"
+                    for backend, count in sorted(self.backend_answers.items())
+                ) or "no answered decisions"
+            ),
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
             f"{self.cache.get('evictions', 0)} evictions "
@@ -363,6 +374,12 @@ class EngineStats:
             registry.counter(f"repro_{name}_total", help_text).inc(
                 getattr(self, name)
             )
+        for backend, count in sorted(self.backend_answers.items()):
+            registry.counter(
+                "repro_backend_answers_total",
+                "answered decisions by the answering decider's kernel backend",
+                {"backend": backend},
+            ).inc(count)
         registry.gauge("repro_workers", "configured worker count").set(self.workers)
         registry.gauge("repro_lanes", "lanes in the pool this run").set(self.lanes)
         registry.gauge(
@@ -949,7 +966,7 @@ class BatchEngine:
                     stats.errors += 1
                     stats.decide_calls += 1
                     stats.inline_decides += 1
-                    self._observe(plan, artifacts, exec_trace, "error")
+                    self._observe(stats, plan, artifacts, exec_trace, "error")
                     results[index] = self._error_result(raw, error)
                     if trace is not None:
                         trace.span(
@@ -967,7 +984,7 @@ class BatchEngine:
                 stats.inline_decides += 1
                 elapsed_ms = (time.perf_counter() - job_start) * 1e3
                 self._observe(
-                    plan, artifacts, exec_trace,
+                    stats, plan, artifacts, exec_trace,
                     verdict_name(outcome.satisfiable),
                 )
                 self.cache.put(key, decision)
@@ -1265,7 +1282,7 @@ class BatchEngine:
                 # one question failing must not poison its groupmates;
                 # every job awaiting it gets the per-job error
                 stats.errors += len(entry.indices)
-                self._observe(plan, artifacts, trace, "error")
+                self._observe(stats, plan, artifacts, trace, "error")
                 if len(entry.indices) > 1:
                     self.telemetry.record_failure(plan, len(entry.indices) - 1)
                 for index in entry.indices:
@@ -1280,7 +1297,7 @@ class BatchEngine:
             if shared_setup and executed > 0:
                 stats.setup_reuse += 1
             executed += 1
-            self._observe(plan, artifacts, trace, verdict_name(satisfiable))
+            self._observe(stats, plan, artifacts, trace, verdict_name(satisfiable))
             self._explore(stats, plan, entry.canonical, artifacts, trace)
             decision = CachedDecision(satisfiable, method, reason)
             self.cache.put(entry.key, decision)
@@ -1357,7 +1374,7 @@ class BatchEngine:
                 results[index].route = "error"
             return
         trace = ExecutionTrace(attempts=attempts)
-        self._observe(plan, artifacts, trace, verdict_name(satisfiable))
+        self._observe(stats, plan, artifacts, trace, verdict_name(satisfiable))
         self._explore(stats, plan, canonical, artifacts, trace)
         decision = CachedDecision(satisfiable, method, reason)
         self.cache.put(key, decision)
@@ -1370,6 +1387,7 @@ class BatchEngine:
 
     def _observe(
         self,
+        stats: EngineStats,
         plan: Plan,
         artifacts: SchemaArtifacts | None,
         trace: ExecutionTrace,
@@ -1398,6 +1416,11 @@ class BatchEngine:
                 group_size=trace.group_size, group_lead=trace.group_lead,
                 shared_setup=trace.shared_setup, runtime_hit=trace.runtime_hit,
             )
+            if trace.decider is not None:
+                backend = decider_backend(trace.decider)
+                stats.backend_answers[backend] = (
+                    stats.backend_answers.get(backend, 0) + 1
+                )
         bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
         for name, attempt_ms, outcome in trace.attempts:
             if outcome in ("sat", "unsat"):

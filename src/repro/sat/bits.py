@@ -1,0 +1,710 @@
+"""Integer-packed kernels for the exponential deciders.
+
+The object implementations of Theorem 5.3/5.5 enumerate their state
+spaces with Python sets: :mod:`repro.sat.exptime_types` hashes
+``NodeType(label, frozenset, frozenset)`` values and re-walks qualifier
+ASTs per (label, fact set), and the bounded engine's word tables carry
+determinized state sets as ``frozenset[int]``.  Those state spaces are
+small *per element* but are visited millions of times on wide schemas —
+exactly the regime the symbolic-representation line of work (Genevès/
+Layaïda; Ishihara et al. on real-world DTD scaling) shows is tractable
+when the sets become machine words.
+
+This module packs them:
+
+* :class:`NFATables` — Glushkov automata as flat tuples: per-state
+  successor lists, an accepting-state bitmask, symbol ids assigned in
+  sorted order so id-tuple comparison equals name-tuple comparison;
+* :class:`CompiledClosure` — the types-fixpoint closure compiled **once
+  per query** into a linear program of index-addressed bit operations:
+  qualifier truths become bits of one int, child facts test a mask
+  against the fact bitmask, and ``contribution`` reads precomputed
+  per-(label, truth-bits) terms — no per-evaluation dict or AST walk;
+* :class:`_LabelSearch` — the **semi-naive** per-label reachability BFS:
+  frontier, seen-set, and parent links persist across fixpoint rounds,
+  so round ``N`` only explores transitions enabled by the types round
+  ``N-1`` added instead of repeating all of round ``N-1``'s work;
+* :func:`sat_exptime_types_bits` — the packed Theorem 5.3 decider,
+  registered as ``exptime_types_bits`` one cost rank behind the object
+  backend: the cost model promotes it per (signature × schema-size
+  bucket) once it measures faster, never by fiat;
+* :func:`longest_accepted_length` / :func:`enumerate_words_packed` —
+  the shared kernel pieces the bounded engine (and through it the
+  NEXPTIME bound computation) reuses for star-free word-length analysis
+  and content-model word tables.
+
+Node types pack into single ints ``label_id << (Q + D) | truth_bits <<
+D | dtruth_bits``; BFS nodes pack into ``fact_bits << state_shift |
+state``.  Every structure here is a pure cache/representation change:
+it can never change a verdict, which the differential oracle (which
+picks the ``exptime_types_bits`` spec up automatically) pins down.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dtd.model import DTD
+from repro.errors import FragmentError, ReproError
+from repro.regex.ast import Regex
+from repro.regex.ops import cached_nfa
+from repro.sat.exptime_types import (
+    _TRUE,
+    Child,
+    Desc,
+    Done,
+    _Closure,
+    _residual_qual,
+    first_cases,
+)
+from repro.sat.registry import DeciderSpec, register_decider
+from repro.sat.result import SatResult
+from repro.xmltree.model import Node, XMLTree
+from repro.xpath import ast
+from repro.xpath.ast import Path
+from repro.xpath.fragments import REC_NEG_DOWN_UNION, Feature, features_of
+
+METHOD = "thm5.3-types-fixpoint-bits"
+
+
+class LruCache:
+    """Minimal bounded LRU map (the same move-to-front/evict-oldest
+    discipline as the executor layer's ``WorkerRuntime`` context cache)."""
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+
+# -- packed Glushkov tables ------------------------------------------------------
+
+@dataclass(frozen=True)
+class NFATables:
+    """A Glushkov automaton flattened to index-addressed tuples.
+
+    ``arcs[state]`` is the sorted successor tuple, ``accept_mask`` has
+    bit ``s`` set iff state ``s`` is accepting, and ``moves[state]``
+    pairs each successor with ``(symbol id, successor bit)`` for packed
+    determinization.  Symbol ids follow sorted name order, so comparing
+    id tuples reproduces lexicographic word order exactly.
+    """
+
+    symbols: tuple[str | None, ...]
+    arcs: tuple[tuple[int, ...], ...]
+    accept_mask: int
+    sym_names: tuple[str, ...]
+    moves: tuple[tuple[tuple[int, int], ...], ...]
+
+
+#: content models are shared across schemas and deciders; bounded like
+#: every other long-lived cache in the engine
+_TABLES_CACHE = LruCache(capacity=4096)
+
+
+def cached_tables(regex: Regex) -> NFATables:
+    """Packed tables of ``regex``'s Glushkov automaton (memoized)."""
+    tables = _TABLES_CACHE.get(regex)
+    if tables is None:
+        nfa = cached_nfa(regex)
+        arcs = tuple(
+            tuple(sorted(nfa.successors(state)))
+            for state in range(nfa.state_count)
+        )
+        accept_mask = 0
+        for state in range(nfa.state_count):
+            if nfa.is_accepting(state):
+                accept_mask |= 1 << state
+        sym_names = tuple(sorted({s for s in nfa.symbols if s is not None}))
+        sym_id = {name: index for index, name in enumerate(sym_names)}
+        moves = tuple(
+            tuple((sym_id[nfa.symbols[succ]], 1 << succ) for succ in arcs[state])
+            for state in range(nfa.state_count)
+        )
+        tables = NFATables(
+            symbols=tuple(nfa.symbols), arcs=arcs, accept_mask=accept_mask,
+            sym_names=sym_names, moves=moves,
+        )
+        _TABLES_CACHE.put(regex, tables)
+    return tables
+
+
+def longest_accepted_length(tables: NFATables) -> int | None:
+    """Length of the longest accepted word — the longest path from state
+    0 in the Glushkov graph — or ``None`` when the graph has a cycle
+    (starred content model, unbounded words).
+
+    Glushkov positions are never useless (every occurrence is part of
+    some word, and a position with no followers must be a last
+    position), so in the acyclic case the longest path always ends at
+    an accepting sink and equals the longest word length.
+    """
+    arcs = tables.arcs
+    color = [0] * len(arcs)  # 0 = new, 1 = on stack, 2 = finished
+    depth = [0] * len(arcs)  # longest path from the state to a sink
+    color[0] = 1
+    stack: list[tuple[int, Iterator[int]]] = [(0, iter(arcs[0]))]
+    while stack:
+        state, pending = stack[-1]
+        descended = False
+        for succ in pending:
+            if color[succ] == 1:
+                return None
+            if color[succ] == 2:
+                if 1 + depth[succ] > depth[state]:
+                    depth[state] = 1 + depth[succ]
+                continue
+            color[succ] = 1
+            stack.append((succ, iter(arcs[succ])))
+            descended = True
+            break
+        if not descended:
+            color[state] = 2
+            stack.pop()
+            if stack:
+                parent = stack[-1][0]
+                if 1 + depth[state] > depth[parent]:
+                    depth[parent] = 1 + depth[state]
+    return depth[0]
+
+
+def enumerate_words_packed(
+    tables: NFATables,
+    max_length: int,
+    max_words: int | None = None,
+) -> Iterator[tuple[str, ...]]:
+    """Yield accepted words in the exact length-lexicographic order of
+    :func:`repro.regex.ops.enumerate_words`, with the on-the-fly
+    determinization carried as int bitmasks instead of frozensets.
+
+    Order equivalence is what makes this a drop-in for the bounded
+    engine's word tables: symbol ids are assigned in sorted name order,
+    so sorting id tuples sorts the words identically, and truncation
+    points (``max_words`` caps, words-per-node budgets) land on the same
+    word either way — a representation change, never a verdict change.
+    """
+    moves = tables.moves
+    names = tables.sym_names
+    accept = tables.accept_mask
+    emitted = 0
+    frontier: dict[tuple[int, ...], int] = {(): 1}
+    if accept & 1:  # state 0 accepting = nullable
+        yield ()
+        emitted += 1
+        if max_words is not None and emitted >= max_words:
+            return
+    for _ in range(max_length):
+        extensions: dict[tuple[int, ...], int] = {}
+        for word, mask in frontier.items():
+            states = mask
+            while states:
+                low = states & -states
+                states ^= low
+                for sym, succ_bit in moves[low.bit_length() - 1]:
+                    key = word + (sym,)
+                    extensions[key] = extensions.get(key, 0) | succ_bit
+        if not extensions:
+            return
+        frontier = extensions
+        for word in sorted(frontier):
+            if frontier[word] & accept:
+                yield tuple(names[sym] for sym in word)
+                emitted += 1
+                if max_words is not None and emitted >= max_words:
+                    return
+
+
+# -- compiled qualifier closure --------------------------------------------------
+
+# opcodes of the compiled closure program (slots start False per run)
+_OP_TRUE = 0      # slot = True                      (Done case)
+_OP_FACT = 1      # slot |= bool(fact_bits & mask)   (Child/Desc cases)
+_OP_TERM = 2      # slot |= slots[a] and slots[b]    (Check case)
+_OP_LABEL = 3     # slot = (label_id == operand)     (LabelTest)
+_OP_COPY = 4      # slot = slots[a]                  (PathExists = its path)
+_OP_AND = 5
+_OP_OR = 6
+_OP_NOT = 7
+
+
+class CompiledClosure:
+    """One query's residual-qualifier closure compiled to a bit program.
+
+    ``evaluate(label_id, fact_bits)`` replaces
+    :class:`repro.sat.exptime_types._Evaluator`: instead of recursive
+    AST walks memoized in two per-instance dicts, a topologically
+    ordered instruction list fills a flat slot array (qualifier slots
+    first, one slot per distinct residual path after), and the truth and
+    ``↓*``-truth bitmasks are read off the qualifier slots.
+    ``contribution`` likewise reads precompiled per-fact terms instead
+    of re-scanning the fact list per node type.
+    """
+
+    __slots__ = (
+        "qual_count", "dqual_count", "fact_count", "slot_count",
+        "ops", "dqual_terms", "c_terms", "cd_terms",
+    )
+
+    def __init__(self, closure: _Closure, label_index: dict[str, int]):
+        qual_slot = {qual: index for index, qual in enumerate(closure.quals)}
+        self.qual_count = len(closure.quals)
+        self.fact_count = len(closure.facts)
+        path_slot: dict[Path, int] = {}
+        ops: list[tuple[int, ...]] = []
+        compiling: set = set()
+        slots = [self.qual_count]  # next free slot
+
+        def compile_qual(qual) -> int:
+            slot = qual_slot[qual]
+            if qual in compiling:
+                raise FragmentError(f"cyclic qualifier closure at {qual!r}")
+            if any(op[1] == slot for op in ops):
+                return slot
+            compiling.add(qual)
+            if isinstance(qual, ast.PathExists):
+                source = compile_path(qual.path)
+                ops.append((_OP_COPY, slot, source))
+            elif isinstance(qual, ast.LabelTest):
+                ops.append((_OP_LABEL, slot, label_index.get(qual.name, -1)))
+            elif isinstance(qual, ast.And):
+                left = compile_qual(qual.left)
+                right = compile_qual(qual.right)
+                ops.append((_OP_AND, slot, left, right))
+            elif isinstance(qual, ast.Or):
+                left = compile_qual(qual.left)
+                right = compile_qual(qual.right)
+                ops.append((_OP_OR, slot, left, right))
+            elif isinstance(qual, ast.Not):
+                inner = compile_qual(qual.inner)
+                ops.append((_OP_NOT, slot, inner))
+            else:
+                raise FragmentError(f"unexpected qualifier {qual!r}")
+            compiling.discard(qual)
+            return slot
+
+        def compile_path(path: Path) -> int:
+            slot = path_slot.get(path)
+            if slot is not None:
+                if path in compiling:
+                    raise FragmentError(f"cyclic path closure at {path!r}")
+                return slot
+            slot = slots[0]
+            slots[0] += 1
+            path_slot[path] = slot
+            compiling.add(path)
+            mask = 0
+            term_ops: list[tuple[int, ...]] = []
+            done = False
+            for case in first_cases(path):
+                if isinstance(case, Done):
+                    done = True
+                    break
+                if isinstance(case, Child):
+                    fact = ("c", case.label, _residual_qual(case.residual))
+                    mask |= 1 << closure.fact_index[fact]
+                elif isinstance(case, Desc):
+                    residual = _residual_qual(case.residual) or _TRUE
+                    mask |= 1 << closure.fact_index[("cd", residual)]
+                else:  # Check
+                    qual = compile_qual(case.qualifier)
+                    residual = compile_path(case.residual)
+                    term_ops.append((_OP_TERM, slot, qual, residual))
+            if done:
+                ops.append((_OP_TRUE, slot))
+            else:
+                if mask:
+                    ops.append((_OP_FACT, slot, mask))
+                ops.extend(term_ops)
+            compiling.discard(path)
+            return slot
+
+        for qual in closure.quals:
+            compile_qual(qual)
+        self.slot_count = slots[0]
+        self.ops = tuple(ops)
+
+        # ↓*-truth bits, ordered by the qualifier's closure index so the
+        # bit layout is deterministic: bit j is set iff the qualifier
+        # holds here or the ("cd", q) fact (when tracked) is present
+        dqual_order = sorted(closure.dquals, key=lambda qual: qual_slot[qual])
+        self.dqual_count = len(dqual_order)
+        self.dqual_terms = tuple(
+            (qual_slot[qual], closure.fact_index.get(("cd", qual), -1))
+            for qual in dqual_order
+        )
+
+        # contribution terms: ("c", label, qual) facts gate on the child's
+        # label id (-1 = wildcard, -2 = label absent from the schema) and
+        # optionally a truth bit; ("cd", q) facts gate on a ↓*-truth bit
+        dqual_bit = {qual: bit for bit, qual in enumerate(dqual_order)}
+        c_terms = []
+        cd_terms = []
+        for index, fact in enumerate(closure.facts):
+            if fact[0] == "c":
+                _tag, label, qual = fact
+                if label is None:
+                    label_id = -1
+                else:
+                    label_id = label_index.get(label, -2)
+                c_terms.append((
+                    1 << index, label_id,
+                    -1 if qual is None else qual_slot[qual],
+                ))
+            else:
+                _tag, qual = fact
+                cd_terms.append((1 << index, dqual_bit[qual]))
+        self.c_terms = tuple(c_terms)
+        self.cd_terms = tuple(cd_terms)
+
+    def evaluate(self, label_id: int, fact_bits: int) -> tuple[int, int]:
+        """``(truth_bits, dtruth_bits)`` of every closure qualifier at a
+        node with element type ``label_id`` and child facts ``fact_bits``."""
+        slots = [False] * self.slot_count
+        for op in self.ops:
+            code = op[0]
+            if code == _OP_FACT:
+                if fact_bits & op[2]:
+                    slots[op[1]] = True
+            elif code == _OP_TERM:
+                if slots[op[2]] and slots[op[3]]:
+                    slots[op[1]] = True
+            elif code == _OP_COPY:
+                slots[op[1]] = slots[op[2]]
+            elif code == _OP_NOT:
+                slots[op[1]] = not slots[op[2]]
+            elif code == _OP_AND:
+                slots[op[1]] = slots[op[2]] and slots[op[3]]
+            elif code == _OP_OR:
+                slots[op[1]] = slots[op[2]] or slots[op[3]]
+            elif code == _OP_LABEL:
+                slots[op[1]] = label_id == op[2]
+            else:  # _OP_TRUE
+                slots[op[1]] = True
+        truth_bits = 0
+        for index in range(self.qual_count):
+            if slots[index]:
+                truth_bits |= 1 << index
+        dtruth_bits = 0
+        for bit, (qual, cd_fact) in enumerate(self.dqual_terms):
+            if slots[qual] or (cd_fact >= 0 and fact_bits >> cd_fact & 1):
+                dtruth_bits |= 1 << bit
+        return truth_bits, dtruth_bits
+
+    def contribution(self, label_id: int, truth_bits: int, dtruth_bits: int) -> int:
+        """Fact bits a child of this type adds to its parent's fact set."""
+        mask = 0
+        for fact_bit, label, qual in self.c_terms:
+            if (label == -1 or label == label_id) and (
+                qual == -1 or truth_bits >> qual & 1
+            ):
+                mask |= fact_bit
+        for fact_bit, dbit in self.cd_terms:
+            if dtruth_bits >> dbit & 1:
+                mask |= fact_bit
+        return mask
+
+
+# -- the semi-naive fixpoint -----------------------------------------------------
+
+class _LabelSearch:
+    """Persistent per-label reachability over (Glushkov state × fact
+    bitmask), the semi-naive half of the packed fixpoint.
+
+    The object backend re-runs this BFS from scratch for every label on
+    every fixpoint round — round ``N`` repeats all of round ``N-1``'s
+    exploration.  Here the search keeps ``seen``/``parents``/``nodes``
+    across rounds and ``ptr[label]`` records how many of that label's
+    realizable types every settled node has been expanded against, so
+    :meth:`extend` only walks **new** transitions: settled nodes × types
+    added since the last round, plus full expansion of any node that
+    first becomes reachable.  Each call yields the newly achievable
+    ``(fact bitmask, witnessing child-type word)`` pairs.
+    """
+
+    __slots__ = ("arcs", "shift", "accept_mask", "seen", "parents",
+                 "nodes", "results", "ptr")
+
+    def __init__(
+        self,
+        arcs: tuple[tuple[tuple[int, int], ...], ...],
+        shift: int,
+        accept_mask: int,
+        label_count: int,
+    ):
+        self.arcs = arcs
+        self.shift = shift
+        self.accept_mask = accept_mask
+        self.seen: set[int] = set()
+        self.parents: dict[int, tuple[int, int]] = {}
+        self.nodes: list[int] = []          # settled (fully expanded) nodes
+        self.results: set[int] = set()      # fact masks already yielded
+        self.ptr = [0] * label_count
+
+    def extend(
+        self,
+        types_by_label: list[list[int]],
+        type_contrib: list[int],
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        arcs = self.arcs
+        shift = self.shift
+        state_mask = (1 << shift) - 1
+        seen = self.seen
+        parents = self.parents
+        limits = [len(types) for types in types_by_label]
+        queue: deque[int] = deque()
+        if not seen:
+            # node 0 packs (state 0, empty fact set) — the BFS start
+            seen.add(0)
+            queue.append(0)
+        # phase 1: settled nodes × types added since this search last ran
+        ptr = self.ptr
+        for position in range(len(self.nodes)):
+            node = self.nodes[position]
+            state = node & state_mask
+            bits = node >> shift
+            for succ, child_label in arcs[state]:
+                types = types_by_label[child_label]
+                for index in range(ptr[child_label], limits[child_label]):
+                    child = types[index]
+                    succ_node = (bits | type_contrib[child]) << shift | succ
+                    if succ_node not in seen:
+                        seen.add(succ_node)
+                        parents[succ_node] = (node, child)
+                        queue.append(succ_node)
+        # phase 2: full BFS of the newly reachable frontier
+        accept = self.accept_mask
+        out: list[tuple[int, tuple[int, ...]]] = []
+        while queue:
+            node = queue.popleft()
+            self.nodes.append(node)
+            state = node & state_mask
+            bits = node >> shift
+            if accept >> state & 1 and bits not in self.results:
+                word: list[int] = []
+                current = node
+                while current:
+                    current, chosen = parents[current]
+                    word.append(chosen)
+                word.reverse()
+                self.results.add(bits)
+                out.append((bits, tuple(word)))
+            for succ, child_label in arcs[state]:
+                types = types_by_label[child_label]
+                for index in range(limits[child_label]):
+                    child = types[index]
+                    succ_node = (bits | type_contrib[child]) << shift | succ
+                    if succ_node not in seen:
+                        seen.add(succ_node)
+                        parents[succ_node] = (node, child)
+                        queue.append(succ_node)
+        self.ptr = limits
+        return out
+
+
+# -- shared per-schema setup -----------------------------------------------------
+
+class BitsTypesContext:
+    """Schema-side packed tables for :func:`sat_exptime_types_bits` (the
+    decider's ``prepare`` hook): element types in sorted order, per-label
+    Glushkov arcs annotated with child label ids, packed accepting
+    masks, plus a bounded memo of per-query compiled closures.  Like
+    every ``prepare`` context this is a pure cache — worker-lane
+    runtimes keep it warm across chunks, and it can never change a
+    verdict.
+    """
+
+    __slots__ = ("labels", "label_index", "arcs", "shifts",
+                 "accept_masks", "_compiled")
+
+    def __init__(self, dtd: DTD):
+        dtd.require_terminating()
+        self.labels = tuple(sorted(dtd.element_types))
+        self.label_index = {name: index for index, name in enumerate(self.labels)}
+        arcs = []
+        shifts = []
+        accept_masks = []
+        for name in self.labels:
+            tables = cached_tables(dtd.production(name))
+            arcs.append(tuple(
+                tuple(
+                    (succ, self.label_index[tables.symbols[succ]])
+                    for succ in state_arcs
+                )
+                for state_arcs in tables.arcs
+            ))
+            shifts.append(max(1, (len(tables.symbols) - 1).bit_length()))
+            accept_masks.append(tables.accept_mask)
+        self.arcs = tuple(arcs)
+        self.shifts = tuple(shifts)
+        self.accept_masks = tuple(accept_masks)
+        self._compiled = LruCache(capacity=256)
+
+    def compiled(self, query: Path) -> CompiledClosure:
+        """The query's compiled closure (memoized per canonical query)."""
+        compiled = self._compiled.get(query)
+        if compiled is None:
+            closure = _Closure()
+            closure.collect(ast.PathExists(query))
+            compiled = CompiledClosure(closure, self.label_index)
+            self._compiled.put(query, compiled)
+        return compiled
+
+
+def prepare_types_bits(dtd: DTD) -> BitsTypesContext:
+    return BitsTypesContext(dtd)
+
+
+# -- the decider -----------------------------------------------------------------
+
+def sat_exptime_types_bits(
+    query: Path, dtd: DTD, max_facts: int = 22,
+    context: BitsTypesContext | None = None,
+) -> SatResult:
+    """Decide ``(query, dtd)`` for ``query ∈ X(↓,↓*,∪,[],¬)`` with the
+    packed semi-naive fixpoint.
+
+    Verdict-identical to :func:`repro.sat.exptime_types.sat_exptime_types`
+    by construction: both decompose the query through the same
+    ``first_cases`` closure, the compiled program mirrors
+    ``_Evaluator``'s recursion, and the fixpoint reaches the same least
+    set of realizable types — only the representation (ints for
+    frozensets, delta-BFS for recompute-from-scratch) differs.  The same
+    ``max_facts`` cap applies, so both backends decline on the same
+    queries and fallback chains behave identically.
+    """
+    used = features_of(query)
+    if not used <= SPEC.allowed:
+        raise FragmentError(
+            f"sat_exptime_types_bits requires X(child,dos,union,qual,neg); "
+            f"query uses {sorted(str(f) for f in used - SPEC.allowed)} extra"
+        )
+    if context is None:
+        context = prepare_types_bits(dtd)
+    compiled = context.compiled(query)
+    if compiled.fact_count > max_facts:
+        raise ReproError(
+            f"{compiled.fact_count} child facts exceed max_facts={max_facts}; "
+            "use sat_bounded for queries this large"
+        )
+
+    label_count = len(context.labels)
+    searches = [
+        _LabelSearch(
+            context.arcs[index], context.shifts[index],
+            context.accept_masks[index], label_count,
+        )
+        for index in range(label_count)
+    ]
+    qd_shift = compiled.qual_count + compiled.dqual_count
+    d_shift = compiled.dqual_count
+    types_by_label: list[list[int]] = [[] for _ in range(label_count)]
+    type_labels: list[int] = []
+    type_truths: list[int] = []
+    type_realization: list[tuple[int, ...]] = []
+    type_contrib: list[int] = []
+    type_ids: dict[int, int] = {}        # packed (label, truths, dtruths) -> id
+    derive_memo: dict[int, int] = {}     # packed (fact_bits, label) -> type id
+
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        for label_id in range(label_count):
+            for bits, word in searches[label_id].extend(types_by_label, type_contrib):
+                memo_key = bits * label_count + label_id
+                type_id = derive_memo.get(memo_key)
+                if type_id is None:
+                    truth_bits, dtruth_bits = compiled.evaluate(label_id, bits)
+                    packed = (
+                        label_id << qd_shift | truth_bits << d_shift | dtruth_bits
+                    )
+                    type_id = type_ids.get(packed)
+                    if type_id is None:
+                        type_id = len(type_labels)
+                        type_ids[packed] = type_id
+                        type_labels.append(label_id)
+                        type_truths.append(truth_bits)
+                        type_realization.append(word)
+                        type_contrib.append(
+                            compiled.contribution(label_id, truth_bits, dtruth_bits)
+                        )
+                        types_by_label[label_id].append(type_id)
+                        changed = True
+                    derive_memo[memo_key] = type_id
+
+    stats = {
+        "closure_quals": compiled.qual_count,
+        "facts": compiled.fact_count,
+        "types": len(type_labels),
+        "rounds": rounds,
+        "backend": "bitset",
+    }
+    root_id = context.label_index[dtd.root]
+    # the seed qualifier PathExists(query) is collected first: bit 0
+    root_types = [
+        type_id for type_id in types_by_label[root_id]
+        if type_truths[type_id] & 1
+    ]
+    if not root_types:
+        return SatResult(False, METHOD, stats=stats)
+    witness = _realize(
+        root_types[0], context.labels, type_labels, type_realization, dtd
+    )
+    return SatResult(True, METHOD, witness=witness, stats=stats)
+
+
+def _realize(
+    type_id: int,
+    labels: tuple[str, ...],
+    type_labels: list[int],
+    type_realization: list[tuple[int, ...]],
+    dtd: DTD,
+) -> XMLTree:
+    # realization words only reference earlier type ids, so this is a
+    # well-founded recursion (same argument as the object backend)
+    def build(current: int) -> Node:
+        node = Node(labels[type_labels[current]])
+        for attr in sorted(dtd.attrs_of(node.label)):
+            node.attrs[attr] = f"{attr}0"
+        for child in type_realization[current]:
+            node.append(build(child))
+        return node
+
+    return XMLTree(build(type_id))
+
+
+SPEC = register_decider(DeciderSpec(
+    name="exptime_types_bits",
+    method=METHOD,
+    fn=sat_exptime_types_bits,
+    allowed=REC_NEG_DOWN_UNION.allowed | {Feature.LABEL_TEST},
+    shape="X(↓,↓*,∪,[],¬)",
+    theorem="Thm 5.3",
+    complexity="EXPTIME",
+    cost_rank=41,  # one behind the object backend: promotion is measured
+    backend="bitset",
+    may_decline=True,  # same max_facts cap as the object backend
+    prepare=prepare_types_bits,
+    accepts_context=True,
+))

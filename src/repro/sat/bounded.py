@@ -30,6 +30,7 @@ from typing import Iterable, Iterator
 from repro.dtd.model import DTD
 from repro.dtd.properties import is_no_star, is_nonrecursive, max_document_depth
 from repro.regex.ops import cached_nfa, enumerate_words
+from repro.sat.bits import cached_tables, enumerate_words_packed, longest_accepted_length
 from repro.sat.registry import DeciderSpec, register_decider
 from repro.sat.result import SatResult
 from repro.xmltree.model import Node, XMLTree
@@ -72,9 +73,16 @@ class BoundedContext:
         key = (label, max_width, cap)
         words = self.words_memo.get(key)
         if words is None:
+            # the packed kernel enumerates in the exact order of
+            # enumerate_words (ints for frozensets), so the truncation
+            # point — and therefore every downstream verdict — is
+            # unchanged; see repro.sat.bits.enumerate_words_packed
             words = tuple(
                 itertools.islice(
-                    enumerate_words(dtd.production(label), max_width), cap + 1
+                    enumerate_words_packed(
+                        cached_tables(dtd.production(label)), max_width
+                    ),
+                    cap + 1,
                 )
             )
             self.words_memo[key] = words
@@ -384,27 +392,13 @@ def _exhaustive(dtd: DTD, bounds: Bounds, state: _SearchState,
 
 
 def _max_word_length(dtd: DTD, name: str) -> int:
-    """Longest word of a star-free content model = number of symbol
-    occurrences on some root-to-leaf combination; star-free regexes have
-    finitely many words so this is the max over their lengths."""
-    from repro.regex import ast as rx
-
-    def longest(node: rx.Regex) -> int:
-        if isinstance(node, rx.Epsilon):
-            return 0
-        if isinstance(node, rx.Symbol):
-            return 1
-        if isinstance(node, rx.Concat):
-            return sum(longest(part) for part in node.parts)
-        if isinstance(node, rx.Union):
-            return max(longest(part) for part in node.parts)
-        if isinstance(node, rx.Optional):
-            return longest(node.inner)
-        if isinstance(node, rx.Star):
-            return 10**9  # unbounded; caller already checked is_no_star
-        raise TypeError(node)
-
-    return longest(dtd.production(name))
+    """Longest word of a content model, via the packed kernel's longest
+    path through the Glushkov automaton (star-free regexes have acyclic
+    Glushkov graphs and finitely many words).  A cyclic graph — a
+    reachable Kleene star — maps to the same unbounded sentinel the old
+    AST walk used; callers already checked ``is_no_star``."""
+    longest = longest_accepted_length(cached_tables(dtd.production(name)))
+    return 10**9 if longest is None else longest
 
 
 SPEC = register_decider(DeciderSpec(

@@ -32,7 +32,7 @@ answers come with a concrete conforming tree.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.dtd.model import DTD
@@ -83,15 +83,23 @@ class Check:
     residual: Path
 
 
-_CASES_CACHE: dict[Path, tuple] = {}
+#: LRU-bounded: a long-lived engine sees an unbounded stream of distinct
+#: residual paths, so an unbounded memo here is a slow leak (the same
+#: shape the executor layer's WorkerRuntime context cache bounds)
+_CASES_CACHE_CAP = 4096
+_CASES_CACHE: OrderedDict[Path, tuple] = OrderedDict()
 
 
 def first_cases(path: Path) -> tuple:
-    """All first-step cases of a downward path (memoized)."""
+    """All first-step cases of a downward path (memoized, LRU-bounded)."""
     cached = _CASES_CACHE.get(path)
     if cached is None:
         cached = tuple(_first_cases(path))
         _CASES_CACHE[path] = cached
+        if len(_CASES_CACHE) > _CASES_CACHE_CAP:
+            _CASES_CACHE.popitem(last=False)
+    else:
+        _CASES_CACHE.move_to_end(path)
     return cached
 
 
@@ -352,16 +360,25 @@ def sat_exptime_types(
             contribution_cache[node_type] = bits
         return bits
 
+    derive_cache: dict[tuple[str, int], NodeType] = {}
+
     def derive(label: str, fact_bits: int) -> NodeType:
-        evaluator = _Evaluator(closure, label, fact_bits)
-        truths = frozenset(q for q in closure.quals if evaluator.truth(q))
-        dtruths = frozenset(
-            q
-            for q in closure.dquals
-            if evaluator.truth(q)
-            or (("cd", q) in closure.fact_index and evaluator.has_fact(("cd", q)))
-        )
-        return NodeType(label, truths, dtruths)
+        # memoized per (label, fact set): achievable() re-reports every
+        # fact set each round, so without the memo every round re-allocates
+        # an _Evaluator (and its two caches) per already-known type
+        node_type = derive_cache.get((label, fact_bits))
+        if node_type is None:
+            evaluator = _Evaluator(closure, label, fact_bits)
+            truths = frozenset(q for q in closure.quals if evaluator.truth(q))
+            dtruths = frozenset(
+                q
+                for q in closure.dquals
+                if evaluator.truth(q)
+                or (("cd", q) in closure.fact_index and evaluator.has_fact(("cd", q)))
+            )
+            node_type = NodeType(label, truths, dtruths)
+            derive_cache[(label, fact_bits)] = node_type
+        return node_type
 
     def achievable(label: str) -> list[tuple[int, tuple[NodeType, ...]]]:
         """All achievable (fact bitmask, witnessing word of child types)

@@ -20,7 +20,7 @@ result is honestly ``unknown``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dtd.model import DTD
 from repro.errors import FragmentError
@@ -62,10 +62,15 @@ def lookahead_depth(node: Path | Qualifier) -> int:
 class NexptimeContext:
     """Schema-only precomputation shared across a plan group's queries:
     ``|D|`` (the paper's width bound re-walks every production) plus the
-    inner bounded-engine context."""
+    inner bounded-engine context — which itself rides on the packed
+    Glushkov kernel (:mod:`repro.sat.bits`) for its word-length analysis
+    and word tables.  ``lookahead_memo`` caches per-query lookahead
+    depths across a group (a pure cache of an AST walk: cannot change
+    the computed bounds, only how often the walk runs)."""
 
     size: int
     bounded: BoundedContext
+    lookahead_memo: dict[Path, int] = field(default_factory=dict)
 
 
 def prepare_nexptime(dtd: DTD) -> NexptimeContext:
@@ -85,7 +90,13 @@ def sat_nexptime(query: Path, dtd: DTD, width_cap: int = 5,
             f"{sorted(str(f) for f in used - SPEC.allowed)} extra"
         )
     dtd.require_terminating()
-    depth = lookahead_depth(query)
+    if context is not None:
+        depth = context.lookahead_memo.get(query)
+        if depth is None:
+            depth = lookahead_depth(query)
+            context.lookahead_memo[query] = depth
+    else:
+        depth = lookahead_depth(query)
     schema_size = context.size if context is not None else dtd.size()
     paper_width = schema_size + query.size()
     width = min(paper_width, width_cap)

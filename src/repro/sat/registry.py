@@ -83,6 +83,12 @@ class DeciderSpec:
     accepts_context:
         The decision function takes a ``context=`` keyword carrying the
         object ``prepare`` returned.
+    backend:
+        Representation tag of the procedure's kernel (``"object"`` for the
+        plain-Python set/frozenset implementations, ``"bitset"`` for the
+        integer-packed kernels in :mod:`repro.sat.bits`).  Surfaced on
+        attempt spans, metrics labels, and ``repro stats --plans`` so
+        operators can see which variant the cost model is promoting.
     """
 
     name: str
@@ -99,6 +105,7 @@ class DeciderSpec:
     may_decline: bool = False
     prepare: Callable | None = None
     accepts_context: bool = False
+    backend: str = "object"
 
     def accepts(self, features: frozenset[Feature]) -> bool:
         return features <= self.allowed
@@ -147,6 +154,7 @@ def load() -> None:
     if _LOADED:
         return
     from repro.sat import (  # noqa: F401  (imported for registration side effects)
+        bits,
         bounded,
         conjunctive,
         disjunction_free,
@@ -168,6 +176,15 @@ def get_decider(name: str) -> DeciderSpec:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "(none)"
         raise FragmentError(f"unknown decider {name!r}; registered: {known}") from None
+
+
+def decider_backend(name: str) -> str:
+    """Backend tag of a decider, defaulting to ``"object"`` for names
+    outside the registry (observability callers label spans for whatever
+    attempt names they are handed, registered or not)."""
+    load()
+    spec = _REGISTRY.get(name)
+    return spec.backend if spec is not None else "object"
 
 
 def registry_size() -> int:

@@ -35,6 +35,14 @@ def verdict_name(satisfiable: bool | None) -> str:
     return VERDICT_NAMES[satisfiable]
 
 
+def _backend_of(decider: str) -> str:
+    """Kernel backend tag for metrics labels (lazy registry lookup so
+    telemetry stays importable without loading every decider module)."""
+    from repro.sat.registry import decider_backend
+
+    return decider_backend(decider)
+
+
 @dataclass
 class PlanStats:
     """Accumulated observations of one plan's executions."""
@@ -109,6 +117,16 @@ class PlanStats:
     @property
     def fallback_rate(self) -> float:
         return self.fallbacks / self.count if self.count else 0.0
+
+    @property
+    def top_decider(self) -> str:
+        """The chain member answering most of this plan's executions —
+        the ``repro stats --plans`` "winner" column, which is where a
+        cost-model promotion (e.g. bitset over object kernels) becomes
+        visible to operators."""
+        if not self.deciders:
+            return "-"
+        return max(sorted(self.deciders), key=self.deciders.__getitem__)
 
     def percentile_ms(self, q: float) -> float:
         """Histogram estimate of the ``q``-quantile latency (upper bucket
@@ -315,6 +333,8 @@ class PlanTelemetry:
                 "verdicts": {k: v for k, v in stats.verdicts.items() if v},
                 "fallback_rate": round(stats.fallback_rate, 4),
             }
+            if stats.deciders:
+                row["top_decider"] = stats.top_decider
             if stats.groups:
                 row["groups"] = stats.groups
                 row["grouped_jobs"] = stats.grouped_jobs
@@ -342,6 +362,14 @@ class PlanTelemetry:
                         "plan executions by verdict",
                         {"plan": key, "verdict": verdict},
                     ).inc(value)
+            for decider, value in sorted(stats.deciders.items()):
+                if value:
+                    registry.counter(
+                        "repro_plan_answers_total",
+                        "plan executions by answering decider and kernel backend",
+                        {"plan": key, "decider": decider,
+                         "backend": _backend_of(decider)},
+                    ).inc(value)
             if stats.fallbacks:
                 registry.counter(
                     "repro_plan_fallbacks_total",
@@ -362,7 +390,7 @@ class PlanTelemetry:
         header = (
             f"{'plan':<44} {'n':>6} {'mean_ms':>8} {'p50_ms':>7} {'p90_ms':>7} "
             f"{'sat':>5} {'unsat':>6} {'unk':>4} {'err':>4} {'fb%':>5} "
-            f"{'grp':>4} {'reuse':>5} {'rthit':>5}"
+            f"{'grp':>4} {'reuse':>5} {'rthit':>5} {'winner':<20}"
         )
         lines = [header, "-" * len(header)]
         ordered = sorted(
@@ -375,6 +403,7 @@ class PlanTelemetry:
                 f"{stats.verdicts.get('sat', 0):>5} {stats.verdicts.get('unsat', 0):>6} "
                 f"{stats.verdicts.get('unknown', 0):>4} {stats.verdicts.get('error', 0):>4} "
                 f"{stats.fallback_rate * 100:>4.1f}% "
-                f"{stats.groups:>4} {stats.setup_reuse:>5} {stats.runtime_hits:>5}"
+                f"{stats.groups:>4} {stats.setup_reuse:>5} {stats.runtime_hits:>5} "
+                f"{stats.top_decider:<20}"
             )
         return "\n".join(lines)

@@ -2,13 +2,13 @@
 scaling-series helpers for the benchmark harnesses."""
 
 from repro.workloads.queries import random_query
-from repro.workloads.dtds import document_dtd, mid_size_dtd, recursive_chain_dtd
+from repro.workloads.dtds import document_dtd, mid_size_dtd, recursive_chain_dtd, wide_dtd
 from repro.workloads.batch import batch_jobs, syntactic_variant
 from repro.workloads.scaling import fit_polynomial_degree, growth_ratio
 
 __all__ = [
     "random_query",
-    "document_dtd", "mid_size_dtd", "recursive_chain_dtd",
+    "document_dtd", "mid_size_dtd", "recursive_chain_dtd", "wide_dtd",
     "batch_jobs", "syntactic_variant",
     "fit_polynomial_degree", "growth_ratio",
 ]

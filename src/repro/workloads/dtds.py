@@ -7,7 +7,10 @@ Three shapes recur in the paper's narrative and drive the scaling series:
 * :func:`recursive_chain_dtd` — the recursive chain skeleton of the 2RM
   encoding (`C` chains with register lists);
 * :func:`mid_size_dtd` — a mixed schema with disjunction, star and
-  optional parts for the Table-1 grid.
+  optional parts for the Table-1 grid;
+* :func:`wide_dtd` — a heap-shaped schema with a configurable number of
+  element types (64–256 in the symbolic-backend sweeps), the regime the
+  packed kernels (:mod:`repro.sat.bits`) exist for.
 """
 
 from __future__ import annotations
@@ -65,3 +68,44 @@ def mid_size_dtd(width: int = 3) -> DTD:
     for leaf in leaves:
         productions[leaf] = rx.Epsilon()
     return DTD(root="r", productions=productions)
+
+
+def wide_dtd(types: int, fanout: int = 3) -> DTD:
+    """A nonrecursive schema with exactly ``types`` element types laid
+    out as a ``fanout``-ary heap: the children of ``T{i}`` are
+    ``T{fanout*i+1} .. T{fanout*i+fanout}`` (those that exist).
+
+    Content models cycle through concatenation-of-optionals, union, and
+    star shapes, and **every** production is nullable, so minimal
+    conforming trees stay tiny no matter how wide the schema gets —
+    wide-schema differential sweeps can validate witnesses (and bounded
+    oracles can enumerate) without tree-size explosions.  Width, not
+    depth, is the point: a 256-type instance exercises exactly the
+    per-element-type sweep the packed fixpoint kernels accelerate.
+    """
+    if types < 1:
+        raise ValueError(f"types must be positive, got {types}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be positive, got {fanout}")
+    productions: dict[str, rx.Regex] = {}
+    for i in range(types):
+        children = [
+            rx.sym(f"T{j}")
+            for j in range(fanout * i + 1, fanout * i + fanout + 1)
+            if j < types
+        ]
+        if not children:
+            productions[f"T{i}"] = rx.Epsilon()
+        elif i % 3 == 0:
+            productions[f"T{i}"] = rx.concat(
+                *[rx.Optional(child) for child in children]
+            )
+        elif i % 3 == 1:
+            productions[f"T{i}"] = rx.Optional(
+                rx.union(*children) if len(children) > 1 else children[0]
+            )
+        else:
+            productions[f"T{i}"] = rx.concat(
+                *[rx.star(child) for child in children]
+            )
+    return DTD(root="T0", productions=productions)

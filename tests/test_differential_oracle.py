@@ -182,6 +182,47 @@ class TestDifferentialCorpus:
         assert checked > 0
 
 
+class TestWideSchemaCorpus:
+    """Wide-schema extension of the differential corpus: the bitset
+    decider's natural habitat (dozens-to-hundreds of element types) swept
+    through the same cross-check harness.  ``cross_check`` runs every
+    registered decider accepting the features, so each case compares the
+    object and bitset Thm 5.3 deciders against each other *and* the
+    brute-force oracle."""
+
+    #: shallow bounds — wide_dtd's heap has depth <= 2 below T0..T6, so
+    #: minimal witnesses stay tiny even though the schema is wide
+    WIDE_BOUNDS = OracleBounds(
+        max_depth=3, max_width=2, max_nodes=7, max_trees=4_000,
+        words_per_type=3,
+    )
+
+    def test_wide_corpus_has_no_disagreements(self):
+        from repro.workloads import wide_dtd
+
+        dtd = wide_dtd(64)
+        labels = [f"T{i}" for i in range(7)]
+        cases = build_corpus(
+            seed=20250807, n_cases=16,
+            fragments=(frag.REC_NEG_DOWN_UNION,),
+            schemas=[(dtd, labels, ["a"])],
+        )
+        disagreements = []
+        checked = 0
+        bitset_verdicts = 0
+        for query, case_dtd in cases:
+            report = cross_check(query, case_dtd, self.WIDE_BOUNDS)
+            checked += report.checked
+            bitset_verdicts += report.verdicts.get(
+                "exptime_types_bits"
+            ) is not None
+            for message in report.disagreements:
+                disagreements.append(f"{report.query}: {message}")
+        assert not disagreements, "\n".join(disagreements)
+        assert checked > 0
+        assert bitset_verdicts > 0, "bitset decider never reached a verdict"
+
+
 #: enlarged fuzz corpus size: >= 500 in tier-1 (the acceptance bar); the
 #: scheduled extended-fuzz CI job raises it via REPRO_FUZZ_CASES
 ENLARGED_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "520"))

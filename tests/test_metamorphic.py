@@ -17,7 +17,7 @@ import random
 import pytest
 
 from repro.dtd import parse_dtd
-from repro.engine import BatchEngine, DecisionCache, SchemaRegistry
+from repro.engine import BatchEngine, DecisionCache, EngineStats, SchemaRegistry
 from repro.engine.state import load_state, save_state
 from repro.sat import CostModel, Plan, PlanTelemetry, Planner, calibrate
 from repro.sat.costmodel import size_bucket
@@ -577,7 +577,9 @@ class TestCostModelHygiene:
         trace = ExecutionTrace()
         trace.add("bounded", 0.01, "unknown")       # gave up fast
         trace.add("exptime_types", 2.0, "unsat")    # actually answered
-        engine._observe(plan, engine.registry.get("tiny"), trace, "unsat")
+        engine._observe(
+            EngineStats(), plan, engine.registry.get("tiny"), trace, "unsat"
+        )
         bucket = size_bucket(engine.registry.get("tiny").dtd.size())
         assert engine.cost_model.measured(plan.signature, bucket, "bounded") is None
         entry = engine.cost_model.measured(plan.signature, bucket, "exptime_types")

@@ -120,12 +120,14 @@ class TestPlanConstruction:
         )
         assert plan.decider == "exptime_types"
         # ↓* rules out the NEXPTIME fragment and ¬ rules out positive:
-        # declining must land on the bounded semi-decision
-        assert plan.fallbacks == ("bounded",)
+        # declining falls to the bitset variant of the same fixpoint
+        # (same fact cap, so it declines in lockstep) and then must land
+        # on the bounded semi-decision
+        assert plan.fallbacks == ("exptime_types_bits", "bounded")
         plan = Planner().plan_query(
             parse_query("A[not(B)]"), artifacts=registry.get("general")
         )
-        assert plan.fallbacks == ("nexptime",)
+        assert plan.fallbacks == ("exptime_types_bits", "nexptime")
 
     def test_signature_is_the_cache_key(self, registry):
         planner = Planner()
@@ -403,7 +405,9 @@ class TestCostBasedChoice:
             cost_model=model, schema_size=12,
         )
         assert promoted.decider == "nexptime"
-        assert promoted.fallbacks == ("exptime_types",)
+        # measured members outrank the unmeasured bitset variant, which
+        # keeps its static position at the back
+        assert promoted.fallbacks == ("exptime_types", "exptime_types_bits")
         assert any("promoted" in note for note in promoted.notes)
         # chain members never change, only their order
         assert set((promoted.decider,) + promoted.fallbacks) \

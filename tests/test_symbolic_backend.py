@@ -1,0 +1,407 @@
+"""The integer-packed kernels (`repro.sat.bits`) against their object
+references.
+
+Three layers of evidence, mirroring how the backend is meant to be
+trusted:
+
+* **kernel properties** — packed word enumeration reproduces
+  ``enumerate_words`` order exactly, the Glushkov longest-path equals the
+  longest enumerated word, and the compiled closure program produces the
+  same truth bits as the recursive ``_Evaluator`` on random closures;
+* **backend equivalence** — the bitset decider's verdicts are
+  bit-identical to the object decider's across wide schemas (64–256
+  element types), with every SAT witness re-validated;
+* **engine integration** — the backend is promoted by the measured cost
+  model through real pool lanes, and the answering backend is visible in
+  engine stats, plan telemetry, and attempt spans.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd.generator import random_dtd
+from repro.engine import BatchEngine, EngineStats, Job, SchemaRegistry
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import attempt_spans
+from repro.sat.bits import (
+    BitsTypesContext,
+    CompiledClosure,
+    LruCache,
+    cached_tables,
+    enumerate_words_packed,
+    longest_accepted_length,
+    prepare_types_bits,
+    sat_exptime_types_bits,
+)
+from repro.sat.costmodel import CostModel, size_bucket
+from repro.sat.exptime_types import _Closure, _Evaluator, prepare_types, sat_exptime_types
+from repro.sat.registry import decider_backend, get_decider
+from repro.sat.telemetry import PlanTelemetry
+from repro.regex import ast as rx
+from repro.regex.ops import enumerate_words
+from repro.workloads import wide_dtd
+from repro.workloads.queries import random_query
+from repro.xmltree.validate import conforms
+from repro.xpath import ast, parse_query
+from repro.xpath.canonical import canonicalize
+from repro.xpath.fragments import REC_NEG_DOWN_UNION, feature_signature, features_of
+from repro.xpath.semantics import satisfies
+
+#: the shared wide-schema query mix: negation-heavy closures with real
+#: fixpoint work (labels exist in every wide_dtd(>=64) instance)
+WIDE_QUERIES = (
+    "**/T9[T28 and not(T29)]",
+    "**/*[not(T13) and not(T14)]",
+    "T1[not(T4/T13) and **/T16]",
+    "**/T5[not(T16 or T17)]/T18",
+    "T2[**/T25 and not(**/T26)]",
+    "**/T10[not(T31)][not(T32)]",
+    "T7/T22",
+    "**/T12[not(T38 or T39)]",
+)
+
+
+class TestLruCache:
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh a
+        cache.put("c", 3)               # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity=0)
+
+
+class TestPackedWordKernel:
+    def test_packed_enumeration_matches_reference_order(self, rng):
+        """Same words, same length-lexicographic order, on random content
+        models — the property that makes the packed tables a drop-in for
+        the bounded engine's truncated word tables."""
+        for _ in range(150):
+            dtd = random_dtd(rng, n_types=4)
+            for name in sorted(dtd.element_types):
+                regex = dtd.production(name)
+                reference = []
+                for word in enumerate_words(regex, 4):
+                    reference.append(word)
+                    if len(reference) >= 30:
+                        break
+                packed = []
+                for word in enumerate_words_packed(cached_tables(regex), 4, 30):
+                    packed.append(word)
+                assert packed == reference, str(regex)
+
+    def test_longest_length_matches_enumeration(self, rng):
+        """On star-free content models the Glushkov longest path equals
+        the longest enumerated word."""
+        checked = 0
+        for _ in range(150):
+            dtd = random_dtd(rng, n_types=4, allow_star=False)
+            for name in sorted(dtd.element_types):
+                regex = dtd.production(name)
+                longest = longest_accepted_length(cached_tables(regex))
+                assert longest is not None, str(regex)
+                observed = max(len(word) for word in enumerate_words(regex, longest + 2))
+                assert longest == observed, str(regex)
+                checked += 1
+        assert checked > 0
+
+    def test_cycle_reports_none(self):
+        tables = cached_tables(rx.star(rx.sym("a")))
+        assert longest_accepted_length(tables) is None
+        nested = cached_tables(rx.concat(rx.sym("a"), rx.star(rx.sym("b"))))
+        assert longest_accepted_length(nested) is None
+
+
+class TestCompiledClosure:
+    """The once-per-query compiled bit program against the recursive
+    ``_Evaluator`` reference, on random closures and random fact sets."""
+
+    def _reference_contribution(self, closure, label, truths, dtruths):
+        # the object backend's contribution loop, restated as the spec
+        bits = 0
+        for index, fact in enumerate(closure.facts):
+            if fact[0] == "c":
+                _tag, fact_label, qual = fact
+                if (fact_label is None or fact_label == label) and (
+                    qual is None or qual in truths
+                ):
+                    bits |= 1 << index
+            else:
+                _tag, qual = fact
+                if qual in dtruths:
+                    bits |= 1 << index
+        return bits
+
+    def test_truth_bits_match_evaluator(self, rng):
+        labels = ["A", "B", "C", "D"]
+        label_index = {name: index for index, name in enumerate(labels)}
+        sample = random.Random(20250807)
+        for trial in range(120):
+            query = random_query(rng, REC_NEG_DOWN_UNION, labels, max_depth=2)
+            closure = _Closure()
+            closure.collect(ast.PathExists(query))
+            compiled = CompiledClosure(closure, label_index)
+            assert compiled.qual_count == len(closure.quals)
+            assert compiled.fact_count == len(closure.facts)
+            dquals = sorted(
+                closure.dquals, key=lambda qual: closure.quals.index(qual)
+            )
+            masks = {0, (1 << compiled.fact_count) - 1}
+            target = min(12, 1 << compiled.fact_count)
+            while len(masks) < target:
+                masks.add(sample.getrandbits(compiled.fact_count))
+            for label in labels:
+                for fact_bits in masks:
+                    evaluator = _Evaluator(closure, label, fact_bits)
+                    truths = {q for q in closure.quals if evaluator.truth(q)}
+                    dtruths = {
+                        q for q in closure.dquals
+                        if evaluator.truth(q) or evaluator.has_fact(("cd", q))
+                    }
+                    truth_bits, dtruth_bits = compiled.evaluate(
+                        label_index[label], fact_bits
+                    )
+                    for position, qual in enumerate(closure.quals):
+                        assert bool(truth_bits >> position & 1) == (qual in truths), (
+                            str(query), label, fact_bits, str(qual)
+                        )
+                    for position, qual in enumerate(dquals):
+                        assert bool(dtruth_bits >> position & 1) == (qual in dtruths)
+                    expected = self._reference_contribution(
+                        closure, label, truths, dtruths
+                    )
+                    packed = compiled.contribution(
+                        label_index[label], truth_bits, dtruth_bits
+                    )
+                    assert packed == expected, (str(query), label, fact_bits)
+
+    def test_unknown_label_test_is_false(self):
+        query = parse_query(".[X and A]")
+        closure = _Closure()
+        closure.collect(ast.PathExists(query))
+        compiled = CompiledClosure(closure, {"A": 0})  # X not in the schema
+        truth_bits, _ = compiled.evaluate(0, 0)
+        seed_position = 0  # the seed qualifier is always collected first
+        assert not truth_bits >> seed_position & 1
+
+
+class TestWideSchemaBackends:
+    """Backend-vs-backend equivalence in the regime the kernels exist
+    for: schemas with 64–256 element types."""
+
+    @pytest.mark.parametrize("types", [64, 128, 256])
+    def test_verdicts_bit_identical(self, types):
+        dtd = wide_dtd(types)
+        object_context = prepare_types(dtd)
+        bits_context = prepare_types_bits(dtd)
+        queries = WIDE_QUERIES if types < 256 else WIDE_QUERIES[:3]
+        for text in queries:
+            query = parse_query(text)
+            reference = sat_exptime_types(query, dtd, context=object_context)
+            packed = sat_exptime_types_bits(query, dtd, context=bits_context)
+            assert reference.satisfiable == packed.satisfiable, text
+            assert packed.stats["backend"] == "bitset"
+            assert packed.stats["facts"] == reference.stats["facts"]
+            assert packed.stats["closure_quals"] == reference.stats["closure_quals"]
+            if packed.satisfiable:
+                assert conforms(packed.witness, dtd)
+                assert satisfies(packed.witness, query)
+
+    def test_random_wide_corpus_agrees(self, rng):
+        dtd = wide_dtd(64)
+        labels = [f"T{i}" for i in range(16)]
+        object_context = prepare_types(dtd)
+        bits_context = prepare_types_bits(dtd)
+        for trial in range(60):
+            query = random_query(rng, REC_NEG_DOWN_UNION, labels, max_depth=2)
+            try:
+                reference = sat_exptime_types(query, dtd, context=object_context)
+            except ReproError:
+                with pytest.raises(ReproError):
+                    sat_exptime_types_bits(query, dtd, context=bits_context)
+                continue
+            packed = sat_exptime_types_bits(query, dtd, context=bits_context)
+            assert reference.satisfiable == packed.satisfiable, str(query)
+            if packed.satisfiable:
+                assert conforms(packed.witness, dtd)
+                assert satisfies(packed.witness, query)
+
+    def test_backends_decline_in_lockstep(self):
+        """Same ``max_facts`` cap: whenever the object backend declines,
+        the bitset backend declines too — fallback chains behave
+        identically whichever variant the cost model promoted."""
+        dtd = wide_dtd(16)
+        query = parse_query("**/T1[T4 or T5]/T13 | **/T2[T7 and not(T8)]")
+        with pytest.raises(ReproError, match="max_facts"):
+            sat_exptime_types(query, dtd, max_facts=3)
+        with pytest.raises(ReproError, match="max_facts"):
+            sat_exptime_types_bits(query, dtd, max_facts=3)
+
+    def test_context_is_reusable_across_queries(self):
+        dtd = wide_dtd(32)
+        context = prepare_types_bits(dtd)
+        assert isinstance(context, BitsTypesContext)
+        first = sat_exptime_types_bits(parse_query("**/T9"), dtd, context=context)
+        second = sat_exptime_types_bits(parse_query("**/T9"), dtd, context=context)
+        assert first.satisfiable == second.satisfiable is True
+        # the compiled closure is memoized per query inside the context
+        assert context.compiled(parse_query("**/T9")) is context.compiled(
+            parse_query("**/T9")
+        )
+
+
+class TestBackendObservability:
+    def test_registry_backend_tags(self):
+        assert get_decider("exptime_types_bits").backend == "bitset"
+        assert get_decider("exptime_types").backend == "object"
+        assert decider_backend("exptime_types_bits") == "bitset"
+        # unregistered attempt names (e.g. ad-hoc probes) default safely
+        assert decider_backend("ptime") == "object"
+
+    def test_attempt_spans_carry_backend(self):
+        spans = attempt_spans([
+            ("exptime_types", 1.0, "unknown"),
+            ("exptime_types_bits", 0.5, "sat"),
+        ])
+        assert [span.attrs["backend"] for span in spans] == ["object", "bitset"]
+
+    def test_plan_telemetry_surfaces_winner(self):
+        class _FakePlan:
+            telemetry_key = "s|neg,qual|exptime_types+exptime_types_bits"
+
+            def to_dict(self):
+                return {"decider": "exptime_types"}
+
+        telemetry = PlanTelemetry()
+        for _ in range(3):
+            telemetry.record(
+                _FakePlan(), 1.0, "sat", decider="exptime_types_bits"
+            )
+        telemetry.record(_FakePlan(), 1.0, "sat", decider="exptime_types")
+        stats = telemetry.get(_FakePlan.telemetry_key)
+        assert stats.top_decider == "exptime_types_bits"
+        assert "winner" in telemetry.table().splitlines()[0]
+        assert "exptime_types_bits" in telemetry.table()
+        summary_row = telemetry.summary()[_FakePlan.telemetry_key]
+        assert summary_row["top_decider"] == "exptime_types_bits"
+        registry = MetricsRegistry()
+        telemetry.register_metrics(registry)
+        rendered = registry.render_prometheus()
+        assert 'repro_plan_answers_total' in rendered
+        assert 'backend="bitset"' in rendered
+
+    def test_engine_stats_backend_counters(self):
+        stats = EngineStats(backend_answers={"bitset": 3, "object": 1})
+        assert stats.as_dict()["backend_answers"] == {"bitset": 3, "object": 1}
+        assert "bitset 3" in stats.describe()
+        registry = MetricsRegistry()
+        stats.register_metrics(registry)
+        rendered = registry.render_prometheus()
+        assert 'repro_backend_answers_total{backend="bitset"} 3' in rendered
+
+
+class TestWideSchemaOracle:
+    def test_wide_schema_cross_check(self, rng):
+        """The differential oracle on a 64-type wide schema: the bitset
+        decider (registered, so included in every cross-check) must agree
+        with decide() and with brute-force enumeration.  Shallow bounds —
+        the wide_dtd heap has depth <= 2 under T0..T6, so small witnesses
+        suffice."""
+        from repro.testing.oracle import OracleBounds, cross_check
+
+        dtd = wide_dtd(64)
+        labels = [f"T{i}" for i in range(7)]
+        bounds = OracleBounds(
+            max_depth=3, max_width=2, max_nodes=7, max_trees=4_000,
+            words_per_type=3,
+        )
+        disagreements = []
+        checked = 0
+        bitset_verdicts = 0
+        for _ in range(12):
+            query = random_query(rng, REC_NEG_DOWN_UNION, labels, max_depth=2)
+            outcome = cross_check(query, dtd, bounds)
+            checked += outcome.checked
+            bitset_verdicts += outcome.verdicts.get(
+                "exptime_types_bits"
+            ) is not None
+            if outcome.disagreements:
+                disagreements.append((str(query), outcome.disagreements))
+        assert checked > 0
+        assert bitset_verdicts > 0, "bitset decider never reached a verdict"
+        assert not disagreements, disagreements
+
+
+class TestBenchmarkSmoke:
+    def test_quick_sweep_smoke(self):
+        """Tier-1 smoke for the symbolic-backend benchmark: the sweep
+        machinery runs end-to-end on a small schema and its internal
+        verdict-equivalence assertion holds (the >=2x bar is full-mode
+        only)."""
+        from benchmarks.bench_symbolic_backend import run_sweep
+
+        entries = run_sweep(type_counts=(32,))
+        assert entries[0]["types"] == 32
+        assert entries[0]["queries"] == 8
+        assert entries[0]["object_ms"] > 0 and entries[0]["bitset_ms"] > 0
+
+
+class TestPoolLanePromotion:
+    """The acceptance-criteria path: the bitset backend promoted by
+    *measurement* (seeded cost model), answering through real pool
+    lanes, with verdicts identical to the object backend."""
+
+    def test_promoted_bitset_backend_answers_on_lanes(self):
+        dtd = wide_dtd(48)
+        queries = [
+            "**/T9[T28 and not(T29)]",
+            "T1[not(T4/T13) and **/T16]",
+            "**/T5[not(T16 or T17)]/T18",
+            "**/T10[not(T31)][not(T32)]",
+        ]
+        reference = {
+            text: sat_exptime_types(parse_query(text), dtd).satisfiable
+            for text in queries
+        }
+
+        cost_model = CostModel(min_samples=3)
+        bucket = size_bucket(dtd.size())
+        for text in queries:
+            signature = feature_signature(
+                features_of(canonicalize(parse_query(text)))
+            )
+            for _ in range(3):
+                # both measured and above the inline threshold, so the
+                # plan is reordered in favour of the bitset backend but
+                # stays routed to the pool lanes
+                cost_model.observe(signature, bucket, "exptime_types_bits", 20.0)
+                cost_model.observe(signature, bucket, "exptime_types", 50.0)
+
+        registry = SchemaRegistry()
+        registry.register("wide", dtd)
+        engine = BatchEngine(
+            registry=registry, workers=2, cost_model=cost_model,
+            group_by_plan=True,
+        )
+        report = engine.run([
+            Job(text, "wide", id=f"q{index}")
+            for index, text in enumerate(queries)
+        ])
+        assert report.stats.errors == 0
+        assert report.stats.pool_decides > 0, "must exercise real pool lanes"
+        for result in report.results:
+            assert result.satisfiable == reference[result.query], result.query
+        assert report.stats.backend_answers.get("bitset", 0) > 0
+        for key, stats in engine.telemetry.items():
+            if "exptime_types" in key:
+                assert stats.top_decider == "exptime_types_bits"
