@@ -59,6 +59,22 @@ Subcommands
     model, and the decision cache across processes: a rerun on a
     previously-seen workload starts warm (zero plans built).
 
+``serve``
+    Run the engine as a long-lived daemon speaking the same JSONL job
+    protocol over a unix socket or TCP port (see
+    :mod:`repro.engine.server` for protocol and backpressure details)::
+
+        python -m repro serve --socket /run/repro.sock \
+            --schema catalog=catalog.dtd --workers 4 --state-dir state/
+        python -m repro serve --port 7077 --schema-dir schemas/
+
+    Clients write job lines and read streamed result lines on the same
+    connection.  The engine — lanes, caches, cost model — persists
+    across every request; SIGTERM drains in-flight jobs, snapshots
+    ``--state-dir``, and exits 0.  ``--max-inflight`` bounds admitted
+    jobs (excess gets a ``retry`` response), ``--snapshot-interval``
+    controls periodic state snapshots.
+
 ``stats``
     Aggregate a batch result file (verdicts, methods, routes, schemas)::
 
@@ -94,6 +110,7 @@ import argparse
 import glob
 import json
 import os
+import signal
 import sys
 
 from repro.containment import contains as containment_check
@@ -237,27 +254,40 @@ def _build_registry(args: argparse.Namespace) -> SchemaRegistry:
     return registry
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    if args.cache_size < 1:
-        raise EngineError(f"--cache-size must be positive, got {args.cache_size}")
-    if args.repeat < 1:
-        raise EngineError(f"--repeat must be positive, got {args.repeat}")
-    registry = _build_registry(args)
-    # observability: a tracer exists only when asked for — the engine's
-    # default-off tracing branches then cost nothing but a None check
-    tracer = None
+class _SignalExit(Exception):
+    """Raised from the batch signal handler to unwind into the
+    snapshot-and-exit path (never escapes ``_cmd_batch``)."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+def _make_tracer(args: argparse.Namespace):
+    """Tracer + slow-query log from the shared observability flags.  A
+    tracer exists only when asked for — the engine's default-off tracing
+    branches then cost nothing but a None check."""
     slow_log = None
     if args.slow_ms is not None or args.slow_log is not None:
         slow_log = SlowQueryLog(
             threshold_ms=args.slow_ms if args.slow_ms is not None else 250.0,
             path=args.slow_log,
         )
+    tracer = None
     if args.trace_out is not None or slow_log is not None:
         sinks = (
             (JsonlTraceSink(args.trace_out),) if args.trace_out is not None
             else ()
         )
         tracer = Tracer(sinks=sinks, slow_log=slow_log)
+    return tracer, slow_log
+
+
+def _make_engine(args: argparse.Namespace, registry, tracer) -> BatchEngine:
+    """One engine from the shared tunable flags (``batch`` and ``serve``
+    construct their engines identically)."""
+    if args.cache_size < 1:
+        raise EngineError(f"--cache-size must be positive, got {args.cache_size}")
     engine = BatchEngine(
         registry=registry,
         cache=DecisionCache(capacity=args.cache_size),
@@ -277,59 +307,131 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{engine.persisted_decisions_loaded} cached decisions loaded "
             f"from {args.state_dir}"
         )
-    if args.jobs == "-":
-        jobs = list(read_jobs(sys.stdin))
-    else:
-        jobs = read_jobs_file(args.jobs)
+    return engine
 
-    passes = []
-    report = None
-    for pass_number in range(1, args.repeat + 1):
-        current = engine.run(jobs)
-        passes.append(current.stats)
-        if report is None:
-            report = current  # --out gets the cold pass: real methods/timings
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise EngineError(f"--repeat must be positive, got {args.repeat}")
+    registry = _build_registry(args)
+    tracer, slow_log = _make_tracer(args)
+    engine = _make_engine(args, registry, tracer)
+
+    # a SIGINT/SIGTERM mid-run must not lose the run's plans, telemetry,
+    # and cost samples: unwind via _SignalExit, snapshot the state dir,
+    # close the engine (the finally), and exit 128+signum
+    def _interrupt(signum, frame):
+        raise _SignalExit(signum)
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _interrupt)
+    except ValueError:
+        # not the main thread (embedded use): no handlers, old behaviour
+        pass
+    try:
+        if args.jobs == "-":
+            jobs = list(read_jobs(sys.stdin))
+        else:
+            jobs = read_jobs_file(args.jobs)
+
+        passes = []
+        report = None
+        for pass_number in range(1, args.repeat + 1):
+            current = engine.run(jobs)
+            passes.append(current.stats)
+            if report is None:
+                report = current  # --out gets the cold pass: real methods/timings
+            print(
+                f"pass {pass_number}: {current.stats.jobs} jobs, "
+                f"{current.stats.decide_calls} decide() calls, "
+                f"{current.stats.cache_hits} cache hits, "
+                f"{current.stats.elapsed_s:.3f}s"
+            )
+        assert report is not None
+
+        if args.out == "-":
+            write_results(sys.stdout, report)
+        elif args.out is not None:
+            write_results_file(args.out, report)
+            print(f"wrote {len(report.results)} results to {args.out}")
+
+        counts = report.verdict_counts()
         print(
-            f"pass {pass_number}: {current.stats.jobs} jobs, "
-            f"{current.stats.decide_calls} decide() calls, "
-            f"{current.stats.cache_hits} cache hits, "
-            f"{current.stats.elapsed_s:.3f}s"
+            f"verdicts      : {counts['sat']} sat, {counts['unsat']} unsat, "
+            f"{counts['unknown']} unknown, {counts['error']} errors"
         )
-    assert report is not None
+        print(passes[-1].describe())
+        if args.state_dir is not None:
+            engine.save_state()
+            print(f"state: saved to {args.state_dir}")
+        if args.stats_json is not None:
+            with open(args.stats_json, "w") as handle:
+                json.dump([stats.as_dict() for stats in passes], handle, indent=2)
+                handle.write("\n")
+        if tracer is not None:
+            tracer.close()
+            if args.trace_out is not None:
+                print(
+                    f"traces        : {tracer.finished} recorded "
+                    f"to {args.trace_out}"
+                )
+            if slow_log is not None:
+                threshold = args.slow_ms if args.slow_ms is not None else 250.0
+                print(
+                    f"slow queries  : {slow_log.count} over {threshold:g}ms"
+                    + (f" (logged to {args.slow_log})" if args.slow_log else "")
+                )
+        return 0
+    except _SignalExit as exit_signal:
+        print(
+            f"\ninterrupted by {exit_signal} — saving state before exit",
+            file=sys.stderr,
+        )
+        if args.state_dir is not None:
+            engine.save_state()
+            print(f"state: saved to {args.state_dir}", file=sys.stderr)
+        if tracer is not None:
+            tracer.close()
+        return 128 + exit_signal.signum
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        if not engine.closed:
+            engine.close()
 
-    if args.out == "-":
-        write_results(sys.stdout, report)
-    elif args.out is not None:
-        write_results_file(args.out, report)
-        print(f"wrote {len(report.results)} results to {args.out}")
 
-    counts = report.verdict_counts()
-    print(
-        f"verdicts      : {counts['sat']} sat, {counts['unsat']} unsat, "
-        f"{counts['unknown']} unknown, {counts['error']} errors"
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.server import EngineServer
+
+    registry = _build_registry(args)
+    tracer, _slow_log = _make_tracer(args)
+    engine = _make_engine(args, registry, tracer)
+    server = EngineServer(
+        engine,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        snapshot_interval=(
+            args.snapshot_interval if args.state_dir is not None else None
+        ),
+        on_ready=lambda ready: print(f"serving on {ready.endpoint}", flush=True),
     )
-    print(passes[-1].describe())
-    if args.state_dir is not None:
-        engine.save_state()
-        print(f"state: saved to {args.state_dir}")
-    if args.stats_json is not None:
-        with open(args.stats_json, "w") as handle:
-            json.dump([stats.as_dict() for stats in passes], handle, indent=2)
-            handle.write("\n")
-    if tracer is not None:
-        tracer.close()
-        if args.trace_out is not None:
-            print(
-                f"traces        : {tracer.finished} recorded "
-                f"to {args.trace_out}"
-            )
-        if slow_log is not None:
-            threshold = args.slow_ms if args.slow_ms is not None else 250.0
-            print(
-                f"slow queries  : {slow_log.count} over {threshold:g}ms"
-                + (f" (logged to {args.slow_log})" if args.slow_log else "")
-            )
-    return 0
+    try:
+        code = server.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(
+        f"served {server.stats.jobs_admitted} jobs over "
+        f"{server.stats.connections_total} connections "
+        f"({server.stats.retries_shed} shed, "
+        f"{server.stats.snapshots} snapshots)"
+    )
+    return code
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -455,6 +557,81 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Shared engine flags: ``batch`` and ``serve`` build identical engines."""
+    parser.add_argument(
+        "--schema", action="append", metavar="NAME=PATH",
+        help="register a DTD file under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--schema-dir", metavar="DIR",
+        help="register every *.dtd file in DIR under its basename",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for heavy (EXPTIME/NEXPTIME) jobs (default 1: inline)",
+    )
+    parser.add_argument(
+        "--group-by-plan", action=argparse.BooleanOptionalAction, default=None,
+        help="group pooled jobs by plan and dispatch each group as one "
+             "worker task with shared per-plan setup (default: on, or the "
+             "state dir's persisted setting)",
+    )
+    parser.add_argument(
+        "--group-chunk-size", type=int, default=None, metavar="N",
+        help="max jobs dispatched per plan-group chunk (default 16, or "
+             "the state dir's persisted setting)",
+    )
+    parser.add_argument(
+        "--affinity", action=argparse.BooleanOptionalAction, default=None,
+        help="route plan-group chunks to persistent worker lanes by "
+             "schema-fingerprint affinity, so lane runtimes keep schemas "
+             "and prepared contexts warm across chunks (default: on, or "
+             "the state dir's persisted setting; --no-affinity restores "
+             "stateless pooling)",
+    )
+    parser.add_argument(
+        "--lane-queue-depth", type=int, default=None, metavar="N",
+        help="in-flight chunks a preferred lane may hold before a chunk "
+             "spills to the least-loaded lane (default 4, or the state "
+             "dir's persisted setting)",
+    )
+    parser.add_argument(
+        "--decision-cap", type=int, default=None, metavar="N",
+        help="max persisted decision-cache entries per schema when saving "
+             "--state-dir (default 512)",
+    )
+    parser.add_argument(
+        "--telemetry-max-age", type=float, default=None, metavar="DAYS",
+        help="age out persisted telemetry rows not seen for DAYS when "
+             "saving --state-dir (default 30)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="decision-cache capacity (default 4096 entries)",
+    )
+    parser.add_argument(
+        "--state-dir", metavar="DIR",
+        help="load persisted plans/telemetry/cost-model/decisions from DIR "
+             "at startup and save back after the run (warm cross-process starts)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record one JSONL span tree per job (render with 'repro trace')",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query threshold: jobs at or over MS are kept with their "
+             "full span tree and plan explanation (default 250 when "
+             "--slow-log is given)",
+    )
+    parser.add_argument(
+        "--slow-log", metavar="PATH",
+        help="append slow-query records (span tree + plan explanation) "
+             "to PATH as JSONL",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -508,60 +685,10 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="decide a JSONL workload with the batch engine"
     )
     batch.add_argument("jobs", help="JSONL job file ('-' for stdin)")
-    batch.add_argument(
-        "--schema", action="append", metavar="NAME=PATH",
-        help="register a DTD file under NAME (repeatable)",
-    )
-    batch.add_argument(
-        "--schema-dir", metavar="DIR",
-        help="register every *.dtd file in DIR under its basename",
-    )
+    _add_engine_options(batch)
     batch.add_argument(
         "--out", metavar="PATH",
         help="write per-job results as JSONL ('-' for stdout)",
-    )
-    batch.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool size for heavy (EXPTIME/NEXPTIME) jobs (default 1: inline)",
-    )
-    batch.add_argument(
-        "--group-by-plan", action=argparse.BooleanOptionalAction, default=None,
-        help="group pooled jobs by plan and dispatch each group as one "
-             "worker task with shared per-plan setup (default: on, or the "
-             "state dir's persisted setting)",
-    )
-    batch.add_argument(
-        "--group-chunk-size", type=int, default=None, metavar="N",
-        help="max jobs dispatched per plan-group chunk (default 16, or "
-             "the state dir's persisted setting)",
-    )
-    batch.add_argument(
-        "--affinity", action=argparse.BooleanOptionalAction, default=None,
-        help="route plan-group chunks to persistent worker lanes by "
-             "schema-fingerprint affinity, so lane runtimes keep schemas "
-             "and prepared contexts warm across chunks (default: on, or "
-             "the state dir's persisted setting; --no-affinity restores "
-             "stateless pooling)",
-    )
-    batch.add_argument(
-        "--lane-queue-depth", type=int, default=None, metavar="N",
-        help="in-flight chunks a preferred lane may hold before a chunk "
-             "spills to the least-loaded lane (default 4, or the state "
-             "dir's persisted setting)",
-    )
-    batch.add_argument(
-        "--decision-cap", type=int, default=None, metavar="N",
-        help="max persisted decision-cache entries per schema when saving "
-             "--state-dir (default 512)",
-    )
-    batch.add_argument(
-        "--telemetry-max-age", type=float, default=None, metavar="DAYS",
-        help="age out persisted telemetry rows not seen for DAYS when "
-             "saving --state-dir (default 30)",
-    )
-    batch.add_argument(
-        "--cache-size", type=int, default=4096,
-        help="decision-cache capacity (default 4096 entries)",
     )
     batch.add_argument(
         "--repeat", type=int, default=1, metavar="K",
@@ -571,27 +698,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", metavar="PATH",
         help="write per-pass engine stats as JSON",
     )
-    batch.add_argument(
-        "--state-dir", metavar="DIR",
-        help="load persisted plans/telemetry/cost-model/decisions from DIR "
-             "at startup and save back after the run (warm cross-process starts)",
-    )
-    batch.add_argument(
-        "--trace-out", metavar="PATH",
-        help="record one JSONL span tree per job (render with 'repro trace')",
-    )
-    batch.add_argument(
-        "--slow-ms", type=float, default=None, metavar="MS",
-        help="slow-query threshold: jobs at or over MS are kept with their "
-             "full span tree and plan explanation (default 250 when "
-             "--slow-log is given)",
-    )
-    batch.add_argument(
-        "--slow-log", metavar="PATH",
-        help="append slow-query records (span tree + plan explanation) "
-             "to PATH as JSONL",
-    )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a long-lived engine daemon speaking the JSONL job "
+             "protocol over a unix socket or TCP port",
+    )
+    _add_engine_options(serve)
+    serve.add_argument(
+        "--socket", metavar="PATH",
+        help="listen on a unix domain socket at PATH",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address for --port (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on TCP port N (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="max jobs folded into one engine.run() per connection "
+             "(default 256)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admitted-but-unfinished jobs across all connections before "
+             "new jobs are shed with a retry response (default: workers x "
+             "lane queue depth x chunk size)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=300.0, metavar="SECONDS",
+        help="seconds between periodic save_state() snapshots when "
+             "--state-dir is set (default 300)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
         "stats", help="aggregate a batch result file or persisted plan telemetry"

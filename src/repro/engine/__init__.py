@@ -17,7 +17,10 @@ package amortizes their setup across production-scale workloads:
   schemas and prepared contexts (:class:`WorkerRuntime`) across chunks
   with schema-fingerprint affinity routing;
 * :mod:`repro.engine.jobs` — JSONL serialization driving ``python -m
-  repro batch``.
+  repro batch``;
+* :mod:`repro.engine.server` — :class:`EngineServer`, the asyncio daemon
+  behind ``python -m repro serve``: one shared engine multiplexed across
+  concurrent JSONL connections, with admission control and snapshots.
 """
 
 from repro.engine.batch import (
@@ -47,6 +50,7 @@ from repro.engine.jobs import (
     write_results_file,
 )
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_fingerprint
+from repro.engine.server import EngineServer, ServerStats
 from repro.engine.state import PersistedState, load_state, save_state
 
 __all__ = [
@@ -56,6 +60,7 @@ __all__ = [
     "ChunkOutcome", "ChunkTask", "Executor", "ExecutorStats",
     "InlineExecutor", "PersistentPoolExecutor", "WorkerRuntime",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
+    "EngineServer", "ServerStats",
     "PersistedState", "load_state", "save_state",
     "read_jobs", "read_jobs_file", "write_jobs_file",
     "write_results", "write_results_file",

@@ -43,7 +43,15 @@ workload:
    is respawned cold with its in-flight chunks retried once.  Disable
    with ``affinity=False`` (``--no-affinity``) for PR-4-style stateless
    pooling; affinity is a pure scheduling change too — same
-   bit-identical guarantees as grouping.
+   bit-identical guarantees as grouping;
+7. **an engine lifecycle** — executors are *engine*-lifetime, not
+   run-lifetime: worker lanes, their shipped-DTD sets, and their runtime
+   context caches persist across :meth:`BatchEngine.run` calls, so the
+   second batch over the same schemas ships zero DTDs and starts from
+   warm contexts.  The engine is a context manager; ``close()`` releases
+   the lanes, and a closed engine refuses further runs instead of
+   hanging on torn-down queues.  This is what lets one engine back a
+   long-lived service (:mod:`repro.engine.server`).
 
 Identical in-flight questions are coalesced: within one batch, a question
 is decided at most once no matter how many jobs ask it.
@@ -53,7 +61,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import EngineError, ReproError
 from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key_for
@@ -66,6 +74,7 @@ from repro.engine.executors import (
     PersistentPoolExecutor,
 )
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import FAILED, JobTrace, Span, Tracer, attempt_spans
 from repro.sat.bounded import Bounds
@@ -83,6 +92,8 @@ from repro.xpath.ast import Path
 from repro.xpath.canonical import canonicalize
 from repro.xpath.fragments import features_of
 from repro.xpath.parser import parse_query
+
+_LOG = get_logger("repro.engine.batch")
 
 
 @dataclass(frozen=True)
@@ -196,6 +207,11 @@ class EngineStats:
     affinity_spills: int = 0
     lane_respawns: int = 0
     chunk_retries: int = 0
+    # warm executors discarded this run because a tunable flipped (e.g.
+    # `affinity` changed between runs): each reset throws away a
+    # runtime's cached DTDs and contexts, so a nonzero value explains a
+    # cold-looking run on a long-lived engine
+    executor_resets: int = 0
     # lane health (this run): per-chunk enqueue→absorb dwell (queue +
     # IPC time, executor execution excluded), and per-lane gauges — the
     # runtime context-cache occupancy and lifetime evictions reported by
@@ -286,6 +302,7 @@ class EngineStats:
             "affinity_spills": self.affinity_spills,
             "lane_respawns": self.lane_respawns,
             "chunk_retries": self.chunk_retries,
+            "executor_resets": self.executor_resets,
             "chunk_dwell_p50_ms": round(self.dwell_percentile(0.5), 4),
             "chunk_dwell_p90_ms": round(self.dwell_percentile(0.9), 4),
             "lane_health": {
@@ -322,7 +339,8 @@ class EngineStats:
             f"{self.dtd_ships} DTD ships, "
             f"{self.runtime_context_hits} runtime-context hits, "
             f"{self.affinity_spills} spills, {self.lane_respawns} respawns, "
-            f"{self.chunk_retries} chunk retries",
+            f"{self.chunk_retries} chunk retries, "
+            f"{self.executor_resets} executor resets",
             f"backends      : " + (
                 ", ".join(
                     f"{backend} {count}"
@@ -369,6 +387,7 @@ class EngineStats:
             ("affinity_spills", "chunks spilled off their preferred lane"),
             ("lane_respawns", "worker lanes respawned after death"),
             ("chunk_retries", "in-flight chunks retried after lane death"),
+            ("executor_resets", "warm executors discarded after a tunable flip"),
             ("explore_probes", "cost-model exploration probes"),
         ):
             registry.counter(f"repro_{name}_total", help_text).inc(
@@ -493,7 +512,13 @@ class BatchEngine:
     """Execute batches of ``(query, schema_ref)`` jobs with schema-artifact
     reuse, plan-cached routing, decision caching, and a plan-grouped
     process pool of persistent, schema-affine worker lanes for heavy
-    fragments."""
+    fragments.
+
+    The engine is a long-lived object with an explicit lifecycle: both
+    executors (inline and pool) live as long as the engine, so lanes and
+    their runtime caches stay warm across :meth:`run` calls.  Use it as
+    a context manager, or call :meth:`close` when done — a closed engine
+    raises :class:`~repro.errors.EngineError` on further use."""
 
     #: pool-executor constructor (``factory(workers, affinity=...,
     #: lane_queue_depth=...) -> Executor``); a seam for tests that
@@ -608,10 +633,21 @@ class BatchEngine:
         # handful of predictable `is not None` checks per job
         self.tracer = tracer
         self.last_stats: EngineStats | None = None
-        # the single-worker executor is engine-lifetime: its WorkerRuntime
-        # keeps prepared contexts warm across run() calls (created lazily
-        # so a pooled engine never allocates it)
+        # extra stat sources folded into metrics_registry() (e.g. the
+        # serving front-end registers its connection/inflight gauges
+        # here so they land in the state dir's metrics.prom)
+        self.metrics_sources: list[Any] = []
+        # both executors are engine-lifetime (created lazily): the inline
+        # WorkerRuntime and the pool's lanes keep DTDs and prepared
+        # contexts warm across run() calls.  _pool_config remembers the
+        # tunables the pool was built with so a flip discards it cleanly
+        # (counted in executor_resets) instead of silently serving the
+        # new settings from a stale executor.
         self._inline_executor: InlineExecutor | None = None
+        self._pool_executor: Executor | None = None
+        self._pool_config: tuple[bool, int] | None = None
+        self.executor_resets = 0
+        self._closed = False
         self._next_task_id = 0
         if state_dir is not None:
             self.load_state(state_dir)
@@ -692,6 +728,8 @@ class BatchEngine:
         self.cost_model.register_metrics(registry)
         if self.tracer is not None:
             self.tracer.register_metrics(registry)
+        for source in self.metrics_sources:
+            source.register_metrics(registry)
         return registry
 
     def retune(self, decay: float | None = None) -> int:
@@ -710,18 +748,87 @@ class BatchEngine:
             + self.registry.discard_pending_plans()
         )
 
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the engine's executors — worker lanes, their runtimes,
+        and the inline runtime.  State is *not* saved here (call
+        :meth:`save_state` first if wanted).  Closing twice raises: a
+        double close means two owners think they hold the engine's
+        lifecycle, which is the bug worth surfacing."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        self._closed = True
+        try:
+            if self._pool_executor is not None:
+                self._pool_executor.close()
+        finally:
+            self._pool_executor = None
+            self._pool_config = None
+            if self._inline_executor is not None:
+                self._inline_executor.close()
+                self._inline_executor = None
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._closed:
+            self.close()
+        return False
+
     # -- execution ----------------------------------------------------------
     def _inline(self) -> InlineExecutor:
         """The engine-lifetime single-worker executor.  Its runtime caches
-        survive across :meth:`run` calls; it is recreated only when the
+        survive across :meth:`run` calls; it is rebuilt only when the
         affinity flag changed since it was built (e.g. a persisted
-        tunable arriving after first use)."""
+        tunable arriving after first use, or a caller flipping the
+        attribute between runs) — the old executor is closed and the
+        reset is counted, never silent."""
         if (
-            self._inline_executor is None
-            or self._inline_executor.affinity != self.affinity
+            self._inline_executor is not None
+            and self._inline_executor.affinity != self.affinity
         ):
+            _LOG.warning(
+                "affinity flipped to %s since the inline executor was "
+                "built; discarding its warm runtime", self.affinity,
+            )
+            self._inline_executor.close()
+            self._inline_executor = None
+            self.executor_resets += 1
+        if self._inline_executor is None:
             self._inline_executor = InlineExecutor(affinity=self.affinity)
         return self._inline_executor
+
+    def _pool(self) -> Executor:
+        """The engine-lifetime pool executor: lanes (and their shipped-DTD
+        sets and runtime caches) persist across :meth:`run` calls.  Like
+        :meth:`_inline`, a tunable flip discards the warm pool with an
+        accounted, logged reset."""
+        config = (self.affinity, self.lane_queue_depth)
+        if self._pool_executor is not None and self._pool_config != config:
+            _LOG.warning(
+                "scheduler tunables changed (affinity=%s, lane_queue_depth=%d)"
+                " since the pool was built; discarding its warm lanes",
+                *config,
+            )
+            self._discard_pool()
+            self.executor_resets += 1
+        if self._pool_executor is None:
+            self._pool_executor = self._make_pool()
+            self._pool_config = config
+        return self._pool_executor
+
+    def _discard_pool(self) -> None:
+        if self._pool_executor is not None:
+            try:
+                self._pool_executor.close()
+            finally:
+                self._pool_executor = None
+                self._pool_config = None
 
     def _make_pool(self) -> Executor:
         return self._executor_factory(
@@ -734,13 +841,30 @@ class BatchEngine:
         self._next_task_id += 1
         return self._next_task_id
 
-    def run(self, jobs: Iterable[Job | dict | tuple | str]) -> BatchReport:
+    def run(
+        self,
+        jobs: Iterable[Job | dict | tuple | str],
+        on_result: Callable[[JobResult], None] | None = None,
+    ) -> BatchReport:
         """Decide every job; returns per-job results (input order) and
-        aggregate stats for this run."""
+        aggregate stats for this run.
+
+        ``on_result`` (optional) is invoked exactly once per job, with
+        the finalized :class:`JobResult`, the moment that job's verdict
+        lands — cache hits and intake errors during the scan, inline
+        decisions as they execute, pooled ones as their chunk is
+        absorbed.  Callbacks arrive out of input order; the returned
+        report still lists results in input order.  A serving front-end
+        uses this to stream responses while the batch is in flight."""
+        if self._closed:
+            raise EngineError(
+                "run() on a closed engine (close() was already called)"
+            )
         start = time.perf_counter()
         stats = EngineStats(workers=self.workers, affinity=self.affinity)
         planner_invocations_before = self.planner.invocations
         plan_hits_before = self.planner.cache_hits
+        resets_before = self.executor_resets
         tracer = self.tracer
         # job index -> its in-flight trace; spans for pooled jobs are
         # reassembled here at absorb time from lane-side outcomes
@@ -759,7 +883,25 @@ class BatchEngine:
         # ("chunk", group, entries, enqueued) |
         # ("single", key, indices, plan, artifacts, canonical, enqueued)
         submitted: dict[int, tuple] = {}
+        # the engine-lifetime pool, acquired lazily so a run with no
+        # pooled work never forks lanes; lane_respawns is reported as a
+        # per-run delta against the executor's lifetime counter
         pool: Executor | None = None
+        pool_respawns_before = 0
+
+        def emit(index: int) -> None:
+            """Stream one finalized result to the caller; every result
+            index passes here exactly once (pooled ones via the
+            exactly-once absorb pop)."""
+            if on_result is not None:
+                on_result(results[index])
+
+        def acquire_pool() -> Executor:
+            nonlocal pool, pool_respawns_before
+            if pool is None:
+                pool = self._pool()
+                pool_respawns_before = pool.stats().lane_respawns
+            return pool
 
         def submit_chunk(executor: Executor, group: PlanGroup,
                          chunk: list[_GroupEntry]) -> None:
@@ -808,6 +950,7 @@ class BatchEngine:
                             attrs={"error": str(error)},
                         )
                         tracer.finish(trace, verdict="error", route="error")
+                    emit(index)
                     continue
 
                 trace = None
@@ -843,6 +986,7 @@ class BatchEngine:
                             trace, verdict=verdict_name(cached.satisfiable),
                             route="cache",
                         )
+                    emit(index)
                     continue
                 if key in grouped_keys:
                     stats.coalesced += 1
@@ -913,8 +1057,7 @@ class BatchEngine:
                         and len(group.entries) - group.dispatched
                         >= self.group_chunk_size
                     ):
-                        if pool is None:
-                            pool = self._make_pool()
+                        pool = acquire_pool()
                         chunk = group.entries[
                             group.dispatched:
                             group.dispatched + self.group_chunk_size
@@ -923,8 +1066,7 @@ class BatchEngine:
                         submit_chunk(pool, group, chunk)
                     continue
                 if plan.route == "pool" and self.workers > 1:
-                    if pool is None:
-                        pool = self._make_pool()
+                    pool = acquire_pool()
                     task_id = self._take_task_id()
                     record = (
                         "single", key, [index], plan, artifacts, canonical,
@@ -979,6 +1121,7 @@ class BatchEngine:
                         tracer.finish(
                             trace, verdict="error", route="error", plan=plan
                         )
+                    emit(index)
                     continue
                 stats.decide_calls += 1
                 stats.inline_decides += 1
@@ -1001,6 +1144,7 @@ class BatchEngine:
                         trace, verdict=verdict_name(outcome.satisfiable),
                         route="inline", plan=plan,
                     )
+                emit(index)
                 self._explore(stats, plan, canonical, artifacts, exec_trace)
 
             # group tails: one chunk per worker task on the pool, or on
@@ -1012,9 +1156,7 @@ class BatchEngine:
             )
             if has_tails:
                 if self.workers > 1:
-                    if pool is None:
-                        pool = self._make_pool()
-                    tail_executor: Executor = pool
+                    tail_executor: Executor = acquire_pool()
                 else:
                     tail_executor = self._inline()
                 for group in groups.values():
@@ -1028,22 +1170,24 @@ class BatchEngine:
                                 chunk_start:chunk_start + self.group_chunk_size
                             ],
                         )
-            # the pool stays owned by this frame: the finally below is
-            # responsible for shutdown even if absorption raises
             if pool is not None:
                 self._absorb_all(
                     pool.drain(), submitted, results, stats, route="pool",
-                    tracer=tracer, traces=traces,
+                    tracer=tracer, traces=traces, emit=emit,
                 )
                 pool_stats = pool.stats()
                 stats.lanes = pool_stats.lanes
-                stats.lane_respawns = pool_stats.lane_respawns
+                # executor counters are lifetime; respawns this run is
+                # the delta against the pool's count when we acquired it
+                stats.lane_respawns = (
+                    pool_stats.lane_respawns - pool_respawns_before
+                )
                 stats.lane_peak_depth = dict(pool_stats.lane_peak_depth)
             if self._inline_executor is not None:
                 self._absorb_all(
                     self._inline_executor.drain(), submitted, results, stats,
                     route="inline",
-                    tracer=tracer, traces=traces,
+                    tracer=tracer, traces=traces, emit=emit,
                 )
             if tracer is not None:
                 # safety net: a trace a bug (or an absorbed-but-lost
@@ -1051,15 +1195,22 @@ class BatchEngine:
                 for trace in traces.values():
                     if not trace.finished:
                         tracer.finish(trace, verdict="unknown", route="lost")
-        finally:
+        except BaseException:
+            # an aborted run can leave chunks in flight on the lanes; a
+            # later run would absorb them against this run's (now dead)
+            # bookkeeping, so the warm pool is forfeited — it respawns
+            # cold on the next pooled run
             if pool is not None:
-                pool.close()
+                self._discard_pool()
+            raise
+        finally:
             if self._inline_executor is not None:
                 # chunks queued for a run that aborted must not leak into
                 # the next (a no-op on clean exits: drain emptied the queue)
                 self._inline_executor.cancel_pending()
 
         stats.elapsed_s = time.perf_counter() - start
+        stats.executor_resets = self.executor_resets - resets_before
         stats.planner_invocations = self.planner.invocations - planner_invocations_before
         stats.plan_cache_hits = self.planner.cache_hits - plan_hits_before
         stats.persisted_plans_loaded = self.registry.persisted_plans
@@ -1080,6 +1231,7 @@ class BatchEngine:
         route: str,
         tracer: Tracer | None = None,
         traces: dict[int, JobTrace] | None = None,
+        emit: Callable[[int], None] | None = None,
     ) -> None:
         """Fold every drained ``(task, outcome)`` pair into results and
         counters.  Each task is absorbed **exactly once**: the bookkeeping
@@ -1088,7 +1240,11 @@ class BatchEngine:
         — ``grouped_jobs``/``setup_reuse`` stay reconciled with the
         per-plan telemetry rows even across lane deaths.  The same pop
         makes lane-side span reassembly exactly-once: a job's trace is
-        finished by the record's first (and only) absorption."""
+        finished by the record's first (and only) absorption, and the
+        ``emit`` streaming callback fires once per finalized job."""
+        if emit is None:
+            def emit(index: int) -> None:
+                pass
         for task, outcome in outcomes:
             record = submitted.pop(task.task_id, None)
             if record is None:
@@ -1144,10 +1300,12 @@ class BatchEngine:
                                         trace, verdict="error",
                                         route="error", plan=group.plan,
                                     )
+                            emit(index)
                     continue
                 self._absorb_group(
                     group, chunk, outcome, results, stats, route=route,
                     tracer=tracer, traces=traces, dwell_ms=dwell_ms,
+                    emit=emit,
                 )
             else:
                 _, key, indices, plan, artifacts, canonical, _ = record
@@ -1160,6 +1318,7 @@ class BatchEngine:
                     key, indices, plan, artifacts, canonical, outcome,
                     results, stats,
                     tracer=tracer, traces=traces, dwell_ms=dwell_ms,
+                    emit=emit,
                 )
 
     @staticmethod
@@ -1197,6 +1356,7 @@ class BatchEngine:
         tracer: Tracer | None = None,
         traces: dict[int, JobTrace] | None = None,
         dwell_ms: float = 0.0,
+        emit: Callable[[int], None] = lambda index: None,
     ) -> None:
         """Fold one chunk's outcomes into results, the decision cache,
         telemetry, and the cost model.  When tracing, each leader job's
@@ -1290,6 +1450,7 @@ class BatchEngine:
                     result.error = error
                     result.method = "error"
                     result.route = "error"
+                    emit(index)
                 continue
             # errored entries are excluded so EngineStats and the per-plan
             # telemetry rows report the same grouped-job/reuse counts
@@ -1309,6 +1470,7 @@ class BatchEngine:
                 result.route = route
                 result.cached = ask_position > 0  # coalesced onto the first ask
                 result.elapsed_ms = trace.elapsed_ms if ask_position == 0 else 0.0
+                emit(index)
 
     def _absorb_single(
         self,
@@ -1323,6 +1485,7 @@ class BatchEngine:
         tracer: Tracer | None = None,
         traces: dict[int, JobTrace] | None = None,
         dwell_ms: float = 0.0,
+        emit: Callable[[int], None] = lambda index: None,
     ) -> None:
         """Fold one ungrouped pooled question back in (the
         ``--no-group-by-plan`` path: no group counters, no shared setup)."""
@@ -1372,6 +1535,7 @@ class BatchEngine:
                 results[index].error = error
                 results[index].method = "error"
                 results[index].route = "error"
+                emit(index)
             return
         trace = ExecutionTrace(attempts=attempts)
         self._observe(stats, plan, artifacts, trace, verdict_name(satisfiable))
@@ -1384,6 +1548,7 @@ class BatchEngine:
             result.method = method
             result.reason = reason
             result.cached = position > 0  # coalesced onto the first ask
+            emit(index)
 
     def _observe(
         self,

@@ -18,7 +18,9 @@ abstraction and two implementations:
 * :class:`PersistentPoolExecutor` — a pool of long-lived worker
   *lanes* (one process each), every lane owning a :class:`WorkerRuntime`
   that caches DTDs and prepared :class:`~repro.sat.planner.PlanContexts`
-  keyed by schema fingerprint **across chunks**.  The scheduler routes a
+  keyed by schema fingerprint **across chunks** — and, because the pool
+  itself is engine-lifetime, across
+  :meth:`~repro.engine.batch.BatchEngine.run` calls.  The scheduler routes a
   chunk to a lane by schema-fingerprint affinity (a consistent hash,
   spilling to the least-loaded lane when the preferred lane's queue is
   deep), ships the DTD to a lane only on first touch instead of pickling
@@ -310,12 +312,17 @@ class InlineExecutor:
         self.runtime = WorkerRuntime(caching=affinity)
         self._queue: list[tuple[ChunkTask, Any]] = []
         self._stats = ExecutorStats(lanes=0)
+        self._closed = False
 
     def submit(self, task: ChunkTask, dtd) -> None:
+        if self._closed:
+            raise EngineError("inline executor already closed")
         self._queue.append((task, dtd))
         self._stats.dispatched += 1
 
     def drain(self) -> Iterator[tuple[ChunkTask, ChunkOutcome]]:
+        if self._closed:
+            raise EngineError("inline executor already closed")
         while self._queue:
             task, dtd = self._queue.pop(0)
             outcome = self.runtime.run_chunk(task, dtd)
@@ -336,6 +343,7 @@ class InlineExecutor:
 
     def close(self) -> None:
         self._queue.clear()
+        self._closed = True
 
 
 def _worker_main(lane_id: int, caching: bool, requests, results) -> None:
@@ -529,6 +537,10 @@ class PersistentPoolExecutor:
             self._stats.dtd_ships += 1
 
     def drain(self) -> Iterator[tuple[ChunkTask, ChunkOutcome]]:
+        if self._closed:
+            # without this guard a drain on a closed pool would spin on
+            # the torn-down result queue forever
+            raise EngineError("executor already closed")
         while True:
             while self._failed:
                 yield self._failed.pop(0)
@@ -625,3 +637,12 @@ class PersistentPoolExecutor:
             lane.stop()
         self._results.close()
         self._results.cancel_join_thread()
+
+    def __del__(self) -> None:
+        # the pool is engine-lifetime: an engine dropped without close()
+        # must still reap its forked lanes (daemon processes would die
+        # with the interpreter, but not with the engine)
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

@@ -179,6 +179,61 @@ class TestBatch:
         assert "results : 5" in out
         assert "sat" in out and "unsat" in out
 
+    def test_sigint_mid_run_saves_state_and_exits_130(
+        self, schema_dir, jobs_file, tmp_path, monkeypatch, capsys
+    ):
+        # a signal between passes must snapshot --state-dir (plans,
+        # telemetry, cost samples) before exiting 128+SIGINT, not drop it
+        import os
+        import signal
+
+        from repro.engine import BatchEngine
+
+        state = tmp_path / "state"
+        original = BatchEngine.run
+
+        def interrupted(self, jobs, on_result=None):
+            report = original(self, jobs, on_result)
+            os.kill(os.getpid(), signal.SIGINT)
+            return report
+
+        monkeypatch.setattr(BatchEngine, "run", interrupted)
+        code = main([
+            "batch", jobs_file, "--schema-dir", schema_dir,
+            "--state-dir", str(state), "--repeat", "3",
+        ])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "SIGINT" in err
+        assert f"state: saved to {state}" in err
+        assert (state / "plans.json").exists()
+        assert (state / "telemetry.json").exists()
+
+    def test_sigint_without_state_dir_still_exits_130(
+        self, schema_dir, jobs_file, monkeypatch, capsys
+    ):
+        import os
+        import signal
+
+        from repro.engine import BatchEngine
+
+        original = BatchEngine.run
+
+        def interrupted(self, jobs, on_result=None):
+            report = original(self, jobs, on_result)
+            os.kill(os.getpid(), signal.SIGINT)
+            return report
+
+        monkeypatch.setattr(BatchEngine, "run", interrupted)
+        code = main(["batch", jobs_file, "--schema-dir", schema_dir])
+        assert code == 130
+        assert "SIGINT" in capsys.readouterr().err
+
+    def test_serve_requires_exactly_one_endpoint(self, schema_dir, capsys):
+        code = main(["serve", "--schema-dir", schema_dir])
+        assert code == 3
+        assert "exactly one endpoint" in capsys.readouterr().err
+
     def test_named_schema_and_stdout_results(self, tmp_path, jobs_file, capsys):
         import json
 

@@ -705,6 +705,199 @@ class TestWorkerDeathRecovery:
         assert stats.setup_reuse == 2
 
 
+# -- engine lifecycle ------------------------------------------------------------
+
+class TestEngineLifecycle:
+    """close() + context manager: a closed engine refuses work loudly
+    instead of hanging on a torn-down lane result queue."""
+
+    def test_run_after_close_raises(self, registry):
+        engine = BatchEngine(registry=registry)
+        engine.run([Job("X1", "threesat")])
+        engine.close()
+        with pytest.raises(EngineError, match="closed"):
+            engine.run([Job("X1", "threesat")])
+
+    def test_double_close_raises(self, registry):
+        engine = BatchEngine(registry=registry)
+        engine.close()
+        with pytest.raises(EngineError, match="already closed"):
+            engine.close()
+
+    def test_context_manager_closes(self, registry):
+        with BatchEngine(registry=registry) as engine:
+            report = engine.run([Job("X1", "threesat")])
+            assert report.stats.errors == 0
+        assert engine.closed
+        # explicit close inside the with-block must not double-close
+        with BatchEngine(registry=registry) as engine:
+            engine.close()
+        assert engine.closed
+
+    def test_close_reaps_pool_lanes(self, registry):
+        engine = BatchEngine(registry=registry, workers=2)
+        engine.run([Job("A[not(C)]", "disjfree"), Job("A[not(B)]", "disjfree")])
+        pool = engine._pool_executor
+        assert pool is not None
+        processes = [lane.process for lane in pool._lanes if lane.process]
+        engine.close()
+        assert engine._pool_executor is None
+        for process in processes:
+            process.join(timeout=10)
+            assert not process.is_alive()
+
+    def test_inline_executor_closed_guards(self, registry):
+        from repro.engine import InlineExecutor
+
+        executor = InlineExecutor(registry)
+        executor.close()
+        with pytest.raises(EngineError, match="closed"):
+            executor.submit(object(), None)
+        with pytest.raises(EngineError, match="closed"):
+            list(executor.drain())
+
+    def test_pool_drain_after_close_raises(self, registry):
+        from repro.engine import PersistentPoolExecutor
+
+        executor = PersistentPoolExecutor(workers=2)
+        executor.close()
+        executor.close()  # idempotent at the executor layer
+        with pytest.raises(EngineError, match="closed"):
+            list(executor.drain())
+
+    def test_affinity_flip_resets_pool_and_is_counted(self, registry, caplog):
+        heavy = TestWorkerDeathRecovery.HEAVY
+        engine = BatchEngine(registry=registry, workers=2, affinity=True)
+        first = engine.run([Job(q, "disjfree") for q in heavy[:3]])
+        assert first.stats.executor_resets == 0
+        old_pool = engine._pool_executor
+        assert old_pool is not None
+        engine.affinity = False
+        # fresh queries: no cache hit may short-circuit pool use
+        with caplog.at_level("WARNING", logger="repro.engine.batch"):
+            second = engine.run([Job(q, "disjfree") for q in heavy[3:]])
+        assert second.stats.errors == 0
+        # the warm pool was discarded, counted, and logged — not
+        # silently rebuilt
+        assert second.stats.executor_resets == 1
+        assert engine.executor_resets == 1
+        assert engine._pool_executor is not old_pool
+        assert old_pool._closed                     # old pool closed
+        assert any("affinity" in rec.message for rec in caplog.records)
+        assert "1 executor resets" in second.stats.describe()
+        assert second.stats.as_dict()["executor_resets"] == 1
+        engine.close()
+
+    def test_affinity_flip_resets_inline_executor(self, registry, caplog):
+        # with workers=1 heavy chunk tails run on the engine-lifetime
+        # inline executor; a flip must discard its warm runtime loudly
+        heavy = TestWorkerDeathRecovery.HEAVY
+        engine = BatchEngine(registry=registry, workers=1, affinity=True)
+        engine.run([Job(q, "disjfree") for q in heavy[:3]])
+        old_inline = engine._inline_executor
+        assert old_inline is not None
+        engine.affinity = False
+        with caplog.at_level("WARNING", logger="repro.engine.batch"):
+            second = engine.run([Job(q, "disjfree") for q in heavy[3:]])
+        assert second.stats.errors == 0
+        assert second.stats.executor_resets == 1
+        assert engine._inline_executor is not old_inline
+        assert any("affinity" in rec.message for rec in caplog.records)
+        engine.close()
+
+
+# -- cross-run lane persistence --------------------------------------------------
+
+class TestCrossRunPersistence:
+    """The pool is engine-lifetime: lanes, shipped-DTD sets, and worker
+    runtime contexts survive between run() calls, so a second batch over
+    the same schemas ships nothing and lands on warm contexts."""
+
+    # run-2 queries differ syntactically from run-1 (no decision-cache
+    # short-circuit) but share (fingerprint, telemetry key), so chunks
+    # land on warm runtime contexts
+    RUN1 = ["A[not(C)]", "A[not(B)]", ".[not(A)]", "B[not(A)]"]
+    RUN2 = ["C[not(B)]", "B[not(C)]", ".[not(B)]"]
+
+    def _engine(self, registry):
+        return BatchEngine(
+            registry=registry, workers=2, affinity=True, group_chunk_size=2
+        )
+
+    def test_second_run_ships_nothing_and_hits_warm_contexts(self, registry):
+        engine = self._engine(registry)
+        cold = engine.run([Job(q, "disjfree") for q in self.RUN1])
+        assert cold.stats.errors == 0
+        assert cold.stats.dtd_ships >= 1
+        warm = engine.run([Job(q, "disjfree") for q in self.RUN2])
+        assert warm.stats.errors == 0
+        assert warm.stats.dtd_ships == 0            # lanes kept the DTD
+        assert warm.stats.runtime_context_hits > 0  # and the warm contexts
+        # verdicts are bit-identical to a fresh engine's
+        fresh = self._engine(registry).run([Job(q, "disjfree") for q in self.RUN2])
+        assert [(r.satisfiable, r.method) for r in warm.results] == [
+            (r.satisfiable, r.method) for r in fresh.results
+        ]
+        engine.close()
+
+    def test_lane_killed_between_runs_recovers(self, registry):
+        engine = self._engine(registry)
+        first = engine.run([Job(q, "disjfree") for q in self.RUN1])
+        assert first.stats.errors == 0
+        pool = engine._pool_executor
+        victims = [lane.process for lane in pool._lanes if lane.process]
+        assert victims
+        for process in victims:
+            process.kill()
+            process.join(timeout=10)
+        second = engine.run([Job(q, "disjfree") for q in self.RUN2])
+        # dead lanes respawn with empty shipped sets: verdicts survive,
+        # the DTD is cleanly re-shipped
+        assert second.stats.errors == 0
+        assert second.stats.lane_respawns >= 1
+        assert second.stats.dtd_ships >= 1
+        fresh = self._engine(registry).run([Job(q, "disjfree") for q in self.RUN2])
+        assert [r.satisfiable for r in second.results] == [
+            r.satisfiable for r in fresh.results
+        ]
+        engine.close()
+
+
+# -- streamed results ------------------------------------------------------------
+
+class TestOnResultStreaming:
+    def test_on_result_fires_exactly_once_per_job(self, registry):
+        # every finalization path at once: intake error, parse error,
+        # cache hit, inline, coalesced duplicate, pooled heavy jobs
+        jobs = [
+            Job("X1", "threesat", id="inline"),
+            Job("X1", "threesat", id="duplicate"),
+            Job("A[[", "threesat", id="parse-error"),
+            Job("A", "nowhere", id="bad-schema"),
+            {"query": 5},
+            Job("A[not(C)]", "disjfree", id="heavy-1"),
+            Job("A[not(B)]", "disjfree", id="heavy-2"),
+            Job(".[not(A)]", "disjfree", id="heavy-3"),
+        ]
+        engine = BatchEngine(registry=registry, workers=2, group_chunk_size=2)
+        streamed = []
+        report = engine.run(jobs, on_result=streamed.append)
+        assert len(streamed) == len(report.results) == len(jobs)
+        # exactly the report's result objects, each seen once
+        assert {id(r) for r in streamed} == {id(r) for r in report.results}
+        engine.close()
+
+    def test_on_result_streams_cache_hits_on_warm_run(self, registry):
+        engine = BatchEngine(registry=registry)
+        jobs = [Job("X1", "threesat"), Job("A[C]", "disjfree")]
+        engine.run(jobs)
+        streamed = []
+        warm = engine.run(jobs, on_result=streamed.append)
+        assert warm.stats.cache_hits == len(jobs)
+        assert len(streamed) == len(jobs)
+        engine.close()
+
+
 # -- JSONL round trips -----------------------------------------------------------
 
 class TestJobsIO:

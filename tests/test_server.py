@@ -1,0 +1,248 @@
+"""Tests for the serving daemon (:mod:`repro.engine.server`).
+
+In-process tests drive the admission-control and stats layers directly;
+the smoke tests fork a real ``python -m repro serve`` daemon on a unix
+socket and speak the JSONL protocol over concurrent client connections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.engine import BatchEngine, EngineServer, SchemaRegistry
+from repro.engine.server import ServerStats, _Connection
+from repro.errors import EngineError
+
+DTD_TEXT = """
+root r
+r -> A, (B + C)
+A -> eps
+B -> eps
+C -> eps
+"""
+
+
+@pytest.fixture
+def engine():
+    registry = SchemaRegistry()
+    registry.register("catalog", DTD_TEXT)
+    engine = BatchEngine(registry=registry)
+    yield engine
+    if not engine.closed:
+        engine.close()
+
+
+# -- construction and admission control ------------------------------------------
+
+class TestServerConfig:
+    def test_requires_exactly_one_endpoint(self, engine):
+        with pytest.raises(EngineError, match="exactly one endpoint"):
+            EngineServer(engine)
+        with pytest.raises(EngineError, match="exactly one endpoint"):
+            EngineServer(engine, socket_path="x.sock", port=7000)
+
+    def test_rejects_bad_tunables(self, engine):
+        with pytest.raises(EngineError, match="max_batch"):
+            EngineServer(engine, port=0, max_batch=0)
+        with pytest.raises(EngineError, match="max_inflight"):
+            EngineServer(engine, port=0, max_inflight=0)
+        with pytest.raises(EngineError, match="snapshot_interval"):
+            EngineServer(engine, port=0, snapshot_interval=-1.0)
+
+    def test_default_inflight_bar_is_lane_capacity(self, engine):
+        server = EngineServer(engine, port=0)
+        assert server.max_inflight == (
+            engine.workers * engine.lane_queue_depth * engine.group_chunk_size
+        )
+
+    def test_stats_ride_the_engine_metrics_registry(self, engine):
+        EngineServer(engine, port=0)
+        rendered = engine.metrics_registry().render_prometheus()
+        assert "repro_server_connections_total" in rendered
+        assert "repro_server_active_connections" in rendered
+        assert "repro_server_inflight_jobs" in rendered
+        assert "repro_server_batch_ms" in rendered
+
+
+class TestAdmissionControl:
+    def test_invalid_line_gets_error_response(self, engine):
+        server = EngineServer(engine, port=0)
+        conn = _Connection(1)
+        server._ingest(conn, b'{"query": 5}\n')
+        record = conn.out_queue.get_nowait()
+        assert record["status"] == "error"
+        assert server.stats.invalid_lines == 1
+        assert server.stats.inflight_jobs == 0
+        assert not conn.pending
+
+    def test_blank_and_comment_lines_are_ignored(self, engine):
+        server = EngineServer(engine, port=0)
+        conn = _Connection(1)
+        server._ingest(conn, b"\n")
+        server._ingest(conn, b"# a comment\n")
+        assert conn.out_queue.empty()
+        assert not conn.pending
+
+    def test_backpressure_sheds_with_retry(self, engine):
+        server = EngineServer(engine, port=0, max_inflight=1)
+        conn = _Connection(1)
+        server._ingest(conn, b'{"query": "A", "schema": "catalog", "id": "a"}\n')
+        assert server.stats.jobs_admitted == 1
+        assert len(conn.pending) == 1
+        assert conn.wakeup.is_set()
+        server._ingest(conn, b'{"query": "B", "schema": "catalog", "id": "b"}\n')
+        record = conn.out_queue.get_nowait()
+        assert record == {
+            "id": "b",
+            "status": "retry",
+            "error": "backpressure: 1 jobs in flight (max 1); retry later",
+        }
+        assert server.stats.retries_shed == 1
+        assert len(conn.pending) == 1       # the shed job was never admitted
+
+    def test_snapshot_counter_lands_in_metrics(self, engine):
+        server = EngineServer(engine, port=0)
+        server.stats.snapshots = 3
+        rendered = engine.metrics_registry().render_prometheus()
+        assert "repro_server_snapshots_total 3" in rendered
+
+
+# -- end-to-end smoke over a unix socket -----------------------------------------
+
+def _client_exchange(sock_path: str, jobs: list[dict]) -> list[dict]:
+    """Connect, send every job line, read one response line per job
+    while the write side stays open (streaming, not request/response)."""
+    client = socket.socket(socket.AF_UNIX)
+    client.settimeout(60)
+    client.connect(sock_path)
+    with client, client.makefile("rw", encoding="utf-8") as stream:
+        for job in jobs:
+            stream.write(json.dumps(job) + "\n")
+        stream.flush()
+        return [json.loads(stream.readline()) for _ in jobs]
+
+
+class TestServeSmoke:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        dtd = tmp_path / "catalog.dtd"
+        dtd.write_text(DTD_TEXT)
+        sock = str(tmp_path / "repro.sock")
+        state = str(tmp_path / "state")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", sock, "--schema", f"catalog={dtd}",
+                "--state-dir", state,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, cwd=str(tmp_path), text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                if process.poll() is not None or time.monotonic() > deadline:
+                    raise AssertionError(
+                        f"serve did not come up: {process.stdout.read()}"
+                    )
+                time.sleep(0.05)
+            yield process, sock, state
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+    def test_two_concurrent_clients_stream_and_drain(self, daemon):
+        process, sock, state = daemon
+        outputs: dict[str, list[dict]] = {}
+
+        def client(tag: str, queries: list[str]) -> None:
+            outputs[tag] = _client_exchange(sock, [
+                {"query": query, "schema": "catalog", "id": f"{tag}-{i}"}
+                for i, query in enumerate(queries)
+            ])
+
+        threads = [
+            threading.Thread(
+                target=client, args=("one", ["A", "B", ".[B and C]"])
+            ),
+            threading.Thread(target=client, args=("two", ["C", "A[B]"])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert {r["id"] for r in outputs["one"]} == {"one-0", "one-1", "one-2"}
+        assert {r["id"] for r in outputs["two"]} == {"two-0", "two-1"}
+        by_id = {
+            r["id"]: r for records in outputs.values() for r in records
+        }
+        assert by_id["one-0"]["satisfiable"] is True
+        assert by_id["one-2"]["satisfiable"] is False   # B and C are exclusive
+        assert by_id["two-1"]["satisfiable"] is False   # A has no children
+
+        # graceful SIGTERM drain: exit 0, state + server gauges on disk,
+        # socket unlinked
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+        metrics = open(os.path.join(state, "metrics.prom")).read()
+        assert "repro_server_connections_total 2" in metrics
+        assert "repro_server_results_total 5" in metrics
+        assert "repro_server_active_connections 0" in metrics
+        assert "repro_server_inflight_jobs 0" in metrics
+        assert not os.path.exists(sock)
+
+    def test_streams_before_client_closes_write_side(self, daemon):
+        # a true streaming check: read the response while the connection
+        # is still open for writing, then keep using the same connection
+        _process, sock, _state = daemon
+        client = socket.socket(socket.AF_UNIX)
+        client.settimeout(60)
+        client.connect(sock)
+        with client, client.makefile("rw", encoding="utf-8") as stream:
+            stream.write('{"query": "A", "schema": "catalog", "id": "j1"}\n')
+            stream.flush()
+            first = json.loads(stream.readline())
+            assert first["id"] == "j1" and first["satisfiable"] is True
+            stream.write('{"query": "A[B]", "schema": "catalog", "id": "j2"}\n')
+            stream.flush()
+            second = json.loads(stream.readline())
+            assert second["id"] == "j2" and second["satisfiable"] is False
+
+    def test_sigterm_drains_inflight_jobs(self, daemon):
+        process, sock, _state = daemon
+        client = socket.socket(socket.AF_UNIX)
+        client.settimeout(60)
+        client.connect(sock)
+        with client, client.makefile("rw", encoding="utf-8") as stream:
+            jobs = [
+                {"query": query, "schema": "catalog", "id": f"d{i}"}
+                for i, query in enumerate(["A", "B", "C", ".[B and C]"])
+            ]
+            for job in jobs:
+                stream.write(json.dumps(job) + "\n")
+            stream.flush()
+            process.send_signal(signal.SIGTERM)
+            # every admitted job still streams its verdict before the
+            # server closes the connection
+            records = []
+            while True:
+                line = stream.readline()
+                if not line:
+                    break
+                records.append(json.loads(line))
+        admitted = {r["id"] for r in records if "id" in r}
+        assert admitted == {f"d{i}" for i in range(4)}
+        assert process.wait(timeout=30) == 0
