@@ -107,6 +107,7 @@ explanation (see the README's "Observability" section).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import glob
 import json
 import os
@@ -263,6 +264,33 @@ class _SignalExit(Exception):
         self.signum = signum
 
 
+@contextlib.contextmanager
+def _trap_signals(handler):
+    """Install ``handler`` for SIGINT/SIGTERM for the duration of the
+    block, restoring whatever handlers were installed before on **every**
+    exit path (normal return, :class:`~repro.errors.ReproError`,
+    :class:`_SignalExit`) — repeated in-process invocations must not
+    stack handlers or leak ours to the caller.  Install failures
+    (non-main thread, embedded use) degrade to no trapping; each restore
+    is independent so one failure cannot skip the other signal's
+    restore."""
+    previous: dict[int, object] = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handler)
+    except ValueError:
+        # not the main thread: no handlers, old behaviour
+        pass
+    try:
+        yield
+    finally:
+        for signum, previous_handler in previous.items():
+            try:
+                signal.signal(signum, previous_handler)
+            except (ValueError, OSError):
+                pass
+
+
 def _make_tracer(args: argparse.Namespace):
     """Tracer + slow-query log from the shared observability flags.  A
     tracer exists only when asked for — the engine's default-off tracing
@@ -323,13 +351,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     def _interrupt(signum, frame):
         raise _SignalExit(signum)
 
-    previous_handlers = {}
     try:
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            previous_handlers[signum] = signal.signal(signum, _interrupt)
-    except ValueError:
-        # not the main thread (embedded use): no handlers, old behaviour
-        pass
+        with _trap_signals(_interrupt):
+            return _run_batch_passes(args, engine, tracer, slow_log)
+    finally:
+        if not engine.closed:
+            engine.close()
+
+
+def _run_batch_passes(args, engine, tracer, slow_log) -> int:
     try:
         if args.jobs == "-":
             jobs = list(read_jobs(sys.stdin))
@@ -395,11 +425,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if tracer is not None:
             tracer.close()
         return 128 + exit_signal.signum
-    finally:
-        for signum, handler in previous_handlers.items():
-            signal.signal(signum, handler)
-        if not engine.closed:
-            engine.close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

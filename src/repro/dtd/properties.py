@@ -1,10 +1,16 @@
-"""DTD classification predicates (Sections 2.1 and 6).
+"""DTD classification predicates (Sections 2.1 and 6, plus the
+real-world classes of arXiv:1308.0769).
 
 * :func:`is_normalized` — productions of the shapes
   ``ε | B1,...,Bn | B1+...+Bn | B*`` (Section 2.1);
 * :func:`is_disjunction_free` — no ``+`` anywhere (Section 6.3);
 * :func:`is_nonrecursive` — acyclic dependency graph (Section 6.1);
 * :func:`is_no_star` — no Kleene star (Proposition 7.3's "no-star" DTDs);
+* :func:`is_duplicate_free` / :func:`is_disjunction_capsuled` /
+  :func:`is_dc_df_restrained` — the structural classes under which
+  Ishihara/Suzuki/Hashimoto (arXiv:1308.0769) prove qualifier and
+  parent-axis satisfiability tractable, covering most published
+  real-world DTDs (XHTML, DocBook, RSS, ...);
 * :func:`terminating_types` — the linear-time termination analysis the paper
   reduces to context-free-grammar emptiness (Section 2.1);
 * :func:`max_document_depth` — the depth bound ``|D|`` used by
@@ -62,27 +68,99 @@ def is_nonrecursive(dtd: DTD) -> bool:
     return not DTDGraph(dtd).has_cycle
 
 
+def concat_factors(production: Regex) -> tuple[Regex, ...]:
+    """The production as a flat sequence of concatenation factors (a
+    non-``Concat`` production is its own single factor)."""
+    if isinstance(production, Concat):
+        factors: list[Regex] = []
+        for part in production.parts:
+            factors.extend(concat_factors(part))
+        return tuple(factors)
+    return (production,)
+
+
+def is_duplicate_free_production(production: Regex) -> bool:
+    """No element name occurs more than once syntactically."""
+    seen: set[str] = set()
+    for node in production.walk():
+        if isinstance(node, Symbol):
+            if node.name in seen:
+                return False
+            seen.add(node.name)
+    return True
+
+
+def is_duplicate_free(dtd: DTD) -> bool:
+    """Every production mentions each element name at most once
+    (arXiv:1308.0769's *duplicate-free* DTDs — XHTML-trans is ~80% DF)."""
+    return all(
+        is_duplicate_free_production(p) for p in dtd.productions.values()
+    )
+
+
+def is_disjunction_capsuled_production(production: Regex) -> bool:
+    """Every factor of the concatenation is a single symbol, ``ε``, or a
+    starred expression — i.e. every disjunction (``+`` or ``?``) sits
+    inside a star "capsule"."""
+    return all(
+        isinstance(factor, (Symbol, Epsilon, Star))
+        for factor in concat_factors(production)
+    )
+
+
+def is_disjunction_capsuled(dtd: DTD) -> bool:
+    """Every production is a sequence of symbol/``ε``/starred factors
+    (arXiv:1308.0769's *disjunction-capsuled* DTDs).  Disjunction-free
+    DTDs are a subclass: with no ``+``/``?`` at all, every factor is a
+    symbol or a star."""
+    return all(
+        is_disjunction_capsuled_production(p) for p in dtd.productions.values()
+    )
+
+
+def is_dc_df_restrained(dtd: DTD) -> bool:
+    """The covering class: every production is disjunction-capsuled *or*
+    duplicate-free (per-production mix).  Subsumes both
+    :func:`is_disjunction_capsuled` and :func:`is_duplicate_free`, and is
+    the trait gate of the :mod:`repro.sat.realworld` PTIME deciders."""
+    return all(
+        is_disjunction_capsuled_production(p) or is_duplicate_free_production(p)
+        for p in dtd.productions.values()
+    )
+
+
 def terminating_types(dtd: DTD) -> frozenset[str]:
     """Element types ``A`` admitting a finite tree rooted at ``A`` that
     satisfies the DTD.
 
     The paper reduces this to emptiness of context-free grammars, decidable
-    in linear time.  We run the standard worklist fixpoint: ``A`` terminates
-    once its content model accepts some word over already-terminating types.
-    Acceptance of "some word over a subset S" is tested on the Glushkov
-    automaton restricted to S-labelled states.
+    in linear time.  We run a reverse-dependency worklist: every type is
+    checked once against the empty terminating set, and is re-checked only
+    when an element type its production mentions newly terminates — so the
+    total number of Glushkov scans is bounded by the number of
+    (production, mentioned-type) edges instead of O(n·passes) restart
+    scans.  Acceptance of "some word over a subset S" is tested on the
+    Glushkov automaton restricted to S-labelled states.
     """
+    dependents: dict[str, set[str]] = {}
+    for element_type in dtd.element_types:
+        for symbol in dtd.production(element_type).alphabet():
+            dependents.setdefault(symbol, set()).add(element_type)
+
     terminating: set[str] = set()
-    pending = deque(dtd.element_types)
-    changed = True
-    while changed:
-        changed = False
-        for element_type in list(pending):
-            production = dtd.production(element_type)
-            if _accepts_word_over(production, terminating):
-                terminating.add(element_type)
-                pending.remove(element_type)
-                changed = True
+    queue = deque(sorted(dtd.element_types))
+    queued = set(queue)
+    while queue:
+        element_type = queue.popleft()
+        queued.discard(element_type)
+        if element_type in terminating:
+            continue
+        if _accepts_word_over(dtd.production(element_type), terminating):
+            terminating.add(element_type)
+            for dependent in sorted(dependents.get(element_type, ())):
+                if dependent not in terminating and dependent not in queued:
+                    queued.add(dependent)
+                    queue.append(dependent)
     return frozenset(terminating)
 
 
@@ -119,11 +197,15 @@ def max_document_depth(dtd: DTD) -> int:
 
 
 def classify(dtd: DTD) -> dict[str, bool]:
-    """A summary of all Section 6 classification predicates."""
+    """A summary of all classification predicates: the paper's Section 6
+    classes plus the arXiv:1308.0769 real-world classes."""
     return {
         "normalized": is_normalized(dtd),
         "disjunction_free": is_disjunction_free(dtd),
         "nonrecursive": is_nonrecursive(dtd),
         "no_star": is_no_star(dtd),
+        "duplicate_free": is_duplicate_free(dtd),
+        "disjunction_capsuled": is_disjunction_capsuled(dtd),
+        "dc_df_restrained": is_dc_df_restrained(dtd),
         "all_terminating": terminating_types(dtd) == dtd.element_types,
     }

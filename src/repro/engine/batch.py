@@ -85,7 +85,7 @@ from repro.sat.planner import (
     Planner,
     execute_plan,
 )
-from repro.sat.registry import decider_backend, get_decider
+from repro.sat.registry import decider_backend, decider_traits, get_decider
 from repro.sat.telemetry import LATENCY_BUCKETS_MS, PlanTelemetry, verdict_name
 from repro.xpath.rewrite import get_pass
 from repro.xpath.ast import Path
@@ -228,6 +228,10 @@ class EngineStats:
     # ("object" vs "bitset") — where a cost-model promotion of the
     # packed kernels becomes visible at the engine level
     backend_answers: dict[str, int] = field(default_factory=dict)
+    # answered decisions whose answering decider is schema-trait gated,
+    # keyed by decider name — the engine-level view of how much traffic
+    # the real-world PTIME fast paths absorb instead of the EXPTIME lanes
+    trait_routed_answers: dict[str, int] = field(default_factory=dict)
     # engine-lifetime totals, not per-run deltas: persisted state is
     # adopted at engine construction / schema registration, before any
     # run starts, so a per-run delta would always read 0
@@ -310,6 +314,7 @@ class EngineStats:
             },
             "explore_probes": self.explore_probes,
             "backend_answers": dict(self.backend_answers),
+            "trait_routed_answers": dict(self.trait_routed_answers),
             "persisted_plans_loaded": self.persisted_plans_loaded,
             "persisted_decisions_loaded": self.persisted_decisions_loaded,
             "workers": self.workers,
@@ -346,6 +351,12 @@ class EngineStats:
                     f"{backend} {count}"
                     for backend, count in sorted(self.backend_answers.items())
                 ) or "no answered decisions"
+            ),
+            f"trait routing : " + (
+                ", ".join(
+                    f"{decider} {count}"
+                    for decider, count in sorted(self.trait_routed_answers.items())
+                ) or "no trait-gated answers"
             ),
             f"cache         : {self.cache_hits} hits, {self.coalesced} coalesced, "
             f"{self.cache.get('size', 0)}/{self.cache.get('capacity', 0)} entries, "
@@ -398,6 +409,12 @@ class EngineStats:
                 "repro_backend_answers_total",
                 "answered decisions by the answering decider's kernel backend",
                 {"backend": backend},
+            ).inc(count)
+        for decider, count in sorted(self.trait_routed_answers.items()):
+            registry.counter(
+                "repro_trait_routed_answers_total",
+                "answered decisions by schema-trait-gated deciders",
+                {"decider": decider},
             ).inc(count)
         registry.gauge("repro_workers", "configured worker count").set(self.workers)
         registry.gauge("repro_lanes", "lanes in the pool this run").set(self.lanes)
@@ -1586,6 +1603,10 @@ class BatchEngine:
                 stats.backend_answers[backend] = (
                     stats.backend_answers.get(backend, 0) + 1
                 )
+                if decider_traits(trace.decider):
+                    stats.trait_routed_answers[trace.decider] = (
+                        stats.trait_routed_answers.get(trace.decider, 0) + 1
+                    )
         bucket = artifacts.cost_bucket if artifacts else size_bucket(None)
         for name, attempt_ms, outcome in trace.attempts:
             if outcome in ("sat", "unsat"):

@@ -186,6 +186,9 @@ _TRAIT_PREDICATES: dict[str, Callable[[DTD], bool]] = {
     "disjunction_free": dtd_properties.is_disjunction_free,
     "nonrecursive": dtd_properties.is_nonrecursive,
     "no_star": dtd_properties.is_no_star,
+    "duplicate_free": dtd_properties.is_duplicate_free,
+    "disjunction_capsuled": dtd_properties.is_disjunction_capsuled,
+    "dc_df_restrained": dtd_properties.is_dc_df_restrained,
 }
 
 
@@ -599,13 +602,31 @@ class Planner:
         }
 
 
+_MISSING = object()
+
+
 def _artifact_trait(artifacts, name: str) -> bool:
     """Resolve a schema trait from an artifact record, preferring the
     precomputed classification; duck-typed attributes keep the dispatch
-    ``artifacts`` contract (any object with the trait as an attribute)."""
+    ``artifacts`` contract (any object with the trait as an attribute).
+
+    A persisted or adopted artifact may carry a classification computed
+    before a trait was registered; those recompute from the artifact's
+    DTD via :data:`_TRAIT_PREDICATES` and backfill the classification so
+    the predicate runs once per (artifact, trait)."""
     classification = getattr(artifacts, "classification", None)
     if classification is not None and name in classification:
         return bool(classification[name])
+    value = getattr(artifacts, name, _MISSING)
+    if value is not _MISSING:
+        return bool(value)
+    predicate = _TRAIT_PREDICATES.get(name)
+    dtd = getattr(artifacts, "dtd", None)
+    if predicate is not None and dtd is not None:
+        result = bool(predicate(dtd))
+        if classification is not None:
+            classification[name] = result
+        return result
     return bool(getattr(artifacts, name))
 
 

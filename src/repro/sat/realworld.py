@@ -1,0 +1,483 @@
+"""PTIME satisfiability fast paths for *real-world* DTD classes
+(Ishihara/Suzuki/Hashimoto, arXiv:1308.0769).
+
+The paper's EXPTIME lower bounds for qualifiers (and the parent axis via
+the Thm 6.8(2) rewriting) rely on content models that force exclusive
+choices between duplicated element names.  arXiv:1308.0769 observes that
+published real-world DTDs (XHTML, DocBook, RSS, ...) almost never do
+that, and proves the qualifier fragment tractable under structural
+classes capturing them:
+
+* **disjunction-capsuled (DC)** — every production is a concatenation of
+  single symbols, ``ε``, and starred sub-expressions, so every
+  disjunction sits inside a star that can be pumped;
+* **duplicate-free (DF)** — no production mentions an element name
+  twice, so sibling requirements never compete for one position;
+* **DC/DF-restrained** — the covering class this module gates on: every
+  production is DC *or* DF (a per-production mix).
+
+Under either class, whether one element can host a *multiset* of
+required children reduces to a polynomial feasibility check on its
+content model (:class:`_DCModel` / :func:`_df_feasible`) — no Glushkov
+× fact-set product construction.  The decider is a least-fixpoint
+dynamic program over ``(element type, qualifier set)`` keys:
+
+1. decompose each qualifier into disjunctive *choices* of child/
+   descendant atoms (via the same :func:`~repro.sat.exptime_types.first_cases`
+   step-case decomposition the EXPTIME decider closes over);
+2. group atoms into blocks hosted by a single child (merging two
+   requirements onto one child can be *necessary*: with ``P(a) = b``,
+   ``P(b) = x?, y?`` the query ``a[b/x][b/y]`` needs one ``b`` hosting
+   both), assign a host label per block, and test multiset feasibility;
+3. recurse into each host's residual qualifier set, iterating
+   chaotically to the least fixpoint so recursive schemas (``div`` in
+   ``div``) converge without unsound provisional answers.
+
+All combinatorial widths are hard-budgeted; exceeding a budget raises
+:class:`~repro.errors.ReproError`, which the planner's ``may_decline``
+fall-through turns into a hand-off to the EXPTIME chain — never a
+truncated (possibly wrong) verdict.  Typical real-world queries stay
+far inside the budgets, so qualifying traffic runs inline in PTIME.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, Mapping, Union as TUnion
+
+from repro.dtd.model import DTD
+from repro.dtd.properties import (
+    concat_factors,
+    is_disjunction_capsuled_production,
+    is_duplicate_free_production,
+)
+from repro.errors import FragmentError, ReproError
+from repro.regex.ast import Concat, Epsilon, Optional, Regex, Star, Symbol
+from repro.regex.ast import Union as RUnion
+from repro.sat.exptime_types import Check, Child, Desc, Done, first_cases, _residual_qual
+from repro.sat.registry import DeciderSpec, register_decider
+from repro.sat.result import SatResult
+from repro.xpath import ast
+from repro.xpath.ast import Path, Qualifier
+from repro.xpath.fragments import CHILD_UP, DOWNWARD_QUAL, features_of
+from repro.xpath.rewrite import upward_to_qualifiers
+
+METHOD = "isw-dcdf-restrained"
+
+#: hard budgets — beyond any of them the decider declines (ReproError)
+#: rather than truncate the search, so verdicts stay exact
+MAX_CHOICES = 64        # disjunctive choice combinations per qualifier set
+MAX_ATOMS = 6           # atoms per combination (Bell(6) = 203 partitions)
+MAX_ASSIGNMENTS = 512   # host-label assignments per partition
+MAX_KEYS = 4096         # (element type, qualifier set) memo entries
+MAX_STEPS = 200_000     # overall work counter
+
+
+# -- content-model feasibility ---------------------------------------------------
+
+@dataclass(frozen=True)
+class _DCModel:
+    """Multiset feasibility for a disjunction-capsuled production.
+
+    A DC word is a concatenation of one symbol per ``Symbol`` factor plus
+    arbitrarily pumpable words from each ``Star`` factor, so a required
+    multiset fits iff every needed label is pumpable or needed at most as
+    often as it occurs mandatorily."""
+
+    mandatory: Mapping[str, int]
+    pumpable: frozenset[str]
+    alphabet: frozenset[str]
+
+    def feasible(self, need: Mapping[str, int]) -> bool:
+        return all(
+            label in self.pumpable or count <= self.mandatory.get(label, 0)
+            for label, count in need.items()
+        )
+
+
+@dataclass(frozen=True)
+class _DFModel:
+    """Multiset feasibility for a duplicate-free production, by structural
+    recursion (:func:`_df_feasible`): duplicate-freeness makes sibling
+    alphabets of ``Union``/``Concat`` parts disjoint, so the needed
+    multiset splits uniquely."""
+
+    production: Regex
+    alphabet: frozenset[str]
+
+    def feasible(self, need: Mapping[str, int]) -> bool:
+        return _df_feasible(self.production, dict(need))
+
+
+def _df_feasible(regex: Regex, need: dict[str, int]) -> bool:
+    """Does some word of ``regex`` contain every label of ``need`` at
+    least the required number of times?  Exact for duplicate-free
+    ``regex`` (disjoint part alphabets make the split below unique); the
+    AST has no empty-language constant, so every alphabet symbol occurs
+    in some word — which is what makes stars fully pumpable."""
+    if not need:
+        return True
+    if isinstance(regex, Epsilon):
+        return False
+    if isinstance(regex, Symbol):
+        return len(need) == 1 and need.get(regex.name) == 1
+    if isinstance(regex, Star):
+        return set(need) <= regex.alphabet()
+    if isinstance(regex, Optional):
+        return _df_feasible(regex.inner, need)
+    if isinstance(regex, RUnion):
+        for part in regex.parts:
+            if set(need) <= part.alphabet():
+                return _df_feasible(part, need)
+        return False
+    if isinstance(regex, Concat):
+        remaining = set(need)
+        splits: list[tuple[Regex, dict[str, int]]] = []
+        for part in regex.parts:
+            alphabet = part.alphabet()
+            sub = {label: count for label, count in need.items() if label in alphabet}
+            remaining -= set(sub)
+            if sub:
+                splits.append((part, sub))
+        if remaining:
+            return False
+        return all(_df_feasible(part, sub) for part, sub in splits)
+    raise FragmentError(f"unexpected regex node {regex!r}")
+
+
+# -- shared per-schema setup -----------------------------------------------------
+
+@dataclass(frozen=True)
+class RealWorldContext:
+    """Schema-only precomputation (the decider's ``prepare`` hook): one
+    feasibility model per element type.  A pure cache — never changes a
+    verdict."""
+
+    models: Mapping[str, TUnion[_DCModel, _DFModel]]
+
+
+def prepare_realworld(dtd: DTD) -> RealWorldContext:
+    dtd.require_terminating()
+    models: dict[str, TUnion[_DCModel, _DFModel]] = {}
+    for label in sorted(dtd.element_types):
+        production = dtd.production(label)
+        alphabet = frozenset(production.alphabet())
+        if is_disjunction_capsuled_production(production):
+            mandatory: Counter[str] = Counter()
+            pumpable: set[str] = set()
+            for factor in concat_factors(production):
+                if isinstance(factor, Symbol):
+                    mandatory[factor.name] += 1
+                elif isinstance(factor, Star):
+                    pumpable |= factor.alphabet()
+            models[label] = _DCModel(
+                mandatory=dict(mandatory),
+                pumpable=frozenset(pumpable),
+                alphabet=alphabet,
+            )
+        elif is_duplicate_free_production(production):
+            models[label] = _DFModel(production=production, alphabet=alphabet)
+        else:
+            raise FragmentError(
+                f"production of {label!r} is neither disjunction-capsuled nor "
+                "duplicate-free; sat_realworld requires a DC/DF-restrained DTD"
+            )
+    return RealWorldContext(models=models)
+
+
+# -- child requirement atoms -----------------------------------------------------
+
+@dataclass(frozen=True)
+class _ChildReq:
+    """Some child (with this label, or any when ``None``) satisfies the
+    residual qualifier (no constraint when ``None``)."""
+
+    label: str | None
+    qual: Qualifier | None
+
+
+@dataclass(frozen=True)
+class _DescReq:
+    """Some child has a self-or-descendant match — carried as the
+    already-wrapped ``↓*``-prefixed qualifier for the hosting child."""
+
+    qual: Qualifier
+
+
+_Atom = TUnion[_ChildReq, _DescReq]
+
+
+def _partitions(items: list) -> Iterator[list[list]]:
+    """All set partitions of ``items`` (Bell(len) many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        yield [[first]] + partition
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1:]
+            )
+
+
+# -- the least-fixpoint solver ---------------------------------------------------
+
+@dataclass
+class _Solver:
+    """Least fixpoint of ``satset(A, Q)`` — "some conforming tree rooted
+    at an ``A`` element satisfies every qualifier in ``Q``" — by chaotic
+    iteration: the memo is a monotone lower bound (starts all-false, only
+    ever flips to true), a cycle hit returns the current provisional
+    value, and outer passes repeat until a pass derives nothing new.
+    Sound because the fragment is negation-free, so the underlying
+    operator is monotone and the stabilized table is the least fixpoint.
+    """
+
+    dtd: DTD
+    context: RealWorldContext
+    memo: dict[tuple[str, frozenset[Qualifier]], bool] = field(default_factory=dict)
+    pass_done: set = field(default_factory=set)
+    active: set = field(default_factory=set)
+    steps: int = 0
+    passes: int = 0
+    changed: bool = False
+
+    def top(self, query: Path) -> bool:
+        goal_label = self.dtd.root
+        goal_quals = frozenset({ast.PathExists(query)})
+        while True:
+            self.passes += 1
+            self.changed = False
+            self.pass_done.clear()
+            if self.satset(goal_label, goal_quals):
+                return True
+            if not self.changed:
+                return False
+
+    def _step(self) -> None:
+        self.steps += 1
+        if self.steps > MAX_STEPS:
+            raise ReproError(
+                f"realworld solver exceeded {MAX_STEPS} steps; falling back"
+            )
+
+    def satset(self, label: str, quals: frozenset[Qualifier]) -> bool:
+        if not quals:
+            return True
+        key = (label, quals)
+        if self.memo.get(key):
+            return True
+        if key in self.active or key in self.pass_done:
+            return self.memo.get(key, False)
+        if len(self.memo) >= MAX_KEYS:
+            raise ReproError(
+                f"realworld solver exceeded {MAX_KEYS} memo keys; falling back"
+            )
+        self._step()
+        self.active.add(key)
+        try:
+            value = self._compute(label, quals)
+        finally:
+            self.active.discard(key)
+        self.pass_done.add(key)
+        if value:
+            if not self.memo.get(key, False):
+                self.memo[key] = True
+                self.changed = True
+        else:
+            self.memo.setdefault(key, False)
+        return value
+
+    def _compute(self, label: str, quals: frozenset[Qualifier]) -> bool:
+        option_lists: list[list[frozenset[_Atom]]] = []
+        total = 1
+        for qual in sorted(quals, key=str):
+            choices = self.options(qual, label)
+            if not choices:
+                return False
+            option_lists.append(choices)
+            total *= len(choices)
+            if total > MAX_CHOICES:
+                raise ReproError(
+                    f"realworld solver exceeded {MAX_CHOICES} choice "
+                    "combinations; falling back"
+                )
+        for combination in product(*option_lists):
+            atoms: frozenset[_Atom] = frozenset().union(*combination)
+            if not atoms:
+                return True
+            if len(atoms) > MAX_ATOMS:
+                raise ReproError(
+                    f"{len(atoms)} child-requirement atoms exceed "
+                    f"{MAX_ATOMS}; falling back"
+                )
+            if self.solve_atoms(label, atoms):
+                return True
+        return False
+
+    # disjunctive decomposition: each qualifier becomes a list of choices,
+    # each choice a (possibly empty) set of child/descendant atoms
+
+    def options(self, qual: Qualifier, label: str) -> list[frozenset[_Atom]]:
+        self._step()
+        if isinstance(qual, ast.LabelTest):
+            return [frozenset()] if qual.name == label else []
+        if isinstance(qual, ast.And):
+            left = self.options(qual.left, label)
+            right = self.options(qual.right, label)
+            if len(left) * len(right) > MAX_CHOICES:
+                raise ReproError(
+                    "realworld solver: conjunction too wide; falling back"
+                )
+            return [l | r for l in left for r in right]
+        if isinstance(qual, ast.Or):
+            return self.options(qual.left, label) + self.options(qual.right, label)
+        if isinstance(qual, ast.PathExists):
+            return self.path_options(qual.path, label)
+        raise FragmentError(f"unexpected qualifier {qual!r}")
+
+    def path_options(self, path: Path, label: str) -> list[frozenset[_Atom]]:
+        self._step()
+        choices: list[frozenset[_Atom]] = []
+        for case in first_cases(path):
+            if isinstance(case, Done):
+                choices.append(frozenset())
+            elif isinstance(case, Child):
+                choices.append(frozenset({
+                    _ChildReq(case.label, _residual_qual(case.residual)),
+                }))
+            elif isinstance(case, Desc):
+                wrapped = ast.PathExists(ast.Seq(ast.DescOrSelf(), case.residual))
+                choices.append(frozenset({_DescReq(wrapped)}))
+            elif isinstance(case, Check):
+                quals = self.options(case.qualifier, label)
+                paths = self.path_options(case.residual, label)
+                if len(quals) * len(paths) > MAX_CHOICES:
+                    raise ReproError(
+                        "realworld solver: filter step too wide; falling back"
+                    )
+                choices.extend(q | p for q in quals for p in paths)
+            else:  # pragma: no cover - first_cases is exhaustive
+                raise FragmentError(f"unexpected step case {case!r}")
+        if len(choices) > MAX_CHOICES:
+            raise ReproError(
+                "realworld solver: too many disjunctive choices; falling back"
+            )
+        return choices
+
+    def solve_atoms(self, label: str, atoms: frozenset[_Atom]) -> bool:
+        """Can one children word of ``label``'s content model host every
+        atom?  Atoms partition into blocks (one hosting child each) —
+        finest partitions first, since distinct hosts are feasible most
+        often — then hosts get labels and the multiset is checked."""
+        model = self.context.models[label]
+        atom_list = sorted(atoms, key=str)
+        partitions = sorted(_partitions(atom_list), key=len, reverse=True)
+        for blocks in partitions:
+            self._step()
+            infos: list[tuple[tuple[str, ...], frozenset[Qualifier]]] = []
+            viable = True
+            total = 1
+            for block in blocks:
+                fixed: str | None = None
+                quals: set[Qualifier] = set()
+                for atom in block:
+                    if isinstance(atom, _ChildReq):
+                        if atom.label is not None:
+                            if fixed is None:
+                                fixed = atom.label
+                            elif fixed != atom.label:
+                                viable = False
+                                break
+                        if atom.qual is not None:
+                            quals.add(atom.qual)
+                    else:
+                        quals.add(atom.qual)
+                if not viable:
+                    break
+                if fixed is not None:
+                    if fixed not in model.alphabet:
+                        viable = False
+                        break
+                    candidates: tuple[str, ...] = (fixed,)
+                else:
+                    candidates = tuple(sorted(model.alphabet))
+                    if not candidates:
+                        viable = False
+                        break
+                infos.append((candidates, frozenset(quals)))
+                total *= len(candidates)
+            if not viable:
+                continue
+            if total > MAX_ASSIGNMENTS:
+                raise ReproError(
+                    f"realworld solver: {total} host assignments exceed "
+                    f"{MAX_ASSIGNMENTS}; falling back"
+                )
+            for assignment in product(*(candidates for candidates, _ in infos)):
+                self._step()
+                if not model.feasible(Counter(assignment)):
+                    continue
+                if all(
+                    self.satset(host, quals)
+                    for host, (_, quals) in zip(assignment, infos)
+                ):
+                    return True
+        return False
+
+
+# -- the decider -----------------------------------------------------------------
+
+def sat_realworld(
+    query: Path, dtd: DTD, context: RealWorldContext | None = None,
+) -> SatResult:
+    """Decide ``(query, dtd)`` for DC/DF-restrained ``dtd`` and ``query``
+    in ``X(↓,↓*,∪,[])`` or ``X(↓,↑)``.
+
+    Declines (``ReproError``) when a combinatorial budget trips, so the
+    planner falls through to the EXPTIME chain with verdicts unchanged.
+    """
+    rewritten = query
+    if CHILD_UP.contains(query) and not DOWNWARD_QUAL.contains(query):
+        result = upward_to_qualifiers(query)
+        if not result.complete:
+            return SatResult(False, METHOD, reason="query climbs above the root")
+        rewritten = result.path
+    if not DOWNWARD_QUAL.contains(rewritten):
+        raise FragmentError(
+            "sat_realworld requires X(child,dos,union,qual) or X(child,parent); "
+            f"query uses {sorted(str(f) for f in DOWNWARD_QUAL.missing(rewritten))} extra"
+        )
+    if context is None:
+        context = prepare_realworld(dtd)
+    solver = _Solver(dtd, context)
+    satisfiable = solver.top(rewritten)
+    stats = {
+        "memo_keys": len(solver.memo),
+        "steps": solver.steps,
+        "passes": solver.passes,
+    }
+    return SatResult(satisfiable, METHOD, stats=stats)
+
+
+SPEC = register_decider(DeciderSpec(
+    name="realworld",
+    method=METHOD,
+    fn=sat_realworld,
+    # full DOWNWARD_QUAL including label tests; the X(↓,↑) case arrives
+    # through the upward_to_qualifiers rewrite pass (cf. disjunction_free)
+    allowed=DOWNWARD_QUAL.allowed,
+    shape="X(↓,↓*,∪,[]) / X(↓,↑)",
+    theorem="arXiv:1308.0769",
+    complexity="PTIME",
+    cost_rank=32,  # after disjunction_free (30), before exptime_types (40)
+    traits=("dc_df_restrained",),
+    may_decline=True,  # budget trips raise ReproError: fall back to EXPTIME
+    prepare=prepare_realworld,
+    accepts_context=True,
+))

@@ -17,8 +17,9 @@ module the caller touched first.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.errors import FragmentError
 from repro.xpath.fragments import Feature
@@ -164,6 +165,7 @@ def load() -> None:
         nexptime,
         no_dtd,
         positive,
+        realworld,
         sibling,
     )
     _LOADED = True
@@ -185,6 +187,29 @@ def decider_backend(name: str) -> str:
     load()
     spec = _REGISTRY.get(name)
     return spec.backend if spec is not None else "object"
+
+
+def decider_traits(name: str) -> tuple[str, ...]:
+    """Schema-trait gate of a decider, ``()`` for names outside the
+    registry (same leniency as :func:`decider_backend` — observability
+    callers classify whatever attempt names they are handed)."""
+    load()
+    spec = _REGISTRY.get(name)
+    return spec.traits if spec is not None else ()
+
+
+@contextmanager
+def disabled(name: str) -> Iterator[DeciderSpec]:
+    """Temporarily unregister a decider (benchmark ablation: compare
+    routing with and without a fast path).  The registry-size stamp
+    changes, so planner scan caches invalidate automatically; callers
+    must still build plans on a fresh planner/artifact cache."""
+    spec = get_decider(name)
+    del _REGISTRY[name]
+    try:
+        yield spec
+    finally:
+        _REGISTRY[name] = spec
 
 
 def registry_size() -> int:

@@ -371,6 +371,27 @@ _CORPUS_DTDS: tuple[str, ...] = (
     A @ a
     S @ a
     """,
+    # DC/DF-restrained real-world shape (XHTML-like capsuled flow content
+    # plus a duplicate-free recursive nesting type; arXiv:1308.0769 —
+    # routes to sat_realworld).  Recursion is kept *linear* (``d -> p, d?``)
+    # so the oracle's shape enumeration stays small.
+    """
+    root h
+    h -> t, b
+    t -> eps
+    b -> (p + d)*
+    d -> p, d?
+    p -> eps
+    """,
+    # duplicate-free real-world shape (RSS-like optional-heavy channel;
+    # arXiv:1308.0769's DF class — routes to sat_realworld)
+    """
+    root ch
+    ch -> t, l?, i*
+    i -> t?, l?
+    t -> eps
+    l -> eps
+    """,
 )
 
 

@@ -4,11 +4,20 @@ scaling-series helpers for the benchmark harnesses."""
 from repro.workloads.queries import random_query
 from repro.workloads.dtds import document_dtd, mid_size_dtd, recursive_chain_dtd, wide_dtd
 from repro.workloads.batch import batch_jobs, syntactic_variant
+from repro.workloads.realworld import (
+    docbook_like_dtd,
+    realworld_jobs,
+    realworld_schemas,
+    rss_like_dtd,
+    xhtml_like_dtd,
+)
 from repro.workloads.scaling import fit_polynomial_degree, growth_ratio
 
 __all__ = [
     "random_query",
     "document_dtd", "mid_size_dtd", "recursive_chain_dtd", "wide_dtd",
     "batch_jobs", "syntactic_variant",
+    "xhtml_like_dtd", "docbook_like_dtd", "rss_like_dtd",
+    "realworld_schemas", "realworld_jobs",
     "fit_polynomial_degree", "growth_ratio",
 ]

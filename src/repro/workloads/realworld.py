@@ -1,0 +1,164 @@
+"""Realistic schema corpus: DTDs shaped like published real-world ones.
+
+arXiv:1308.0769 surveys published DTDs (XHTML, DocBook, RSS, MathML, ...)
+and finds nearly all of them fall into the structural classes its PTIME
+results cover — productions are either *disjunction-capsuled* (every
+``+``/``?`` lives inside a star, as in XHTML's ``(h1 | h2 | p | div)*``
+flow content) or *duplicate-free* (no element name twice, as in DocBook's
+``title, subtitle?, info?`` heads).  These generators reproduce those
+shapes at the sizes real schemas have — wide vocabularies, shallow
+recursion, capsuled disjunctions — so benchmarks and differential suites
+exercise the planner's trait routing on the traffic it exists for:
+
+* :func:`xhtml_like_dtd` — recursive DC flow/phrasing content;
+* :func:`docbook_like_dtd` — DF heads + wrapper list types;
+* :func:`rss_like_dtd` — a flat DF feed vocabulary;
+* :func:`realworld_schemas` / :func:`realworld_jobs` — the corpus and a
+  parent-axis/qualifier batch workload over it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dtd.model import DTD
+from repro.engine.batch import Job
+from repro.regex import ast as rx
+from repro.workloads.batch import batch_jobs
+from repro.xpath.fragments import CHILD_UP, DOWNWARD_QUAL, Fragment
+
+
+def xhtml_like_dtd() -> DTD:
+    """An XHTML-transitional-like schema: recursive ``div``, flow and
+    phrasing content as starred unions (disjunction-capsuled throughout)."""
+    flow = rx.star(rx.union(
+        rx.sym("h1"), rx.sym("h2"), rx.sym("p"), rx.sym("div"),
+        rx.sym("ul"), rx.sym("table"),
+    ))
+    phrasing = rx.star(rx.union(
+        rx.sym("em"), rx.sym("strong"), rx.sym("a"), rx.sym("img"),
+    ))
+    return DTD(
+        root="html",
+        productions={
+            "html": rx.concat(rx.sym("head"), rx.sym("body")),
+            "head": rx.concat(rx.sym("title"), rx.star(rx.sym("meta"))),
+            "title": rx.Epsilon(),
+            "meta": rx.Epsilon(),
+            "body": flow,
+            "div": flow,
+            "h1": phrasing,
+            "h2": phrasing,
+            "p": phrasing,
+            "ul": rx.concat(rx.sym("li"), rx.star(rx.sym("li"))),
+            "li": rx.star(rx.union(rx.sym("p"), rx.sym("ul"), rx.sym("em"))),
+            "table": rx.concat(rx.sym("tr"), rx.star(rx.sym("tr"))),
+            "tr": rx.concat(rx.sym("td"), rx.star(rx.sym("td"))),
+            "td": rx.star(rx.union(rx.sym("p"), rx.sym("ul"))),
+            "em": rx.Epsilon(),
+            "strong": rx.Epsilon(),
+            "a": rx.Epsilon(),
+            "img": rx.Epsilon(),
+        },
+    )
+
+
+def docbook_like_dtd() -> DTD:
+    """A DocBook-like book schema: optional-heavy duplicate-free heads,
+    with wrapper types (``chapters``, ``sections``) for the repeated
+    parts — the published-DTD idiom that keeps every production either
+    duplicate-free or disjunction-capsuled."""
+    inline = rx.star(rx.union(
+        rx.sym("emphasis"), rx.sym("link"), rx.sym("footnote"),
+    ))
+    return DTD(
+        root="book",
+        productions={
+            "book": rx.concat(
+                rx.sym("title"), rx.Optional(rx.sym("info")),
+                rx.Optional(rx.sym("preface")), rx.sym("chapters"),
+            ),
+            "info": rx.concat(
+                rx.Optional(rx.sym("author")), rx.Optional(rx.sym("date")),
+            ),
+            "preface": rx.concat(rx.sym("title"), rx.star(rx.sym("para"))),
+            "chapters": rx.concat(rx.sym("chapter"), rx.star(rx.sym("chapter"))),
+            "chapter": rx.concat(
+                rx.sym("title"), rx.Optional(rx.sym("intro")), rx.sym("sections"),
+            ),
+            "intro": rx.star(rx.sym("para")),
+            "sections": rx.concat(rx.sym("section"), rx.star(rx.sym("section"))),
+            "section": rx.concat(
+                rx.sym("title"), rx.star(rx.sym("para")),
+                rx.Optional(rx.sym("subsections")),
+            ),
+            "subsections": rx.concat(rx.sym("section"), rx.star(rx.sym("section"))),
+            "para": inline,
+            "title": rx.Epsilon(),
+            "author": rx.Epsilon(),
+            "date": rx.Epsilon(),
+            "emphasis": rx.Epsilon(),
+            "link": rx.Epsilon(),
+            "footnote": rx.Epsilon(),
+        },
+    )
+
+
+def rss_like_dtd() -> DTD:
+    """An RSS-2.0-like feed schema: flat, optional-heavy, duplicate-free."""
+    return DTD(
+        root="rss",
+        productions={
+            "rss": rx.sym("channel"),
+            "channel": rx.concat(
+                rx.sym("title"), rx.sym("link"), rx.sym("description"),
+                rx.Optional(rx.sym("language")), rx.Optional(rx.sym("image")),
+                rx.sym("items"),
+            ),
+            "items": rx.star(rx.sym("item")),
+            "item": rx.concat(
+                rx.Optional(rx.sym("title")), rx.Optional(rx.sym("link")),
+                rx.Optional(rx.sym("description")),
+                rx.Optional(rx.sym("pubdate")), rx.Optional(rx.sym("enclosure")),
+            ),
+            "image": rx.concat(rx.sym("url"), rx.sym("title"), rx.sym("link")),
+            "title": rx.Epsilon(),
+            "link": rx.Epsilon(),
+            "description": rx.Epsilon(),
+            "language": rx.Epsilon(),
+            "pubdate": rx.Epsilon(),
+            "enclosure": rx.Epsilon(),
+            "url": rx.Epsilon(),
+        },
+    )
+
+
+def realworld_schemas() -> dict[str, DTD]:
+    """The corpus, keyed by schema name (all DC/DF-restrained)."""
+    return {
+        "xhtml": xhtml_like_dtd(),
+        "docbook": docbook_like_dtd(),
+        "rss": rss_like_dtd(),
+    }
+
+
+def realworld_jobs(
+    rng: random.Random,
+    n_jobs: int,
+    fragments: Sequence[Fragment] = (DOWNWARD_QUAL, CHILD_UP),
+    max_depth: int = 3,
+    duplicate_rate: float = 0.4,
+    variant_rate: float = 0.5,
+) -> list[Job]:
+    """A parent-axis/qualifier batch workload over the realworld corpus —
+    the traffic class the trait-gated PTIME routing targets."""
+    return batch_jobs(
+        rng,
+        realworld_schemas(),
+        n_jobs,
+        fragments=fragments,
+        max_depth=max_depth,
+        duplicate_rate=duplicate_rate,
+        variant_rate=variant_rate,
+    )

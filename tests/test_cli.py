@@ -179,6 +179,45 @@ class TestBatch:
         assert "results : 5" in out
         assert "sat" in out and "unsat" in out
 
+    def test_sequential_batches_restore_signal_handlers(
+        self, schema_dir, jobs_file, capsys
+    ):
+        # regression: `repro batch` used to leave its SIGINT/SIGTERM
+        # handlers installed on return, so a second in-process invocation
+        # (or the host application) inherited stale traps
+        import signal
+
+        before = {
+            signum: signal.getsignal(signum)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        for _ in range(2):
+            code = main(["batch", jobs_file, "--schema-dir", schema_dir])
+            assert code == 0
+            for signum, handler in before.items():
+                assert signal.getsignal(signum) is handler
+        capsys.readouterr()
+
+    def test_failed_batch_still_restores_signal_handlers(
+        self, schema_dir, tmp_path, capsys
+    ):
+        import signal
+
+        before = {
+            signum: signal.getsignal(signum)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        missing = str(tmp_path / "no-such-jobs.jsonl")
+        try:
+            code = main(["batch", missing, "--schema-dir", schema_dir])
+        except OSError:
+            pass  # either a mapped exit code or a raised error is fine
+        else:
+            assert code != 0
+        for signum, handler in before.items():
+            assert signal.getsignal(signum) is handler
+        capsys.readouterr()
+
     def test_sigint_mid_run_saves_state_and_exits_130(
         self, schema_dir, jobs_file, tmp_path, monkeypatch, capsys
     ):
@@ -444,7 +483,9 @@ class TestStateDir:
             "--state-dir", state_dir, ".[B and C]",
         ]) == 0
         record = json_module.loads(capsys.readouterr().out)
-        assert record["decider"] == "exptime_types"
+        # the main schema is duplicate-free, so the qualifier query takes
+        # the trait-gated realworld fast path (PR 9)
+        assert record["decider"] == "realworld"
         assert record["telemetry"]["count"] >= 1
         assert "verdicts" in record["telemetry"]
 
@@ -544,10 +585,14 @@ class TestObservability:
         assert record["cost_model"]["entries"]
 
     def test_log_level_debug_shows_engine_internals(
-        self, schema_dir, jobs_file, capsys
+        self, schema_dir, tmp_path, capsys
     ):
+        # needs a job that actually pools (lane forking is the debug-level
+        # engine internal): negation stays off the PTIME fast paths
+        jobs = tmp_path / "pooled.jsonl"
+        jobs.write_text('{"query": ".[not(B)]", "schema": "main"}\n')
         code = main([
-            "--log-level", "debug", "batch", jobs_file,
+            "--log-level", "debug", "batch", str(jobs),
             "--schema-dir", schema_dir, "--workers", "2",
         ])
         assert code == 0

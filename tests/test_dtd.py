@@ -78,6 +78,9 @@ class TestGraphAndProperties:
             "disjunction_free": False,
             "nonrecursive": True,
             "no_star": True,
+            "duplicate_free": True,
+            "disjunction_capsuled": False,
+            "dc_df_restrained": True,
             "all_terminating": True,
         }
 

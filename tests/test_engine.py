@@ -182,8 +182,14 @@ class TestPlanRoute:
         disjfree = registry.get("disjfree")
         assert plan_route(parse_query("A[C]"), disjfree) == "inline"
         assert plan_route(parse_query("A[not(C)]"), disjfree) == "pool"
-        # the same qualifier query is heavy under a DTD with disjunction
-        assert plan_route(parse_query("A[C]"), registry.get("threesat")) == "pool"
+        # threesat has disjunction but is duplicate-free: qualifiers stay
+        # inline on the trait-gated realworld path (PR 9)
+        assert plan_route(parse_query("A[C]"), registry.get("threesat")) == "inline"
+        # a schema outside every PTIME class still pools qualifier queries
+        registry.register(
+            "unrestrained", "root r\nr -> (A, B) + (A, C)\nA -> eps\nB -> eps\nC -> eps"
+        )
+        assert plan_route(parse_query("A[C]"), registry.get("unrestrained")) == "pool"
 
 
 # -- the batch engine ------------------------------------------------------------
@@ -939,7 +945,9 @@ class TestJobsIO:
             records = [json.loads(line) for line in handle]
         assert records[0]["id"] == "dead"
         assert records[0]["satisfiable"] is False
-        assert records[0]["method"] == "thm5.3-types-fixpoint"
+        # threesat is duplicate-free, so the trait-gated realworld fast
+        # path answers ahead of the types fixpoint (PR 9)
+        assert records[0]["method"] == "isw-dcdf-restrained"
 
 
 # -- engine vs. plain decide agreement -------------------------------------------

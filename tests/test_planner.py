@@ -111,8 +111,11 @@ class TestPlanConstruction:
             parse_query("A/^/B"), artifacts=registry.get("general")
         )
         assert plan.rewrites == ("canonicalize", "upward_to_qualifiers")
-        # general DTD has disjunction: rewritten query goes to the fixpoint
-        assert plan.decider == "exptime_types"
+        # the general DTD has disjunction, but every production is
+        # duplicate-free: the rewritten query takes the trait-gated
+        # realworld PTIME path, with the fixpoint as its decline fallback
+        assert plan.decider == "realworld"
+        assert "exptime_types" in plan.fallbacks
 
     def test_exptime_plan_carries_fallback_chain(self, registry):
         plan = Planner().plan_query(
@@ -527,6 +530,83 @@ class TestExecutionTraceAndFallThrough:
             static_result = execute_plan(static_plan, query, artifacts.dtd)
             cost_result = execute_plan(cost_plan, query, artifacts.dtd)
             assert static_result.satisfiable == cost_result.satisfiable, text
+
+
+class TestArtifactTraitResolution:
+    """Regression: planning against an artifact record whose
+    ``classification`` predates a newly registered trait-gated decider
+    must recompute the missing trait from the DTD (and backfill it) —
+    not crash with ``AttributeError`` on the old attribute fallback."""
+
+    #: the trait keys introduced alongside the realworld decider — a
+    #: pre-upgrade state dir's artifacts know none of them
+    NEW_TRAIT_KEYS = (
+        "duplicate_free", "disjunction_capsuled", "dc_df_restrained",
+        "all_terminating",
+    )
+
+    def _stale_artifacts(self):
+        from repro.workloads import xhtml_like_dtd
+
+        registry = SchemaRegistry()
+        registry.register("xhtml", xhtml_like_dtd())
+        artifacts = registry.get("xhtml")
+        for key in self.NEW_TRAIT_KEYS:
+            artifacts.classification.pop(key, None)
+        return registry, artifacts
+
+    def test_stale_classification_recomputes_and_backfills(self):
+        _registry, artifacts = self._stale_artifacts()
+        plan = Planner().plan_query(parse_query("body[div/p]"), artifacts=artifacts)
+        assert plan.decider == "realworld"
+        assert plan.route == "inline"
+        # the recomputed trait is backfilled so later plans skip the predicate
+        assert artifacts.classification["dc_df_restrained"] is True
+
+    def test_pre_upgrade_state_dir_plans_new_trait_decider(self, tmp_path):
+        from repro.workloads import xhtml_like_dtd
+
+        state = str(tmp_path / "state")
+        registry = SchemaRegistry()
+        registry.register("xhtml", xhtml_like_dtd())
+        with BatchEngine(registry=registry, state_dir=state) as engine:
+            engine.run([("body", "xhtml")])
+            engine.save_state()
+
+        # a fresh engine adopts the persisted plans; the artifact record is
+        # then aged to pre-upgrade shape before a new-signature query
+        # arrives, forcing a live replan through the trait gate
+        registry = SchemaRegistry()
+        registry.register("xhtml", xhtml_like_dtd())
+        artifacts = registry.get("xhtml")
+        for key in self.NEW_TRAIT_KEYS:
+            artifacts.classification.pop(key, None)
+        with BatchEngine(registry=registry, state_dir=state) as engine:
+            report = engine.run([("body[div/p]", "xhtml")])
+        assert report.results[0].satisfiable is True
+        assert artifacts.classification["dc_df_restrained"] is True
+
+    def test_duck_typed_artifacts_resolve_traits(self):
+        from repro.sat.planner import _artifact_trait
+        from repro.workloads import xhtml_like_dtd
+
+        class Duck:
+            def __init__(self, dtd):
+                self.dtd = dtd
+                self.classification = {"disjunction_free": False}
+
+        duck = Duck(xhtml_like_dtd())
+        assert _artifact_trait(duck, "dc_df_restrained") is True
+        assert duck.classification["dc_df_restrained"] is True  # backfilled
+        assert _artifact_trait(duck, "disjunction_free") is False
+
+    def test_plain_attribute_artifacts_still_resolve(self):
+        class Legacy:
+            disjunction_free = True
+
+        from repro.sat.planner import _artifact_trait
+
+        assert _artifact_trait(Legacy(), "disjunction_free") is True
 
 
 class TestPlannerInvalidate:

@@ -18,6 +18,15 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.dtd import random_dtd
+from repro.dtd.properties import (
+    _accepts_word_over,
+    is_dc_df_restrained,
+    is_disjunction_capsuled,
+    is_disjunction_free,
+    is_duplicate_free,
+    terminating_types,
+)
+from repro.regex.ast import Concat, Optional, Star, Symbol, Union
 from repro.workloads import random_query
 from repro.xmltree import conforms, random_tree
 from repro.xpath import ast, evaluate, inverse, parse_query
@@ -163,6 +172,101 @@ def test_random_trees_always_conform(seed):
     dtd = random_dtd(rng, n_types=5, attribute_names=("a",))
     doc = random_tree(dtd, rng, max_nodes=40)
     assert conforms(doc, dtd)
+
+
+# -- real-world class detectors vs their definitions ----------------------------
+
+def _df_reference(production) -> bool:
+    """Duplicate-free, straight from the definition: list every syntactic
+    ``Symbol`` occurrence and require all names distinct."""
+    names = [node.name for node in production.walk() if isinstance(node, Symbol)]
+    return len(names) == len(set(names))
+
+
+def _dc_reference(production) -> bool:
+    """Disjunction-capsuled, straight from the definition: every
+    disjunction (``Union``, or ``Optional`` = ``e + ε``) lies beneath a
+    star "capsule"."""
+
+    def check(regex, under_star: bool) -> bool:
+        if isinstance(regex, (Union, Optional)) and not under_star:
+            return False
+        if isinstance(regex, Star):
+            return check(regex.inner, True)
+        if isinstance(regex, Optional):
+            return check(regex.inner, under_star)
+        if isinstance(regex, (Concat, Union)):
+            return all(check(part, under_star) for part in regex.parts)
+        return True
+
+    return check(production, False)
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=120, deadline=None)
+def test_realworld_detectors_match_definitions(seed):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_types=5)
+    productions = list(dtd.productions.values())
+    assert is_duplicate_free(dtd) == all(_df_reference(p) for p in productions)
+    assert is_disjunction_capsuled(dtd) == all(_dc_reference(p) for p in productions)
+    assert is_dc_df_restrained(dtd) == all(
+        _dc_reference(p) or _df_reference(p) for p in productions
+    )
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=120, deadline=None)
+def test_realworld_class_subsumptions(seed):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_types=5)
+    # no disjunction at all means every disjunction is trivially capsuled
+    if is_disjunction_free(dtd):
+        assert is_disjunction_capsuled(dtd)
+    # either class alone implies membership in the covering class
+    if is_disjunction_capsuled(dtd) or is_duplicate_free(dtd):
+        assert is_dc_df_restrained(dtd)
+
+
+# -- termination worklist vs restart scans ---------------------------------------
+
+def _terminating_restart_scan(dtd):
+    """The pre-worklist reference: rescan every element type from scratch
+    until a full pass derives nothing new."""
+    terminating: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for element_type in sorted(dtd.element_types):
+            if element_type in terminating:
+                continue
+            if _accepts_word_over(dtd.production(element_type), terminating):
+                terminating.add(element_type)
+                changed = True
+    return frozenset(terminating)
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=120, deadline=None)
+def test_terminating_worklist_matches_restart_scan(seed):
+    rng = random.Random(seed)
+    dtd = random_dtd(rng, n_types=6)
+    assert terminating_types(dtd) == _terminating_restart_scan(dtd)
+
+
+def test_terminating_worklist_matches_on_fuzz_corpus():
+    from repro.testing.oracle import corpus_schemas
+
+    for dtd, _labels, _attrs in corpus_schemas():
+        assert terminating_types(dtd) == _terminating_restart_scan(dtd)
+
+
+def test_terminating_worklist_handles_nonterminating_cycles():
+    from repro.dtd import parse_dtd
+
+    # a requires itself: never terminates; c is fine; b needs a
+    dtd = parse_dtd("root c\nc -> b?\nb -> a\na -> a, c")
+    assert terminating_types(dtd) == frozenset({"c"})
 
 
 @given(seed=st.integers(0, 10**9))
