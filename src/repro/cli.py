@@ -75,6 +75,23 @@ Subcommands
     jobs (excess gets a ``retry`` response), ``--snapshot-interval``
     controls periodic state snapshots.
 
+``route``
+    Multi-process scale-out: a front door speaking the same JSONL
+    protocol that spawns N ``repro serve`` worker processes, shards
+    incoming jobs across them by schema fingerprint (consistent hash,
+    spill to least-loaded on hot shards), fans streamed results back
+    exactly-once, and restarts dead workers (see
+    :mod:`repro.engine.router`)::
+
+        python -m repro route --workers 4 --socket /run/repro.sock \
+            --schema-dir schemas/ --state-tier state/
+
+    With ``--state-tier`` every worker warms its plan and cost caches
+    from the shared SQLite tier before the router accepts traffic, so
+    no process ever plans cold; on SIGTERM each worker drains and
+    merges its samples back.  ``--attach SOCKET`` routes to pre-started
+    engines instead of spawning.
+
 ``stats``
     Aggregate a batch result file (verdicts, methods, routes, schemas)::
 
@@ -321,6 +338,7 @@ def _make_engine(args: argparse.Namespace, registry, tracer) -> BatchEngine:
         cache=DecisionCache(capacity=args.cache_size),
         workers=args.workers,
         state_dir=args.state_dir,
+        state_tier=args.state_tier,
         group_by_plan=args.group_by_plan,
         group_chunk_size=args.group_chunk_size,
         decision_cap_per_schema=args.decision_cap,
@@ -329,11 +347,11 @@ def _make_engine(args: argparse.Namespace, registry, tracer) -> BatchEngine:
         lane_queue_depth=args.lane_queue_depth,
         tracer=tracer,
     )
-    if args.state_dir is not None:
+    if engine.has_state:
         print(
             f"state: {engine.registry.persisted_plans} persisted plans, "
             f"{engine.persisted_decisions_loaded} cached decisions loaded "
-            f"from {args.state_dir}"
+            f"from {engine.state_target}"
         )
     return engine
 
@@ -393,9 +411,9 @@ def _run_batch_passes(args, engine, tracer, slow_log) -> int:
             f"{counts['unknown']} unknown, {counts['error']} errors"
         )
         print(passes[-1].describe())
-        if args.state_dir is not None:
+        if engine.has_state:
             engine.save_state()
-            print(f"state: saved to {args.state_dir}")
+            print(f"state: saved to {engine.state_target}")
         if args.stats_json is not None:
             with open(args.stats_json, "w") as handle:
                 json.dump([stats.as_dict() for stats in passes], handle, indent=2)
@@ -419,9 +437,9 @@ def _run_batch_passes(args, engine, tracer, slow_log) -> int:
             f"\ninterrupted by {exit_signal} — saving state before exit",
             file=sys.stderr,
         )
-        if args.state_dir is not None:
+        if engine.has_state:
             engine.save_state()
-            print(f"state: saved to {args.state_dir}", file=sys.stderr)
+            print(f"state: saved to {engine.state_target}", file=sys.stderr)
         if tracer is not None:
             tracer.close()
         return 128 + exit_signal.signum
@@ -441,7 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_inflight=args.max_inflight,
         snapshot_interval=(
-            args.snapshot_interval if args.state_dir is not None else None
+            args.snapshot_interval if engine.has_state else None
         ),
         on_ready=lambda ready: print(f"serving on {ready.endpoint}", flush=True),
     )
@@ -455,6 +473,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{server.stats.connections_total} connections "
         f"({server.stats.retries_shed} shed, "
         f"{server.stats.snapshots} snapshots)"
+    )
+    return code
+
+
+def _schema_paths(args: argparse.Namespace) -> dict[str, str]:
+    """NAME -> DTD path from the shared ``--schema`` / ``--schema-dir``
+    flags, without building artifacts (the router only fingerprints)."""
+    paths: dict[str, str] = {}
+    for spec in args.schema or []:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise EngineError(f"--schema expects NAME=PATH, got {spec!r}")
+        paths[name] = path
+    if args.schema_dir is not None:
+        pattern = os.path.join(args.schema_dir, "*.dtd")
+        for path in sorted(glob.glob(pattern)):
+            paths[os.path.splitext(os.path.basename(path))[0]] = path
+    return paths
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.engine.router import EngineRouter
+
+    attach = args.attach or []
+    workers = args.workers
+    if workers is None:
+        workers = 0 if attach else 2
+    schema_paths = _schema_paths(args)
+    worker_args: list[str] = []
+    for name, path in sorted(schema_paths.items()):
+        worker_args += ["--schema", f"{name}={path}"]
+    if args.state_tier is not None:
+        worker_args += ["--state-tier", args.state_tier]
+    if args.engine_workers is not None:
+        worker_args += ["--workers", str(args.engine_workers)]
+    if args.snapshot_interval is not None:
+        worker_args += ["--snapshot-interval", str(args.snapshot_interval)]
+    router = EngineRouter(
+        workers=workers,
+        attach=attach,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        schema_files=schema_paths,
+        worker_args=worker_args,
+        worker_dir=args.worker_dir,
+        spill_depth=args.spill_depth,
+        max_restarts=args.max_restarts,
+        metrics_out=args.metrics_out,
+        on_ready=lambda ready: print(
+            f"routing on {ready.endpoint} across {len(ready.shards)} shards",
+            flush=True,
+        ),
+    )
+    code = router.run()
+    stats = router.stats
+    print(
+        f"routed {stats.jobs_routed} jobs over {stats.connections_total} "
+        f"connections across {stats.shards_used()} of {len(router.shards)} "
+        f"shards ({stats.spills} spills, {stats.restarts} restarts)"
     )
     return code
 
@@ -515,10 +593,21 @@ def _cmd_stats_plans(args: argparse.Namespace) -> int:
     """The per-plan telemetry report backing ``repro stats --plans``."""
     from repro.engine.state import load_state
 
-    if args.state_dir is None:
-        raise EngineError("stats --plans needs --state-dir DIR")
-    # state-dir warnings reach stderr through repro.obs.log
-    state = load_state(args.state_dir)
+    if args.state_dir is None and args.state_tier is None:
+        raise EngineError(
+            "stats --plans needs --state-dir DIR or --state-tier PATH"
+        )
+    engine_rows: dict[str, dict] | None = None
+    if args.state_tier is not None:
+        from repro.engine.statetier import StateTier
+
+        # warnings reach stderr through repro.obs.log
+        with StateTier(args.state_tier) as tier:
+            state = tier.load()
+            engine_rows = tier.engine_stats_rows()
+    else:
+        # state-dir warnings reach stderr through repro.obs.log
+        state = load_state(args.state_dir)
     if args.json:
         telemetry = state.telemetry
         rows = telemetry.summary() if telemetry is not None else {}
@@ -539,8 +628,14 @@ def _cmd_stats_plans(args: argparse.Namespace) -> int:
                 if state.cost_model is not None else None
             ),
         }
+        if engine_rows is not None:
+            payload["processes"] = engine_rows
         print(json.dumps(payload, indent=2))
         return 0
+    if engine_rows:
+        print(
+            f"processes : {len(engine_rows)} engine(s) reported into the tier"
+        )
     if state.telemetry is None or not len(state.telemetry):
         print("no plan telemetry recorded")
         return 0
@@ -639,6 +734,14 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--state-dir", metavar="DIR",
         help="load persisted plans/telemetry/cost-model/decisions from DIR "
              "at startup and save back after the run (warm cross-process starts)",
+    )
+    parser.add_argument(
+        "--state-tier", metavar="PATH",
+        help="shared SQLite state tier (file or directory): like "
+             "--state-dir, but concurrent-safe — N processes may load and "
+             "save simultaneously, cost samples merge instead of "
+             "overwriting; a legacy --state-dir at the same directory is "
+             "migrated on first open",
     )
     parser.add_argument(
         "--trace-out", metavar="PATH",
@@ -761,6 +864,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    route = sub.add_parser(
+        "route",
+        help="multi-process front door: shard JSONL jobs across N engine "
+             "processes by schema fingerprint",
+    )
+    route.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine processes to spawn, each a 'repro serve' worker "
+             "(default 2, or 0 when --attach is given)",
+    )
+    route.add_argument(
+        "--attach", action="append", metavar="SOCKET",
+        help="route to a pre-started engine socket instead of spawning "
+             "(repeatable; attached engines are never restarted)",
+    )
+    route.add_argument(
+        "--socket", metavar="PATH",
+        help="listen on a unix domain socket at PATH",
+    )
+    route.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address for --port (default 127.0.0.1)",
+    )
+    route.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on TCP port N (0 picks a free port)",
+    )
+    route.add_argument(
+        "--schema", action="append", metavar="NAME=PATH",
+        help="register a DTD file under NAME (repeatable; passed through "
+             "to spawned workers and used for fingerprint sharding)",
+    )
+    route.add_argument(
+        "--schema-dir", metavar="DIR",
+        help="register every *.dtd file in DIR under its basename",
+    )
+    route.add_argument(
+        "--state-tier", metavar="PATH",
+        help="shared SQLite state tier: every worker warms its plan and "
+             "cost caches from it before the router accepts traffic, and "
+             "merges its samples back on drain",
+    )
+    route.add_argument(
+        "--spill-depth", type=int, default=64, metavar="N",
+        help="in-flight jobs a preferred shard may hold before a job "
+             "spills to the least-loaded shard (default 64)",
+    )
+    route.add_argument(
+        "--engine-workers", type=int, default=None, metavar="N",
+        help="process-pool size inside each spawned engine (its --workers)",
+    )
+    route.add_argument(
+        "--worker-dir", metavar="DIR",
+        help="directory for spawned workers' sockets (default: a fresh "
+             "temporary directory)",
+    )
+    route.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="times one shard's dead worker is restarted (default 3)",
+    )
+    route.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="periodic tier-snapshot interval passed to spawned workers",
+    )
+    route.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write repro_router_* metrics (Prometheus text) at shutdown",
+    )
+    route.set_defaults(func=_cmd_route)
+
     stats = sub.add_parser(
         "stats", help="aggregate a batch result file or persisted plan telemetry"
     )
@@ -775,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--state-dir", metavar="DIR",
         help="state directory written by 'batch --state-dir'",
+    )
+    stats.add_argument(
+        "--state-tier", metavar="PATH",
+        help="shared SQLite state tier written by '--state-tier' runs "
+             "(merged view across every contributing process)",
     )
     stats.add_argument(
         "--json", action="store_true",

@@ -20,7 +20,13 @@ package amortizes their setup across production-scale workloads:
   repro batch``;
 * :mod:`repro.engine.server` — :class:`EngineServer`, the asyncio daemon
   behind ``python -m repro serve``: one shared engine multiplexed across
-  concurrent JSONL connections, with admission control and snapshots.
+  concurrent JSONL connections, with admission control and snapshots;
+* :mod:`repro.engine.statetier` — :class:`StateTier`, the concurrent-safe
+  SQLite (WAL) replacement for the JSON state snapshot: N processes load
+  and save simultaneously, cost samples merge instead of overwriting;
+* :mod:`repro.engine.router` — :class:`EngineRouter`, the multi-process
+  front door behind ``python -m repro route``: shards JSONL jobs across
+  N engine processes by schema fingerprint and warms them from the tier.
 """
 
 from repro.engine.batch import (
@@ -50,8 +56,10 @@ from repro.engine.jobs import (
     write_results_file,
 )
 from repro.engine.registry import SchemaArtifacts, SchemaRegistry, schema_fingerprint
+from repro.engine.router import EngineRouter, RouterStats, pick_shard
 from repro.engine.server import EngineServer, ServerStats
 from repro.engine.state import PersistedState, load_state, save_state
+from repro.engine.statetier import StateTier, resolve_tier_path
 
 __all__ = [
     "BatchEngine", "BatchReport", "EngineStats", "Job", "JobResult",
@@ -61,7 +69,9 @@ __all__ = [
     "InlineExecutor", "PersistentPoolExecutor", "WorkerRuntime",
     "SchemaArtifacts", "SchemaRegistry", "schema_fingerprint",
     "EngineServer", "ServerStats",
+    "EngineRouter", "RouterStats", "pick_shard",
     "PersistedState", "load_state", "save_state",
+    "StateTier", "resolve_tier_path",
     "read_jobs", "read_jobs_file", "write_jobs_file",
     "write_results", "write_results_file",
 ]

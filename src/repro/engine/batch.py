@@ -61,7 +61,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # statetier imports state which is import-light, but
+    # the engine only needs the type for annotations
+    from repro.engine.statetier import StateTier
 
 from repro.errors import EngineError, ReproError
 from repro.engine.cache import CachedDecision, CacheKey, DecisionCache, decision_key_for
@@ -552,6 +556,7 @@ class BatchEngine:
         cost_model: CostModel | None = None,
         telemetry: PlanTelemetry | None = None,
         state_dir: str | None = None,
+        state_tier: "StateTier | str | None" = None,
         group_by_plan: bool | None = None,
         group_chunk_size: int | None = None,
         decision_cap_per_schema: int | None = None,
@@ -644,7 +649,20 @@ class BatchEngine:
         self.bounds = bounds
         self.persisted_decisions_loaded = 0
         self.state_warnings: list[str] = []
+        if state_dir is not None and state_tier is not None:
+            raise EngineError(
+                "pass one of state_dir= (JSON snapshot) or state_tier= "
+                "(shared SQLite), not both"
+            )
         self.state_dir = state_dir
+        # the shared SQLite tier: constructed from a path (owned, closed
+        # with the engine) or caller-supplied (shared, left open)
+        self._owns_tier = isinstance(state_tier, str)
+        if isinstance(state_tier, str):
+            from repro.engine.statetier import StateTier
+
+            state_tier = StateTier(state_tier)
+        self.state_tier = state_tier
         # observability: tracer is None by default and every tracing
         # branch is guarded on it, so the default-off path costs a
         # handful of predictable `is not None` checks per job
@@ -668,17 +686,18 @@ class BatchEngine:
         self._next_task_id = 0
         if state_dir is not None:
             self.load_state(state_dir)
+        elif self.state_tier is not None:
+            self.metrics_sources.append(self.state_tier)
+            self.load_tier_state()
 
     # -- state persistence --------------------------------------------------
-    def load_state(self, state_dir: str) -> int:
-        """Warm this engine from a persisted state directory: plan caches
+    def _adopt_state(self, state) -> int:
+        """Fold a :class:`~repro.engine.state.PersistedState` (from a
+        JSON dir or the shared tier) into this engine: plan caches
         (applied now for registered schemas, at registration for later
         ones), telemetry, cost-model measurements, cached decisions, and
         scheduler tunables (which fill every tunable the constructor left
         unset).  Returns the number of plans available from persistence."""
-        from repro.engine.state import load_state
-
-        state = load_state(state_dir)
         self.state_warnings.extend(state.warnings)
         self.registry.adopt_plans(state.plans, names=state.plan_names)
         if state.telemetry is not None:
@@ -696,19 +715,48 @@ class BatchEngine:
                 setattr(self, name, state.scheduler[name])
         return state.plan_count
 
+    def load_state(self, state_dir: str) -> int:
+        """Warm this engine from a persisted JSON state directory (see
+        :meth:`_adopt_state` for what is adopted)."""
+        from repro.engine.state import load_state
+
+        return self._adopt_state(load_state(state_dir))
+
+    def load_tier_state(self) -> int:
+        """Warm this engine from its shared state tier — the cache
+        warming every process does before serving traffic.  After the
+        merge the tier's cost baseline is re-anchored, so later saves
+        contribute only samples observed by *this* process."""
+        if self.state_tier is None:
+            raise EngineError("engine has no state tier")
+        plans = self._adopt_state(self.state_tier.load())
+        self.state_tier.note_cost_baseline(self.cost_model)
+        return plans
+
+    @property
+    def has_state(self) -> bool:
+        """Whether :meth:`save_state` has somewhere to persist to."""
+        return self.state_dir is not None or self.state_tier is not None
+
+    @property
+    def state_target(self) -> str | None:
+        """Human-readable persistence target (dir or tier database)."""
+        if self.state_dir is not None:
+            return self.state_dir
+        if self.state_tier is not None:
+            return self.state_tier.path
+        return None
+
     def save_state(self, state_dir: str | None = None) -> str:
         """Persist plan caches, telemetry, cost model, the decision cache,
-        and the scheduler tunables next to batch results; returns the
-        directory written.  State-dir hygiene applies on the way out:
-        cached decisions are capped per schema and telemetry rows not
-        seen within ``telemetry_max_age_days`` are aged out."""
+        and the scheduler tunables — to the explicit ``state_dir``, the
+        engine's JSON state dir, or its shared SQLite tier, in that
+        order; returns the target written.  Hygiene applies on the way
+        out: cached decisions are capped per schema and telemetry rows
+        not seen within ``telemetry_max_age_days`` are aged out."""
         from repro.engine.state import save_state
 
-        target = state_dir if state_dir is not None else self.state_dir
-        if target is None:
-            raise EngineError("no state directory given (engine has no state_dir)")
-        save_state(
-            target,
+        components = dict(
             registry=self.registry,
             telemetry=self.telemetry,
             cost_model=self.cost_model,
@@ -728,6 +776,16 @@ class BatchEngine:
             ),
             metrics_text=self.metrics_registry().render_prometheus(),
         )
+        target = state_dir if state_dir is not None else self.state_dir
+        if target is None and self.state_tier is not None:
+            self.state_tier.save(**components)
+            return self.state_tier.path
+        if target is None:
+            raise EngineError(
+                "no persistence target (engine has neither a state dir "
+                "nor a state tier)"
+            )
+        save_state(target, **components)
         return target
 
     def metrics_registry(self, stats: EngineStats | None = None) -> MetricsRegistry:
@@ -788,6 +846,8 @@ class BatchEngine:
             if self._inline_executor is not None:
                 self._inline_executor.close()
                 self._inline_executor = None
+            if self._owns_tier and self.state_tier is not None:
+                self.state_tier.close()
 
     def __enter__(self) -> "BatchEngine":
         return self

@@ -179,6 +179,22 @@ class SchemaRegistry:
             if per_schema
         }
 
+    def plan_records(self) -> dict[str, tuple[str, dict[str, Plan]]]:
+        """Every plan worth persisting, as ``fingerprint -> (name,
+        signature -> Plan)``: the live per-schema plan caches plus the
+        adopted-but-unapplied plans of schemas never registered this run
+        (:meth:`pending_plan_records`) — the one source both the JSON
+        state dir and the SQLite state tier serialize from."""
+        records: dict[str, tuple[str, dict[str, Plan]]] = {}
+        for artifacts in self:
+            if artifacts.plan_cache:
+                records[artifacts.fingerprint] = (
+                    artifacts.name, dict(artifacts.plan_cache)
+                )
+        for fingerprint, entry in self.pending_plan_records().items():
+            records.setdefault(fingerprint, entry)
+        return records
+
     def _apply_pending_plans(self, artifacts: SchemaArtifacts) -> int:
         pending = self._pending_plans.pop(artifacts.fingerprint, None)
         if not pending:

@@ -40,7 +40,8 @@ at ``lane_queue_depth``.
 
 Lifecycle: SIGTERM/SIGINT stop intake, drain every admitted job, stream
 the remaining results, snapshot ``save_state()`` (when the engine has a
-state dir), close the engine, and exit cleanly; ``--snapshot-interval``
+state dir or shared state tier), close the engine, and exit cleanly;
+``--snapshot-interval``
 additionally snapshots periodically while serving, so a crash loses at
 most one interval of telemetry.  Server health (connection and inflight
 gauges, ``repro_server_*`` counters, per-batch latency histogram) rides
@@ -255,7 +256,7 @@ class EngineServer:
             self.port = server.sockets[0].getsockname()[1]
             self.endpoint = f"{self.host}:{self.port}"
         snapshot_task = None
-        if self.snapshot_interval is not None and self.engine.state_dir is not None:
+        if self.snapshot_interval is not None and self.engine.has_state:
             snapshot_task = asyncio.create_task(self._snapshot_loop())
         _LOG.info(
             "serving on %s (max_batch=%d, max_inflight=%d, workers=%d)",
@@ -281,7 +282,7 @@ class EngineServer:
                     await snapshot_task
                 except asyncio.CancelledError:
                     pass
-            if self.engine.state_dir is not None:
+            if self.engine.has_state:
                 await self._snapshot()
             self._engine_thread.shutdown(wait=True)
             if not self.engine.closed:
@@ -516,4 +517,4 @@ class EngineServer:
                 _LOG.error("state snapshot failed: %s", error)
                 return
         self.stats.snapshots += 1
-        _LOG.info("state snapshot saved to %s", self.engine.state_dir)
+        _LOG.info("state snapshot saved to %s", self.engine.state_target)

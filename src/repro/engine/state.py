@@ -62,6 +62,36 @@ ENGINE_STATS_FILE = "engine_stats.json"
 METRICS_FILE = "metrics.prom"
 
 
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: dump into a sibling tmp
+    file, flush + fsync it, then ``os.replace`` over the target.  A crash
+    at any point leaves either the complete old file or the complete new
+    one — never a torn or empty target (the fsync closes the window where
+    the rename lands before the data does).  A failed write cleans up its
+    tmp file and re-raises."""
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_write_json(path: str, payload: dict[str, Any]) -> None:
+    """Serialize ``payload`` and :func:`_atomic_write_text` it — the one
+    write path every state file goes through."""
+    _atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def _warn(warnings: list[str], message: str) -> None:
     """Record a degrade message both ways: the ``warnings`` list keeps
     the API contract (callers can inspect what was skipped), and the
@@ -281,41 +311,26 @@ def save_state(
     os.makedirs(state_dir, exist_ok=True)
 
     def write(name: str, payload: dict[str, Any]) -> None:
-        payload = {"version": STATE_VERSION, **payload}
-        path = os.path.join(state_dir, name)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, path)
+        _atomic_write_json(
+            os.path.join(state_dir, name),
+            {"version": STATE_VERSION, **payload},
+        )
 
     if registry is not None:
-        schemas: dict[str, Any] = {}
-        for artifacts in registry:
-            if not artifacts.plan_cache:
-                continue
-            schemas[artifacts.fingerprint] = {
-                "name": artifacts.name,
+        # plan_records() folds in plans adopted for schemas this run
+        # never registered, so workloads sharing a state dir do not
+        # erase each other's warm plans
+        schemas: dict[str, Any] = {
+            fingerprint: {
+                "name": name,
                 "plans": {
                     signature: plan.to_dict()
-                    for signature, plan in sorted(artifacts.plan_cache.items())
+                    for signature, plan in sorted(per_schema.items())
                 },
             }
-        # plans adopted for schemas this run never registered are written
-        # back untouched, so workloads sharing a state dir do not erase
-        # each other's warm plans
-        pending = getattr(registry, "pending_plan_records", None)
-        if pending is not None:
-            for fingerprint, (name, per_schema) in pending().items():
-                if fingerprint in schemas:
-                    continue
-                schemas[fingerprint] = {
-                    "name": name,
-                    "plans": {
-                        signature: plan.to_dict()
-                        for signature, plan in sorted(per_schema.items())
-                    },
-                }
+            for fingerprint, (name, per_schema)
+            in registry.plan_records().items()
+        }
         write(PLANS_FILE, {"schemas": schemas})
     if telemetry is not None:
         if telemetry_max_age_days is not None:
@@ -337,8 +352,4 @@ def save_state(
     if engine_stats is not None:
         write(ENGINE_STATS_FILE, {"stats": dict(engine_stats)})
     if metrics_text is not None:
-        path = os.path.join(state_dir, METRICS_FILE)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            handle.write(metrics_text)
-        os.replace(tmp_path, path)
+        _atomic_write_text(os.path.join(state_dir, METRICS_FILE), metrics_text)

@@ -113,6 +113,11 @@ class CostModel:
         self._entries: dict[tuple[str, str, str], CostEntry] = {}
         self._tick = 0
         self._explore_clock: dict[tuple[str, str], int] = {}
+        # cells decay() aged out entirely, kept until a persistence layer
+        # consumes them (the state tier deletes these rows, so a stale
+        # shared cell cannot resurrect a measurement decay retired); a
+        # fresh observe() or merge() of the key revives it legitimately
+        self._dropped: set[tuple[str, str, str]] = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -128,6 +133,7 @@ class CostModel:
         entry = self._entries.get(key)
         if entry is None:
             entry = self._entries[key] = CostEntry()
+            self._dropped.discard(key)
         entry.count += 1
         entry.total_ms += elapsed_ms
         self._tick += 1
@@ -179,7 +185,25 @@ class CostModel:
             entry.total_ms *= factor
             if entry.count < 1.0:
                 del self._entries[key]
+                self._dropped.add(key)
                 dropped += 1
+        return dropped
+
+    def cells(self) -> dict[tuple[str, str, str], CostEntry]:
+        """Snapshot of every (signature, bucket, decider) cell — the
+        state tier diffs this against its baseline to write per-process
+        sample deltas."""
+        return {
+            key: CostEntry(entry.count, entry.total_ms, entry.last_tick)
+            for key, entry in self._entries.items()
+        }
+
+    def consume_dropped(self) -> set[tuple[str, str, str]]:
+        """Return-and-clear the keys :meth:`decay` aged out since the
+        last call, minus any that were re-observed in the meantime.  A
+        persistence layer deletes these from shared storage, so a cell
+        the model retired cannot resurrect from a stale shared row."""
+        dropped, self._dropped = self._dropped, set()
         return dropped
 
     def measured(self, signature: str, bucket: str, decider: str) -> CostEntry | None:
@@ -258,12 +282,18 @@ class CostModel:
             ).set(round(entry.mean_ms, 4))
 
     def merge(self, other: "CostModel") -> None:
+        """Fold ``other``'s cells into this model: float-weighted combine
+        (counts and totals add, so the merged mean is the sample-weighted
+        mean of both sides), ``last_tick`` max.  Merging live samples for
+        a key this model had decay-dropped revives it — the drop retired
+        a *stale* measurement, not the key."""
         for key, entry in other._entries.items():
             mine = self._entries.get(key)
             if mine is None:
                 self._entries[key] = CostEntry(
                     entry.count, entry.total_ms, entry.last_tick
                 )
+                self._dropped.discard(key)
             else:
                 mine.count += entry.count
                 mine.total_ms += entry.total_ms

@@ -1,0 +1,498 @@
+"""Tests for the multi-process front door (:mod:`repro.engine.router`).
+
+Unit tests pin the pure sharding policy (``pick_shard``) and the
+exactly-once fan-in bookkeeping; the smoke tests fork a real ``python -m
+repro route`` fleet on a unix socket, drive mixed-schema JSONL jobs
+through it, and compare verdicts against a single-process engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import zlib
+
+import pytest
+
+import repro
+from repro.engine import BatchEngine, Job, SchemaRegistry
+from repro.engine.router import (
+    EngineRouter,
+    RouterStats,
+    _ClientConn,
+    _Pending,
+    pick_shard,
+)
+from repro.errors import EngineError
+
+CATALOG_DTD = """
+root r
+r -> A, (B + C)
+A -> eps
+B -> eps
+C -> eps
+"""
+
+# chosen so crc32(fingerprint) lands the two schemas on different
+# shards of a 2-worker fleet (the fan-out smoke asserts >1 shard used)
+DOC_DTD = """
+root doc
+doc -> title, para*
+title -> eps
+para -> text + eps
+text -> eps
+"""
+
+QUERIES = ["A", "B", ".[B and C]", "A[not(B)]", "r//A"]
+DOC_QUERIES = ["doc/title", "doc//text", "doc[not(para)]"]
+
+
+def _mixed_jobs() -> list[dict]:
+    jobs = [
+        {"query": query, "schema": "catalog", "id": f"c{i}"}
+        for i, query in enumerate(QUERIES)
+    ]
+    jobs += [
+        {"query": query, "schema": "doc", "id": f"d{i}"}
+        for i, query in enumerate(DOC_QUERIES)
+    ]
+    jobs.append({"query": "X[not(Y)]", "id": "nodtd"})
+    return jobs
+
+
+def _single_process_verdicts(jobs: list[dict]) -> dict[str, tuple]:
+    registry = SchemaRegistry()
+    registry.register("catalog", CATALOG_DTD)
+    registry.register("doc", DOC_DTD)
+    engine = BatchEngine(registry=registry)
+    report = engine.run([
+        Job(job["query"], job.get("schema"), job.get("id")) for job in jobs
+    ])
+    engine.close()
+    return {
+        r.id: (r.satisfiable, r.method) for r in report.results
+    }
+
+
+# -- the pure sharding policy -----------------------------------------------------
+
+class TestPickShard:
+    def test_consistent_hash_is_the_preferred_shard(self):
+        for key in ("alpha", "beta", "gamma", "-"):
+            expected = zlib.crc32(key.encode("utf-8")) % 3
+            index, spilled = pick_shard(key, [0, 0, 0], spill_depth=4)
+            assert index == expected
+            assert spilled is False
+
+    def test_same_key_same_shard(self):
+        depths = [0, 0, 0, 0]
+        picks = {pick_shard("catalog", depths, 4)[0] for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_hot_shard_spills_to_least_loaded(self):
+        key = "k"
+        preferred = zlib.crc32(b"k") % 3
+        depths = [0, 0, 0]
+        depths[preferred] = 4
+        index, spilled = pick_shard(key, depths, spill_depth=4)
+        assert index != preferred
+        assert spilled is True
+        assert depths[index] == 0
+
+    def test_no_spill_when_everyone_is_as_hot(self):
+        preferred = zlib.crc32(b"k") % 2
+        depths = [5, 5]
+        index, spilled = pick_shard("k", depths, spill_depth=4)
+        assert index == preferred   # spilling to an equally hot shard is futile
+        assert spilled is False
+
+    def test_dead_preferred_shard_spills(self):
+        preferred = zlib.crc32(b"k") % 2
+        alive = [True, True]
+        alive[preferred] = False
+        index, spilled = pick_shard("k", [0, 0], 4, alive=alive)
+        assert index != preferred
+        assert spilled is True
+
+    def test_no_shards_and_no_live_shards_error(self):
+        with pytest.raises(EngineError, match="no shards"):
+            pick_shard("k", [], 4)
+        with pytest.raises(EngineError, match="no live shards"):
+            pick_shard("k", [0, 0], 4, alive=[False, False])
+
+
+# -- construction and fan-in bookkeeping ------------------------------------------
+
+def _bare_router(**overrides) -> EngineRouter:
+    """A router that is never started: shards marked alive by hand so
+    the dispatch/fan-in paths can run synchronously."""
+    options = dict(workers=2, socket_path="unused.sock")
+    options.update(overrides)
+    router = EngineRouter(**options)
+    for shard in router.shards:
+        shard.alive = True
+    return router
+
+
+class TestRouterConfig:
+    def test_requires_exactly_one_endpoint(self):
+        with pytest.raises(EngineError, match="exactly one endpoint"):
+            EngineRouter(workers=2)
+        with pytest.raises(EngineError, match="exactly one endpoint"):
+            EngineRouter(workers=2, socket_path="x.sock", port=7000)
+
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(EngineError, match="at least one worker"):
+            EngineRouter(workers=0, socket_path="x.sock")
+
+    def test_rejects_bad_tunables(self):
+        with pytest.raises(EngineError, match="spill_depth"):
+            EngineRouter(workers=1, socket_path="x.sock", spill_depth=0)
+        with pytest.raises(EngineError, match="max_restarts"):
+            EngineRouter(workers=1, socket_path="x.sock", max_restarts=-1)
+
+    def test_attached_shards_are_unmanaged(self):
+        router = EngineRouter(
+            workers=1, attach=["/tmp/a.sock"], socket_path="x.sock"
+        )
+        assert [shard.managed for shard in router.shards] == [True, False]
+        assert router.shards[1].socket_path == "/tmp/a.sock"
+
+
+class TestExactlyOnceFanIn:
+    def test_duplicate_response_fans_back_once(self):
+        router = _bare_router()
+        conn = _ClientConn(1)
+        router._ingest(conn, b'{"query": "A", "schema": "s", "id": "j1"}\n')
+        assert conn.inflight == 1
+        (shard,) = [s for s in router.shards if s.inflight]
+        (token,) = shard.inflight
+        router._absorb(shard, {"id": token, "satisfiable": True})
+        router._absorb(shard, {"id": token, "satisfiable": True})  # repeat
+        assert conn.out_queue.qsize() == 1
+        assert conn.inflight == 0
+        record = conn.out_queue.get_nowait()
+        assert record["id"] == "j1"     # original id restored
+        assert router.stats.results_returned == 1
+
+    def test_jobs_without_id_get_the_query_text_back(self):
+        router = _bare_router()
+        conn = _ClientConn(1)
+        router._ingest(conn, b'{"query": "A[B]"}\n')
+        (shard,) = [s for s in router.shards if s.inflight]
+        (token,) = shard.inflight
+        router._absorb(shard, {"id": token, "satisfiable": False})
+        assert conn.out_queue.get_nowait()["id"] == "A[B]"
+
+    def test_invalid_line_is_answered_not_routed(self):
+        router = _bare_router()
+        conn = _ClientConn(1)
+        router._ingest(conn, b'{"query": 5}\n')
+        assert router.stats.invalid_lines == 1
+        assert router.stats.jobs_routed == 0
+        assert conn.out_queue.get_nowait()["status"] == "error"
+        assert not any(shard.inflight for shard in router.shards)
+
+    def test_blank_and_comment_lines_are_ignored(self):
+        router = _bare_router()
+        conn = _ClientConn(1)
+        router._ingest(conn, b"\n")
+        router._ingest(conn, b"# note\n")
+        assert conn.out_queue.empty()
+
+    def test_same_schema_lands_on_one_shard(self):
+        router = _bare_router(workers=4)
+        conn = _ClientConn(1)
+        for i in range(6):
+            router._ingest(
+                conn,
+                json.dumps({"query": "A", "schema": "s", "id": f"j{i}"})
+                .encode() + b"\n",
+            )
+        assert router.stats.spills == 0
+        assert sum(1 for s in router.shards if s.inflight) == 1
+
+    def test_worker_shed_is_requeued_not_surfaced(self):
+        import asyncio
+
+        async def scenario():
+            router = _bare_router()
+            conn = _ClientConn(1)
+            router._ingest(conn, b'{"query": "A", "schema": "s", "id": "j1"}\n')
+            (shard,) = [s for s in router.shards if s.inflight]
+            (token,) = shard.inflight
+            router._absorb(
+                shard, {"id": token, "status": "retry", "error": "backpressure"}
+            )
+            # the shed never reaches the client; the job requeues instead
+            assert conn.out_queue.empty()
+            assert conn.inflight == 1
+            assert router.stats.sheds_requeued == 1
+            await asyncio.sleep(0.1)
+            assert any(s.inflight for s in router.shards)
+
+        asyncio.run(scenario())
+
+    def test_metrics_registry_renders_router_gauges(self):
+        router = _bare_router()
+        conn = _ClientConn(1)
+        router._ingest(conn, b'{"query": "A", "schema": "s"}\n')
+        rendered = router.metrics_registry().render_prometheus()
+        assert "repro_router_jobs_total 1" in rendered
+        assert 'repro_router_shard_depth{shard="0"}' in rendered
+        assert "repro_router_spills_total 0" in rendered
+        assert "repro_router_restarts_total 0" in rendered
+
+
+class TestRouterStats:
+    def test_shards_used_counts_nonzero_shards(self):
+        stats = RouterStats()
+        stats.shard_jobs = {0: 3, 1: 0, 2: 5}
+        assert stats.shards_used() == 2
+
+
+# -- end-to-end smoke over a unix socket ------------------------------------------
+
+def _client_exchange(sock_path: str, jobs: list[dict]) -> list[dict]:
+    client = socket.socket(socket.AF_UNIX)
+    client.settimeout(120)
+    client.connect(sock_path)
+    with client, client.makefile("rw", encoding="utf-8") as stream:
+        for job in jobs:
+            stream.write(json.dumps(job) + "\n")
+        stream.flush()
+        return [json.loads(stream.readline()) for _ in jobs]
+
+
+@pytest.fixture
+def route_env(tmp_path):
+    (tmp_path / "schemas").mkdir()
+    (tmp_path / "schemas" / "catalog.dtd").write_text(CATALOG_DTD)
+    (tmp_path / "schemas" / "doc.dtd").write_text(DOC_DTD)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    return tmp_path, env
+
+
+def _start_route(tmp_path, env, *extra_args):
+    sock = str(tmp_path / "front.sock")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "route",
+            "--workers", "2", "--socket", sock,
+            "--schema-dir", str(tmp_path / "schemas"),
+            "--state-tier", str(tmp_path / "tier"),
+            "--metrics-out", str(tmp_path / "router.prom"),
+            "--worker-dir", str(tmp_path / "workers"),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, cwd=str(tmp_path), text=True,
+    )
+    deadline = time.monotonic() + 120
+    while not os.path.exists(sock):
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise AssertionError(
+                f"route did not come up: {process.stdout.read()}"
+            )
+        time.sleep(0.05)
+    return process, sock
+
+
+class TestRouteSmoke:
+    def test_mixed_schemas_fan_out_and_verdicts_match_single_process(
+        self, route_env
+    ):
+        tmp_path, env = route_env
+        process, sock = _start_route(tmp_path, env)
+        jobs = _mixed_jobs()
+        try:
+            records = _client_exchange(sock, jobs)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output = process.communicate(timeout=120)[0]
+        assert process.returncode == 0, output
+
+        expected = _single_process_verdicts(jobs)
+        assert {r["id"] for r in records} == set(expected)
+        for record in records:
+            satisfiable, method = expected[record["id"]]
+            assert record["satisfiable"] is satisfiable, record
+            assert record["method"] == method, record
+
+        # sharded fan-out: both worker processes took jobs
+        metrics = open(tmp_path / "router.prom").read()
+        shard_counts = {
+            int(line.split("{shard=\"")[1][0]): int(line.rsplit(" ", 1)[1])
+            for line in metrics.splitlines()
+            if line.startswith("repro_router_shard_jobs_total{")
+        }
+        assert sum(1 for count in shard_counts.values() if count) > 1
+        assert f"repro_router_results_total {len(jobs)}" in metrics
+        assert "routed" in output and "2 of 2 shards" in output
+        # the workers drained into the shared tier on SIGTERM
+        assert os.path.exists(tmp_path / "tier" / "state.sqlite")
+
+    def test_worker_death_restarts_and_jobs_keep_flowing(self, route_env):
+        tmp_path, env = route_env
+        process, sock = _start_route(tmp_path, env)
+        try:
+            first = _client_exchange(sock, _mixed_jobs())
+            assert len(first) == len(_mixed_jobs())
+            # kill every engine worker out from under the router
+            children = subprocess.run(
+                ["pgrep", "-P", str(process.pid)],
+                capture_output=True, text=True,
+            ).stdout.split()
+            assert children, "route should have child engine processes"
+            for pid in children:
+                os.kill(int(pid), signal.SIGKILL)
+            # the router notices, respawns, and keeps serving; jobs that
+            # land in the restart window get transient error responses
+            deadline = time.monotonic() + 60
+            by_id = None
+            while time.monotonic() < deadline:
+                try:
+                    records = _client_exchange(sock, _mixed_jobs())
+                except (ConnectionError, OSError, json.JSONDecodeError):
+                    time.sleep(0.2)
+                    continue
+                by_id = {r["id"]: r for r in records}
+                if all("satisfiable" in r for r in records):
+                    break
+                time.sleep(0.2)
+            assert by_id is not None, "router never recovered"
+            assert by_id["c0"].get("satisfiable") is True
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output = process.communicate(timeout=120)[0]
+        assert process.returncode == 0, output
+        metrics = open(tmp_path / "router.prom").read()
+        restarts = [
+            int(line.rsplit(" ", 1)[1]) for line in metrics.splitlines()
+            if line.startswith("repro_router_restarts_total")
+        ]
+        assert restarts and restarts[0] >= 1
+
+    def test_attach_routes_to_a_prestarted_engine(self, route_env):
+        tmp_path, env = route_env
+        worker_sock = str(tmp_path / "standalone.sock")
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", worker_sock,
+                "--schema-dir", str(tmp_path / "schemas"),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, cwd=str(tmp_path), text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not os.path.exists(worker_sock):
+                if worker.poll() is not None or time.monotonic() > deadline:
+                    raise AssertionError("standalone serve did not come up")
+                time.sleep(0.05)
+            sock = str(tmp_path / "front.sock")
+            router = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "route",
+                    "--workers", "0", "--attach", worker_sock,
+                    "--socket", sock,
+                    "--schema-dir", str(tmp_path / "schemas"),
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                env=env, cwd=str(tmp_path), text=True,
+            )
+            try:
+                deadline = time.monotonic() + 60
+                while not os.path.exists(sock):
+                    if router.poll() is not None or time.monotonic() > deadline:
+                        raise AssertionError(
+                            f"route did not come up: {router.stdout.read()}"
+                        )
+                    time.sleep(0.05)
+                records = _client_exchange(sock, _mixed_jobs())
+                assert {r["id"] for r in records} == {
+                    job["id"] for job in _mixed_jobs()
+                }
+            finally:
+                router.send_signal(signal.SIGTERM)
+                assert router.wait(timeout=60) == 0
+            # attached engines are not managed: still alive afterwards
+            assert worker.poll() is None
+        finally:
+            if worker.poll() is None:
+                worker.send_signal(signal.SIGTERM)
+            worker.wait(timeout=60)
+
+    def test_warm_boot_from_the_tier_plans_nothing(self, route_env):
+        """The headline property: after one routed run seeded the tier,
+        a fresh fleet adopts persisted plans before accepting traffic —
+        zero cold planners."""
+        tmp_path, env = route_env
+        jobs = _mixed_jobs()
+        process, sock = _start_route(tmp_path, env)
+        try:
+            _client_exchange(sock, jobs)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=120) == 0
+
+        process, sock = _start_route(tmp_path, env)
+        try:
+            _client_exchange(sock, jobs)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=120) == 0
+
+        from repro.engine import StateTier
+
+        with StateTier(str(tmp_path / "tier")) as tier:
+            rows = tier.engine_stats_rows()
+        # the second fleet's workers (fresh pids) planned nothing
+        warm = [
+            stats for stats in rows.values()
+            if stats.get("persisted_plans_loaded", 0) > 0
+        ]
+        assert len(warm) >= 2
+        assert all(stats.get("planner_invocations") == 0 for stats in warm)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_ROUTED_FUZZ") != "1",
+    reason="routed differential fuzz runs nightly (REPRO_ROUTED_FUZZ=1)",
+)
+class TestRoutedFuzz:
+    def test_routed_verdicts_match_single_process_on_random_corpus(
+        self, route_env, rng
+    ):
+        from repro.dtd import parse_dtd
+        from repro.workloads import batch_jobs
+        from repro.xpath import fragments as frag
+
+        schemas = {
+            "catalog": parse_dtd(CATALOG_DTD),
+            "doc": parse_dtd(DOC_DTD),
+        }
+        jobs = [
+            {"query": job.query_text, "schema": job.schema, "id": f"f{i}"}
+            for i, job in enumerate(batch_jobs(
+                rng, schemas, n_jobs=400,
+                fragments=(frag.DOWNWARD, frag.DOWNWARD_QUAL),
+            ))
+        ]
+        tmp_path, env = route_env
+        process, sock = _start_route(tmp_path, env)
+        try:
+            records = _client_exchange(sock, jobs)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=300) == 0
+        expected = _single_process_verdicts(jobs)
+        for record in records:
+            assert record["satisfiable"] is expected[record["id"]][0], record
